@@ -1,0 +1,247 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper (running the corresponding experiment at a
+// reduced scale per iteration), plus micro-benchmarks of the substrates
+// the end-to-end numbers depend on (a-query execution, weak supervision,
+// model inference, template generation).
+//
+// Run with: go test -bench=. -benchmem
+// Full-scale reproductions are the domain of cmd/pythia-bench.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/corpus"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/kb"
+	"repro/internal/model"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+	"repro/internal/sqlengine"
+)
+
+// benchConfig is the per-iteration experiment scale for benchmarks.
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: 0.08, Seed: 7}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIII(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIV(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableV(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableVI(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableVII(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableVIII(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigScalability(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnnotatorAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AnnotatorAblation(benchConfig())
+	}
+}
+
+// --- substrate micro-benchmarks -------------------------------------------
+
+// benchTable builds an n-row composite-key table for query benchmarks.
+func benchTable(n int) *relation.Table {
+	t := relation.NewTable("bench", relation.Schema{
+		{Name: "country", Kind: relation.KindString},
+		{Name: "day", Kind: relation.KindInt},
+		{Name: "total_cases", Kind: relation.KindInt},
+		{Name: "new_cases", Kind: relation.KindInt},
+	})
+	countries := 40
+	for i := 0; i < n; i++ {
+		c := i % countries
+		t.MustAppend(relation.Row{
+			relation.String(fmt.Sprintf("Country%02d", c)),
+			relation.Int(int64(i / countries)),
+			relation.Int(int64(1000 + i*3)),
+			relation.Int(int64(i*7 + 13)), // distinct values
+		})
+	}
+	return t
+}
+
+// BenchmarkHashJoinAQuery measures the equality-join a-query path (the
+// scalable template backbone).
+func BenchmarkHashJoinAQuery(b *testing.B) {
+	t := benchTable(5000)
+	e := sqlengine.NewEngine()
+	e.Register(t)
+	q := `SELECT b1.country, b1.new_cases, b2.new_cases FROM bench b1, bench b2
+	      WHERE b1.country = b2.country AND b1.new_cases <> b2.new_cases`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumRows() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkNestedLoopAQuery measures the inequality self-join (attribute
+// ambiguity template) — the ablation partner of the hash join.
+func BenchmarkNestedLoopAQuery(b *testing.B) {
+	t := benchTable(700)
+	e := sqlengine.NewEngine()
+	e.Register(t)
+	q := `SELECT b1.country, b2.country FROM bench b1, bench b2
+	      WHERE b1.country <> b2.country AND b1.total_cases > b2.total_cases AND b1.new_cases < b2.new_cases`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTemplateGeneration measures end-to-end template-mode example
+// generation (the "millions of examples in seconds" path).
+func BenchmarkTemplateGeneration(b *testing.B) {
+	t := benchTable(1500)
+	md, err := pythia.WithPairs(t, []model.Pair{{AttrA: "total_cases", AttrB: "new_cases", Label: "cases"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := pythia.NewGenerator(t, md)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		exs, err := g.Generate(pythia.Options{
+			Mode:       pythia.Templates,
+			Structures: []pythia.Structure{pythia.RowAmb, pythia.FullAmb},
+			Ops:        []string{"="},
+			Seed:       1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += len(exs)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "examples/s")
+}
+
+// BenchmarkTextGeneration measures the data-to-text path on the same table.
+func BenchmarkTextGeneration(b *testing.B) {
+	t := benchTable(1500)
+	md, err := pythia.WithPairs(t, []model.Pair{{AttrA: "total_cases", AttrB: "new_cases", Label: "cases"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := pythia.NewGenerator(t, md)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		exs, err := g.Generate(pythia.Options{
+			Structures:  []pythia.Structure{pythia.RowAmb, pythia.FullAmb},
+			Ops:         []string{"="},
+			MaxPerQuery: 100,
+			Seed:        1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += len(exs)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "examples/s")
+}
+
+// BenchmarkWeakSupervision measures annotator labeling throughput over the
+// synthetic corpus (the paper's 500k-table pass).
+func BenchmarkWeakSupervision(b *testing.B) {
+	gen := corpus.NewDefaultGenerator()
+	annotators := annotate.All(kb.BuildDefault())
+	b.ResetTimer()
+	pairs := 0
+	for i := 0; i < b.N; i++ {
+		t := gen.Table(i)
+		pairs += len(annotate.LabelTable(annotators, t.Name, t.Header, t.Rows))
+	}
+	b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+// BenchmarkMetadataInference measures trained-model prediction latency per
+// attribute pair.
+func BenchmarkMetadataInference(b *testing.B) {
+	gen := corpus.NewDefaultGenerator()
+	knowledge := kb.BuildDefault()
+	cfg := model.DefaultSchemaConfig()
+	cfg.Tables = 400
+	cfg.Epochs = 2
+	m, err := model.Train("Schema", gen, annotate.All(knowledge), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := data.MustLoad("Basket")
+	header := d.Table.Schema.Names()
+	rows := d.StringRows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictPair(header, rows, "FieldGoalPct", "ThreePointPct")
+	}
+}
+
+// BenchmarkProfiling measures key discovery on a mid-size table.
+func BenchmarkProfiling(b *testing.B) {
+	d := data.MustLoad("Adults")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pythia.WithPairs(d.Table, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

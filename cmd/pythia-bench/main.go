@@ -1,0 +1,83 @@
+// Command pythia-bench reproduces every table and figure of the paper's
+// evaluation and prints the report.
+//
+// Usage:
+//
+//	pythia-bench [-scale 1.0] [-seed 7] [-run tableiii,tableiv,...|all] [-quiet]
+//
+// At -scale 1.0 the metadata models train on 20k synthetic web tables
+// (minutes of CPU); tests and smoke runs use smaller scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// runner couples an experiment name with its execution.
+type runner struct {
+	name string
+	run  func(experiments.Config) (fmt.Stringer, error)
+}
+
+func wrap[T fmt.Stringer](f func(experiments.Config) (T, error)) func(experiments.Config) (fmt.Stringer, error) {
+	return func(cfg experiments.Config) (fmt.Stringer, error) {
+		return f(cfg)
+	}
+}
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "training-volume multiplier (1.0 = paper scale)")
+	seed := flag.Int64("seed", 7, "global seed")
+	run := flag.String("run", "all", "comma-separated experiments: tableiii,tableiv,tablev,tablevi,tablevii,tableviii,figrows,figserialization,figcorpus,figscalability,ablation")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	all := []runner{
+		{"tableiii", wrap(experiments.TableIII)},
+		{"tableiv", wrap(experiments.TableIV)},
+		{"tablev", wrap(experiments.TableV)},
+		{"tablevi", wrap(experiments.TableVI)},
+		{"tablevii", wrap(experiments.TableVII)},
+		{"tableviii", wrap(experiments.TableVIII)},
+		{"figrows", wrap(experiments.FigRows)},
+		{"figserialization", wrap(experiments.FigSerialization)},
+		{"figcorpus", wrap(experiments.FigCorpusSize)},
+		{"figscalability", wrap(experiments.FigScalability)},
+		{"ablation", func(cfg experiments.Config) (fmt.Stringer, error) {
+			return experiments.AnnotatorAblation(cfg), nil
+		}},
+	}
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(n))] = true
+	}
+	runAll := want["all"]
+
+	exit := 0
+	for _, r := range all {
+		if !runAll && !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		res, err := r.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pythia-bench: %s: %v\n", r.name, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("\n%s\n(%s, scale %.2f, %s)\n", res, r.name, *scale, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,330 @@
+// Command pythia is the end-to-end CLI: profile a table, discover its
+// ambiguity metadata, and generate data-ambiguous training examples.
+//
+// Usage:
+//
+//	pythia profile  (-in table.csv | -dataset Basket)
+//	pythia metadata (-in table.csv | -dataset Basket) [-method ulabel|schema|data] [-tables N]
+//	pythia generate (-in table.csv | -dataset Basket) [-method ...] [-mode textgen|templates]
+//	                [-structures attribute,row,full] [-match both|contradictory|uniform]
+//	                [-questions] [-max N] [-json]
+//	pythia datasets
+//
+// The ulabel method needs no training and is the default; schema/data
+// train the corresponding metadata model on a synthetic web-table corpus
+// first (-tables controls its size).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/annotate"
+	"repro/internal/corpus"
+	"repro/internal/data"
+	"repro/internal/kb"
+	"repro/internal/model"
+	"repro/internal/profiling"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+	"repro/internal/sqlengine"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "metadata":
+		err = cmdMetadata(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "sql":
+		err = cmdSQL(os.Args[2:])
+	case "datasets":
+		for _, n := range data.Names() {
+			fmt.Println(n)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pythia: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pythia:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pythia profile  (-in table.csv | -dataset NAME)
+  pythia metadata (-in table.csv | -dataset NAME) [-method ulabel|schema|data] [-tables N]
+  pythia generate (-in table.csv | -dataset NAME) [-method ulabel|schema|data] [-mode textgen|templates]
+                  [-structures attribute,row,full] [-match both|contradictory|uniform]
+                  [-questions] [-max N] [-json] [-tables N]
+  pythia sql      (-in table.csv | -dataset NAME) ["QUERY" | -i]
+  pythia datasets`)
+}
+
+// cmdSQL runs SQL against a loaded table: one query from the arguments, or
+// an interactive prompt with -i (the "interactive version" the paper's
+// conclusion sketches).
+func cmdSQL(args []string) error {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	load := tableFlags(fs)
+	interactive := fs.Bool("i", false, "interactive prompt (read queries from stdin)")
+	limit := fs.Int("print", 20, "max rows to print per result")
+	fs.Parse(args)
+	t, err := load()
+	if err != nil {
+		return err
+	}
+	e := sqlengine.NewEngine()
+	e.Register(t)
+	run := func(q string) {
+		res, err := e.Query(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Println(strings.Join(res.Schema.Names(), " | "))
+		for i, row := range res.Rows {
+			if i >= *limit {
+				fmt.Printf("… %d more rows\n", res.NumRows()-i)
+				break
+			}
+			parts := make([]string, len(row))
+			for c, v := range row {
+				parts[c] = v.Format()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Fprintf(os.Stderr, "(%d rows)\n", res.NumRows())
+	}
+	if !*interactive {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("pass exactly one query, or -i for interactive mode")
+		}
+		run(fs.Arg(0))
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "table %s registered; enter SQL, empty line to quit\n", t.Name)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Fprint(os.Stderr, "pythia> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.EqualFold(line, "exit") || strings.EqualFold(line, "quit") {
+			return nil
+		}
+		run(line)
+	}
+}
+
+// tableFlags adds the shared input flags and returns a loader.
+func tableFlags(fs *flag.FlagSet) func() (*relation.Table, error) {
+	in := fs.String("in", "", "CSV file with a header row")
+	dataset := fs.String("dataset", "", "built-in dataset name (see `pythia datasets`)")
+	return func() (*relation.Table, error) {
+		switch {
+		case *in != "" && *dataset != "":
+			return nil, fmt.Errorf("use either -in or -dataset, not both")
+		case *in != "":
+			f, err := os.Open(*in)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			name := strings.TrimSuffix(strings.TrimSuffix(*in, ".csv"), ".CSV")
+			if i := strings.LastIndexByte(name, '/'); i >= 0 {
+				name = name[i+1:]
+			}
+			return relation.ReadCSV(name, f)
+		case *dataset != "":
+			d, err := data.Load(*dataset)
+			if err != nil {
+				return nil, err
+			}
+			return d.Table, nil
+		default:
+			return nil, fmt.Errorf("missing -in or -dataset")
+		}
+	}
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	load := tableFlags(fs)
+	fs.Parse(args)
+	t, err := load()
+	if err != nil {
+		return err
+	}
+	p, err := profiling.ProfileTable(t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("table %s: %d rows, %d columns\n", t.Name, t.NumRows(), t.NumCols())
+	fmt.Printf("primary key: %v\n", p.PrimaryKey)
+	fmt.Printf("candidate keys: %v\n", p.CandidateKeys)
+	fmt.Println("columns:")
+	for _, st := range p.Columns {
+		fmt.Printf("  %-24s %-7s distinct=%-5d nulls=%-4d min=%-12s max=%-12s unique=%v\n",
+			st.Name, st.Kind, st.Distinct, st.Nulls, st.Min.Format(), st.Max.Format(), st.Unique)
+	}
+	return nil
+}
+
+// buildPredictor resolves -method into a Predictor, training if needed.
+func buildPredictor(method string, tables int) (model.Predictor, error) {
+	knowledge := kb.BuildDefault()
+	switch method {
+	case "ulabel":
+		return model.NewULabel(knowledge), nil
+	case "schema", "data":
+		cfg := model.DefaultSchemaConfig()
+		name := "Schema"
+		if method == "data" {
+			cfg = model.DefaultDataConfig()
+			name = "Data"
+		}
+		if tables > 0 {
+			cfg.Tables = tables
+		}
+		cfg.Pretrain = knowledge.DefinitionBags()
+		fmt.Fprintf(os.Stderr, "training %s model on %d synthetic web tables…\n", name, cfg.Tables)
+		return model.Train(name, corpus.NewDefaultGenerator(), annotate.All(knowledge), cfg)
+	default:
+		return nil, fmt.Errorf("unknown method %q (want ulabel, schema or data)", method)
+	}
+}
+
+func cmdMetadata(args []string) error {
+	fs := flag.NewFlagSet("metadata", flag.ExitOnError)
+	load := tableFlags(fs)
+	method := fs.String("method", "ulabel", "metadata method: ulabel, schema or data")
+	tables := fs.Int("tables", 0, "training corpus size for schema/data (0 = default)")
+	fs.Parse(args)
+	t, err := load()
+	if err != nil {
+		return err
+	}
+	pred, err := buildPredictor(*method, *tables)
+	if err != nil {
+		return err
+	}
+	md, err := pythia.Discover(t, pred)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("primary key: %v\n", md.Profile.PrimaryKey)
+	if len(md.Pairs) == 0 {
+		fmt.Println("no ambiguous attribute pairs found")
+		return nil
+	}
+	fmt.Println("ambiguous attribute pairs:")
+	for _, p := range md.Pairs {
+		fmt.Printf("  (%s, %s) -> %q  score=%.2f corr=%.2f overlap=%.2f\n",
+			p.AttrA, p.AttrB, p.Label, p.Score, p.Correlation, p.ValueOverlap)
+	}
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	load := tableFlags(fs)
+	method := fs.String("method", "ulabel", "metadata method: ulabel, schema or data")
+	tables := fs.Int("tables", 0, "training corpus size for schema/data (0 = default)")
+	mode := fs.String("mode", "textgen", "generation mode: textgen or templates")
+	structures := fs.String("structures", "attribute,row,full", "comma-separated structures")
+	match := fs.String("match", "both", "match types: both, contradictory or uniform")
+	questions := fs.Bool("questions", false, "interleave questions with statements")
+	max := fs.Int("max", 4, "max evidence rows per a-query (0 = unlimited in template mode)")
+	asJSON := fs.Bool("json", false, "emit JSON lines instead of text")
+	seed := fs.Int64("seed", 1, "phrasing seed")
+	fs.Parse(args)
+
+	t, err := load()
+	if err != nil {
+		return err
+	}
+	pred, err := buildPredictor(*method, *tables)
+	if err != nil {
+		return err
+	}
+	md, err := pythia.Discover(t, pred)
+	if err != nil {
+		return err
+	}
+
+	opts := pythia.Options{Questions: *questions, MaxPerQuery: *max, Seed: *seed}
+	switch *mode {
+	case "textgen":
+		opts.Mode = pythia.TextGeneration
+	case "templates":
+		opts.Mode = pythia.Templates
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	for _, s := range strings.Split(*structures, ",") {
+		switch strings.TrimSpace(s) {
+		case "attribute":
+			opts.Structures = append(opts.Structures, pythia.AttributeAmb)
+		case "row":
+			opts.Structures = append(opts.Structures, pythia.RowAmb)
+		case "full":
+			opts.Structures = append(opts.Structures, pythia.FullAmb)
+		case "":
+		default:
+			return fmt.Errorf("unknown structure %q", s)
+		}
+	}
+	switch *match {
+	case "both":
+	case "contradictory":
+		opts.Matches = []pythia.Match{pythia.Contradictory}
+	case "uniform":
+		opts.Matches = []pythia.Match{pythia.Uniform}
+	default:
+		return fmt.Errorf("unknown match %q", *match)
+	}
+
+	g := pythia.NewGenerator(t, md)
+	exs, err := g.Generate(opts)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, ex := range exs {
+		if *asJSON {
+			if err := enc.Encode(ex); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Printf("[%s/%s] %s\n", ex.Structure, ex.Match, ex.Text)
+		if len(ex.Evidence) > 0 {
+			parts := make([]string, len(ex.Evidence))
+			for i, c := range ex.Evidence {
+				parts[i] = c.Attr + ":" + c.Value
+			}
+			fmt.Printf("    evidence: %s\n", strings.Join(parts, " — "))
+		}
+		fmt.Printf("    query: %s\n", ex.Query)
+	}
+	fmt.Fprintf(os.Stderr, "%d examples\n", len(exs))
+	return nil
+}

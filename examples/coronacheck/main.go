@@ -1,0 +1,86 @@
+// CoronaCheck example: ambiguity-aware statistical fact checking.
+//
+// Verifies user-style COVID claims against the Covid table. The original
+// system always picks a single interpretation (first attribute candidate,
+// latest date), so ambiguous claims get a single — often wrong — verdict.
+// The improved system is trained on PYTHIA examples to recognize the
+// ambiguity structure and then enumerates every interpretation.
+//
+// Run with: go run ./examples/coronacheck
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/coronacheck"
+	"repro/internal/data"
+)
+
+func main() {
+	original := coronacheck.NewOriginal()
+	improved, err := coronacheck.TrainImproved(coronacheck.TrainOptions{Epochs: 6, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build claims from actual cells of the Covid table so their truth
+	// values are known.
+	covid := data.MustLoad("Covid").Table
+	cell := func(country, attr string, week int) string {
+		cc := covid.Schema.Index("country")
+		for r, row := range covid.Rows {
+			if row[cc].AsString() == country {
+				return covid.Rows[r+week][covid.Schema.Index(attr)].Format()
+			}
+		}
+		return ""
+	}
+	date := func(country string, week int) string {
+		cc := covid.Schema.Index("country")
+		for r, row := range covid.Rows {
+			if row[cc].AsString() == country {
+				return covid.Rows[r+week][covid.Schema.Index("date")].Format()
+			}
+		}
+		return ""
+	}
+
+	claims := []string{
+		// Fully specified: both systems verify it the same way.
+		fmt.Sprintf("On %s, France had %s new deaths.", date("France", 0), cell("France", "new_deaths", 0)),
+		// Attribute ambiguity: "death rate" maps to two columns; the value
+		// matches the fatality rate but not the mortality rate.
+		fmt.Sprintf("On %s, Italy had %s death rate.", date("Italy", 1), cell("Italy", "total_fatality_rate", 1)),
+		// Row ambiguity: no date given; true for week 3, false elsewhere.
+		fmt.Sprintf("In Spain, %s new deaths have been reported.", cell("Spain", "new_deaths", 3)),
+		// Full ambiguity: "covid cases" x missing date.
+		fmt.Sprintf("In Lebanon, %s covid cases.", cell("Lebanon", "active_cases", 2)),
+	}
+	for _, claim := range claims {
+		fmt.Printf("claim: %s\n", claim)
+		vo := original.Verify(claim)
+		vi := improved.Verify(claim)
+		fmt.Printf("  original: %s\n", vo.Kind)
+		fmt.Printf("  improved: %s\n", vi.Kind)
+		if vi.Kind == coronacheck.Ambiguous {
+			keys := make([]string, 0, len(vi.PerInterpretation))
+			for k := range vi.PerInterpretation {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			shown := 0
+			for _, k := range keys {
+				if vi.PerInterpretation[k] {
+					fmt.Printf("    true under  %s\n", k)
+					shown++
+				}
+				if shown == 3 {
+					break
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

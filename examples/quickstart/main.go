@@ -1,0 +1,68 @@
+// Quickstart: the paper's running example end to end.
+//
+// Takes the Table I basketball relation, profiles it, discovers the
+// ambiguity metadata ({FG%, 3FG%} -> "shooting"-like label), and generates
+// data-ambiguous examples with both the data-to-text generator and the
+// scalable SQL templates.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/kb"
+	"repro/internal/model"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+)
+
+func main() {
+	// Table I of the paper.
+	table, err := relation.ReadCSVString("D", `Player,Team,FieldGoalPct,ThreePointPct,fouls,apps
+Carter,LA,56,47,4,5
+Smith,SF,55,30,4,7
+Carter,SF,50,51,3,3
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Discover keys and ambiguity metadata. ULabel needs no training; swap
+	// in a trained model.MetadataModel for the full pipeline.
+	predictor := model.NewULabel(kb.BuildDefault())
+	md, err := pythia.Discover(table, predictor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("primary key: %v\n", md.Profile.PrimaryKey)
+	for _, p := range md.Pairs {
+		fmt.Printf("ambiguous pair: (%s, %s) -> %q\n", p.AttrA, p.AttrB, p.Label)
+	}
+
+	// Generate examples with the data-to-text path.
+	g := pythia.NewGenerator(table, md)
+	examples, err := g.Generate(pythia.Options{Seed: 1, Questions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d examples via text generation:\n", len(examples))
+	for _, ex := range examples {
+		fmt.Printf("  [%s/%s] %s\n", ex.Structure, ex.Match, ex.Text)
+	}
+
+	// And with the scalable template path.
+	templated, err := g.Generate(pythia.Options{Seed: 1, Mode: pythia.Templates})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d examples via templates, e.g.:\n", len(templated))
+	for i, ex := range templated {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %s\n", ex.Text)
+		fmt.Printf("    a-query: %s\n", ex.Query)
+	}
+}

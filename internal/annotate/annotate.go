@@ -1,0 +1,241 @@
+// Package annotate implements the six unsupervised annotator functions of
+// Section III-B and the weak-supervision aggregation that turns their noisy
+// output into training examples for the metadata model.
+//
+// Five annotators follow the two-step alias design: an alias function
+// collects alternative representations of an attribute name from an
+// external resource (four ConceptNet relations plus Wikipedia titles), and
+// a pair of attributes is called ambiguous when the alias sets intersect —
+// the intersection being the candidate labels. The sixth annotator takes
+// the longest common substring of the two names and keeps it only if it is
+// a dictionary word.
+package annotate
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/vocab"
+)
+
+// Annotator produces candidate ambiguity labels for a pair of attribute
+// names, or nothing when it abstains.
+type Annotator interface {
+	// Name identifies the annotator ("syn", "relTo", "der", "isA", "wiki",
+	// "lcs").
+	Name() string
+	// Annotate returns candidate labels for the pair (may be empty).
+	Annotate(attrA, attrB string) []string
+	// Covers reports whether the annotator has any signal for the
+	// attribute at all. A pair where some annotator covers both sides but
+	// none proposes a label is a weak NEGATIVE; a pair nobody covers is
+	// UNLABELED — standard weak-supervision semantics (abstention is not
+	// evidence of absence).
+	Covers(attr string) bool
+}
+
+// aliasAnnotator intersects alias sets from one KB relation.
+type aliasAnnotator struct {
+	name  string
+	fetch func(word string) []string
+}
+
+func (a *aliasAnnotator) Name() string { return a.name }
+
+func (a *aliasAnnotator) Covers(attr string) bool { return len(a.fetch(attr)) > 0 }
+
+func (a *aliasAnnotator) Annotate(attrA, attrB string) []string {
+	as := a.fetch(attrA)
+	if len(as) == 0 {
+		return nil
+	}
+	bs := a.fetch(attrB)
+	if len(bs) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(as))
+	for _, x := range as {
+		set[x] = true
+	}
+	var out []string
+	for _, x := range bs {
+		if set[x] && !Stopword(x) {
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lcsAnnotator extracts the longest common substring of the normalized
+// names, keeping it only when the dictionary recognizes it.
+type lcsAnnotator struct {
+	dict interface{ InDictionary(string) bool }
+}
+
+func (l *lcsAnnotator) Name() string { return "lcs" }
+
+// Covers reports whether the attribute contains any dictionary word the
+// LCS filter could keep.
+func (l *lcsAnnotator) Covers(attr string) bool {
+	for _, w := range strings.Fields(vocab.Normalize(attr)) {
+		if len(w) >= 3 && l.dict.InDictionary(w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *lcsAnnotator) Annotate(attrA, attrB string) []string {
+	a := vocab.Normalize(attrA)
+	b := vocab.Normalize(attrB)
+	s := longestCommonSubstring(a, b)
+	s = strings.TrimSpace(s)
+	if len(s) < 3 || Stopword(s) {
+		return nil
+	}
+	if !l.dict.InDictionary(s) {
+		// Try the longest dictionary word inside the substring.
+		best := ""
+		for _, w := range strings.Fields(s) {
+			if len(w) >= 3 && l.dict.InDictionary(w) && len(w) > len(best) && !Stopword(w) {
+				best = w
+			}
+		}
+		if best == "" {
+			return nil
+		}
+		s = best
+	}
+	return []string{s}
+}
+
+// longestCommonSubstring returns the longest contiguous substring shared by
+// a and b (classic dynamic program, O(len(a)*len(b))).
+func longestCommonSubstring(a, b string) string {
+	if len(a) == 0 || len(b) == 0 {
+		return ""
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	bestLen, bestEnd := 0, 0
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > bestLen {
+					bestLen = cur[j]
+					bestEnd = i
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return a[bestEnd-bestLen : bestEnd]
+}
+
+// stopLabels are words too generic to be useful ambiguity labels. The alias
+// annotators drop them from intersections; this is the filtering that keeps
+// their precision high despite the generic noise in the graph.
+var stopLabels = map[string]bool{
+	"value": true, "data": true, "figure": true, "record": true,
+	"number": true, "information": true, "attribute": true, "field": true,
+	"item": true, "measure": true, "level": true, "total": true,
+	"rate": true, "statistic": true, "quantity": true, "category": true,
+	"count": true, "person": true, "place": true, "organization": true,
+	"time": true, "identifier": true, "name": true,
+	// Unit/decoration fragments that survive header normalization.
+	"pct": true, "percentage": true, "avg": true, "est": true,
+	"cur": true, "raw": true, "adj": true,
+}
+
+// Stopword reports whether w is too generic to serve as a label.
+func Stopword(w string) bool {
+	return stopLabels[strings.ToLower(strings.TrimSpace(w))]
+}
+
+// All returns the paper's six annotator functions backed by the given
+// knowledge base: syn, relTo, der, isA, wiki, lcs.
+func All(k *kb.KB) []Annotator {
+	return []Annotator{
+		&aliasAnnotator{name: "syn", fetch: func(w string) []string { return k.Aliases(w, kb.Synonym) }},
+		&aliasAnnotator{name: "relTo", fetch: func(w string) []string { return k.Aliases(w, kb.RelatedTo) }},
+		&aliasAnnotator{name: "der", fetch: func(w string) []string { return k.Aliases(w, kb.DerivedFrom) }},
+		&aliasAnnotator{name: "isA", fetch: func(w string) []string { return k.Aliases(w, kb.IsA) }},
+		&aliasAnnotator{name: "wiki", fetch: k.WikiTitles},
+		&lcsAnnotator{dict: k},
+	}
+}
+
+// Vote aggregates the annotators over one attribute pair: every candidate
+// label gets one vote per annotator proposing it; the best-voted label wins
+// (ties break lexicographically for determinism). An empty result means
+// every annotator abstained — the weak "none" label.
+func Vote(annotators []Annotator, attrA, attrB string) (label string, votes int) {
+	counts := map[string]int{}
+	for _, a := range annotators {
+		for _, l := range a.Annotate(attrA, attrB) {
+			counts[l]++
+		}
+	}
+	for l, c := range counts {
+		if c > votes || (c == votes && (label == "" || l < label)) {
+			label, votes = l, c
+		}
+	}
+	return label, votes
+}
+
+// PairExample is one weak-supervision training example: a table context, an
+// attribute pair, and the aggregated noisy label ("" for none).
+type PairExample struct {
+	TableName string
+	Header    []string
+	Rows      [][]string // sampled formatted cells, row-major; may be nil
+	AttrA     string
+	AttrB     string
+	Label     string
+	// Covered reports whether some annotator had signal for BOTH
+	// attributes. Uncovered pairs with empty labels are unlabeled, not
+	// negatives, and must not train the none class.
+	Covered bool
+}
+
+// covered reports whether any annotator covers the attribute.
+func covered(annotators []Annotator, attr string) bool {
+	for _, a := range annotators {
+		if a.Covers(attr) {
+			return true
+		}
+	}
+	return false
+}
+
+// LabelTable runs the annotators over every attribute pair of a header and
+// returns the labeled pairs with their coverage flags. The caller decides
+// how to subsample negatives and must skip uncovered empty-label pairs.
+func LabelTable(annotators []Annotator, tableName string, header []string, rows [][]string) []PairExample {
+	cov := make([]bool, len(header))
+	for i, h := range header {
+		cov[i] = covered(annotators, h)
+	}
+	var out []PairExample
+	for i := 0; i < len(header); i++ {
+		for j := i + 1; j < len(header); j++ {
+			label, _ := Vote(annotators, header[i], header[j])
+			out = append(out, PairExample{
+				TableName: tableName,
+				Header:    header,
+				Rows:      rows,
+				AttrA:     header[i],
+				AttrB:     header[j],
+				Label:     label,
+				Covered:   cov[i] && cov[j],
+			})
+		}
+	}
+	return out
+}

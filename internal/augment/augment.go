@@ -1,0 +1,151 @@
+// Package augment implements the text-augmentation direction from the
+// paper's conclusion: use ambiguity metadata to create data-ambiguous
+// variants of *existing* examples, instead of (or in addition to)
+// generating new ones from scratch.
+//
+// Two transformations are provided:
+//
+//   - Attribute blurring: replace a mention of an ambiguous attribute with
+//     the pair's label ("FieldGoalPct" -> "shooting"), making the text
+//     attribute-ambiguous while its evidence is unchanged.
+//   - Subject truncation: drop the trailing key values from the subject of
+//     a claim whose table has a composite key ("Carter LA has ..." ->
+//     "Carter has ..."), making the text row-ambiguous.
+//
+// Both are metadata-driven: they only fire when the table's profile and
+// ambiguity pairs license them, so every produced variant is genuinely
+// ambiguous w.r.t. the data.
+package augment
+
+import (
+	"strings"
+
+	"repro/internal/pythia"
+	"repro/internal/textgen"
+	"repro/internal/vocab"
+)
+
+// Variant is one augmented example: the new text plus what made it
+// ambiguous.
+type Variant struct {
+	Text      string
+	Structure pythia.Structure
+	// Label is the ambiguity label used for attribute blurring ("" for
+	// subject truncation).
+	Label string
+	// Source is the original text.
+	Source string
+}
+
+// Augmenter rewrites examples using one table's ambiguity metadata.
+type Augmenter struct {
+	md *pythia.Metadata
+}
+
+// New builds an augmenter from discovered metadata.
+func New(md *pythia.Metadata) *Augmenter {
+	return &Augmenter{md: md}
+}
+
+// mentionForms returns the surface strings under which an attribute may be
+// mentioned in text: the raw name and its normalized word form.
+func mentionForms(attr string) []string {
+	out := []string{attr}
+	if n := vocab.Normalize(attr); n != "" && !strings.EqualFold(n, attr) {
+		out = append(out, n)
+	}
+	return out
+}
+
+// BlurAttributes produces attribute-ambiguous variants: every mention of
+// either side of an ambiguous pair is replaced by the pair's label. One
+// variant per applicable pair.
+func (a *Augmenter) BlurAttributes(text string) []Variant {
+	var out []Variant
+	for _, pair := range a.md.Pairs {
+		if pair.Label == "" {
+			continue
+		}
+		for _, attr := range []string{pair.AttrA, pair.AttrB} {
+			for _, form := range mentionForms(attr) {
+				if idx := indexFold(text, form); idx >= 0 {
+					variant := text[:idx] + pair.Label + text[idx+len(form):]
+					out = append(out, Variant{
+						Text:      variant,
+						Structure: pythia.AttributeAmb,
+						Label:     pair.Label,
+						Source:    text,
+					})
+					break // one variant per attribute mention
+				}
+			}
+		}
+	}
+	return dedupe(out)
+}
+
+// TruncateSubject produces row-ambiguous variants: when the text names all
+// components of the table's composite key, the non-leading components are
+// removed so the subject under-identifies rows. keyValues supplies the
+// subject cells of the original example.
+func (a *Augmenter) TruncateSubject(text string, keyValues []textgen.Cell) []Variant {
+	pk := a.md.Profile.PrimaryKey
+	if len(pk) < 2 || len(keyValues) < 2 {
+		return nil
+	}
+	// Verify the text actually mentions every key value.
+	for _, kv := range keyValues {
+		if indexFold(text, kv.Value) < 0 {
+			return nil
+		}
+	}
+	// Remove every key value after the first.
+	variant := text
+	for _, kv := range keyValues[1:] {
+		idx := indexFold(variant, kv.Value)
+		if idx < 0 {
+			return nil
+		}
+		variant = strings.Join(strings.Fields(variant[:idx]+variant[idx+len(kv.Value):]), " ")
+	}
+	if variant == text {
+		return nil
+	}
+	return []Variant{{
+		Text:      variant,
+		Structure: pythia.RowAmb,
+		Source:    text,
+	}}
+}
+
+// Augment applies every applicable transformation to an example.
+func (a *Augmenter) Augment(ex pythia.Example) []Variant {
+	var out []Variant
+	out = append(out, a.BlurAttributes(ex.Text)...)
+	if len(ex.KeyAttrs) >= 2 && len(ex.Evidence) >= len(ex.KeyAttrs) {
+		out = append(out, a.TruncateSubject(ex.Text, ex.Evidence[:len(ex.KeyAttrs)])...)
+	}
+	return dedupe(out)
+}
+
+// indexFold is a case-insensitive strings.Index.
+func indexFold(s, sub string) int {
+	if sub == "" {
+		return -1
+	}
+	return strings.Index(strings.ToLower(s), strings.ToLower(sub))
+}
+
+// dedupe removes duplicate variant texts, preserving order.
+func dedupe(vs []Variant) []Variant {
+	seen := map[string]bool{}
+	out := vs[:0]
+	for _, v := range vs {
+		if v.Text == v.Source || seen[v.Text] {
+			continue
+		}
+		seen[v.Text] = true
+		out = append(out, v)
+	}
+	return out
+}

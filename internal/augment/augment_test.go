@@ -1,0 +1,139 @@
+package augment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/pythia"
+	"repro/internal/textgen"
+)
+
+func basketAugmenter(t *testing.T) *Augmenter {
+	t.Helper()
+	d := data.MustLoad("Basket")
+	md, err := pythia.WithPairs(d.Table, []model.Pair{
+		{AttrA: "FieldGoalPct", AttrB: "ThreePointPct", Label: "shooting"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(md)
+}
+
+func TestBlurAttributes(t *testing.T) {
+	a := basketAugmenter(t)
+	vs := a.BlurAttributes("Carter LA has a FieldGoalPct of 56")
+	if len(vs) != 1 {
+		t.Fatalf("variants = %d, want 1", len(vs))
+	}
+	v := vs[0]
+	if v.Text != "Carter LA has a shooting of 56" {
+		t.Errorf("text = %q", v.Text)
+	}
+	if v.Structure != pythia.AttributeAmb || v.Label != "shooting" {
+		t.Errorf("variant = %+v", v)
+	}
+}
+
+func TestBlurNormalizedMention(t *testing.T) {
+	// Attribute mentioned in its word form rather than the raw header.
+	a := basketAugmenter(t)
+	vs := a.BlurAttributes("Carter LA improved his three point pct this year")
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Text, "shooting") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("normalized mention not blurred: %+v", vs)
+	}
+}
+
+func TestBlurNoMention(t *testing.T) {
+	a := basketAugmenter(t)
+	if vs := a.BlurAttributes("Carter LA has 4 Fouls"); len(vs) != 0 {
+		t.Errorf("unexpected variants: %+v", vs)
+	}
+}
+
+func TestTruncateSubject(t *testing.T) {
+	a := basketAugmenter(t)
+	keys := []textgen.Cell{{Attr: "Player", Value: "Carter"}, {Attr: "Team", Value: "LA"}}
+	vs := a.TruncateSubject("Carter LA has 4 Fouls", keys)
+	if len(vs) != 1 {
+		t.Fatalf("variants = %d, want 1", len(vs))
+	}
+	if vs[0].Text != "Carter has 4 Fouls" {
+		t.Errorf("text = %q", vs[0].Text)
+	}
+	if vs[0].Structure != pythia.RowAmb {
+		t.Errorf("structure = %s", vs[0].Structure)
+	}
+}
+
+func TestTruncateRequiresAllKeyMentions(t *testing.T) {
+	a := basketAugmenter(t)
+	keys := []textgen.Cell{{Attr: "Player", Value: "Carter"}, {Attr: "Team", Value: "LA"}}
+	if vs := a.TruncateSubject("Carter has 4 Fouls", keys); len(vs) != 0 {
+		t.Errorf("truncated an already-partial subject: %+v", vs)
+	}
+}
+
+func TestTruncateNeedsCompositeKey(t *testing.T) {
+	d := data.MustLoad("Adults") // single-column key
+	md, err := pythia.WithPairs(d.Table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(md)
+	keys := []textgen.Cell{{Attr: "person_id", Value: "3"}}
+	if vs := a.TruncateSubject("3 has a salary of 50000", keys); len(vs) != 0 {
+		t.Errorf("single-key table produced row-ambiguous variant: %+v", vs)
+	}
+}
+
+func TestAugmentEndToEnd(t *testing.T) {
+	// Generate real non-ambiguous examples and augment them.
+	d := data.MustLoad("Basket")
+	md, err := pythia.WithPairs(d.Table, []model.Pair{
+		{AttrA: "FieldGoalPct", AttrB: "ThreePointPct", Label: "shooting"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pythia.NewGenerator(d.Table, md)
+	plain, err := g.NotAmbiguous(pythia.Options{Seed: 3, MaxPerQuery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(md)
+	total := 0
+	for _, ex := range plain {
+		vs := a.Augment(ex)
+		total += len(vs)
+		for _, v := range vs {
+			if v.Text == ex.Text {
+				t.Errorf("variant identical to source: %q", v.Text)
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("augmentation produced nothing over generated examples")
+	}
+	t.Logf("augmented %d variants from %d plain examples", total, len(plain))
+}
+
+func TestVariantsDeduped(t *testing.T) {
+	a := basketAugmenter(t)
+	vs := a.BlurAttributes("FieldGoalPct and FieldGoalPct")
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Text] {
+			t.Errorf("duplicate variant %q", v.Text)
+		}
+		seen[v.Text] = true
+	}
+}

@@ -1,0 +1,405 @@
+// Package coronacheck reproduces the CoronaCheck application of the Table
+// VI experiment: verification of statistical COVID-19 claims against the
+// Covid table.
+//
+// Two systems share one claim parser (country / date / attribute-phrase /
+// value extraction over a phrase lexicon). The *original* system resolves
+// every claim to a single interpretation — first attribute candidate,
+// latest date when missing — exactly the behaviour that makes it fail on
+// ambiguous claims. The *improved* system adds a structure detector trained
+// on PYTHIA-generated examples; when it flags ambiguity it enumerates every
+// interpretation and reports the combined verdict.
+package coronacheck
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+	"repro/internal/serialize"
+)
+
+// VerdictKind is the outcome of verifying one claim.
+type VerdictKind string
+
+// Verdict kinds. Ambiguous means the interpretations disagree, so the
+// correct answer is per-interpretation ("True for total_deaths, False
+// otherwise").
+const (
+	True      VerdictKind = "TRUE"
+	False     VerdictKind = "FALSE"
+	Ambiguous VerdictKind = "AMBIGUOUS"
+)
+
+// Verdict is a verification result.
+type Verdict struct {
+	Kind VerdictKind
+	// PerInterpretation maps "attr@country/date" to the truth value of
+	// that interpretation (filled when interpretations were enumerated).
+	PerInterpretation map[string]bool
+}
+
+// phrase maps a surface phrase to its candidate attributes. Phrases absent
+// from the lexicon simulate the paraphrases real users type that the
+// deployed system cannot parse.
+type phrase struct {
+	text  string
+	attrs []string
+}
+
+// lexicon is the phrase table both systems share; longest match wins.
+var lexicon = []phrase{
+	{"total confirmed cases", []string{"total_confirmed"}},
+	{"cumulative cases", []string{"total_confirmed"}},
+	{"new confirmed cases", []string{"new_confirmed"}},
+	{"daily cases", []string{"new_confirmed"}},
+	{"active cases", []string{"active_cases"}},
+	{"confirmed cases", []string{"total_confirmed", "new_confirmed"}},
+	{"covid cases", []string{"total_confirmed", "new_confirmed", "active_cases"}},
+	{"cases", []string{"total_confirmed", "new_confirmed", "active_cases"}},
+	{"infections", []string{"total_confirmed", "new_confirmed", "active_cases"}},
+	{"total deaths", []string{"total_deaths"}},
+	{"new deaths", []string{"new_deaths"}},
+	{"deaths", []string{"total_deaths", "new_deaths"}},
+	{"fatalities", []string{"total_deaths", "new_deaths"}},
+	{"fatality rate", []string{"total_fatality_rate"}},
+	{"mortality rate", []string{"total_mortality_rate"}},
+	{"death rate", []string{"total_fatality_rate", "total_mortality_rate"}},
+	{"people vaccinated", []string{"vaccinated"}},
+	{"vaccinations", []string{"vaccinated"}},
+	{"recoveries", []string{"total_recovered"}},
+	{"recovered", []string{"total_recovered"}},
+}
+
+// goldLexicon extends the lexicon with the user paraphrases the deployed
+// system does not know. Gold verdict computation uses it; the systems never
+// see it.
+var goldLexicon = append([]phrase{
+	{"positive tests recorded", []string{"new_confirmed"}},
+	{"jabs administered", []string{"vaccinated"}},
+	{"covid victims", []string{"total_deaths", "new_deaths"}},
+}, lexicon...)
+
+// parsed is the structured form of a claim.
+type parsed struct {
+	country  string // "" when missing
+	date     relation.Value
+	hasDate  bool
+	attrs    []string // candidate attributes, lexicon order
+	value    float64
+	hasValue bool
+}
+
+// System verifies claims against the Covid table.
+type System struct {
+	ds   *data.Dataset
+	rows []relation.Row
+	// detector is nil for the original system; the improved system uses it
+	// to decide when to enumerate interpretations.
+	detector *nn.TextClassifier
+	tok      *serialize.Tokenizer
+}
+
+// structure classes for the detector.
+const (
+	classNone = iota
+	classRow
+	classAttr
+	classFull
+	numClasses
+)
+
+// NewOriginal builds the pre-PYTHIA system.
+func NewOriginal() *System {
+	d := data.MustLoad("Covid")
+	return &System{ds: d, rows: d.Table.Rows}
+}
+
+// parse extracts the structured claim using the given lexicon.
+func (s *System) parse(text string, lex []phrase) parsed {
+	low := strings.ToLower(text)
+	var p parsed
+	// Country: match table values.
+	for _, row := range s.rows {
+		c := row[s.col("country")].AsString()
+		if strings.Contains(low, strings.ToLower(c)) {
+			p.country = c
+			break
+		}
+	}
+	// Date: ISO token anywhere in the claim.
+	for _, w := range strings.Fields(low) {
+		w = strings.Trim(w, ".,?!()")
+		if v, err := relation.ParseValue(w, relation.KindDate); err == nil && !v.IsNull() {
+			p.date, p.hasDate = v, true
+			break
+		}
+	}
+	// Attribute phrase: longest match wins.
+	best := -1
+	for i, ph := range lex {
+		if strings.Contains(low, ph.text) {
+			if best == -1 || len(ph.text) > len(lex[best].text) {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		p.attrs = lex[best].attrs
+	}
+	// Value: first plain number (commas stripped, date token excluded).
+	for _, w := range strings.Fields(low) {
+		w = strings.Trim(strings.ReplaceAll(w, ",", ""), ".?!()")
+		if w == "" || w == p.dateToken() {
+			continue
+		}
+		f, err := strconv.ParseFloat(w, 64)
+		if err != nil {
+			continue
+		}
+		p.value, p.hasValue = f, true
+		break
+	}
+	return p
+}
+
+// dateToken renders the parsed date back to its ISO token.
+func (p parsed) dateToken() string {
+	if !p.hasDate {
+		return ""
+	}
+	return p.date.Format()
+}
+
+func (s *System) col(name string) int { return s.ds.Table.Schema.Index(name) }
+
+// interpretations enumerates (attr, row) readings of a parsed claim. When
+// single is true, it collapses to the original system's unique reading:
+// first attribute, latest date, first country.
+func (s *System) interpretations(p parsed, single bool) map[string]bool {
+	if len(p.attrs) == 0 || !p.hasValue {
+		return nil
+	}
+	attrs := p.attrs
+	if single {
+		attrs = attrs[:1]
+	}
+	var rows []relation.Row
+	for _, row := range s.rows {
+		if p.country != "" && row[s.col("country")].AsString() != p.country {
+			continue
+		}
+		if p.hasDate && !row[s.col("date")].Equal(p.date) {
+			continue
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if single && len(rows) > 1 {
+		// Original behaviour: latest date (and, when the country is also
+		// missing, the first country alphabetically).
+		sort.SliceStable(rows, func(i, j int) bool {
+			ci := rows[i][s.col("country")].AsString()
+			cj := rows[j][s.col("country")].AsString()
+			if ci != cj {
+				return ci < cj
+			}
+			return rows[i][s.col("date")].AsDays() > rows[j][s.col("date")].AsDays()
+		})
+		rows = rows[:1]
+	}
+	out := map[string]bool{}
+	for _, attr := range attrs {
+		ci := s.col(attr)
+		if ci < 0 {
+			continue
+		}
+		for _, row := range rows {
+			key := fmt.Sprintf("%s@%s/%s", attr, row[s.col("country")].AsString(), row[s.col("date")].Format())
+			cell := row[ci]
+			truth := false
+			if cell.Kind().Numeric() {
+				truth = cell.AsFloat() == p.value
+			}
+			out[key] = truth
+		}
+	}
+	return out
+}
+
+// combine folds per-interpretation truths into a verdict.
+func combine(interp map[string]bool) Verdict {
+	if len(interp) == 0 {
+		return Verdict{Kind: False}
+	}
+	anyTrue, anyFalse := false, false
+	for _, t := range interp {
+		if t {
+			anyTrue = true
+		} else {
+			anyFalse = true
+		}
+	}
+	switch {
+	case anyTrue && anyFalse:
+		return Verdict{Kind: Ambiguous, PerInterpretation: interp}
+	case anyTrue:
+		return Verdict{Kind: True, PerInterpretation: interp}
+	default:
+		return Verdict{Kind: False, PerInterpretation: interp}
+	}
+}
+
+// Verify classifies one claim.
+func (s *System) Verify(text string) Verdict {
+	p := s.parse(text, lexicon)
+	if s.detector == nil {
+		return combine(s.interpretations(p, true))
+	}
+	class := s.detect(text)
+	if class == classNone {
+		return combine(s.interpretations(p, true))
+	}
+	return combine(s.interpretations(p, false))
+}
+
+// GoldVerdict computes the ground-truth verdict with the full lexicon and
+// exhaustive interpretation enumeration.
+func (s *System) GoldVerdict(text string) Verdict {
+	p := s.parse(text, goldLexicon)
+	return combine(s.interpretations(p, false))
+}
+
+// ---------------------------------------------------------------------------
+// The PYTHIA-trained structure detector.
+// ---------------------------------------------------------------------------
+
+// encodeClaim tokenizes a claim with date/country indicator features.
+func (s *System) encodeClaim(text string, fit bool) []int {
+	low := strings.ToLower(text)
+	var tokens []string
+	for _, w := range strings.Fields(low) {
+		w = strings.Trim(w, ".,?!'\"()")
+		if w == "" {
+			continue
+		}
+		tokens = append(tokens, serialize.CellTokens(w, 3)...)
+	}
+	p := s.parse(text, lexicon)
+	if p.hasDate {
+		tokens = append(tokens, "<has_date>")
+	}
+	if p.country != "" {
+		tokens = append(tokens, "<has_country>")
+	}
+	if len(p.attrs) > 1 {
+		tokens = append(tokens, "<multi_attr>")
+	}
+	if fit {
+		s.tok.Fit(tokens)
+	}
+	return s.tok.Encode(tokens)
+}
+
+func (s *System) detect(text string) int {
+	ids := s.encodeClaim(text, false)
+	class, _ := s.detector.Predict(ids, nil)
+	return class
+}
+
+// TrainOptions controls improved-system training.
+type TrainOptions struct {
+	Epochs int
+	Seed   int64
+}
+
+// TrainImproved builds the ambiguity-aware system: PYTHIA examples over the
+// Covid table (all three structures, both generation modes) are merged
+// 50/50 with non-ambiguous examples and train the structure detector.
+func TrainImproved(opts TrainOptions) (*System, error) {
+	if opts.Epochs <= 0 {
+		opts.Epochs = 6
+	}
+	s := NewOriginal()
+	s.tok = serialize.NewTokenizer()
+
+	d := s.ds
+	pairs := covidGroundTruthPairs(d)
+	md, err := pythia.WithPairs(d.Table, pairs)
+	if err != nil {
+		return nil, fmt.Errorf("coronacheck: %w", err)
+	}
+	g := pythia.NewGenerator(d.Table, md)
+
+	type labeled struct {
+		text  string
+		class int
+	}
+	var raw []labeled
+	// Ambiguous examples from both generation modes.
+	for _, mode := range []pythia.Mode{pythia.TextGeneration, pythia.Templates} {
+		exs, err := g.Generate(pythia.Options{Mode: mode, Seed: opts.Seed, MaxPerQuery: 8, Questions: mode == pythia.TextGeneration})
+		if err != nil {
+			return nil, fmt.Errorf("coronacheck: %w", err)
+		}
+		for _, ex := range exs {
+			class := classAttr
+			switch ex.Structure {
+			case pythia.RowAmb:
+				class = classRow
+			case pythia.FullAmb:
+				class = classFull
+			}
+			raw = append(raw, labeled{text: ex.Text, class: class})
+		}
+	}
+	// Non-ambiguous examples to a 50/50 ratio, as the paper describes.
+	plain, err := g.NotAmbiguous(pythia.Options{Seed: opts.Seed + 1, MaxPerQuery: 30, Questions: true})
+	if err != nil {
+		return nil, fmt.Errorf("coronacheck: %w", err)
+	}
+	target := len(raw)
+	for i, ex := range plain {
+		if i >= target {
+			break
+		}
+		raw = append(raw, labeled{text: ex.Text, class: classNone})
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("coronacheck: no training examples generated")
+	}
+
+	var examples []nn.Example
+	for _, r := range raw {
+		s.encodeClaim(r.text, true)
+	}
+	s.tok.Freeze()
+	for _, r := range raw {
+		examples = append(examples, nn.Example{IDs: s.encodeClaim(r.text, false), Class: r.class})
+	}
+	s.detector = nn.NewTextClassifier(nn.Config{
+		VocabSize: s.tok.Size(),
+		Classes:   numClasses,
+		Seed:      opts.Seed,
+	})
+	s.detector.Train(examples, nn.TrainOptions{Epochs: opts.Epochs, LR: 3e-3, Seed: opts.Seed + 1})
+	return s, nil
+}
+
+// covidGroundTruthPairs lists the ambiguous attribute pairs of the Covid
+// table with the labels users actually type (Section VI-C's examples).
+func covidGroundTruthPairs(d *data.Dataset) []model.Pair {
+	var out []model.Pair
+	for _, gt := range d.GroundTruthPairs() {
+		out = append(out, model.Pair{AttrA: gt.AttrA, AttrB: gt.AttrB, Label: gt.Labels[0]})
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package coronacheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pythia"
+	"repro/internal/relation"
+)
+
+// LogClaim is one entry of the simulated CoronaCheck user log: the claim
+// text, its annotated ambiguity structure, and the gold verdict.
+type LogClaim struct {
+	Text      string
+	Structure pythia.Structure
+	Gold      VerdictKind
+	// Complex marks claims needing aggregation or trend reasoning that
+	// neither system supports (5% of the paper's annotated claims).
+	Complex bool
+}
+
+// UserLog builds the 100-claim log with the distribution the paper reports
+// for the production system: 40 exclusively row-ambiguous, 8 exclusively
+// attribute-ambiguous, 40 fully ambiguous, 12 without ambiguity. Error
+// sources mirror the paper's analysis: a slice of claims use paraphrases
+// outside the deployed lexicon, and a few need unsupported aggregations.
+func UserLog(seed int64) []LogClaim {
+	s := NewOriginal()
+	rng := rand.New(rand.NewSource(seed))
+	var log []LogClaim
+	add := func(text string, st pythia.Structure, gold VerdictKind, complex bool) {
+		log = append(log, LogClaim{Text: text, Structure: st, Gold: gold, Complex: complex})
+	}
+	// Convenience accessors over the Covid table.
+	rows := s.rows
+	cell := func(r int, attr string) relation.Value { return rows[r][s.col(attr)] }
+	country := func(r int) string { return cell(r, "country").AsString() }
+	date := func(r int) string { return cell(r, "date").Format() }
+	pick := func() int { return rng.Intn(len(rows)) }
+
+	// --- Row ambiguity (40): country given, date missing. -----------------
+	// 32 cite values occurring on no date: every interpretation is false.
+	for i := 0; i < 32; i++ {
+		r := pick()
+		attr, phrase := "total_confirmed", "total confirmed cases"
+		if i%3 == 1 {
+			attr, phrase = "total_deaths", "total deaths"
+		} else if i%3 == 2 {
+			attr, phrase = "vaccinated", "people vaccinated"
+		}
+		wrong := cell(r, attr).AsFloat() + float64(3+rng.Intn(5))
+		add(fmt.Sprintf("In %s, %s %s have been reported.", country(r), formatNum(wrong), phrase),
+			pythia.RowAmb, False, false)
+	}
+	// 6 complex trend claims (true, unsupported by both systems).
+	complexRow := []string{
+		"An exponential increase in total confirmed cases has been recorded in %s.",
+		"%s saw its highest daily deaths during the observed period.",
+		"Total confirmed cases kept rising week over week in %s.",
+		"The vaccination campaign accelerated sharply in %s.",
+		"%s recorded its worst week of new confirmed cases in June 2021.",
+		"Deaths doubled within the observed weeks in %s.",
+	}
+	for _, tpl := range complexRow {
+		r := pick()
+		add(fmt.Sprintf(tpl, country(r)), pythia.RowAmb, True, true)
+	}
+	// 2 cite a value true on one date only: interpretations disagree.
+	for i := 0; i < 2; i++ {
+		r := pick()
+		v := cell(r, "new_deaths").Format()
+		add(fmt.Sprintf("In %s, %s new deaths have been reported.", country(r), v),
+			pythia.RowAmb, Ambiguous, false)
+	}
+
+	// --- Attribute ambiguity (8): country and date given. -----------------
+	// 7 use a label spanning two attributes with a value matching one side.
+	for i := 0; i < 7; i++ {
+		r := pick()
+		attr, phrase := "total_fatality_rate", "death rate"
+		if i%2 == 1 {
+			attr, phrase = "total_deaths", "deaths"
+		}
+		v := cell(r, attr).Format()
+		add(fmt.Sprintf("On %s, %s had %s %s.", date(r), country(r), v, phrase),
+			pythia.AttributeAmb, Ambiguous, false)
+	}
+	// 1 uses a paraphrase outside the deployed lexicon.
+	{
+		r := pick()
+		v := cell(r, "total_deaths").Format()
+		add(fmt.Sprintf("On %s, %s counted %s covid victims.", date(r), country(r), v),
+			pythia.AttributeAmb, Ambiguous, false)
+	}
+
+	// --- Full ambiguity (40): ambiguous label AND missing date/country. ---
+	// 28 clean: value matches one (attr, row) interpretation.
+	for i := 0; i < 28; i++ {
+		r := pick()
+		attr := []string{"total_confirmed", "new_confirmed", "active_cases"}[i%3]
+		v := cell(r, attr).Format()
+		if i%4 == 3 {
+			// No country either ("35000 new covid cases today").
+			add(fmt.Sprintf("%s covid cases today.", v), pythia.FullAmb, Ambiguous, false)
+		} else {
+			add(fmt.Sprintf("In %s, %s covid cases.", country(r), v), pythia.FullAmb, Ambiguous, false)
+		}
+	}
+	// 12 use paraphrases outside the deployed lexicon.
+	for i := 0; i < 12; i++ {
+		r := pick()
+		if i%2 == 0 {
+			v := cell(r, "new_confirmed").Format()
+			add(fmt.Sprintf("In %s, %s positive tests recorded.", country(r), v),
+				pythia.FullAmb, Ambiguous, false)
+		} else {
+			v := cell(r, "vaccinated").Format()
+			add(fmt.Sprintf("%s jabs administered in %s.", v, country(r)),
+				pythia.FullAmb, Ambiguous, false)
+		}
+	}
+
+	// --- No ambiguity (12): complete subject, single-attribute phrase. ----
+	// 7 simple (4 true, 3 false).
+	for i := 0; i < 7; i++ {
+		r := pick()
+		attr, phrase := "new_confirmed", "new confirmed cases"
+		if i%2 == 1 {
+			attr, phrase = "total_recovered", "recoveries"
+		}
+		v := cell(r, attr).AsFloat()
+		gold := True
+		if i >= 4 {
+			v += float64(2 + rng.Intn(7))
+			gold = False
+		}
+		add(fmt.Sprintf("On %s, %s had %s %s.", date(r), country(r), formatNum(v), phrase),
+			pythia.NoAmb, gold, false)
+	}
+	// 5 complex (aggregations; both systems unsupported).
+	complexNone := []string{
+		"The maximum number of daily new confirmed cases in %s during the period was %s.",
+		"On average, %s recorded around %s new confirmed cases per observed day.",
+		"A record of vaccinations was observed in %s after the first observed week (%s total).",
+		"%s's cumulative deaths grew by %s over the observed period.",
+		"The sum of active cases across the weeks in %s exceeded %s.",
+	}
+	for _, tpl := range complexNone {
+		// Use a non-latest row so the original system's latest-date default
+		// cannot be right by accident (gold is an aggregate over the period).
+		r := pickNonLatest(rng, len(rows))
+		add(fmt.Sprintf(tpl, country(r), cell(r, "new_confirmed").Format()),
+			pythia.NoAmb, True, true)
+	}
+	return log
+}
+
+// pickNonLatest picks a row index avoiding each country's latest date. The
+// Covid table stores six consecutive weekly rows per country, so the latest
+// is the sixth of each block.
+func pickNonLatest(rng *rand.Rand, n int) int {
+	block := rng.Intn(n / 6)
+	return block*6 + rng.Intn(5)
+}
+
+// formatNum renders a float the way the claims cite it (integers plain).
+func formatNum(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.2f", f)
+}

@@ -1,0 +1,246 @@
+// Package corpus synthesizes the WebTables-like training corpus PYTHIA's
+// weak supervision runs over. The paper samples 500k relational web tables
+// with header rows; we generate them from the concept vocabulary so the
+// whole pipeline is offline and deterministic.
+//
+// Realism knobs mirror what makes web tables hard: headers appear under
+// acronym/abbreviated surface forms, get decorated with years or units,
+// and tables carry meaningless junk columns. Schemas are sampled per
+// domain, so genuinely ambiguous attribute pairs co-occur the way they do
+// in real tables (a basketball table tends to contain both FG% and 3FG%).
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"repro/internal/vocab"
+)
+
+// Table is one synthetic web table: a header and formatted string cells.
+// Weak supervision and prompt serialization only need strings, so cells
+// are kept unparsed.
+type Table struct {
+	Name   string
+	Domain string
+	Header []string
+	Rows   [][]string
+	// ConceptIDs maps header positions to vocabulary concept IDs; junk
+	// columns map to "". This is generator-side truth used only by tests
+	// and diagnostics, never by the trained pipeline.
+	ConceptIDs []string
+}
+
+// Options configures the generator.
+type Options struct {
+	Seed           int64
+	MinCols        int
+	MaxCols        int
+	MinRows        int
+	MaxRows        int
+	AcronymRate    float64 // probability a header uses a secondary surface form
+	DecorationRate float64 // probability a header is decorated (suffix year, prefix)
+	JunkRate       float64 // probability of inserting one junk column
+	MixRate        float64 // probability of importing a concept from another domain
+}
+
+// DefaultOptions is calibrated so annotators see realistic header noise.
+func DefaultOptions() Options {
+	return Options{
+		Seed:           42,
+		MinCols:        3,
+		MaxCols:        8,
+		MinRows:        4,
+		MaxRows:        10,
+		AcronymRate:    0.35,
+		DecorationRate: 0.12,
+		JunkRate:       0.15,
+		MixRate:        0.20,
+	}
+}
+
+// Generator produces deterministic synthetic web tables: Table(i) depends
+// only on (options, i), so corpora can be generated in parallel and
+// re-generated incrementally.
+type Generator struct {
+	vocab *vocab.Vocabulary
+	opts  Options
+}
+
+// NewGenerator builds a generator over a vocabulary.
+func NewGenerator(v *vocab.Vocabulary, opts Options) *Generator {
+	if opts.MinCols < 2 {
+		opts.MinCols = 2
+	}
+	if opts.MaxCols < opts.MinCols {
+		opts.MaxCols = opts.MinCols
+	}
+	if opts.MaxRows < opts.MinRows {
+		opts.MaxRows = opts.MinRows
+	}
+	return &Generator{vocab: v, opts: opts}
+}
+
+// NewDefaultGenerator uses the default vocabulary and options.
+func NewDefaultGenerator() *Generator {
+	return NewGenerator(vocab.Default(), DefaultOptions())
+}
+
+// Table generates the i-th table of the corpus.
+func (g *Generator) Table(i int) Table {
+	rng := rand.New(rand.NewSource(g.opts.Seed*1_000_003 + int64(i)))
+	domains := g.vocab.Domains()
+	domain := domains[rng.Intn(len(domains))]
+	pool := g.vocab.Domain(domain)
+
+	ncols := g.opts.MinCols + rng.Intn(g.opts.MaxCols-g.opts.MinCols+1)
+
+	// Sample distinct concepts from the domain, borrowing from other
+	// domains when the pool is smaller than the target arity, and
+	// occasionally importing one from elsewhere anyway.
+	perm := rng.Perm(len(pool))
+	var concepts []vocab.Concept
+	taken := map[string]bool{}
+	for _, p := range perm {
+		if len(concepts) == ncols {
+			break
+		}
+		concepts = append(concepts, pool[p])
+		taken[pool[p].ID] = true
+	}
+	for guard := 0; len(concepts) < ncols && guard < 100; guard++ {
+		other := g.vocab.Domain(domains[rng.Intn(len(domains))])
+		c := other[rng.Intn(len(other))]
+		if !taken[c.ID] {
+			concepts = append(concepts, c)
+			taken[c.ID] = true
+		}
+	}
+	if len(concepts) > 1 && rng.Float64() < g.opts.MixRate {
+		other := domains[rng.Intn(len(domains))]
+		op := g.vocab.Domain(other)
+		concepts[len(concepts)-1] = op[rng.Intn(len(op))]
+	}
+
+	t := Table{
+		Name:   fmt.Sprintf("web_%s_%06d", domain, i),
+		Domain: domain,
+	}
+	for _, c := range concepts {
+		t.Header = append(t.Header, g.headerFor(c, rng))
+		t.ConceptIDs = append(t.ConceptIDs, c.ID)
+	}
+	// Optionally insert one junk column at a random position.
+	if rng.Float64() < g.opts.JunkRate {
+		pos := rng.Intn(len(t.Header) + 1)
+		junk := junkHeader(rng)
+		t.Header = append(t.Header[:pos], append([]string{junk}, t.Header[pos:]...)...)
+		t.ConceptIDs = append(t.ConceptIDs[:pos], append([]string{""}, t.ConceptIDs[pos:]...)...)
+		concepts = append(concepts[:pos], append([]vocab.Concept{{}}, concepts[pos:]...)...)
+	}
+
+	nrows := g.opts.MinRows + rng.Intn(g.opts.MaxRows-g.opts.MinRows+1)
+	for r := 0; r < nrows; r++ {
+		row := make([]string, len(concepts))
+		for c, concept := range concepts {
+			if concept.ID == "" {
+				row[c] = strconv.Itoa(rng.Intn(1000))
+				continue
+			}
+			row[c] = CellValue(concept.Values, rng)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Tables generates tables [0, n).
+func (g *Generator) Tables(n int) []Table {
+	out := make([]Table, n)
+	for i := range out {
+		out[i] = g.Table(i)
+	}
+	return out
+}
+
+// headerFor picks a surface form for a concept and may decorate it.
+func (g *Generator) headerFor(c vocab.Concept, rng *rand.Rand) string {
+	h := c.Surface[0]
+	if len(c.Surface) > 1 && rng.Float64() < g.opts.AcronymRate {
+		h = c.Surface[1+rng.Intn(len(c.Surface)-1)]
+	}
+	if rng.Float64() < g.opts.DecorationRate {
+		switch rng.Intn(3) {
+		case 0:
+			h = h + "_" + strconv.Itoa(2015+rng.Intn(9))
+		case 1:
+			h = h + "_" + []string{"v2", "adj", "est", "raw"}[rng.Intn(4)]
+		default:
+			h = []string{"avg_", "cur_", "est_"}[rng.Intn(3)] + h
+		}
+	}
+	return h
+}
+
+// junkHeader makes a meaningless header like the paper's "A12".
+func junkHeader(rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%c%d", 'A'+rng.Intn(26), rng.Intn(100))
+	case 1:
+		return fmt.Sprintf("col_%d", rng.Intn(40))
+	default:
+		return fmt.Sprintf("x%d", rng.Intn(20))
+	}
+}
+
+// CellValue renders one cell for a value class.
+func CellValue(vc vocab.ValueClass, rng *rand.Rand) string {
+	switch vc.Kind {
+	case "int":
+		span := int64(vc.Max - vc.Min)
+		if span <= 0 {
+			span = 1
+		}
+		return strconv.FormatInt(int64(vc.Min)+rng.Int63n(span+1), 10)
+	case "float":
+		v := vc.Min + rng.Float64()*(vc.Max-vc.Min)
+		return strconv.FormatFloat(v, 'f', vc.Decimals, 64)
+	case "string":
+		return vc.Categories[rng.Intn(len(vc.Categories))]
+	case "date":
+		base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+		return base.AddDate(0, 0, rng.Intn(1500)).Format("2006-01-02")
+	default:
+		return ""
+	}
+}
+
+// Stats summarizes a corpus slice for diagnostics and the DESIGN.md
+// inventory.
+type Stats struct {
+	Tables      int
+	Columns     int
+	Rows        int
+	JunkColumns int
+	Domains     map[string]int
+}
+
+// Summarize computes corpus statistics.
+func Summarize(tables []Table) Stats {
+	st := Stats{Domains: map[string]int{}}
+	for _, t := range tables {
+		st.Tables++
+		st.Columns += len(t.Header)
+		st.Rows += len(t.Rows)
+		st.Domains[t.Domain]++
+		for _, id := range t.ConceptIDs {
+			if id == "" {
+				st.JunkColumns++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,171 @@
+package corpus
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/vocab"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewDefaultGenerator()
+	g2 := NewDefaultGenerator()
+	for i := 0; i < 50; i++ {
+		a, b := g1.Table(i), g2.Table(i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("table %d differs between identical generators", i)
+		}
+	}
+}
+
+func TestGeneratorShapeBounds(t *testing.T) {
+	opts := DefaultOptions()
+	g := NewGenerator(vocab.Default(), opts)
+	for i := 0; i < 200; i++ {
+		tab := g.Table(i)
+		cols := len(tab.Header)
+		if cols < opts.MinCols || cols > opts.MaxCols+1 { // +1 for junk column
+			t.Errorf("table %d has %d columns, want within [%d, %d+1]", i, cols, opts.MinCols, opts.MaxCols)
+		}
+		if len(tab.Rows) < opts.MinRows || len(tab.Rows) > opts.MaxRows {
+			t.Errorf("table %d has %d rows", i, len(tab.Rows))
+		}
+		if len(tab.ConceptIDs) != cols {
+			t.Errorf("table %d concept ids misaligned: %d vs %d", i, len(tab.ConceptIDs), cols)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != cols {
+				t.Errorf("table %d ragged row", i)
+			}
+		}
+	}
+}
+
+func TestHeadersResolveToConcepts(t *testing.T) {
+	// Undecorated headers must resolve back through vocab.Lookup; decorated
+	// and junk headers may not — count both.
+	g := NewDefaultGenerator()
+	v := vocab.Default()
+	resolved, total := 0, 0
+	for i := 0; i < 300; i++ {
+		tab := g.Table(i)
+		for c, h := range tab.Header {
+			if tab.ConceptIDs[c] == "" {
+				continue
+			}
+			total++
+			for _, cc := range v.Lookup(h) {
+				if cc.ID == tab.ConceptIDs[c] {
+					resolved++
+					break
+				}
+			}
+		}
+	}
+	frac := float64(resolved) / float64(total)
+	if frac < 0.7 || frac > 0.98 {
+		t.Errorf("resolvable headers = %.2f, want noisy but mostly resolvable (0.7-0.98)", frac)
+	}
+}
+
+func TestAmbiguousPairsOccur(t *testing.T) {
+	// Domain-coherent sampling must put truly ambiguous pairs in the same
+	// table often enough to train on.
+	g := NewDefaultGenerator()
+	v := vocab.Default()
+	tablesWithAmbiguity := 0
+	n := 300
+	for i := 0; i < n; i++ {
+		tab := g.Table(i)
+		found := false
+		for a := 0; a < len(tab.ConceptIDs) && !found; a++ {
+			for b := a + 1; b < len(tab.ConceptIDs) && !found; b++ {
+				ca, ok1 := v.ByID(tab.ConceptIDs[a])
+				cb, ok2 := v.ByID(tab.ConceptIDs[b])
+				if ok1 && ok2 && len(vocab.SharedLabels(ca, cb)) > 0 {
+					found = true
+				}
+			}
+		}
+		if found {
+			tablesWithAmbiguity++
+		}
+	}
+	frac := float64(tablesWithAmbiguity) / float64(n)
+	if frac < 0.25 {
+		t.Errorf("only %.2f of tables contain an ambiguous pair; corpus too sparse to train on", frac)
+	}
+}
+
+func TestJunkColumnsAppear(t *testing.T) {
+	g := NewDefaultGenerator()
+	junk := 0
+	for i := 0; i < 200; i++ {
+		for _, id := range g.Table(i).ConceptIDs {
+			if id == "" {
+				junk++
+			}
+		}
+	}
+	if junk == 0 {
+		t.Error("no junk columns generated; JunkRate not applied")
+	}
+}
+
+func TestCellValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	intVC := vocab.ValueClass{Kind: "int", Min: 3, Max: 9}
+	for i := 0; i < 100; i++ {
+		v, err := strconv.Atoi(CellValue(intVC, rng))
+		if err != nil || v < 3 || v > 9 {
+			t.Fatalf("int cell out of range: %v %v", v, err)
+		}
+	}
+	fVC := vocab.ValueClass{Kind: "float", Min: 0.5, Max: 1.5, Decimals: 2}
+	for i := 0; i < 100; i++ {
+		v, err := strconv.ParseFloat(CellValue(fVC, rng), 64)
+		if err != nil || v < 0.49 || v > 1.51 {
+			t.Fatalf("float cell out of range: %v %v", v, err)
+		}
+	}
+	sVC := vocab.ValueClass{Kind: "string", Categories: []string{"a", "b"}}
+	got := CellValue(sVC, rng)
+	if got != "a" && got != "b" {
+		t.Errorf("string cell = %q", got)
+	}
+	if got := CellValue(vocab.ValueClass{Kind: "date"}, rng); len(got) != 10 {
+		t.Errorf("date cell = %q", got)
+	}
+	if got := CellValue(vocab.ValueClass{Kind: "bogus"}, rng); got != "" {
+		t.Errorf("bogus kind = %q, want empty", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := NewDefaultGenerator()
+	tabs := g.Tables(100)
+	st := Summarize(tabs)
+	if st.Tables != 100 {
+		t.Errorf("tables = %d", st.Tables)
+	}
+	if st.Columns < 300 || st.Rows < 400 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(st.Domains) < 5 {
+		t.Errorf("domains covered = %d, want >= 5", len(st.Domains))
+	}
+}
+
+func TestTableNamesUnique(t *testing.T) {
+	g := NewDefaultGenerator()
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		n := g.Table(i).Name
+		if seen[n] {
+			t.Fatalf("duplicate table name %s", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,556 @@
+// Package data embeds the evaluation tables of Section V: the UCI datasets
+// (Abalone, Adults, Iris, Mushroom), the two Basket variants, and the
+// web-table-style datasets the experiments use (Soccer, Laptop,
+// HeartDiseases, Superstore, WineQuality, Movies, Cities), plus the Covid
+// table behind the CoronaCheck experiment.
+//
+// Rows are generated deterministically from the concept vocabulary's value
+// classes, with key structure crafted per table (Basket and Covid carry the
+// composite keys their row-ambiguity examples depend on). Every column is
+// annotated with its vocabulary concept, which is what the simulated user
+// study derives its ground truth from.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/relation"
+	"repro/internal/vocab"
+)
+
+// Dataset couples a typed table with per-column concept annotations.
+type Dataset struct {
+	Table *relation.Table
+	// ConceptIDs holds the vocabulary concept for each column ("" when the
+	// column has no concept, e.g. a synthetic id).
+	ConceptIDs []string
+	// Key names the designed primary key columns (documentation; profiling
+	// re-discovers them from the data).
+	Key []string
+}
+
+// Concept returns the vocabulary concept for a column name.
+func (d *Dataset) Concept(column string) (vocab.Concept, bool) {
+	i := d.Table.Schema.Index(column)
+	if i < 0 || d.ConceptIDs[i] == "" {
+		return vocab.Concept{}, false
+	}
+	return vocab.Default().ByID(d.ConceptIDs[i])
+}
+
+// GroundTruthPairs returns every truly ambiguous column pair of the dataset
+// with its curated labels, per the vocabulary's SharedLabels ground truth.
+func (d *Dataset) GroundTruthPairs() []GroundTruthPair {
+	var out []GroundTruthPair
+	sch := d.Table.Schema
+	for i := 0; i < len(sch); i++ {
+		for j := i + 1; j < len(sch); j++ {
+			ca, ok1 := d.Concept(sch[i].Name)
+			cb, ok2 := d.Concept(sch[j].Name)
+			if !ok1 || !ok2 {
+				continue
+			}
+			if labels := vocab.SharedLabels(ca, cb); len(labels) > 0 {
+				out = append(out, GroundTruthPair{AttrA: sch[i].Name, AttrB: sch[j].Name, Labels: labels})
+			}
+		}
+	}
+	return out
+}
+
+// GroundTruthPair is one annotated ambiguous pair.
+type GroundTruthPair struct {
+	AttrA  string
+	AttrB  string
+	Labels []string
+}
+
+// StringRows renders the table's cells as formatted strings (the shape the
+// metadata predictors consume).
+func (d *Dataset) StringRows() [][]string {
+	rows := make([][]string, d.Table.NumRows())
+	for r, row := range d.Table.Rows {
+		out := make([]string, len(row))
+		for c, v := range row {
+			out[c] = v.Format()
+		}
+		rows[r] = out
+	}
+	return rows
+}
+
+// column is one column spec for the builder.
+type column struct {
+	header  string
+	concept string // vocab concept ID; "" for synthetic ids
+}
+
+// builder assembles a dataset deterministically.
+type builder struct {
+	name string
+	cols []column
+	key  []string
+	rng  *rand.Rand
+}
+
+func newBuilder(name string, seed int64, cols ...column) *builder {
+	return &builder{name: name, cols: cols, rng: rand.New(rand.NewSource(seed))}
+}
+
+// value produces a cell for a concept column.
+func (b *builder) value(conceptID string) relation.Value {
+	c, ok := vocab.Default().ByID(conceptID)
+	if !ok {
+		panic(fmt.Sprintf("data: unknown concept %q in dataset %s", conceptID, b.name))
+	}
+	s := corpus.CellValue(c.Values, b.rng)
+	kind := kindOf(c.Values)
+	v, err := relation.ParseValue(s, kind)
+	if err != nil {
+		panic(fmt.Sprintf("data: cannot parse generated cell %q: %v", s, err))
+	}
+	return v
+}
+
+func kindOf(vc vocab.ValueClass) relation.Kind {
+	switch vc.Kind {
+	case "int":
+		return relation.KindInt
+	case "float":
+		return relation.KindFloat
+	case "date":
+		return relation.KindDate
+	default:
+		return relation.KindString
+	}
+}
+
+// build materializes the table. keyRows supplies the key-column values per
+// row (guaranteeing the designed key structure); remaining columns are
+// drawn from their concept value classes.
+func (b *builder) build(keyRows []map[string]relation.Value) *Dataset {
+	schema := make(relation.Schema, len(b.cols))
+	conceptIDs := make([]string, len(b.cols))
+	for i, c := range b.cols {
+		kind := relation.KindString
+		if c.concept != "" {
+			cc, ok := vocab.Default().ByID(c.concept)
+			if !ok {
+				panic(fmt.Sprintf("data: unknown concept %q in dataset %s", c.concept, b.name))
+			}
+			kind = kindOf(cc.Values)
+		} else {
+			kind = relation.KindInt // synthetic ids are ints
+		}
+		schema[i] = relation.Column{Name: c.header, Kind: kind}
+		conceptIDs[i] = c.concept
+	}
+	t := relation.NewTable(b.name, schema)
+	for rowIdx, keyVals := range keyRows {
+		row := make(relation.Row, len(b.cols))
+		for i, c := range b.cols {
+			if v, ok := keyVals[c.header]; ok {
+				row[i] = v
+			} else if c.concept != "" {
+				row[i] = b.value(c.concept)
+			} else {
+				row[i] = relation.Int(int64(rowIdx + 1))
+			}
+		}
+		t.MustAppend(row)
+	}
+	return &Dataset{Table: t, ConceptIDs: conceptIDs, Key: b.key}
+}
+
+// compositeKeyRows builds the cross-product-subset key pattern: every left
+// value appears with several right values and vice versa, so neither column
+// alone is unique.
+func compositeKeyRows(leftCol, rightCol string, left, right []string, perLeft int, rng *rand.Rand) []map[string]relation.Value {
+	var rows []map[string]relation.Value
+	for _, l := range left {
+		perm := rng.Perm(len(right))
+		n := perLeft
+		if n > len(right) {
+			n = len(right)
+		}
+		for _, ri := range perm[:n] {
+			rows = append(rows, map[string]relation.Value{
+				leftCol:  relation.String(l),
+				rightCol: relation.String(right[ri]),
+			})
+		}
+	}
+	return rows
+}
+
+// idKeyRows builds n rows keyed by a sequential synthetic id (handled by
+// the builder's rowIdx fallback).
+func idKeyRows(n int) []map[string]relation.Value {
+	return make([]map[string]relation.Value, n)
+}
+
+var players = []string{"Carter", "Smith", "Jordan", "Curry", "Davis", "Lopez", "Martin", "Walker", "Reed", "Bryant"}
+var teams = []string{"LA", "SF", "NY", "CHI", "BOS", "MIA"}
+var countries = []string{"France", "Italy", "Germany", "Spain", "Lebanon", "Switzerland", "Ireland", "Portugal"}
+var cities = []string{"Paris", "Rome", "Berlin", "Madrid", "Beirut", "Zurich", "Dublin", "Lisbon", "Athens", "Vienna"}
+var movieTitles = []string{"Eclipse", "Horizon", "Monolith", "Afterglow", "Driftwood", "Cascade", "Emberfall", "Northwind", "Papermoon", "Quicksand", "Riverrun", "Solstice"}
+
+// Basket builds the full-name Basket dataset (composite key Player+Team).
+func Basket() *Dataset {
+	b := newBuilder("Basket", 101,
+		column{"Player", "player"},
+		column{"Team", "team"},
+		column{"FieldGoalPct", "field_goal_pct"},
+		column{"ThreePointPct", "three_point_pct"},
+		column{"FreeThrowPct", "free_throw_pct"},
+		column{"Points", "points"},
+		column{"Fouls", "fouls"},
+		column{"Appearances", "appearances"},
+	)
+	b.key = []string{"Player", "Team"}
+	return b.build(compositeKeyRows("Player", "Team", players, teams, 3, b.rng))
+}
+
+// BasketAcronyms is the Basket dataset under acronym headers.
+func BasketAcronyms() *Dataset {
+	b := newBuilder("BasketAcronyms", 102,
+		column{"Player", "player"},
+		column{"Team", "team"},
+		column{"FG%", "field_goal_pct"},
+		column{"3FG%", "three_point_pct"},
+		column{"FT%", "free_throw_pct"},
+		column{"PTS", "points"},
+		column{"PF", "fouls"},
+		column{"APPS", "appearances"},
+	)
+	b.key = []string{"Player", "Team"}
+	return b.build(compositeKeyRows("Player", "Team", players, teams, 3, b.rng))
+}
+
+// Abalone builds the UCI Abalone dataset with a synthetic specimen id.
+func Abalone() *Dataset {
+	b := newBuilder("Abalone", 103,
+		column{"specimen_id", ""},
+		column{"sex", "sex"},
+		column{"length", "length"},
+		column{"diameter", "diameter"},
+		column{"height", "height"},
+		column{"whole_weight", "whole_weight"},
+		column{"shucked_weight", "shucked_weight"},
+		column{"viscera_weight", "viscera_weight"},
+		column{"shell_weight", "shell_weight"},
+		column{"rings", "rings"},
+	)
+	b.key = []string{"specimen_id"}
+	return b.build(idKeyRows(50))
+}
+
+// Adults builds the UCI Adults (census income) dataset.
+func Adults() *Dataset {
+	b := newBuilder("Adults", 104,
+		column{"person_id", ""},
+		column{"age", "age"},
+		column{"workclass", "workclass"},
+		column{"education", "education"},
+		column{"marital_status", "marital_status"},
+		column{"occupation", "occupation"},
+		column{"race", "race"},
+		column{"sex", "sex"},
+		column{"capital_gain", "capital_gain"},
+		column{"capital_loss", "capital_loss"},
+		column{"hours_per_week", "hours_per_week"},
+		column{"native_country", "country"},
+		column{"salary", "salary"},
+	)
+	b.key = []string{"person_id"}
+	return b.build(idKeyRows(60))
+}
+
+// Iris builds the UCI Iris dataset with a synthetic flower id.
+func Iris() *Dataset {
+	b := newBuilder("Iris", 105,
+		column{"flower_id", ""},
+		column{"sepal_length", "sepal_length"},
+		column{"sepal_width", "sepal_width"},
+		column{"petal_length", "petal_length"},
+		column{"petal_width", "petal_width"},
+		column{"species", "species"},
+	)
+	b.key = []string{"flower_id"}
+	return b.build(idKeyRows(45))
+}
+
+// Mushroom builds the UCI Mushroom dataset.
+func Mushroom() *Dataset {
+	b := newBuilder("Mushroom", 106,
+		column{"specimen_id", ""},
+		column{"cap_shape", "cap_shape"},
+		column{"cap_color", "cap_color"},
+		column{"cap_diameter", "diameter"},
+		column{"gill_color", "gill_color"},
+		column{"stalk_shape", "stalk_shape"},
+		column{"stalk_color", "stalk_color"},
+		column{"spore_print_color", "spore_color"},
+		column{"odor", "odor"},
+		column{"habitat", "habitat"},
+		column{"class", "edibility"},
+	)
+	b.key = []string{"specimen_id"}
+	return b.build(idKeyRows(55))
+}
+
+// WineQuality builds the Kaggle Wine Quality dataset.
+func WineQuality() *Dataset {
+	b := newBuilder("WineQuality", 107,
+		column{"wine_id", ""},
+		column{"fixed_acidity", "fixed_acidity"},
+		column{"volatile_acidity", "volatile_acidity"},
+		column{"citric_acid", "citric_acid"},
+		column{"residual_sugar", "residual_sugar"},
+		column{"chlorides", "chlorides"},
+		column{"free_sulfur_dioxide", "free_sulfur_dioxide"},
+		column{"total_sulfur_dioxide", "total_sulfur_dioxide"},
+		column{"density", "density"},
+		column{"ph", "ph"},
+		column{"sulphates", "sulphates"},
+		column{"alcohol", "alcohol"},
+		column{"quality", "quality"},
+	)
+	b.key = []string{"wine_id"}
+	return b.build(idKeyRows(50))
+}
+
+// Soccer builds the web-table Soccer dataset (composite key Player+Team).
+func Soccer() *Dataset {
+	b := newBuilder("Soccer", 108,
+		column{"player", "player"},
+		column{"team", "team"},
+		column{"goals", "goals"},
+		column{"assists", "soccer_assists"},
+		column{"shots", "shots"},
+		column{"shots_on_target", "shots_on_target"},
+		column{"yellow_cards", "yellow_cards"},
+		column{"red_cards", "red_cards"},
+		column{"pass_accuracy", "pass_accuracy"},
+		column{"matches", "soccer_matches"},
+	)
+	b.key = []string{"player", "team"}
+	return b.build(compositeKeyRows("player", "team", players, teams, 2, b.rng))
+}
+
+// Laptop builds the web-table Laptop dataset (composite key brand+model).
+func Laptop() *Dataset {
+	brands := []string{"Apex", "Nimbus", "Vertex", "Quanta", "Orion", "Zephyr"}
+	models := []string{"X1", "Pro14", "Air13", "Ultra15", "Flex12", "Edge16", "Core15", "Slim13"}
+	b := newBuilder("Laptop", 109,
+		column{"brand", "brand"},
+		column{"model", "model"},
+		column{"ram_gb", "ram"},
+		column{"storage_gb", "storage"},
+		column{"screen_size", "screen_size"},
+		column{"weight_kg", "device_weight"},
+		column{"cpu_speed", "cpu_speed"},
+		column{"battery_life", "battery_life"},
+		column{"price", "price"},
+	)
+	b.key = []string{"brand", "model"}
+	return b.build(compositeKeyRows("brand", "model", brands, models, 4, b.rng))
+}
+
+// HeartDiseases builds the Kaggle heart-disease dataset.
+func HeartDiseases() *Dataset {
+	b := newBuilder("HeartDiseases", 110,
+		column{"patient_id", ""},
+		column{"age", "age"},
+		column{"sex", "sex"},
+		column{"chest_pain", "chest_pain"},
+		column{"resting_bp", "resting_bp"},
+		column{"systolic_bp", "systolic_bp"},
+		column{"cholesterol", "cholesterol"},
+		column{"max_heart_rate", "max_heart_rate"},
+		column{"resting_heart_rate", "resting_heart_rate"},
+		column{"blood_sugar", "blood_sugar"},
+		column{"diagnosis", "diagnosis"},
+	)
+	b.key = []string{"patient_id"}
+	return b.build(idKeyRows(55))
+}
+
+// Superstore builds the Superstore retail dataset.
+func Superstore() *Dataset {
+	b := newBuilder("Superstore", 111,
+		column{"order_id", ""},
+		column{"customer", "customer"},
+		column{"region", "region"},
+		column{"category", "category"},
+		column{"sub_category", "sub_category"},
+		column{"sales", "sales"},
+		column{"profit", "profit"},
+		column{"discount", "discount"},
+		column{"quantity", "quantity"},
+		column{"shipping_cost", "shipping_cost"},
+		column{"ship_mode", "ship_mode"},
+	)
+	b.key = []string{"order_id"}
+	return b.build(idKeyRows(60))
+}
+
+// Covid builds the CoronaCheck statistics table (composite key
+// country+date), the substrate of the Table VI experiment.
+func Covid() *Dataset {
+	b := newBuilder("Covid", 112,
+		column{"country", "country"},
+		column{"date", "date"},
+		column{"total_confirmed", "total_confirmed"},
+		column{"new_confirmed", "new_confirmed"},
+		column{"total_deaths", "total_deaths"},
+		column{"new_deaths", "new_deaths"},
+		column{"total_recovered", "total_recovered"},
+		column{"active_cases", "active_cases"},
+		column{"total_fatality_rate", "total_fatality_rate"},
+		column{"total_mortality_rate", "total_mortality_rate"},
+		column{"vaccinated", "vaccinated"},
+	)
+	b.key = []string{"country", "date"}
+	// Dates repeat across countries; countries across dates.
+	var rows []map[string]relation.Value
+	for _, c := range countries {
+		for day := 0; day < 6; day++ {
+			rows = append(rows, map[string]relation.Value{
+				"country": relation.String(c),
+				"date":    relation.Date(2021, 6, 1+day*7),
+			})
+		}
+	}
+	return b.build(rows)
+}
+
+// Movies builds a web-table movie dataset (composite key title+year).
+func Movies() *Dataset {
+	b := newBuilder("Movies", 113,
+		column{"title", "name"},
+		column{"year", "year"},
+		column{"genre", "genre"},
+		column{"rating", "rating"},
+		column{"metascore", "metascore"},
+		column{"votes", "votes"},
+		column{"gross", "gross"},
+		column{"budget", "budget"},
+		column{"runtime", "runtime"},
+	)
+	b.key = []string{"title", "year"}
+	var rows []map[string]relation.Value
+	for _, title := range movieTitles {
+		for _, yr := range []int64{2018, 2021, 2023} {
+			rows = append(rows, map[string]relation.Value{
+				"title": relation.String(title),
+				"year":  relation.Int(yr),
+			})
+		}
+	}
+	return b.build(rows)
+}
+
+// Cities builds a web-table city statistics dataset (composite key
+// city+country: same city name can exist in two countries).
+func Cities() *Dataset {
+	b := newBuilder("Cities", 114,
+		column{"city", "city"},
+		column{"country", "country"},
+		column{"population", "population"},
+		column{"land_area", "land_area"},
+		column{"pop_density", "pop_density"},
+		column{"elevation", "elevation"},
+	)
+	b.key = []string{"city", "country"}
+	return b.build(compositeKeyRows("city", "country", cities, countries, 2, b.rng))
+}
+
+// Regions builds the dimension table of the paper's future-work example:
+// it joins the Covid table on country and groups countries into regions
+// ("The total number of vaccinated in EU is higher than in Africa").
+func Regions() *Dataset {
+	t := relation.NewTable("Regions", relation.Schema{
+		{Name: "region", Kind: relation.KindString},
+		{Name: "country", Kind: relation.KindString},
+	})
+	regions := map[string][]string{
+		"EU":     {"France", "Italy", "Germany", "Spain", "Ireland", "Portugal"},
+		"Non-EU": {"Lebanon", "Switzerland"},
+	}
+	for _, region := range []string{"EU", "Non-EU"} {
+		for _, c := range regions[region] {
+			t.MustAppend(relation.Row{relation.String(region), relation.String(c)})
+		}
+	}
+	return &Dataset{Table: t, ConceptIDs: []string{"region", "country"}, Key: []string{"country"}}
+}
+
+// registry maps dataset names to constructors.
+var registry = map[string]func() *Dataset{
+	"Regions":        Regions,
+	"Basket":         Basket,
+	"BasketAcronyms": BasketAcronyms,
+	"Abalone":        Abalone,
+	"Adults":         Adults,
+	"Iris":           Iris,
+	"Mushroom":       Mushroom,
+	"WineQuality":    WineQuality,
+	"Soccer":         Soccer,
+	"Laptop":         Laptop,
+	"HeartDiseases":  HeartDiseases,
+	"Superstore":     Superstore,
+	"Covid":          Covid,
+	"Movies":         Movies,
+	"Cities":         Cities,
+}
+
+// Names lists the available datasets, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load builds a dataset by name.
+func Load(name string) (*Dataset, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("data: unknown dataset %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// MustLoad is Load for statically-known names; it panics on error.
+func MustLoad(name string) *Dataset {
+	d, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// EvaluationNames returns the 11 datasets of the Table VIII user study, in
+// the paper's order.
+func EvaluationNames() []string {
+	return []string{
+		"Abalone", "Adults", "BasketAcronyms", "Basket", "HeartDiseases",
+		"Iris", "Superstore", "WineQuality", "Laptop", "Mushroom", "Soccer",
+	}
+}
+
+// AnnotatedCorpusNames returns the 13 tables of the Section V annotation
+// study: the four UCI sets, the two Basket variants, and seven web tables.
+func AnnotatedCorpusNames() []string {
+	return []string{
+		"Abalone", "Adults", "Iris", "Mushroom",
+		"Basket", "BasketAcronyms",
+		"Soccer", "Laptop", "HeartDiseases", "Superstore", "WineQuality", "Movies", "Cities",
+	}
+}

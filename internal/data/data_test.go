@@ -1,0 +1,183 @@
+package data
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/profiling"
+)
+
+func TestAllDatasetsLoad(t *testing.T) {
+	for _, name := range Names() {
+		d, err := Load(name)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", name, err)
+		}
+		if d.Table.NumRows() < 10 && name != "Regions" { // Regions is a small dimension table
+			t.Errorf("%s has only %d rows", name, d.Table.NumRows())
+		}
+		if len(d.ConceptIDs) != d.Table.NumCols() {
+			t.Errorf("%s concept annotations misaligned", name)
+		}
+		for _, k := range d.Key {
+			if d.Table.Schema.Index(k) < 0 {
+				t.Errorf("%s designed key column %q missing from schema", name, k)
+			}
+		}
+	}
+	if _, err := Load("Nope"); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a, b := Basket(), Basket()
+	if !reflect.DeepEqual(a.Table.Rows, b.Table.Rows) {
+		t.Error("Basket rows differ between builds")
+	}
+}
+
+func TestDesignedKeysAreKeys(t *testing.T) {
+	// The designed key must be unique over the data, and for composite
+	// designs no strict subset may be unique (otherwise row ambiguity
+	// evaporates).
+	for _, name := range Names() {
+		d := MustLoad(name)
+		p, err := profiling.ProfileTable(d.Table)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		found := false
+		for _, ck := range p.CandidateKeys {
+			if sameSet(ck, d.Key) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: designed key %v not among candidate keys %v", name, d.Key, p.CandidateKeys)
+		}
+		if len(d.Key) >= 2 {
+			for _, col := range d.Key {
+				st, ok := p.Stats(col)
+				if !ok {
+					t.Fatalf("%s: stats missing for %s", name, col)
+				}
+				if st.Unique {
+					t.Errorf("%s: key component %s is unique alone; composite key degenerate", name, col)
+				}
+			}
+		}
+	}
+}
+
+func TestProfilingPicksDesignedPrimaryKey(t *testing.T) {
+	// On the tables that drive row-ambiguity experiments, the profiler must
+	// choose the designed composite key as THE primary key.
+	for _, name := range []string{"Basket", "BasketAcronyms", "Covid", "Soccer", "Cities"} {
+		d := MustLoad(name)
+		p, err := profiling.ProfileTable(d.Table)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !sameSet(p.PrimaryKey, d.Key) {
+			t.Errorf("%s: primary key = %v, want %v", name, p.PrimaryKey, d.Key)
+		}
+	}
+}
+
+func TestGroundTruthPairs(t *testing.T) {
+	d := BasketAcronyms()
+	pairs := d.GroundTruthPairs()
+	found := false
+	for _, p := range pairs {
+		if (p.AttrA == "FG%" && p.AttrB == "3FG%") || (p.AttrA == "3FG%" && p.AttrB == "FG%") {
+			found = true
+			if !contains(p.Labels, "shooting") {
+				t.Errorf("FG%%/3FG%% labels = %v, want shooting", p.Labels)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("FG%%/3FG%% not in ground truth: %+v", pairs)
+	}
+
+	// Every evaluation table must contribute at least one ambiguous pair
+	// (the user study found 252 across 13 tables).
+	total := 0
+	for _, name := range AnnotatedCorpusNames() {
+		n := len(MustLoad(name).GroundTruthPairs())
+		if n == 0 {
+			t.Errorf("%s has no ground-truth ambiguous pairs", name)
+		}
+		total += n
+	}
+	if total < 40 {
+		t.Errorf("total ground-truth pairs = %d, want a healthy corpus", total)
+	}
+	t.Logf("ground-truth ambiguous pairs across the annotated corpus: %d", total)
+}
+
+func TestConceptLookup(t *testing.T) {
+	d := Adults()
+	c, ok := d.Concept("capital_gain")
+	if !ok || c.ID != "capital_gain" {
+		t.Errorf("Concept(capital_gain) = %v/%v", c.ID, ok)
+	}
+	if _, ok := d.Concept("person_id"); ok {
+		t.Error("synthetic id column must have no concept")
+	}
+	if _, ok := d.Concept("missing"); ok {
+		t.Error("missing column must have no concept")
+	}
+}
+
+func TestStringRows(t *testing.T) {
+	d := Basket()
+	rows := d.StringRows()
+	if len(rows) != d.Table.NumRows() {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] == "" {
+		t.Error("player cell empty")
+	}
+}
+
+func TestEvaluationNameLists(t *testing.T) {
+	if len(EvaluationNames()) != 11 {
+		t.Errorf("evaluation datasets = %d, want 11", len(EvaluationNames()))
+	}
+	if len(AnnotatedCorpusNames()) != 13 {
+		t.Errorf("annotated corpus = %d, want 13", len(AnnotatedCorpusNames()))
+	}
+	for _, n := range append(EvaluationNames(), AnnotatedCorpusNames()...) {
+		if _, err := Load(n); err != nil {
+			t.Errorf("list references unknown dataset %s", n)
+		}
+	}
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []string, w string) bool {
+	for _, x := range xs {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}

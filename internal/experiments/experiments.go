@@ -1,0 +1,89 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section VI). Each experiment has a runner that returns a
+// structured result and renders the same rows the paper reports.
+//
+// Every runner accepts a Scale knob: 1.0 approximates the paper's training
+// volumes (minutes of CPU); tests run at a fraction. All runs are seeded
+// and deterministic.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config is shared by all experiment runners.
+type Config struct {
+	// Scale multiplies training volumes (corpus tables, epochs stay fixed).
+	// 1.0 reproduces the headline numbers; tests use ~0.15.
+	Scale float64
+	Seed  int64
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// DefaultConfig is the full-scale configuration.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 7} }
+
+// QuickConfig is the scaled-down configuration used by tests.
+func QuickConfig() Config { return Config{Scale: 0.15, Seed: 7} }
+
+// logf writes a progress line when logging is enabled.
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// scaled returns max(min, round(n * Scale)).
+func (c Config) scaled(n, min int) int {
+	v := int(float64(n) * c.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// renderTable renders rows as a fixed-width text table.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// pct renders a ratio as a percentage with one decimal.
+func pct(f float64) string { return fmt.Sprintf("%.1f", 100*f) }
+
+// f2 renders a float with two decimals.
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }

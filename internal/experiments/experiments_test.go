@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/factcheck"
+	"repro/internal/pythia"
+)
+
+func TestRenderTable(t *testing.T) {
+	got := renderTable([]string{"A", "Long"}, [][]string{{"x", "y"}, {"wider", "z"}})
+	if !strings.Contains(got, "A") || !strings.Contains(got, "wider") {
+		t.Errorf("renderTable output:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 4 {
+		t.Errorf("lines = %d, want 4", len(lines))
+	}
+}
+
+func TestConfigScaled(t *testing.T) {
+	cfg := Config{Scale: 0.1}
+	if got := cfg.scaled(1000, 50); got != 100 {
+		t.Errorf("scaled = %d, want 100", got)
+	}
+	if got := cfg.scaled(100, 50); got != 50 {
+		t.Errorf("scaled min = %d, want 50", got)
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	res, err := TableIV(QuickConfig())
+	if err != nil {
+		t.Fatalf("TableIV: %v", err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11 datasets", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Attribute+row.Row+row.Full == 0 {
+			t.Errorf("%s generated no ambiguous examples", row.Dataset)
+		}
+		if row.TemplateN == 0 {
+			t.Errorf("%s generated no template examples", row.Dataset)
+		}
+	}
+	if !strings.Contains(res.String(), "Basket") {
+		t.Error("render missing datasets")
+	}
+}
+
+func TestTableV(t *testing.T) {
+	res, err := TableV(QuickConfig())
+	if err != nil {
+		t.Fatalf("TableV: %v", err)
+	}
+	// The paper's headline: NEI F1 rises markedly, other classes hold.
+	neiBefore := res.BaselineF1[factcheck.NEI]
+	neiAfter := res.AugmentedF1[factcheck.NEI]
+	t.Logf("\n%s", res.String())
+	if neiAfter <= neiBefore {
+		t.Errorf("NEI F1 did not improve: %.2f -> %.2f", neiBefore, neiAfter)
+	}
+	for _, class := range []string{factcheck.Supports, factcheck.Refutes} {
+		if res.AugmentedF1[class] < res.BaselineF1[class]-0.15 {
+			t.Errorf("%s regressed too much: %.2f -> %.2f", class, res.BaselineF1[class], res.AugmentedF1[class])
+		}
+	}
+}
+
+func TestTableVI(t *testing.T) {
+	res, err := TableVI(QuickConfig())
+	if err != nil {
+		t.Fatalf("TableVI: %v", err)
+	}
+	t.Logf("\n%s", res.String())
+	o, i, n := res.Totals()
+	if n != 100 {
+		t.Fatalf("total claims = %d, want 100", n)
+	}
+	if i < o+25 {
+		t.Errorf("improvement too small: %d -> %d", o, i)
+	}
+	if res.Correct[pythia.AttributeAmb][0] != 0 || res.Correct[pythia.FullAmb][0] != 0 {
+		t.Error("original system should fail all attribute/full ambiguous claims")
+	}
+}
+
+func TestTableVII(t *testing.T) {
+	res, err := TableVII(QuickConfig())
+	if err != nil {
+		t.Fatalf("TableVII: %v", err)
+	}
+	t.Logf("\n%s", res.String())
+	if len(res.Rows) < 3 {
+		t.Fatalf("rows = %d, want baseline + sweep", len(res.Rows))
+	}
+	base := res.Rows[0]
+	best := res.Rows[len(res.Rows)-1]
+	if best.Accuracy <= base.Accuracy {
+		t.Errorf("fine-tuning did not improve accuracy: %.2f -> %.2f", base.Accuracy, best.Accuracy)
+	}
+	if best.Detection.F1 < 0.5 {
+		t.Errorf("best detection F1 = %.2f", best.Detection.F1)
+	}
+}
+
+func TestTableVIII(t *testing.T) {
+	res, err := TableVIII(QuickConfig())
+	if err != nil {
+		t.Fatalf("TableVIII: %v", err)
+	}
+	t.Logf("\n%s", res.String())
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(res.Rows))
+	}
+	// Judges agree with ground truth at F1 ~0.8-0.95; attribute marking
+	// at or below ambiguity detection.
+	if res.AvgAmbiguityF1 < 0.7 || res.AvgAmbiguityF1 > 0.98 {
+		t.Errorf("avg ambiguity F1 = %.2f, want calibrated 0.7-0.98", res.AvgAmbiguityF1)
+	}
+	if res.AvgAttrF1 > res.AvgAmbiguityF1+0.05 {
+		t.Errorf("attribute detection (%.2f) should not beat ambiguity detection (%.2f)",
+			res.AvgAttrF1, res.AvgAmbiguityF1)
+	}
+}
+
+func TestFigScalability(t *testing.T) {
+	res, err := FigScalability(QuickConfig())
+	if err != nil {
+		t.Fatalf("FigScalability: %v", err)
+	}
+	t.Logf("\n%s", res.String())
+	// Templates must outpace text generation per example at every size.
+	perMode := map[string][]float64{}
+	for _, p := range res.Points {
+		perMode[p.Mode] = append(perMode[p.Mode], p.PerSecond)
+	}
+	tm, tx := perMode["templates"], perMode["text-generation"]
+	if len(tm) == 0 || len(tx) == 0 {
+		t.Fatal("missing modes")
+	}
+	for i := range tm {
+		if tm[i] < tx[i] {
+			t.Errorf("templates slower than text generation at point %d: %.0f vs %.0f", i, tm[i], tx[i])
+		}
+	}
+}
+
+func TestAnnotatorAblation(t *testing.T) {
+	res := AnnotatorAblation(QuickConfig())
+	t.Logf("\n%s", res.String())
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (all + 6 leave-one-out)", len(res.Rows))
+	}
+	full := res.Rows[0]
+	// Removing an annotator should never help recall.
+	for _, row := range res.Rows[1:] {
+		if row.Ambiguity.Recall > full.Ambiguity.Recall+1e-9 {
+			t.Errorf("removing %s increased recall (%.3f > %.3f)", row.Removed,
+				row.Ambiguity.Recall, full.Ambiguity.Recall)
+		}
+	}
+}
+
+func TestResultRenderers(t *testing.T) {
+	// Renderers must produce the paper-style rows without panicking on
+	// partially-filled results.
+	t3 := TableIIIResult{Rows: []MethodScores{{Method: "X"}}}
+	if !strings.Contains(t3.String(), "Table III") || !strings.Contains(t3.String(), "X") {
+		t.Errorf("TableIII render:\n%s", t3)
+	}
+	if _, ok := t3.Get("X"); !ok {
+		t.Error("Get(X) failed")
+	}
+	if _, ok := t3.Get("missing"); ok {
+		t.Error("Get(missing) should fail")
+	}
+	t5 := TableVResult{
+		BaselineF1:  map[string]float64{factcheck.NEI: 0.4},
+		AugmentedF1: map[string]float64{factcheck.NEI: 0.6},
+		PtSize:      1240,
+	}
+	if !strings.Contains(t5.String(), "1240") {
+		t.Errorf("TableV render:\n%s", t5)
+	}
+	t6 := TableVIResult{
+		Correct: map[pythia.Structure][2]int{pythia.RowAmb: {32, 34}},
+		Total:   map[pythia.Structure]int{pythia.RowAmb: 40},
+	}
+	if !strings.Contains(t6.String(), "32/40") {
+		t.Errorf("TableVI render:\n%s", t6)
+	}
+	t7 := TableVIIResult{Rows: []TableVIIRow{{System: "Baseline (WikiSQL)", Accuracy: 0.5}}}
+	if !strings.Contains(t7.String(), "Baseline") {
+		t.Errorf("TableVII render:\n%s", t7)
+	}
+	fig := FigResult{Title: "Fig", XLabel: "x", Series: map[string][]FigPoint{"s": {{X: 1}}}}
+	if !strings.Contains(fig.String(), "Fig") {
+		t.Errorf("Fig render:\n%s", fig)
+	}
+	sc := FigScalabilityResult{Points: []ScalabilityPoint{{TableRows: 10, Mode: "templates", Examples: 5}}}
+	if !strings.Contains(sc.String(), "templates") {
+		t.Errorf("Scalability render:\n%s", sc)
+	}
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/corpus"
+	"repro/internal/kb"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+	"repro/internal/serialize"
+	"repro/internal/userstudy"
+)
+
+// FigPoint is one (x, score) point of a figure series.
+type FigPoint struct {
+	X         float64
+	Ambiguity metrics.PRF
+	Labeling  metrics.PRF
+}
+
+// FigResult is one figure: named series of points.
+type FigResult struct {
+	Title  string
+	XLabel string
+	Series map[string][]FigPoint
+}
+
+// String renders the figure series as rows.
+func (r FigResult) String() string {
+	header := []string{"Series", r.XLabel, "Amb-F1", "Lab-F1"}
+	var rows [][]string
+	for name, pts := range r.Series {
+		for _, p := range pts {
+			rows = append(rows, []string{name, fmt.Sprintf("%g", p.X), pct(p.Ambiguity.F1), pct(p.Labeling.F1)})
+		}
+	}
+	return r.Title + "\n" + renderTable(header, rows)
+}
+
+// FigRows sweeps the number of serialized sample rows in the data-task
+// prompt. The paper finds five to be the sweet spot.
+func FigRows(cfg Config) (FigResult, error) {
+	res := FigResult{Title: "Figure — Data-model quality vs serialized sample rows", XLabel: "rows", Series: map[string][]FigPoint{}}
+	knowledge := kb.BuildDefault()
+	gen := corpus.NewDefaultGenerator()
+	annotators := annotate.All(knowledge)
+	test := userstudy.AnnotatedCorpus()
+	bags := knowledge.DefinitionBags()
+	for _, rows := range []int{1, 2, 3, 5, 8, 10} {
+		mCfg := model.DefaultDataConfig()
+		mCfg.Tables = cfg.scaled(8000, 1200)
+		mCfg.Seed = cfg.Seed
+		mCfg.Pretrain = bags
+		mCfg.Serialization.MaxRows = rows
+		cfg.logf("FigRows: training with %d sample rows", rows)
+		m, err := model.Train(fmt.Sprintf("Data-%drows", rows), gen, annotators, mCfg)
+		if err != nil {
+			return res, fmt.Errorf("experiments: fig rows: %w", err)
+		}
+		sc := EvaluatePredictor(m, test)
+		res.Series["Data"] = append(res.Series["Data"], FigPoint{X: float64(rows), Ambiguity: sc.Ambiguity, Labeling: sc.Labeling})
+	}
+	return res, nil
+}
+
+// FigSerialization compares row against column serialization for the data
+// task. The paper finds row serialization ahead.
+func FigSerialization(cfg Config) (FigResult, error) {
+	res := FigResult{Title: "Figure — row vs column serialization", XLabel: "variant", Series: map[string][]FigPoint{}}
+	knowledge := kb.BuildDefault()
+	gen := corpus.NewDefaultGenerator()
+	annotators := annotate.All(knowledge)
+	test := userstudy.AnnotatedCorpus()
+	bags := knowledge.DefinitionBags()
+	for i, mode := range []serialize.Mode{serialize.DataRows, serialize.DataColumns} {
+		mCfg := model.DefaultDataConfig()
+		mCfg.Tables = cfg.scaled(8000, 1200)
+		mCfg.Seed = cfg.Seed
+		mCfg.Pretrain = bags
+		mCfg.Serialization.Mode = mode
+		cfg.logf("FigSerialization: training %s", mode)
+		m, err := model.Train("Data-"+mode.String(), gen, annotators, mCfg)
+		if err != nil {
+			return res, fmt.Errorf("experiments: fig serialization: %w", err)
+		}
+		sc := EvaluatePredictor(m, test)
+		res.Series[mode.String()] = append(res.Series[mode.String()],
+			FigPoint{X: float64(i), Ambiguity: sc.Ambiguity, Labeling: sc.Labeling})
+	}
+	return res, nil
+}
+
+// FigCorpusSize sweeps the weak-supervision corpus size for the Schema
+// model (the ablation DESIGN.md calls out).
+func FigCorpusSize(cfg Config) (FigResult, error) {
+	res := FigResult{Title: "Figure — Schema-model quality vs corpus size", XLabel: "tables", Series: map[string][]FigPoint{}}
+	knowledge := kb.BuildDefault()
+	gen := corpus.NewDefaultGenerator()
+	annotators := annotate.All(knowledge)
+	test := userstudy.AnnotatedCorpus()
+	bags := knowledge.DefinitionBags()
+	for _, tables := range []int{500, 1000, 2000, 4000, 8000, 16000} {
+		n := cfg.scaled(tables, 200)
+		mCfg := model.DefaultSchemaConfig()
+		mCfg.Tables = n
+		mCfg.Seed = cfg.Seed
+		mCfg.Pretrain = bags
+		cfg.logf("FigCorpusSize: training on %d tables", n)
+		m, err := model.Train("Schema", gen, annotators, mCfg)
+		if err != nil {
+			return res, fmt.Errorf("experiments: fig corpus size: %w", err)
+		}
+		sc := EvaluatePredictor(m, test)
+		res.Series["Schema"] = append(res.Series["Schema"], FigPoint{X: float64(n), Ambiguity: sc.Ambiguity, Labeling: sc.Labeling})
+	}
+	return res, nil
+}
+
+// ScalabilityPoint is one measurement of the generation-throughput figure.
+type ScalabilityPoint struct {
+	TableRows int
+	Mode      string
+	Examples  int
+	Elapsed   time.Duration
+	PerSecond float64
+}
+
+// FigScalabilityResult is the template-vs-text-generation throughput
+// comparison behind the "millions of examples in seconds" claim.
+type FigScalabilityResult struct {
+	Points []ScalabilityPoint
+}
+
+// String renders the measurements.
+func (r FigScalabilityResult) String() string {
+	header := []string{"TableRows", "Mode", "Examples", "Elapsed", "Examples/s"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.TableRows), p.Mode, fmt.Sprint(p.Examples),
+			p.Elapsed.Round(time.Millisecond).String(), fmt.Sprintf("%.0f", p.PerSecond),
+		})
+	}
+	return "Figure — generation throughput, templates vs text generation\n" + renderTable(header, rows)
+}
+
+// FigScalability measures example-generation throughput on synthetic
+// Covid-like tables of growing size.
+func FigScalability(cfg Config) (FigScalabilityResult, error) {
+	res := FigScalabilityResult{}
+	sizes := []int{500, 1000, 2000}
+	for _, rows := range sizes {
+		n := cfg.scaled(rows, 200)
+		t := scalabilityTable(n)
+		md, err := pythia.WithPairs(t, []model.Pair{
+			{AttrA: "total_cases", AttrB: "new_cases", Label: "cases"},
+		})
+		if err != nil {
+			return res, fmt.Errorf("experiments: fig scalability: %w", err)
+		}
+		g := pythia.NewGenerator(t, md)
+
+		// Template mode. The attribute template (Q1) names both subjects in
+		// its sentence, so its output grows quadratically — the corpus-scale
+		// path behind "millions of examples in seconds".
+		start := time.Now()
+		tmpl, err := g.Generate(pythia.Options{
+			Mode:       pythia.Templates,
+			Structures: []pythia.Structure{pythia.AttributeAmb, pythia.RowAmb},
+			Ops:        []string{">"},
+			Matches:    []pythia.Match{pythia.Uniform},
+			Seed:       cfg.Seed,
+		})
+		if err != nil {
+			return res, fmt.Errorf("experiments: fig scalability: %w", err)
+		}
+		el := time.Since(start)
+		res.Points = append(res.Points, ScalabilityPoint{
+			TableRows: n, Mode: "templates", Examples: len(tmpl), Elapsed: el,
+			PerSecond: float64(len(tmpl)) / el.Seconds(),
+		})
+
+		// Text generation on the same evidence (capped per query the way
+		// the default pipeline runs).
+		start = time.Now()
+		gen, err := g.Generate(pythia.Options{
+			Structures:  []pythia.Structure{pythia.AttributeAmb, pythia.RowAmb},
+			Ops:         []string{">"},
+			Matches:     []pythia.Match{pythia.Uniform},
+			MaxPerQuery: 200,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return res, fmt.Errorf("experiments: fig scalability: %w", err)
+		}
+		el = time.Since(start)
+		res.Points = append(res.Points, ScalabilityPoint{
+			TableRows: n, Mode: "text-generation", Examples: len(gen), Elapsed: el,
+			PerSecond: float64(len(gen)) / el.Seconds(),
+		})
+		cfg.logf("FigScalability: %d rows done", n)
+	}
+	return res, nil
+}
+
+// scalabilityTable builds a Covid-like table with n rows: country x day
+// composite key plus two ambiguous measures.
+func scalabilityTable(n int) *relation.Table {
+	t := relation.NewTable("covid_large", relation.Schema{
+		{Name: "country", Kind: relation.KindString},
+		{Name: "day", Kind: relation.KindInt},
+		{Name: "total_cases", Kind: relation.KindInt},
+		{Name: "new_cases", Kind: relation.KindInt},
+	})
+	countries := 40
+	days := (n + countries - 1) / countries
+	row := 0
+	for c := 0; c < countries && row < n; c++ {
+		name := fmt.Sprintf("Country%02d", c)
+		total := int64(1000 + c*37)
+		for d := 0; d < days && row < n; d++ {
+			nc := int64(c*1_000_000 + d*37) // distinct across the table
+			total += nc
+			t.MustAppend(relation.Row{
+				relation.String(name), relation.Int(int64(d)),
+				relation.Int(total), relation.Int(nc),
+			})
+			row++
+		}
+	}
+	return t
+}
+
+// AnnotatorAblationRow is the weak-label quality with one annotator
+// removed.
+type AnnotatorAblationRow struct {
+	Removed   string
+	Ambiguity metrics.PRF
+	Labeling  metrics.PRF
+}
+
+// AnnotatorAblationResult is the leave-one-out study over the six
+// annotator functions, measured directly on the annotated corpus (how good
+// would the raw weak labels be as predictions).
+type AnnotatorAblationResult struct {
+	Rows []AnnotatorAblationRow
+}
+
+// String renders the ablation.
+func (r AnnotatorAblationResult) String() string {
+	header := []string{"Removed", "Amb-P", "Amb-R", "Amb-F1", "Lab-F1"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Removed, pct(row.Ambiguity.Precision), pct(row.Ambiguity.Recall),
+			pct(row.Ambiguity.F1), pct(row.Labeling.F1),
+		})
+	}
+	return "Ablation — leave-one-out annotator functions (raw weak labels)\n" + renderTable(header, rows)
+}
+
+// AnnotatorAblation measures raw weak-label quality with each annotator
+// removed in turn ("(none)" = all six).
+func AnnotatorAblation(cfg Config) AnnotatorAblationResult {
+	res := AnnotatorAblationResult{}
+	all := annotate.All(kb.BuildDefault())
+	test := userstudy.AnnotatedCorpus()
+	eval := func(removed string, annotators []annotate.Annotator) {
+		p := &votePredictor{annotators: annotators}
+		sc := EvaluatePredictor(p, test)
+		res.Rows = append(res.Rows, AnnotatorAblationRow{Removed: removed, Ambiguity: sc.Ambiguity, Labeling: sc.Labeling})
+	}
+	eval("(none)", all)
+	for i, a := range all {
+		subset := make([]annotate.Annotator, 0, len(all)-1)
+		subset = append(subset, all[:i]...)
+		subset = append(subset, all[i+1:]...)
+		eval(a.Name(), subset)
+	}
+	return res
+}
+
+// votePredictor exposes raw annotator voting as a Predictor.
+type votePredictor struct {
+	annotators []annotate.Annotator
+}
+
+func (v *votePredictor) Name() string { return "annotators" }
+
+func (v *votePredictor) PredictPair(_ []string, _ [][]string, a, b string) (string, float64, bool) {
+	label, votes := annotate.Vote(v.annotators, a, b)
+	if label == "" {
+		return "", 0, false
+	}
+	return label, float64(votes), true
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/annotate"
+	"repro/internal/corpus"
+	"repro/internal/kb"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/relation"
+	"repro/internal/userstudy"
+)
+
+// MethodScores is one row of Table III: a method's quality on the binary
+// Ambiguity task and the Labeling task.
+type MethodScores struct {
+	Method    string
+	Ambiguity metrics.PRF
+	Labeling  metrics.PRF
+}
+
+// TableIIIResult holds all four method rows.
+type TableIIIResult struct {
+	Rows []MethodScores
+	// CorpusStats summarizes the annotated test corpus.
+	CorpusStats userstudy.Stats
+}
+
+// String renders the paper's Table III.
+func (r TableIIIResult) String() string {
+	header := []string{"Method", "Amb-P", "Amb-R", "Amb-F1", "Lab-P", "Lab-R", "Lab-F1"}
+	var rows [][]string
+	for _, m := range r.Rows {
+		rows = append(rows, []string{
+			m.Method,
+			pct(m.Ambiguity.Precision), pct(m.Ambiguity.Recall), pct(m.Ambiguity.F1),
+			pct(m.Labeling.Precision), pct(m.Labeling.Recall), pct(m.Labeling.F1),
+		})
+	}
+	return "Table III — ambiguity metadata quality\n" + renderTable(header, rows)
+}
+
+// Get returns the row for a method name.
+func (r TableIIIResult) Get(method string) (MethodScores, bool) {
+	for _, m := range r.Rows {
+		if m.Method == method {
+			return m, true
+		}
+	}
+	return MethodScores{}, false
+}
+
+// TableIII trains the four methods and evaluates them on the Section V
+// annotated corpus.
+func TableIII(cfg Config) (TableIIIResult, error) {
+	gen := corpus.NewDefaultGenerator()
+	knowledge := kb.BuildDefault()
+	annotators := annotate.All(knowledge)
+	tables := cfg.scaled(20000, 1500)
+
+	cfg.logf("TableIII: training Schema model on %d tables", tables)
+	bags := knowledge.DefinitionBags()
+	schemaCfg := model.DefaultSchemaConfig()
+	schemaCfg.Tables = tables
+	schemaCfg.Seed = cfg.Seed
+	schemaCfg.Pretrain = bags
+	schema, err := model.Train("Schema", gen, annotators, schemaCfg)
+	if err != nil {
+		return TableIIIResult{}, fmt.Errorf("experiments: table III: %w", err)
+	}
+
+	cfg.logf("TableIII: training Data model on %d tables", tables)
+	dataCfg := model.DefaultDataConfig()
+	dataCfg.Tables = tables
+	dataCfg.Seed = cfg.Seed
+	dataCfg.Pretrain = bags
+	dataModel, err := model.Train("Data", gen, annotators, dataCfg)
+	if err != nil {
+		return TableIIIResult{}, fmt.Errorf("experiments: table III: %w", err)
+	}
+
+	cfg.logf("TableIII: training SLabel baseline")
+	sCfg := model.DefaultSLabelConfig()
+	sCfg.Tables = tables
+	sCfg.Seed = cfg.Seed
+	slabel, err := model.NewSLabel(gen, knowledge, sCfg)
+	if err != nil {
+		return TableIIIResult{}, fmt.Errorf("experiments: table III: %w", err)
+	}
+
+	ulabel := model.NewULabel(knowledge)
+
+	testCorpus := userstudy.AnnotatedCorpus()
+	res := TableIIIResult{CorpusStats: userstudy.CorpusStats(testCorpus)}
+	for _, p := range []model.Predictor{ulabel, slabel, schema, dataModel} {
+		res.Rows = append(res.Rows, EvaluatePredictor(p, testCorpus))
+		cfg.logf("TableIII: %s done", p.Name())
+	}
+	return res, nil
+}
+
+// EvaluatePredictor scores one predictor against the annotated corpus on
+// both tasks. The evaluation walks every same-type-class attribute pair of
+// every table (the candidate set Algorithm 1 would consider).
+func EvaluatePredictor(p model.Predictor, testCorpus []userstudy.CorpusEntry) MethodScores {
+	out := MethodScores{Method: p.Name()}
+	var ambTP, ambFP, ambFN int
+	var labTP, labFP, labFN int
+	for _, entry := range testCorpus {
+		gt := map[string][]string{}
+		for _, pair := range entry.Pairs {
+			gt[userstudy.PairKey(pair.AttrA, pair.AttrB)] = pair.Labels
+		}
+		header := entry.Dataset.Table.Schema.Names()
+		rows := entry.Dataset.StringRows()
+		kinds := entry.Dataset.Table.Schema
+
+		for i := 0; i < len(header); i++ {
+			for j := i + 1; j < len(header); j++ {
+				if !sameTypeClass(kinds[i].Kind, kinds[j].Kind) {
+					continue
+				}
+				key := userstudy.PairKey(header[i], header[j])
+				gtLabels, isAmb := gt[key]
+				label, _, ok := p.PredictPair(header, rows, header[i], header[j])
+				// Ambiguity task.
+				switch {
+				case ok && isAmb:
+					ambTP++
+				case ok && !isAmb:
+					ambFP++
+				case !ok && isAmb:
+					ambFN++
+				}
+				// Labeling task: a prediction is a true positive when its
+				// label is in the ground truth for the pair.
+				if ok {
+					if isAmb && labelIn(label, gtLabels) {
+						labTP++
+					} else {
+						labFP++
+					}
+				}
+				if isAmb && (!ok || !labelIn(label, gtLabels)) {
+					labFN++
+				}
+			}
+		}
+	}
+	out.Ambiguity = metrics.Compute(ambTP, ambFP, ambFN)
+	out.Labeling = metrics.Compute(labTP, labFP, labFN)
+	return out
+}
+
+// sameTypeClass mirrors the Algorithm 1 pairing rule.
+func sameTypeClass(a, b relation.Kind) bool {
+	if a.Numeric() && b.Numeric() {
+		return true
+	}
+	return a == b
+}
+
+// labelIn reports whether the predicted label matches any ground-truth
+// label (case-insensitive).
+func labelIn(label string, gtLabels []string) bool {
+	for _, g := range gtLabels {
+		if strings.EqualFold(label, g) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestTableIIIShape runs the Table III experiment at test scale and checks
+// the paper's qualitative findings. The full-scale numbers live in
+// EXPERIMENTS.md; this test pins the ordering relations that define the
+// result's shape.
+func TestTableIIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains four models")
+	}
+	cfg := QuickConfig()
+	cfg.Scale = 0.3 // the Data model needs a mid-size corpus to stabilize
+	res, err := TableIII(cfg)
+	if err != nil {
+		t.Fatalf("TableIII: %v", err)
+	}
+	t.Logf("\n%s", res.String())
+
+	ulabel, ok1 := res.Get("ULabel")
+	slabel, ok2 := res.Get("SLabel")
+	schema, ok3 := res.Get("Schema")
+	dataM, ok4 := res.Get("Data")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		t.Fatal("missing method rows")
+	}
+
+	// "The unsupervised baselines obtain good precision in both tasks, but
+	// very low recall."
+	if ulabel.Ambiguity.Precision < 0.8 {
+		t.Errorf("ULabel ambiguity precision = %.2f, want high", ulabel.Ambiguity.Precision)
+	}
+	if ulabel.Ambiguity.Recall > schema.Ambiguity.Recall {
+		t.Errorf("ULabel recall (%.2f) should trail the trained models (%.2f)",
+			ulabel.Ambiguity.Recall, schema.Ambiguity.Recall)
+	}
+	// "In the task of predicting the label, both our models clearly
+	// outperform both baselines." (At reduced training scale we allow the
+	// Data model a small tolerance against SLabel; the full-scale run in
+	// EXPERIMENTS.md shows the clean ordering.)
+	for _, base := range []MethodScores{ulabel, slabel} {
+		for _, ours := range []MethodScores{schema, dataM} {
+			slack := 0.0
+			if ours.Method == "Data" {
+				slack = 0.05
+			}
+			if ours.Labeling.F1 < base.Labeling.F1-slack {
+				t.Errorf("%s labeling F1 (%.2f) does not beat %s (%.2f)",
+					ours.Method, ours.Labeling.F1, base.Method, base.Labeling.F1)
+			}
+		}
+	}
+	// The trained models dominate ambiguity F1 as well.
+	if schema.Ambiguity.F1 <= ulabel.Ambiguity.F1 {
+		t.Errorf("Schema ambiguity F1 (%.2f) does not beat ULabel (%.2f)",
+			schema.Ambiguity.F1, ulabel.Ambiguity.F1)
+	}
+	// "The model that uses schema and data achieves much higher recall."
+	if dataM.Ambiguity.Recall < schema.Ambiguity.Recall {
+		t.Errorf("Data recall (%.2f) below Schema recall (%.2f)",
+			dataM.Ambiguity.Recall, schema.Ambiguity.Recall)
+	}
+	// The annotated corpus is substantial (paper: 252 pair-label
+	// annotations over 13 tables).
+	if res.CorpusStats.Tables != 13 || res.CorpusStats.Annotations < 100 {
+		t.Errorf("corpus stats = %+v", res.CorpusStats)
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/pythia"
+)
+
+// DatasetGeneration is one row of Table IV: how many examples PYTHIA
+// generates for a dataset, by ambiguity structure, and how long each
+// generation mode takes.
+//
+// The supplied paper text references Table IV but does not include its
+// body; per DESIGN.md we reproduce it as the generation-statistics table
+// the surrounding prose requires.
+type DatasetGeneration struct {
+	Dataset      string
+	Attribute    int
+	Row          int
+	Full         int
+	NotAmbiguous int
+	TextGenTime  time.Duration
+	TemplateTime time.Duration
+	TemplateN    int // examples from the template path (uncapped)
+}
+
+// TableIVResult aggregates all datasets.
+type TableIVResult struct {
+	Rows []DatasetGeneration
+}
+
+// String renders the table.
+func (r TableIVResult) String() string {
+	header := []string{"Dataset", "Attr", "Row", "Full", "NotAmb", "TextGen-ms", "Templates-ms", "Template-N"}
+	var rows [][]string
+	for _, d := range r.Rows {
+		rows = append(rows, []string{
+			d.Dataset,
+			fmt.Sprint(d.Attribute), fmt.Sprint(d.Row), fmt.Sprint(d.Full), fmt.Sprint(d.NotAmbiguous),
+			fmt.Sprintf("%.1f", float64(d.TextGenTime.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(d.TemplateTime.Microseconds())/1000),
+			fmt.Sprint(d.TemplateN),
+		})
+	}
+	return "Table IV — examples generated per dataset (ground-truth metadata)\n" + renderTable(header, rows)
+}
+
+// TableIV generates examples for every evaluation dataset with its
+// ground-truth metadata, in both modes, and reports counts and wall-clock.
+func TableIV(cfg Config) (TableIVResult, error) {
+	var res TableIVResult
+	for _, name := range data.EvaluationNames() {
+		d := data.MustLoad(name)
+		var pairs []model.Pair
+		for _, gt := range d.GroundTruthPairs() {
+			pairs = append(pairs, model.Pair{AttrA: gt.AttrA, AttrB: gt.AttrB, Label: gt.Labels[0]})
+		}
+		md, err := pythia.WithPairs(d.Table, pairs)
+		if err != nil {
+			return res, fmt.Errorf("experiments: table IV: %w", err)
+		}
+		g := pythia.NewGenerator(d.Table, md)
+		row := DatasetGeneration{Dataset: name}
+
+		start := time.Now()
+		exs, err := g.Generate(pythia.Options{Seed: cfg.Seed, Questions: true, MaxPerQuery: 8})
+		if err != nil {
+			return res, fmt.Errorf("experiments: table IV: %w", err)
+		}
+		plain, err := g.NotAmbiguous(pythia.Options{Seed: cfg.Seed, MaxPerQuery: 8})
+		if err != nil {
+			return res, fmt.Errorf("experiments: table IV: %w", err)
+		}
+		row.TextGenTime = time.Since(start)
+		for _, ex := range exs {
+			switch ex.Structure {
+			case pythia.AttributeAmb:
+				row.Attribute++
+			case pythia.RowAmb:
+				row.Row++
+			case pythia.FullAmb:
+				row.Full++
+			}
+		}
+		row.NotAmbiguous = len(plain)
+
+		start = time.Now()
+		tmpl, err := g.Generate(pythia.Options{Seed: cfg.Seed, Mode: pythia.Templates})
+		if err != nil {
+			return res, fmt.Errorf("experiments: table IV: %w", err)
+		}
+		row.TemplateTime = time.Since(start)
+		row.TemplateN = len(tmpl)
+
+		res.Rows = append(res.Rows, row)
+		cfg.logf("TableIV: %s done (%d+%d+%d ambiguous, %d templates)",
+			name, row.Attribute, row.Row, row.Full, row.TemplateN)
+	}
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/factcheck"
+	"repro/internal/metrics"
+)
+
+// TableVResult reproduces Table V: Feverous per-class F1 before and after
+// adding PYTHIA's ambiguous NEI examples to the training mix.
+type TableVResult struct {
+	BaselineF1   map[string]float64
+	AugmentedF1  map[string]float64
+	BaselineAcc  float64
+	AugmentedAcc float64
+	// PtSize is the number of PYTHIA examples added (the paper's 1240).
+	PtSize int
+}
+
+// String renders the paper's Table V.
+func (r TableVResult) String() string {
+	header := []string{"System", "NEI", "Supports", "Refutes", "Acc"}
+	row := func(name string, f1 map[string]float64, acc float64) []string {
+		return []string{name, f2(f1[factcheck.NEI]), f2(f1[factcheck.Supports]), f2(f1[factcheck.Refutes]), f2(acc)}
+	}
+	rows := [][]string{
+		row("Feverous (baseline)", r.BaselineF1, r.BaselineAcc),
+		row(fmt.Sprintf("Feverous on F_t + P_t (%d)", r.PtSize), r.AugmentedF1, r.AugmentedAcc),
+	}
+	return "Table V — Feverous fact checking, per-class F1\n" + renderTable(header, rows)
+}
+
+// TableV runs the Feverous experiment: F_t = 1.1k claims (223 NEI / 388
+// Supports / 489 Refutes, no ambiguous NEI), F_test = 276 claims (57/98/121,
+// half of NEI ambiguous), P_t = 1240 PYTHIA ambiguous examples; 5 epochs.
+func TableV(cfg Config) (TableVResult, error) {
+	res := TableVResult{}
+
+	train, err := factcheck.GenerateCorpus(factcheck.CorpusOptions{
+		NEI: 223, Supports: 388, Refutes: 489,
+		AmbiguousNEIFraction: 0, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: table V: %w", err)
+	}
+	test, err := factcheck.GenerateCorpus(factcheck.CorpusOptions{
+		NEI: 57, Supports: 98, Refutes: 121,
+		AmbiguousNEIFraction: 0.5, Seed: cfg.Seed + 1000,
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: table V: %w", err)
+	}
+	res.PtSize = cfg.scaled(1240, 300)
+	pt, err := factcheck.GenerateCorpus(factcheck.CorpusOptions{
+		NEI: res.PtSize, Supports: 0, Refutes: 0,
+		AmbiguousNEIFraction: 1.0, Seed: cfg.Seed + 2000,
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: table V: %w", err)
+	}
+	res.PtSize = len(pt)
+
+	evaluate := func(c *factcheck.Checker) (map[string]float64, float64) {
+		conf := metrics.NewConfusion(factcheck.NEI, factcheck.Supports, factcheck.Refutes)
+		for _, cl := range test {
+			conf.Add(cl.Label, c.Classify(cl))
+		}
+		out := map[string]float64{}
+		for _, class := range conf.Classes() {
+			out[class] = conf.Class(class).F1
+		}
+		return out, conf.Accuracy()
+	}
+
+	cfg.logf("TableV: training baseline on %d claims", len(train))
+	baseline, err := factcheck.Train(train, factcheck.TrainOptions{Epochs: 5, Seed: cfg.Seed})
+	if err != nil {
+		return res, fmt.Errorf("experiments: table V: %w", err)
+	}
+	res.BaselineF1, res.BaselineAcc = evaluate(baseline)
+
+	cfg.logf("TableV: training augmented on %d + %d claims", len(train), len(pt))
+	augTrain := append(append([]factcheck.Claim{}, train...), pt...)
+	augmented, err := factcheck.Train(augTrain, factcheck.TrainOptions{Epochs: 5, Seed: cfg.Seed})
+	if err != nil {
+		return res, fmt.Errorf("experiments: table V: %w", err)
+	}
+	res.AugmentedF1, res.AugmentedAcc = evaluate(augmented)
+	return res, nil
+}

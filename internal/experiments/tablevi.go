@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/coronacheck"
+	"repro/internal/pythia"
+)
+
+// TableVIResult reproduces Table VI: CoronaCheck accuracy by ambiguity type
+// on the 100-claim user log, original vs PYTHIA-trained.
+type TableVIResult struct {
+	// Correct[structure] = [original, improved]; Total[structure] = claims.
+	Correct map[pythia.Structure][2]int
+	Total   map[pythia.Structure]int
+}
+
+// order fixes the paper's row order.
+var tableVIOrder = []pythia.Structure{pythia.RowAmb, pythia.AttributeAmb, pythia.FullAmb, pythia.NoAmb}
+
+// String renders the paper's Table VI.
+func (r TableVIResult) String() string {
+	header := []string{"Ambiguity", "Claims", "Original", "Original+Pythia"}
+	var rows [][]string
+	var totO, totI, tot int
+	for _, st := range tableVIOrder {
+		c := r.Correct[st]
+		n := r.Total[st]
+		rows = append(rows, []string{
+			st.String(), fmt.Sprint(n),
+			fmt.Sprintf("%d/%d", c[0], n), fmt.Sprintf("%d/%d", c[1], n),
+		})
+		totO += c[0]
+		totI += c[1]
+		tot += n
+	}
+	rows = append(rows, []string{"Total", fmt.Sprint(tot),
+		fmt.Sprintf("%d/%d", totO, tot), fmt.Sprintf("%d/%d", totI, tot)})
+	return "Table VI — CoronaCheck accuracy on the user-claim log\n" + renderTable(header, rows)
+}
+
+// Totals returns (original, improved, total).
+func (r TableVIResult) Totals() (int, int, int) {
+	var o, i, n int
+	for _, st := range tableVIOrder {
+		o += r.Correct[st][0]
+		i += r.Correct[st][1]
+		n += r.Total[st]
+	}
+	return o, i, n
+}
+
+// TableVI runs the CoronaCheck experiment.
+func TableVI(cfg Config) (TableVIResult, error) {
+	res := TableVIResult{
+		Correct: map[pythia.Structure][2]int{},
+		Total:   map[pythia.Structure]int{},
+	}
+	log := coronacheck.UserLog(cfg.Seed)
+	original := coronacheck.NewOriginal()
+	cfg.logf("TableVI: training improved system on PYTHIA examples")
+	improved, err := coronacheck.TrainImproved(coronacheck.TrainOptions{Epochs: 6, Seed: cfg.Seed})
+	if err != nil {
+		return res, fmt.Errorf("experiments: table VI: %w", err)
+	}
+	for _, cl := range log {
+		res.Total[cl.Structure]++
+		c := res.Correct[cl.Structure]
+		if original.Verify(cl.Text).Kind == cl.Gold {
+			c[0]++
+		}
+		if improved.Verify(cl.Text).Kind == cl.Gold {
+			c[1]++
+		}
+		res.Correct[cl.Structure] = c
+	}
+	return res, nil
+}

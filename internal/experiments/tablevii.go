@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/relation"
+	"repro/internal/texttosql"
+)
+
+// TableVIITrainNames / TableVIITestNames follow the paper's split.
+var (
+	TableVIITrainNames = []string{"Adults", "Soccer", "Laptop", "HeartDiseases"}
+	TableVIITestNames  = []string{"Abalone", "Iris", "WineQuality", "Basket", "BasketAcronyms"}
+)
+
+// TableVIIRow is one row of Table VII.
+type TableVIIRow struct {
+	System    string
+	TrainSize int // 0 for the baseline
+	Detection metrics.PRF
+	Accuracy  float64
+	BLEU      float64
+}
+
+// TableVIIResult is the sweep over training sizes.
+type TableVIIResult struct {
+	Rows []TableVIIRow
+}
+
+// String renders the paper's Table VII.
+func (r TableVIIResult) String() string {
+	header := []string{"System", "Train", "P", "R", "F1", "ACC", "BLEU"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		size := "-"
+		prf := []string{"-", "-", "-"}
+		if row.TrainSize > 0 {
+			size = fmt.Sprintf("+%d", row.TrainSize)
+			prf = []string{f2(row.Detection.Precision), f2(row.Detection.Recall), f2(row.Detection.F1)}
+		}
+		rows = append(rows, append([]string{row.System, size},
+			append(prf, f2(row.Accuracy), fmt.Sprintf("%.2f", row.BLEU))...))
+	}
+	return "Table VII — text-to-SQL with ambiguity abstention\n" + renderTable(header, rows)
+}
+
+// TableVIISizes is the paper's training-size sweep.
+var TableVIISizes = []int{200, 481, 2207, 6227, 10219}
+
+// TableVII runs the text-to-SQL experiment: a baseline that never abstains
+// and fine-tuned systems over growing samples of the PYTHIA corpus.
+func TableVII(cfg Config) (TableVIIResult, error) {
+	res := TableVIIResult{}
+	rawTrain, err := texttosql.GenerateCorpus(TableVIITrainNames, cfg.Seed)
+	if err != nil {
+		return res, fmt.Errorf("experiments: table VII: %w", err)
+	}
+	train := texttosql.Balance(rawTrain, 1.0, cfg.Seed)
+	rawTest, err := texttosql.GenerateCorpus(TableVIITestNames, cfg.Seed+500)
+	if err != nil {
+		return res, fmt.Errorf("experiments: table VII: %w", err)
+	}
+	test := texttosql.Balance(rawTest, 1.0, cfg.Seed+500)
+	cfg.logf("TableVII: %d training candidates, %d test examples", len(train), len(test))
+
+	var tables []*relation.Table
+	for _, n := range append(append([]string{}, TableVIITrainNames...), TableVIITestNames...) {
+		tables = append(tables, data.MustLoad(n).Table)
+	}
+
+	evaluate := func(s *texttosql.System, name string, size int) TableVIIRow {
+		row := TableVIIRow{System: name, TrainSize: size}
+		correct := 0
+		tp, fp, fn := 0, 0, 0
+		var pairs [][2]string
+		for _, ex := range test {
+			got := s.Predict(ex.Question, ex.Dataset)
+			if got == ex.GoldSQL {
+				correct++
+			}
+			switch {
+			case ex.Ambiguous && got == texttosql.None:
+				tp++
+			case !ex.Ambiguous && got == texttosql.None:
+				fp++
+			case ex.Ambiguous && got != texttosql.None:
+				fn++
+			}
+			// BLEU is only meaningful where a query is expected.
+			if ex.GoldSQL != texttosql.None {
+				pairs = append(pairs, [2]string{got, ex.GoldSQL})
+			}
+		}
+		row.Accuracy = float64(correct) / float64(len(test))
+		row.Detection = metrics.Compute(tp, fp, fn)
+		row.BLEU = metrics.MeanBLEU(pairs, 4)
+		return row
+	}
+
+	baseline := texttosql.Baseline(tables...)
+	res.Rows = append(res.Rows, evaluate(baseline, "Baseline (WikiSQL)", 0))
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shuffled := append([]texttosql.Example{}, train...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	for _, size := range TableVIISizes {
+		n := cfg.scaled(size, 100)
+		if n > len(shuffled) {
+			n = len(shuffled)
+		}
+		sub := shuffled[:n]
+		cfg.logf("TableVII: fine-tuning on %d examples", n)
+		ft, err := texttosql.FineTune(sub, tables, texttosql.FineTuneOptions{Epochs: 5, Seed: cfg.Seed})
+		if err != nil {
+			return res, fmt.Errorf("experiments: table VII: %w", err)
+		}
+		res.Rows = append(res.Rows, evaluate(ft, "FTPythia", n))
+		if n == len(shuffled) {
+			break // corpus exhausted; larger sizes would repeat
+		}
+	}
+	return res, nil
+}

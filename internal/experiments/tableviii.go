@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/pythia"
+	"repro/internal/userstudy"
+)
+
+// TableVIIIRow is one dataset's scores in the end-to-end user evaluation,
+// averaged over its three judges.
+type TableVIIIRow struct {
+	Dataset   string
+	Ambiguity metrics.PRF
+	AttrAmb   metrics.PRF
+}
+
+// TableVIIIResult holds all datasets plus the averages.
+type TableVIIIResult struct {
+	Rows           []TableVIIIRow
+	AvgAmbiguityF1 float64
+	AvgAttrF1      float64
+}
+
+// String renders the paper's Table VIII.
+func (r TableVIIIResult) String() string {
+	header := []string{"Dataset", "Amb-P", "Amb-R", "Amb-F1", "Attr-P", "Attr-R", "Attr-F1"}
+	var rows [][]string
+	for _, d := range r.Rows {
+		rows = append(rows, []string{
+			d.Dataset,
+			f2(d.Ambiguity.Precision), f2(d.Ambiguity.Recall), f2(d.Ambiguity.F1),
+			f2(d.AttrAmb.Precision), f2(d.AttrAmb.Recall), f2(d.AttrAmb.F1),
+		})
+	}
+	rows = append(rows, []string{"AVG", "", "", f2(r.AvgAmbiguityF1), "", "", f2(r.AvgAttrF1)})
+	return "Table VIII — end-to-end user evaluation of generated text\n" + renderTable(header, rows)
+}
+
+// TableVIII generates at least four ambiguous texts (half via text
+// generation, half via templates) and two non-ambiguous texts per dataset,
+// then has three simulated judges per dataset annotate them.
+func TableVIII(cfg Config) (TableVIIIResult, error) {
+	res := TableVIIIResult{}
+	panel := userstudy.DefaultPanel(cfg.Seed)
+	names := data.EvaluationNames()
+
+	for di, name := range names {
+		d := data.MustLoad(name)
+		var pairs []model.Pair
+		for _, gt := range d.GroundTruthPairs() {
+			pairs = append(pairs, model.Pair{AttrA: gt.AttrA, AttrB: gt.AttrB, Label: gt.Labels[0]})
+		}
+		md, err := pythia.WithPairs(d.Table, pairs)
+		if err != nil {
+			return res, fmt.Errorf("experiments: table VIII: %w", err)
+		}
+		g := pythia.NewGenerator(d.Table, md)
+
+		var sample []pythia.Example
+		take := func(exs []pythia.Example, n int) {
+			for _, ex := range exs {
+				if n == 0 {
+					return
+				}
+				sample = append(sample, ex)
+				n--
+			}
+		}
+		textGen, err := g.Generate(pythia.Options{Seed: cfg.Seed, MaxPerQuery: 2})
+		if err != nil {
+			return res, fmt.Errorf("experiments: table VIII: %w", err)
+		}
+		take(textGen, 2)
+		tmpl, err := g.Generate(pythia.Options{Seed: cfg.Seed + 1, Mode: pythia.Templates, MaxPerQuery: 2})
+		if err != nil {
+			return res, fmt.Errorf("experiments: table VIII: %w", err)
+		}
+		take(tmpl, 2)
+		plain, err := g.NotAmbiguous(pythia.Options{Seed: cfg.Seed + 2, MaxPerQuery: 1})
+		if err != nil {
+			return res, fmt.Errorf("experiments: table VIII: %w", err)
+		}
+		take(plain, 2)
+		if len(sample) < 4 {
+			return res, fmt.Errorf("experiments: table VIII: dataset %s produced only %d texts", name, len(sample))
+		}
+
+		// Three judges per dataset (the paper rotates 11 judges so every
+		// dataset gets three annotations).
+		row := TableVIIIRow{Dataset: name}
+		var ambSum, attrSum metrics.PRF
+		for j := 0; j < 3; j++ {
+			judge := panel[(di*3+j)%len(panel)]
+			var ambTP, ambFP, ambFN int
+			var attrTP, attrFP, attrFN int
+			for _, ex := range sample {
+				a := judge.Assess(ex, d)
+				truth := ex.Structure.Ambiguous()
+				switch {
+				case a.JudgedAmbiguous && truth:
+					ambTP++
+				case a.JudgedAmbiguous && !truth:
+					ambFP++
+				case !a.JudgedAmbiguous && truth:
+					ambFN++
+				}
+				if truth {
+					if a.JudgedAmbiguous && userstudy.AttrMatch(a.MarkedAttrs, ex.Attrs) {
+						attrTP++
+					} else if a.JudgedAmbiguous {
+						attrFP++
+						attrFN++
+					} else {
+						attrFN++
+					}
+				} else if a.JudgedAmbiguous && len(a.MarkedAttrs) > 0 {
+					attrFP++
+				}
+			}
+			amb := metrics.Compute(ambTP, ambFP, ambFN)
+			attr := metrics.Compute(attrTP, attrFP, attrFN)
+			ambSum.Precision += amb.Precision
+			ambSum.Recall += amb.Recall
+			ambSum.F1 += amb.F1
+			attrSum.Precision += attr.Precision
+			attrSum.Recall += attr.Recall
+			attrSum.F1 += attr.F1
+		}
+		row.Ambiguity = metrics.PRF{Precision: ambSum.Precision / 3, Recall: ambSum.Recall / 3, F1: ambSum.F1 / 3}
+		row.AttrAmb = metrics.PRF{Precision: attrSum.Precision / 3, Recall: attrSum.Recall / 3, F1: attrSum.F1 / 3}
+		res.Rows = append(res.Rows, row)
+		cfg.logf("TableVIII: %s done", name)
+	}
+
+	for _, row := range res.Rows {
+		res.AvgAmbiguityF1 += row.Ambiguity.F1
+		res.AvgAttrF1 += row.AttrAmb.F1
+	}
+	res.AvgAmbiguityF1 /= float64(len(res.Rows))
+	res.AvgAttrF1 /= float64(len(res.Rows))
+	return res, nil
+}

@@ -1,0 +1,399 @@
+// Package factcheck implements the Feverous-style computational fact
+// checking application of the Table V experiment: claims with table-cell
+// evidence, classified as SUPPORTS / REFUTES / NEI (not enough info).
+//
+// The baseline system of the paper is a fine-tuned transformer; ours is a
+// TextClassifier over (claim [SEP] linearized evidence) with segment tags.
+// The corpus generator reproduces the property the experiment hinges on:
+// NEI covers both missing-evidence claims and data-ambiguous claims, but
+// the base training split is starved of the ambiguous kind — which is
+// exactly the gap PYTHIA's generated examples fill.
+package factcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/pythia"
+	"repro/internal/serialize"
+	"repro/internal/textgen"
+)
+
+// Labels of the three-way classification.
+const (
+	Supports = "SUPPORTS"
+	Refutes  = "REFUTES"
+	NEI      = "NEI"
+)
+
+// Claim is one example: text, its evidence cells, and the gold label.
+type Claim struct {
+	Text     string
+	Evidence []textgen.Cell
+	Label    string
+	// Ambiguous marks claims whose NEI verdict comes from data ambiguity
+	// (diagnostics only; the classifier never sees it).
+	Ambiguous bool
+}
+
+// classIndex maps labels to model classes.
+var classIndex = map[string]int{NEI: 0, Supports: 1, Refutes: 2}
+var classNames = []string{NEI, Supports, Refutes}
+
+// Checker is the trainable fact-checking system.
+type Checker struct {
+	tok *serialize.Tokenizer
+	clf *nn.TextClassifier
+}
+
+// Agreement feature tokens. A bag-of-embeddings model cannot compare a
+// claimed value with the evidence cells the way a cross-attention
+// transformer can, so the encoder extracts the comparison explicitly:
+//
+//	<cell_full> an evidence cell whose attribute AND value appear in the claim
+//	<attr_only> the claim mentions the attribute but a different value
+//	<val_only>  the value appears without its attribute (subject cells)
+//	<cell_none> the cell is untouched by the claim
+//	<vneq>      the claim states a value found in no evidence cell
+//	<conflict>  the evidence holds conflicting values for one attribute —
+//	            the signature of data-ambiguous evidence
+const (
+	tokCellFull = "<cell_full>"
+	tokAttrOnly = "<attr_only>"
+	tokValOnly  = "<val_only>"
+	tokCellNone = "<cell_none>"
+	tokVNeq     = "<vneq>"
+	tokConflict = "<conflict>"
+)
+
+// encode turns a claim into token IDs: claim words in segment 0, evidence
+// cells and agreement features in segment 1.
+func encode(tok *serialize.Tokenizer, c Claim, fit bool) ([]int, []int) {
+	var tokens []string
+	var segs []int
+	lowText := strings.ToLower(c.Text)
+	for _, w := range strings.Fields(lowText) {
+		tokens = append(tokens, strings.Trim(w, ".,?!'\""))
+		segs = append(segs, 0)
+	}
+	tokens = append(tokens, serialize.TokSEP)
+	segs = append(segs, 1)
+	emit := func(t string) {
+		tokens = append(tokens, t)
+		segs = append(segs, 1)
+	}
+	// Cell tokens plus per-cell agreement features.
+	valuesInEvidence := map[string]bool{}
+	byAttr := map[string]map[string]bool{}
+	for _, cell := range c.Evidence {
+		for _, t := range serialize.CellTokens(cell.Attr, 3) {
+			emit(t)
+		}
+		for _, t := range serialize.CellTokens(cell.Value, 3) {
+			emit(t)
+		}
+		lv := strings.ToLower(cell.Value)
+		valuesInEvidence[lv] = true
+		la := strings.ToLower(cell.Attr)
+		if byAttr[la] == nil {
+			byAttr[la] = map[string]bool{}
+		}
+		byAttr[la][lv] = true
+
+		attrHit := attrInText(lowText, cell.Attr)
+		valHit := lv != "" && strings.Contains(lowText, lv)
+		switch {
+		case attrHit && valHit:
+			emit(tokCellFull)
+		case attrHit:
+			emit(tokAttrOnly)
+		case valHit:
+			emit(tokValOnly)
+		default:
+			emit(tokCellNone)
+		}
+	}
+	// Conflicting values under one attribute: the ambiguity signature.
+	for _, vals := range byAttr {
+		if len(vals) > 1 {
+			emit(tokConflict)
+		}
+	}
+	// Claim-side numbers with no support in the evidence.
+	for _, w := range strings.Fields(lowText) {
+		w = strings.Trim(w, ".,?!'\"()")
+		if w == "" || !isNumeric(w) {
+			continue
+		}
+		if !valuesInEvidence[w] {
+			emit(tokVNeq)
+		}
+	}
+	if fit {
+		tok.Fit(tokens)
+	}
+	return tok.Encode(tokens), segs
+}
+
+// attrInText reports whether any word of the attribute name occurs in the
+// claim text.
+func attrInText(lowText, attr string) bool {
+	for _, t := range strings.Fields(strings.ToLower(strings.NewReplacer("_", " ", "-", " ", "%", " pct").Replace(attr))) {
+		if len(t) >= 2 && strings.Contains(lowText, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNumeric reports whether w parses as a number.
+func isNumeric(w string) bool {
+	_, err := strconv.ParseFloat(w, 64)
+	return err == nil
+}
+
+// TrainOptions controls checker training.
+type TrainOptions struct {
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// Train builds a checker from a training corpus (the paper fine-tunes for 5
+// epochs; callers pass Epochs accordingly).
+func Train(claims []Claim, opts TrainOptions) (*Checker, error) {
+	if len(claims) == 0 {
+		return nil, fmt.Errorf("factcheck: empty training corpus")
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 5
+	}
+	if opts.LR == 0 {
+		opts.LR = 3e-3
+	}
+	c := &Checker{tok: serialize.NewTokenizer()}
+	for _, cl := range claims {
+		encode(c.tok, cl, true)
+	}
+	c.tok.Freeze()
+	examples := make([]nn.Example, 0, len(claims))
+	for _, cl := range claims {
+		ids, segs := encode(c.tok, cl, false)
+		examples = append(examples, nn.Example{IDs: ids, Segs: segs, Class: classIndex[cl.Label]})
+	}
+	c.clf = nn.NewTextClassifier(nn.Config{
+		VocabSize: c.tok.Size(),
+		Classes:   3,
+		Seed:      opts.Seed,
+	})
+	c.clf.Train(examples, nn.TrainOptions{Epochs: opts.Epochs, LR: opts.LR, Seed: opts.Seed + 1})
+	return c, nil
+}
+
+// Classify returns the predicted label for a claim.
+func (c *Checker) Classify(cl Claim) string {
+	ids, segs := encode(c.tok, cl, false)
+	class, _ := c.clf.Predict(ids, segs)
+	return classNames[class]
+}
+
+// ---------------------------------------------------------------------------
+// Corpus generation.
+// ---------------------------------------------------------------------------
+
+// CorpusOptions sizes a generated Feverous-like corpus.
+type CorpusOptions struct {
+	NEI      int
+	Supports int
+	Refutes  int
+	// AmbiguousNEIFraction is the share of NEI claims that are data
+	// ambiguous (the Feverous evaluation data contains them; the base
+	// training split mostly does not).
+	AmbiguousNEIFraction float64
+	Seed                 int64
+	// Datasets to draw from; nil means a default mix.
+	Datasets []string
+}
+
+// GenerateCorpus builds a deterministic corpus with the requested class
+// counts.
+func GenerateCorpus(opts CorpusOptions) ([]Claim, error) {
+	if opts.Datasets == nil {
+		opts.Datasets = []string{
+			"Basket", "Soccer", "Covid", "Cities", "Laptop", "Movies",
+			"Adults", "Superstore", "HeartDiseases", "WineQuality",
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	gen := textgen.NewGenerator(opts.Seed)
+
+	// Collect raw material per dataset: true statements (evidence-backed),
+	// and ambiguous examples for the ambiguous share of NEI.
+	var trueClaims []Claim
+	var ambiguousClaims []Claim
+	for _, name := range opts.Datasets {
+		d, err := data.Load(name)
+		if err != nil {
+			return nil, fmt.Errorf("factcheck: %w", err)
+		}
+		var pairs []model.Pair
+		for _, gt := range d.GroundTruthPairs() {
+			pairs = append(pairs, model.Pair{AttrA: gt.AttrA, AttrB: gt.AttrB, Label: gt.Labels[0]})
+		}
+		md, err := pythia.WithPairs(d.Table, pairs)
+		if err != nil {
+			return nil, fmt.Errorf("factcheck: %w", err)
+		}
+		pg := pythia.NewGenerator(d.Table, md)
+		// Equality claims only: the SUPPORTS label must follow directly
+		// from the cited cell.
+		plain, err := pg.NotAmbiguous(pythia.Options{Seed: opts.Seed, MaxPerQuery: 25, Ops: []string{"="}})
+		if err != nil {
+			return nil, fmt.Errorf("factcheck: %w", err)
+		}
+		for _, ex := range plain {
+			trueClaims = append(trueClaims, Claim{Text: ex.Text, Evidence: ex.Evidence, Label: Supports})
+		}
+		amb, err := pg.Generate(pythia.Options{Seed: opts.Seed + 1, MaxPerQuery: 6})
+		if err != nil {
+			return nil, fmt.Errorf("factcheck: %w", err)
+		}
+		for _, ex := range amb {
+			if ex.Match == pythia.Contradictory && len(ex.Evidence) > 0 {
+				ambiguousClaims = append(ambiguousClaims, Claim{
+					Text: ex.Text, Evidence: ex.Evidence, Label: NEI, Ambiguous: true,
+				})
+			}
+		}
+	}
+	if len(trueClaims) == 0 {
+		return nil, fmt.Errorf("factcheck: no supporting claims generated")
+	}
+	rng.Shuffle(len(trueClaims), func(i, j int) { trueClaims[i], trueClaims[j] = trueClaims[j], trueClaims[i] })
+	rng.Shuffle(len(ambiguousClaims), func(i, j int) {
+		ambiguousClaims[i], ambiguousClaims[j] = ambiguousClaims[j], ambiguousClaims[i]
+	})
+
+	var out []Claim
+	take := func(n int, from *[]Claim) []Claim {
+		if n > len(*from) {
+			n = len(*from)
+		}
+		got := (*from)[:n]
+		*from = (*from)[n:]
+		return got
+	}
+
+	// SUPPORTS: true claims as generated.
+	out = append(out, take(opts.Supports, &trueClaims)...)
+
+	// REFUTES: true claims with the value perturbed so the evidence
+	// contradicts the text.
+	for _, cl := range take(opts.Refutes, &trueClaims) {
+		out = append(out, refute(cl, rng))
+	}
+
+	// NEI: a blend of missing-evidence claims and (optionally) ambiguous
+	// claims.
+	ambN := int(float64(opts.NEI) * opts.AmbiguousNEIFraction)
+	out = append(out, take(ambN, &ambiguousClaims)...)
+	for _, cl := range take(opts.NEI-ambN, &trueClaims) {
+		out = append(out, insufficient(cl, gen, rng))
+	}
+
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// refute perturbs the claimed value so the evidence contradicts it. The
+// evidence keeps the true cells.
+func refute(cl Claim, rng *rand.Rand) Claim {
+	out := cl
+	out.Label = Refutes
+	// The measure is the last evidence cell; perturb its value in the text.
+	measure := cl.Evidence[len(cl.Evidence)-1]
+	wrong := perturbValue(measure.Value, rng)
+	if replaced, ok := replaceLastWord(cl.Text, measure.Value, wrong); ok {
+		out.Text = replaced
+	} else {
+		out.Text = cl.Text + " (" + wrong + ")"
+	}
+	return out
+}
+
+// replaceLastWord substitutes the last whole-word occurrence of old in
+// text. Substring hits inside other words (a value "7" inside a subject id
+// "17") are not touched.
+func replaceLastWord(text, old, new string) (string, bool) {
+	words := strings.Fields(text)
+	for i := len(words) - 1; i >= 0; i-- {
+		trimmed := strings.Trim(words[i], ".,?!'\"()")
+		if trimmed == old {
+			words[i] = strings.Replace(words[i], old, new, 1)
+			return strings.Join(words, " "), true
+		}
+	}
+	return text, false
+}
+
+// insufficient strips the informative evidence, leaving only subject cells:
+// the classic Feverous NEI condition ("evidence cells do not contain any
+// informative value").
+func insufficient(cl Claim, gen *textgen.Generator, rng *rand.Rand) Claim {
+	out := cl
+	out.Label = NEI
+	if len(cl.Evidence) > 1 {
+		out.Evidence = cl.Evidence[:len(cl.Evidence)-1]
+	}
+	// Occasionally also ask about an attribute the evidence lacks entirely.
+	if rng.Intn(3) == 0 {
+		out.Text = cl.Text + " overall"
+	}
+	_ = gen
+	return out
+}
+
+// perturbValue returns a clearly different value of the same general shape
+// that never contains the original as a substring.
+func perturbValue(v string, rng *rand.Rand) string {
+	if f, err := strconv.ParseFloat(v, 64); err == nil {
+		delta := 1 + rng.Intn(9)
+		var out string
+		if f == float64(int64(f)) {
+			out = strconv.FormatInt(int64(f)+int64(delta), 10)
+		} else {
+			out = strconv.FormatFloat(f*1.7+float64(delta), 'f', 2, 64)
+		}
+		if strings.Contains(out, v) {
+			out = strconv.FormatFloat(f+float64(delta)+0.5, 'f', 1, 64)
+		}
+		return out
+	}
+	pool := []string{"Omega", "Delta", "Sigma", "Vanta", "Krypton"}
+	out := pool[rng.Intn(len(pool))]
+	if out == v {
+		out = pool[(rng.Intn(len(pool))+1)%len(pool)]
+	}
+	return out
+}
+
+// PythiaNEIClaims converts PYTHIA examples into NEI training claims (the
+// paper's P_t set).
+func PythiaNEIClaims(examples []pythia.Example, limit int) []Claim {
+	var out []Claim
+	for _, ex := range examples {
+		if !ex.Structure.Ambiguous() || len(ex.Evidence) == 0 {
+			continue
+		}
+		out = append(out, Claim{Text: ex.Text, Evidence: ex.Evidence, Label: NEI, Ambiguous: true})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package factcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func testCorpus(t *testing.T, nei, sup, ref int, ambFrac float64, seed int64) []Claim {
+	t.Helper()
+	claims, err := GenerateCorpus(CorpusOptions{
+		NEI: nei, Supports: sup, Refutes: ref,
+		AmbiguousNEIFraction: ambFrac, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+	return claims
+}
+
+func countByLabel(claims []Claim) map[string]int {
+	out := map[string]int{}
+	for _, c := range claims {
+		out[c.Label]++
+	}
+	return out
+}
+
+func TestGenerateCorpusCounts(t *testing.T) {
+	claims := testCorpus(t, 60, 100, 120, 0.5, 1)
+	counts := countByLabel(claims)
+	if counts[NEI] != 60 || counts[Supports] != 100 || counts[Refutes] != 120 {
+		t.Errorf("counts = %v", counts)
+	}
+	amb := 0
+	for _, c := range claims {
+		if c.Ambiguous {
+			if c.Label != NEI {
+				t.Errorf("ambiguous claim labeled %s", c.Label)
+			}
+			amb++
+		}
+	}
+	if amb != 30 {
+		t.Errorf("ambiguous NEI = %d, want 30", amb)
+	}
+}
+
+func TestRefutedClaimsContradictEvidence(t *testing.T) {
+	claims := testCorpus(t, 0, 0, 50, 0, 2)
+	for _, c := range claims {
+		if c.Label != Refutes {
+			continue
+		}
+		// The claimed value must no longer appear as a whole word unless it
+		// also happens to be a subject value.
+		measure := c.Evidence[len(c.Evidence)-1]
+		isSubjectValue := false
+		for _, cell := range c.Evidence[:len(c.Evidence)-1] {
+			if cell.Value == measure.Value {
+				isSubjectValue = true
+			}
+		}
+		if isSubjectValue {
+			continue
+		}
+		for _, w := range strings.Fields(c.Text) {
+			if strings.Trim(w, ".,?!'\"()") == measure.Value {
+				t.Errorf("refuted claim still states the true value: %q vs %v", c.Text, measure)
+			}
+		}
+	}
+}
+
+func TestTrainAndClassify(t *testing.T) {
+	train := testCorpus(t, 160, 200, 200, 0.0, 3)
+	checker, err := Train(train, TrainOptions{Epochs: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	test := testCorpus(t, 40, 50, 50, 0.0, 99)
+	conf := metrics.NewConfusion(NEI, Supports, Refutes)
+	for _, c := range test {
+		conf.Add(c.Label, checker.Classify(c))
+	}
+	if acc := conf.Accuracy(); acc < 0.55 {
+		t.Errorf("accuracy = %.2f, want >= 0.55 on non-ambiguous corpus\n%s", acc, conf)
+	}
+}
+
+func TestPythiaExamplesImproveAmbiguousNEI(t *testing.T) {
+	// The Table V mechanism in miniature: base training has NO ambiguous
+	// NEI, test has 50%. Adding PYTHIA ambiguous claims must raise NEI
+	// recall.
+	base := testCorpus(t, 160, 200, 200, 0.0, 3)
+	test := testCorpus(t, 60, 60, 60, 0.5, 77)
+
+	baseline, err := Train(base, TrainOptions{Epochs: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("Train baseline: %v", err)
+	}
+	// P_t: ambiguous NEI claims from different seeds/tables.
+	ambCorpus := testCorpus(t, 120, 0, 0, 1.0, 55)
+	augmented, err := Train(append(append([]Claim{}, base...), ambCorpus...), TrainOptions{Epochs: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("Train augmented: %v", err)
+	}
+
+	neiRecall := func(c *Checker) float64 {
+		tp, fn := 0, 0
+		for _, cl := range test {
+			if cl.Label != NEI || !cl.Ambiguous {
+				continue
+			}
+			if c.Classify(cl) == NEI {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		if tp+fn == 0 {
+			return 0
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	b, a := neiRecall(baseline), neiRecall(augmented)
+	t.Logf("ambiguous-NEI recall: baseline %.2f -> +pythia %.2f", b, a)
+	if a <= b {
+		t.Errorf("PYTHIA examples did not raise ambiguous-NEI recall (%.2f -> %.2f)", b, a)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, TrainOptions{}); err == nil {
+		t.Error("expected error for empty corpus")
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := testCorpus(t, 20, 20, 20, 0.5, 5)
+	b := testCorpus(t, 20, 20, 20, 0.5, 5)
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].Label != b[i].Label {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,335 @@
+// Package kb implements the external knowledge resources PYTHIA's annotator
+// functions query: a ConceptNet-like graph (synonym / relatedTo /
+// derivedFrom / isA edges) and a Wikipedia-title index.
+//
+// The graph is built from the concept vocabulary (internal/vocab) with
+// noise injected deterministically: a fraction of true edges is dropped
+// (coverage gaps -> annotator false negatives) and generic aliases such as
+// "value" or "statistic" are attached to many words (spurious
+// intersections -> annotator false positives). The paper's online APIs are
+// replaced by in-memory lookups, so the 500k-table weak-supervision pass
+// runs in seconds.
+package kb
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/vocab"
+)
+
+// Relation enumerates the edge types the annotator functions use, matching
+// Section III-B of the paper.
+type Relation uint8
+
+const (
+	// Synonym edges ("syn" annotator).
+	Synonym Relation = iota
+	// RelatedTo edges ("relTo" annotator).
+	RelatedTo
+	// DerivedFrom edges ("der" annotator).
+	DerivedFrom
+	// IsA edges, pointing at hypernyms ("isA" annotator).
+	IsA
+	numRelations
+)
+
+// String returns the annotator-function name for the relation.
+func (r Relation) String() string {
+	switch r {
+	case Synonym:
+		return "syn"
+	case RelatedTo:
+		return "relTo"
+	case DerivedFrom:
+		return "der"
+	case IsA:
+		return "isA"
+	default:
+		return "rel?"
+	}
+}
+
+// Options controls noise injection at build time.
+type Options struct {
+	// Seed drives all pseudo-random decisions; builds are deterministic
+	// given (vocabulary, options).
+	Seed int64
+	// DropRate is the fraction of true edges omitted from the graph,
+	// simulating incomplete coverage of the external resource.
+	DropRate float64
+	// GenericRate is the per-concept probability of attaching each generic
+	// alias, simulating overly-broad ConceptNet neighbourhoods.
+	GenericRate float64
+}
+
+// DefaultOptions reproduce the noise level calibrated for the paper-shaped
+// results: annotators reach high precision but modest recall.
+func DefaultOptions() Options {
+	return Options{Seed: 1, DropRate: 0.25, GenericRate: 0.12}
+}
+
+// genericAliases are attached at random to many concepts. Some are pure
+// noise; a few collide with genuine labels, which is what makes the
+// annotator functions imprecise without filtering.
+var genericAliases = []string{
+	"value", "data", "figure", "record", "statistic", "number",
+	"total", "rate", "level", "amount", "measure", "information",
+	"quantity", "attribute", "field", "item",
+}
+
+// KB is the built knowledge base.
+type KB struct {
+	edges [numRelations]map[string][]string // normalized word -> aliases
+	wiki  map[string][]string               // normalized word -> page titles
+	dict  map[string]bool                   // dictionary for the LCS filter
+}
+
+// Build constructs the knowledge base from a vocabulary.
+func Build(v *vocab.Vocabulary, opts Options) *KB {
+	kb := &KB{wiki: make(map[string][]string), dict: make(map[string]bool)}
+	for r := Relation(0); r < numRelations; r++ {
+		kb.edges[r] = make(map[string][]string)
+	}
+	for _, c := range v.Concepts {
+		kb.addConcept(c, opts)
+	}
+	kb.normalizeAll()
+	return kb
+}
+
+// BuildDefault builds from the default vocabulary with default options.
+func BuildDefault() *KB {
+	return Build(vocab.Default(), DefaultOptions())
+}
+
+// codeSurfaces lists dataset-style header codes that look like words but
+// that no lexical resource resolves (classic UCI column names).
+var codeSurfaces = map[string]bool{
+	"trestbps": true, "thalach": true, "chol": true, "fbs": true,
+	"cp": true, "abv": true, "cfr": true, "rh": true,
+	"sot": true, "reb": true, "ast": true, "tov": true, "vmax": true,
+}
+
+// lexicalSurface reports whether a surface form is something an external
+// lexical resource (ConceptNet, Wikipedia search) would know: no digits or
+// '%', no vowel-less abbreviation tokens, not a known dataset code.
+func lexicalSurface(s string) bool {
+	if codeSurfaces[strings.ToLower(strings.TrimSpace(s))] {
+		return false
+	}
+	norm := vocab.Normalize(s)
+	if norm == "" {
+		return false
+	}
+	wordy := false
+	for _, tok := range strings.Fields(norm) {
+		if codeSurfaces[tok] {
+			return false
+		}
+		hasVowel := false
+		for _, r := range tok {
+			if r >= '0' && r <= '9' {
+				// A digit anywhere ("3FG%", "0_60") marks a dataset code.
+				return false
+			}
+			switch r {
+			case 'a', 'e', 'i', 'o', 'u', 'y':
+				hasVowel = true
+			}
+		}
+		if hasVowel && len(tok) >= 3 {
+			wordy = true
+		}
+	}
+	return wordy
+}
+
+// addConcept inserts one concept's alias edges under every *lexical*
+// surface form. Acronym and code headers (FG%, trestbps) are deliberately
+// not indexed: the external resources the annotators stand in for cannot
+// resolve them, which is a major source of the annotators' recall gap.
+func (kb *KB) addConcept(c vocab.Concept, opts Options) {
+	keys := make([]string, 0, len(c.Surface)+1)
+	for _, s := range c.Surface {
+		if lexicalSurface(s) {
+			keys = append(keys, vocab.Normalize(s))
+		}
+	}
+	if lexicalSurface(c.ID) {
+		keys = append(keys, vocab.Normalize(c.ID))
+	}
+	if len(keys) == 0 {
+		return
+	}
+
+	add := func(rel Relation, alias, salt string) {
+		a := strings.ToLower(strings.TrimSpace(alias))
+		if a == "" {
+			return
+		}
+		kb.dict[a] = true
+		for _, t := range strings.Fields(a) {
+			kb.dict[t] = true
+		}
+		if chance(opts.Seed, c.ID+"|drop|"+rel.String()+"|"+a+salt) < opts.DropRate {
+			return // coverage gap
+		}
+		for _, k := range keys {
+			kb.edges[rel][k] = append(kb.edges[rel][k], a)
+		}
+	}
+	for _, a := range c.Synonyms {
+		add(Synonym, a, "")
+	}
+	for _, a := range c.RelatedTo {
+		add(RelatedTo, a, "")
+	}
+	for _, a := range c.DerivedFrom {
+		add(DerivedFrom, a, "")
+	}
+	for _, a := range c.IsA {
+		add(IsA, a, "")
+	}
+	for _, w := range c.Wiki {
+		// Normalize titles the way the search API results are consumed:
+		// lowercased, disambiguation qualifiers ("Shooting (basketball)")
+		// stripped.
+		title := strings.ToLower(w)
+		if i := strings.Index(title, " ("); i > 0 {
+			title = title[:i]
+		}
+		kb.dict[title] = true
+		for _, t := range strings.Fields(title) {
+			kb.dict[t] = true
+		}
+		if chance(opts.Seed, c.ID+"|dropwiki|"+w) >= opts.DropRate {
+			for _, k := range keys {
+				kb.wiki[k] = append(kb.wiki[k], title)
+			}
+		}
+	}
+	// Labels are human knowledge: they enter the dictionary (annotators can
+	// recognize them as words) but NOT the graph unless an alias already
+	// covers them. This is the annotators' recall ceiling.
+	for _, l := range c.Labels {
+		kb.dict[strings.ToLower(l)] = true
+		for _, t := range strings.Fields(strings.ToLower(l)) {
+			kb.dict[t] = true
+		}
+	}
+	// Generic noise aliases on RelatedTo (the broadest ConceptNet relation).
+	for _, g := range genericAliases {
+		if chance(opts.Seed, c.ID+"|gen|"+g) < opts.GenericRate {
+			for _, k := range keys {
+				kb.edges[RelatedTo][k] = append(kb.edges[RelatedTo][k], g)
+			}
+		}
+	}
+	// Every surface token is a dictionary word.
+	for _, k := range keys {
+		for _, t := range strings.Fields(k) {
+			kb.dict[t] = true
+		}
+	}
+}
+
+// normalizeAll sorts and dedups all alias lists for deterministic output.
+func (kb *KB) normalizeAll() {
+	for r := Relation(0); r < numRelations; r++ {
+		for k, v := range kb.edges[r] {
+			kb.edges[r][k] = dedupSorted(v)
+		}
+	}
+	for k, v := range kb.wiki {
+		kb.wiki[k] = dedupSorted(v)
+	}
+}
+
+func dedupSorted(xs []string) []string {
+	sort.Strings(xs)
+	out := xs[:0]
+	var prev string
+	for i, x := range xs {
+		if i == 0 || x != prev {
+			out = append(out, x)
+		}
+		prev = x
+	}
+	return out
+}
+
+// chance hashes a salted key into [0, 1).
+func chance(seed int64, key string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+// Aliases returns the graph neighbours of a word under one relation. The
+// word is normalized first; unknown words return nothing (the paper's
+// "A12" behaviour).
+func (kb *KB) Aliases(word string, rel Relation) []string {
+	if rel >= numRelations {
+		return nil
+	}
+	return kb.edges[rel][vocab.Normalize(word)]
+}
+
+// WikiTitles returns the top page titles for a word, lowercased, mimicking
+// the Wikipedia search API.
+func (kb *KB) WikiTitles(word string) []string {
+	return kb.wiki[vocab.Normalize(word)]
+}
+
+// InDictionary reports whether w is a known word. The LCS annotator uses
+// this to discard meaningless substrings.
+func (kb *KB) InDictionary(w string) bool {
+	return kb.dict[strings.ToLower(strings.TrimSpace(w))]
+}
+
+// DictionarySize reports how many words the dictionary holds (for stats).
+func (kb *KB) DictionarySize() int { return len(kb.dict) }
+
+// DefinitionBags renders the knowledge base as token bags, one per indexed
+// surface form: the form's own tokens plus the tokens of all its aliases
+// and wiki titles. The metadata model pretrains its embeddings on them —
+// the substitute for the semantic prior of a pre-trained language model.
+func (kb *KB) DefinitionBags() [][]string {
+	keys := map[string][]string{}
+	addTokens := func(key, phrase string) {
+		for _, t := range strings.Fields(phrase) {
+			keys[key] = append(keys[key], t)
+		}
+	}
+	for r := Relation(0); r < numRelations; r++ {
+		for k, aliases := range kb.edges[r] {
+			addTokens(k, k)
+			for _, a := range aliases {
+				addTokens(k, a)
+			}
+		}
+	}
+	for k, titles := range kb.wiki {
+		addTokens(k, k)
+		for _, t := range titles {
+			addTokens(k, t)
+		}
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([][]string, 0, len(names))
+	for _, k := range names {
+		out = append(out, dedupSorted(keys[k]))
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package kb
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vocab"
+)
+
+func TestBuildIsDeterministic(t *testing.T) {
+	a := BuildDefault()
+	b := BuildDefault()
+	words := []string{"FG%", "length", "salary", "cap_color", "total_deaths"}
+	for _, w := range words {
+		for r := Relation(0); r < numRelations; r++ {
+			if !reflect.DeepEqual(a.Aliases(w, r), b.Aliases(w, r)) {
+				t.Errorf("non-deterministic aliases for %s/%s", w, r)
+			}
+		}
+		if !reflect.DeepEqual(a.WikiTitles(w), b.WikiTitles(w)) {
+			t.Errorf("non-deterministic wiki titles for %s", w)
+		}
+	}
+}
+
+func TestUnknownWordHasNoAliases(t *testing.T) {
+	kb := BuildDefault()
+	for r := Relation(0); r < numRelations; r++ {
+		if got := kb.Aliases("A12", r); len(got) != 0 {
+			t.Errorf("Aliases(A12, %s) = %v, want none", r, got)
+		}
+	}
+	if got := kb.WikiTitles("A12"); len(got) != 0 {
+		t.Errorf("WikiTitles(A12) = %v, want none", got)
+	}
+}
+
+func TestSurfaceFormsShareAliases(t *testing.T) {
+	kb := BuildDefault()
+	// Both lexical surface forms of field_goal_pct must resolve to the same
+	// alias sets (they denote the same concept).
+	for r := Relation(0); r < numRelations; r++ {
+		a := kb.Aliases("field goal percentage", r)
+		b := kb.Aliases("field_goal_pct", r)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("surface forms diverge for %s: %v vs %v", r, a, b)
+		}
+	}
+}
+
+func TestAcronymSurfacesNotIndexed(t *testing.T) {
+	// Dataset codes are outside what ConceptNet/Wikipedia can resolve; the
+	// knowledge base must not index them (this drives the annotators'
+	// recall gap on acronym tables).
+	kb := BuildDefault()
+	for _, code := range []string{"FG%", "3FG%", "trestbps", "thalach", "fbs", "0_60"} {
+		for r := Relation(0); r < numRelations; r++ {
+			if got := kb.Aliases(code, r); len(got) != 0 {
+				t.Errorf("Aliases(%s, %s) = %v, want none", code, r, got)
+			}
+		}
+	}
+}
+
+func TestLexicalSurface(t *testing.T) {
+	cases := map[string]bool{
+		"field_goal_pct":        true, // "field"/"goal" are words
+		"field goal percentage": true,
+		"FG%":                   false,
+		"3FG%":                  false,
+		"fg_pct":                false,
+		"trestbps":              false, // curated code
+		"length":                true,
+		"sot":                   false,
+		"":                      false,
+	}
+	for in, want := range cases {
+		if got := lexicalSurface(in); got != want {
+			t.Errorf("lexicalSurface(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestNoDropKeepsAllEdges(t *testing.T) {
+	v := vocab.Default()
+	kb := Build(v, Options{Seed: 1, DropRate: 0, GenericRate: 0})
+	c, ok := v.ByID("field_goal_pct")
+	if !ok {
+		t.Fatal("missing concept")
+	}
+	got := kb.Aliases("field_goal_pct", IsA)
+	for _, want := range c.IsA {
+		found := false
+		for _, g := range got {
+			if g == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("IsA(%s) missing %q with DropRate 0: %v", c.ID, want, got)
+		}
+	}
+}
+
+func TestDropRateRemovesSomeEdges(t *testing.T) {
+	v := vocab.Default()
+	full := Build(v, Options{Seed: 1, DropRate: 0, GenericRate: 0})
+	noisy := Build(v, Options{Seed: 1, DropRate: 0.5, GenericRate: 0})
+	fullCount, noisyCount := 0, 0
+	for _, c := range v.Concepts {
+		for r := Relation(0); r < numRelations; r++ {
+			fullCount += len(full.Aliases(c.ID, r))
+			noisyCount += len(noisy.Aliases(c.ID, r))
+		}
+	}
+	if noisyCount >= fullCount {
+		t.Errorf("DropRate 0.5 kept %d of %d edges, expected a reduction", noisyCount, fullCount)
+	}
+	if noisyCount < fullCount/4 {
+		t.Errorf("DropRate 0.5 kept only %d of %d edges, too aggressive", noisyCount, fullCount)
+	}
+}
+
+func TestGenericNoiseAppears(t *testing.T) {
+	v := vocab.Default()
+	noisy := Build(v, Options{Seed: 1, DropRate: 0, GenericRate: 1})
+	got := noisy.Aliases("fouls", RelatedTo)
+	found := false
+	for _, a := range got {
+		if a == "statistic" || a == "value" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("GenericRate 1 did not attach generic aliases: %v", got)
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	kb := BuildDefault()
+	// Labels always enter the dictionary even when dropped from the graph.
+	for _, w := range []string{"shooting", "income", "dimension", "death rate", "color"} {
+		if !kb.InDictionary(w) {
+			t.Errorf("dictionary missing %q", w)
+		}
+	}
+	if kb.InDictionary("qzxqzx") {
+		t.Error("dictionary contains garbage word")
+	}
+	if kb.DictionarySize() < 200 {
+		t.Errorf("dictionary size = %d, want >= 200", kb.DictionarySize())
+	}
+}
+
+func TestWikiTitlesLowercased(t *testing.T) {
+	kb := Build(vocab.Default(), Options{Seed: 1, DropRate: 0, GenericRate: 0})
+	titles := kb.WikiTitles("field_goal_pct")
+	if len(titles) == 0 {
+		t.Fatal("no wiki titles for field_goal_pct")
+	}
+	for _, title := range titles {
+		if title != toLower(title) {
+			t.Errorf("title %q not lowercased", title)
+		}
+	}
+}
+
+func toLower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func TestAliasListsSortedAndDeduped(t *testing.T) {
+	kb := BuildDefault()
+	for _, w := range []string{"salary", "length", "sales"} {
+		for r := Relation(0); r < numRelations; r++ {
+			as := kb.Aliases(w, r)
+			for i := 1; i < len(as); i++ {
+				if as[i-1] >= as[i] {
+					t.Errorf("aliases for %s/%s not sorted/deduped: %v", w, r, as)
+					break
+				}
+			}
+		}
+	}
+}

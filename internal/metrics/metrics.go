@@ -1,0 +1,285 @@
+// Package metrics implements the evaluation measures the paper reports:
+// precision / recall / F1 over retrieval-style predictions, classification
+// accuracy with per-class breakdowns, and BLEU for generated SQL.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// PRF is a precision / recall / F-measure triple.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// Support counts: TP, FP, FN backing the ratios.
+	TP, FP, FN int
+}
+
+// Compute fills the ratios from the counts. Empty denominators yield zero.
+func Compute(tp, fp, fn int) PRF {
+	out := PRF{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		out.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		out.Recall = float64(tp) / float64(tp+fn)
+	}
+	if out.Precision+out.Recall > 0 {
+		out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// String renders the triple as percentages, matching the paper's tables.
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.1f R=%.1f F1=%.1f", 100*p.Precision, 100*p.Recall, 100*p.F1)
+}
+
+// SetPRF scores predicted items against a gold set (both as string keys).
+func SetPRF(predicted, gold []string) PRF {
+	predSet := map[string]bool{}
+	for _, p := range predicted {
+		predSet[p] = true
+	}
+	goldSet := map[string]bool{}
+	for _, g := range gold {
+		goldSet[g] = true
+	}
+	tp, fp, fn := 0, 0, 0
+	for p := range predSet {
+		if goldSet[p] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for g := range goldSet {
+		if !predSet[g] {
+			fn++
+		}
+	}
+	return Compute(tp, fp, fn)
+}
+
+// Confusion is a multi-class confusion matrix over string class names.
+type Confusion struct {
+	classes []string
+	index   map[string]int
+	counts  [][]int // counts[gold][pred]
+}
+
+// NewConfusion builds a matrix over the given classes.
+func NewConfusion(classes ...string) *Confusion {
+	c := &Confusion{classes: classes, index: map[string]int{}}
+	for i, cl := range classes {
+		c.index[cl] = i
+	}
+	c.counts = make([][]int, len(classes))
+	for i := range c.counts {
+		c.counts[i] = make([]int, len(classes))
+	}
+	return c
+}
+
+// Add records one (gold, predicted) observation. Unknown classes are added
+// on the fly.
+func (c *Confusion) Add(gold, pred string) {
+	gi := c.class(gold)
+	pi := c.class(pred)
+	c.counts[gi][pi]++
+}
+
+func (c *Confusion) class(name string) int {
+	if i, ok := c.index[name]; ok {
+		return i
+	}
+	i := len(c.classes)
+	c.classes = append(c.classes, name)
+	c.index[name] = i
+	for j := range c.counts {
+		c.counts[j] = append(c.counts[j], 0)
+	}
+	row := make([]int, len(c.classes))
+	c.counts = append(c.counts, row)
+	return i
+}
+
+// Class returns the PRF of one class.
+func (c *Confusion) Class(name string) PRF {
+	i, ok := c.index[name]
+	if !ok {
+		return PRF{}
+	}
+	tp := c.counts[i][i]
+	fp, fn := 0, 0
+	for j := range c.classes {
+		if j != i {
+			fp += c.counts[j][i]
+			fn += c.counts[i][j]
+		}
+	}
+	return Compute(tp, fp, fn)
+}
+
+// Accuracy returns the fraction of diagonal observations.
+func (c *Confusion) Accuracy() float64 {
+	correct, total := 0, 0
+	for i := range c.classes {
+		for j := range c.classes {
+			total += c.counts[i][j]
+			if i == j {
+				correct += c.counts[i][j]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Total returns the number of observations.
+func (c *Confusion) Total() int {
+	t := 0
+	for i := range c.counts {
+		for j := range c.counts[i] {
+			t += c.counts[i][j]
+		}
+	}
+	return t
+}
+
+// MacroF1 averages per-class F1 over classes that appear in the gold data.
+func (c *Confusion) MacroF1() float64 {
+	var sum float64
+	n := 0
+	for i, cl := range c.classes {
+		goldCount := 0
+		for j := range c.classes {
+			goldCount += c.counts[i][j]
+		}
+		if goldCount == 0 {
+			continue
+		}
+		sum += c.Class(cl).F1
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Classes returns the class names in insertion order.
+func (c *Confusion) Classes() []string {
+	out := make([]string, len(c.classes))
+	copy(out, c.classes)
+	return out
+}
+
+// String renders the matrix for reports.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	order := make([]string, len(c.classes))
+	copy(order, c.classes)
+	sort.Strings(order)
+	fmt.Fprintf(&b, "%-12s", "gold\\pred")
+	for _, cl := range order {
+		fmt.Fprintf(&b, "%10s", cl)
+	}
+	for _, g := range order {
+		fmt.Fprintf(&b, "\n%-12s", g)
+		for _, p := range order {
+			fmt.Fprintf(&b, "%10d", c.counts[c.index[g]][c.index[p]])
+		}
+	}
+	return b.String()
+}
+
+// BLEU computes smoothed corpus-less BLEU-N of a candidate against one
+// reference, over whitespace tokens. The paper uses it to compare generated
+// SQL with the labelled SQL.
+func BLEU(candidate, reference string, maxN int) float64 {
+	if maxN <= 0 {
+		maxN = 4
+	}
+	cand := strings.Fields(strings.ToLower(candidate))
+	ref := strings.Fields(strings.ToLower(reference))
+	if len(cand) == 0 || len(ref) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	levels := 0
+	for n := 1; n <= maxN; n++ {
+		match, total := ngramOverlap(cand, ref, n)
+		if total == 0 {
+			continue // candidate shorter than n; skip the level
+		}
+		var p float64
+		if n == 1 {
+			// Unigram precision is unsmoothed: no shared words, no score.
+			if match == 0 {
+				return 0
+			}
+			p = float64(match) / float64(total)
+		} else {
+			// +1 smoothing keeps sparse higher orders from zeroing BLEU.
+			p = (float64(match) + 1) / (float64(total) + 1)
+		}
+		logSum += math.Log(p)
+		levels++
+	}
+	if levels == 0 {
+		return 0
+	}
+	precision := math.Exp(logSum / float64(levels))
+	// Brevity penalty.
+	bp := 1.0
+	if len(cand) < len(ref) {
+		bp = math.Exp(1 - float64(len(ref))/float64(len(cand)))
+	}
+	return bp * precision
+}
+
+// ngramOverlap counts clipped n-gram matches and candidate n-gram total.
+func ngramOverlap(cand, ref []string, n int) (match, total int) {
+	if len(cand) < n {
+		return 0, 0
+	}
+	refCounts := map[string]int{}
+	for i := 0; i+n <= len(ref); i++ {
+		refCounts[strings.Join(ref[i:i+n], " ")]++
+	}
+	candCounts := map[string]int{}
+	for i := 0; i+n <= len(cand); i++ {
+		candCounts[strings.Join(cand[i:i+n], " ")]++
+	}
+	for g, c := range candCounts {
+		total += c
+		if r := refCounts[g]; r > 0 {
+			if c < r {
+				match += c
+			} else {
+				match += r
+			}
+		}
+	}
+	return match, total
+}
+
+// MeanBLEU averages BLEU over (candidate, reference) pairs, scaled to the
+// 0-100 range the paper reports.
+func MeanBLEU(pairs [][2]string, maxN int) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pairs {
+		sum += BLEU(p[0], p[1], maxN)
+	}
+	return 100 * sum / float64(len(pairs))
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCompute(t *testing.T) {
+	p := Compute(8, 2, 4)
+	if !almost(p.Precision, 0.8) || !almost(p.Recall, 8.0/12) {
+		t.Errorf("PRF = %+v", p)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 12) / (0.8 + 8.0/12)
+	if !almost(p.F1, wantF1) {
+		t.Errorf("F1 = %v, want %v", p.F1, wantF1)
+	}
+	zero := Compute(0, 0, 0)
+	if zero.Precision != 0 || zero.Recall != 0 || zero.F1 != 0 {
+		t.Errorf("zero counts = %+v", zero)
+	}
+}
+
+func TestSetPRF(t *testing.T) {
+	p := SetPRF([]string{"a", "b", "c"}, []string{"b", "c", "d", "e"})
+	if p.TP != 2 || p.FP != 1 || p.FN != 2 {
+		t.Errorf("SetPRF counts = %+v", p)
+	}
+	// Duplicates collapse.
+	p = SetPRF([]string{"a", "a"}, []string{"a"})
+	if p.TP != 1 || p.FP != 0 || p.FN != 0 {
+		t.Errorf("dup counts = %+v", p)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c := NewConfusion("NEI", "Supports", "Refutes")
+	obs := []struct{ gold, pred string }{
+		{"NEI", "NEI"}, {"NEI", "Supports"},
+		{"Supports", "Supports"}, {"Supports", "Supports"},
+		{"Refutes", "NEI"}, {"Refutes", "Refutes"},
+	}
+	for _, o := range obs {
+		c.Add(o.gold, o.pred)
+	}
+	if got := c.Accuracy(); !almost(got, 4.0/6) {
+		t.Errorf("accuracy = %v", got)
+	}
+	nei := c.Class("NEI")
+	if nei.TP != 1 || nei.FP != 1 || nei.FN != 1 {
+		t.Errorf("NEI = %+v", nei)
+	}
+	if c.Total() != 6 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if c.MacroF1() <= 0 || c.MacroF1() > 1 {
+		t.Errorf("macro F1 = %v", c.MacroF1())
+	}
+	if got := c.Class("missing"); got.TP != 0 {
+		t.Errorf("missing class = %+v", got)
+	}
+	// Unknown classes appended on the fly.
+	c.Add("New", "NEI")
+	if len(c.Classes()) != 4 {
+		t.Errorf("classes = %v", c.Classes())
+	}
+	if !strings.Contains(c.String(), "Supports") {
+		t.Error("String misses class names")
+	}
+}
+
+func TestBLEUPerfectAndDisjoint(t *testing.T) {
+	s := "SELECT Player FROM D WHERE fouls = 3"
+	if got := BLEU(s, s, 4); !almost(got, 1.0) {
+		t.Errorf("BLEU(self) = %v, want 1", got)
+	}
+	if got := BLEU("alpha beta gamma", "delta epsilon zeta", 4); got > 0.35 {
+		t.Errorf("disjoint BLEU = %v, want small", got)
+	}
+	if got := BLEU("", "ref", 4); got != 0 {
+		t.Errorf("empty candidate BLEU = %v", got)
+	}
+}
+
+func TestBLEUOrderSensitivity(t *testing.T) {
+	ref := "select a from t where b = 1"
+	good := "select a from t where b = 2"
+	scrambled := "1 = b where t from a select"
+	if BLEU(good, ref, 4) <= BLEU(scrambled, ref, 4) {
+		t.Error("BLEU ignores n-gram order")
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := "select a from t where b = 1 and c = 2"
+	short := "select a"
+	long := "select a from t where b = 1 and c = 2"
+	if BLEU(short, ref, 2) >= BLEU(long, ref, 2) {
+		t.Error("brevity penalty not applied")
+	}
+}
+
+func TestMeanBLEU(t *testing.T) {
+	pairs := [][2]string{
+		{"a b c", "a b c"},
+		{"x", "a b c"},
+	}
+	got := MeanBLEU(pairs, 2)
+	if got <= 0 || got >= 100 {
+		t.Errorf("MeanBLEU = %v", got)
+	}
+	if MeanBLEU(nil, 2) != 0 {
+		t.Error("MeanBLEU(nil) != 0")
+	}
+}
+
+// Property: F1 is always between min and max of P and R, and zero only when
+// TP is zero.
+func TestF1BoundsProperty(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		p := Compute(int(tp), int(fp), int(fn))
+		if p.F1 < 0 || p.F1 > 1 {
+			return false
+		}
+		if tp > 0 && p.F1 == 0 {
+			return false
+		}
+		lo, hi := p.Precision, p.Recall
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.F1 >= lo-1e-12 && p.F1 <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BLEU is always in [0, 1].
+func TestBLEURangeProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ca := strings.Join(strings.Fields(string(a)), " ")
+		cb := strings.Join(strings.Fields(string(b)), " ")
+		s := BLEU(ca, cb, 4)
+		return s >= 0 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

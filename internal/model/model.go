@@ -1,0 +1,668 @@
+// Package model implements the ambiguity-metadata predictors of Section III:
+// the fine-tuned Schema and Data models (our trainable stand-ins for the
+// paper's fine-tuned T5), and the ULabel / SLabel baselines of Section VI-A.
+//
+// All four share an interface: given a table context and an attribute pair,
+// either produce the ambiguity label or abstain. The two fine-tuned models
+// are trained end to end from weak supervision: annotator functions label a
+// synthetic web-table corpus, prompts are serialized per Figure 4, and a
+// TextClassifier learns to map prompts to a label vocabulary (class 0 =
+// none).
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/annotate"
+	"repro/internal/corpus"
+	"repro/internal/kb"
+	"repro/internal/nn"
+	"repro/internal/relation"
+	"repro/internal/serialize"
+	"repro/internal/vocab"
+)
+
+// Pair is one discovered unit of ambiguity metadata: two attributes and the
+// label describing both (the paper's {FG%, 3FG%} -> "shooting").
+type Pair struct {
+	AttrA string
+	AttrB string
+	Label string
+	Score float64 // predictor confidence in (0, 1]; 1 for rule-based methods
+	// Correlation is the Pearson correlation of the two columns (numeric
+	// pairs) and ValueOverlap the Jaccard of their distinct values, filled
+	// by pythia.Discover — the paper's future-work profiling signals.
+	Correlation  float64
+	ValueOverlap float64
+}
+
+// Predictor discovers ambiguity metadata for a table.
+type Predictor interface {
+	// Name identifies the method in experiment reports.
+	Name() string
+	// PredictPair returns the ambiguity label for one attribute pair, or
+	// ok=false when the pair is judged not ambiguous.
+	PredictPair(header []string, rows [][]string, attrA, attrB string) (label string, score float64, ok bool)
+}
+
+// PredictTable runs a predictor over every same-type-class attribute pair
+// of a table (Algorithm 1 only pairs numerical with numerical and
+// categorical with categorical).
+func PredictTable(p Predictor, header []string, rows [][]string) []Pair {
+	kinds := columnKinds(header, rows)
+	var out []Pair
+	for i := 0; i < len(header); i++ {
+		for j := i + 1; j < len(header); j++ {
+			if !sameClass(kinds[i], kinds[j]) {
+				continue
+			}
+			if label, score, ok := p.PredictPair(header, rows, header[i], header[j]); ok {
+				out = append(out, Pair{AttrA: header[i], AttrB: header[j], Label: label, Score: score})
+			}
+		}
+	}
+	return out
+}
+
+// columnKinds infers a kind per column from the string cells.
+func columnKinds(header []string, rows [][]string) []relation.Kind {
+	kinds := make([]relation.Kind, len(header))
+	for _, row := range rows {
+		for c := range header {
+			if c < len(row) {
+				kinds[c] = relation.UnifyKind(kinds[c], relation.InferKind(row[c]))
+			}
+		}
+	}
+	return kinds
+}
+
+// sameClass groups kinds into the paper's two type classes. Columns with no
+// data (KindNull) pair with anything.
+func sameClass(a, b relation.Kind) bool {
+	if a == relation.KindNull || b == relation.KindNull {
+		return true
+	}
+	num := func(k relation.Kind) bool { return k.Numeric() }
+	if num(a) && num(b) {
+		return true
+	}
+	return a == b
+}
+
+// ---------------------------------------------------------------------------
+// ULabel baseline.
+// ---------------------------------------------------------------------------
+
+// ULabel is the unsupervised heuristic baseline of Section VI-A: it
+// intersects the ConceptNet synonym set and the Wikipedia titles of the two
+// attributes to find common words; when the intersection is empty it falls
+// back to the dictionary-filtered LCS. Unlike the trained models it has no
+// way to aggregate evidence across relations or tables, which is what caps
+// its recall and its label quality.
+type ULabel struct {
+	k   *kb.KB
+	lcs annotate.Annotator
+}
+
+// NewULabel builds the baseline from a knowledge base.
+func NewULabel(k *kb.KB) *ULabel {
+	return &ULabel{k: k, lcs: annotate.All(k)[5]}
+}
+
+// Name implements Predictor.
+func (u *ULabel) Name() string { return "ULabel" }
+
+// aliasSet is the union of ConceptNet synonyms and Wikipedia titles.
+func (u *ULabel) aliasSet(attr string) map[string]bool {
+	out := map[string]bool{}
+	for _, a := range u.k.Aliases(attr, kb.Synonym) {
+		out[a] = true
+	}
+	for _, a := range u.k.WikiTitles(attr) {
+		out[a] = true
+	}
+	return out
+}
+
+// PredictPair implements Predictor.
+func (u *ULabel) PredictPair(_ []string, _ [][]string, attrA, attrB string) (string, float64, bool) {
+	sa := u.aliasSet(attrA)
+	if len(sa) > 0 {
+		sb := u.aliasSet(attrB)
+		var common []string
+		for a := range sb {
+			if sa[a] && !annotate.Stopword(a) {
+				common = append(common, a)
+			}
+		}
+		if len(common) > 0 {
+			sort.Strings(common)
+			return common[0], 1, true
+		}
+	}
+	if ls := u.lcs.Annotate(attrA, attrB); len(ls) > 0 {
+		return ls[0], 0.5, true
+	}
+	return "", 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Shared prompt/label plumbing for the trained methods.
+// ---------------------------------------------------------------------------
+
+// LabelVocab maps label strings to dense classes; class 0 is none.
+type LabelVocab struct {
+	labels []string
+	idx    map[string]int
+}
+
+// NewLabelVocab returns an empty vocabulary with the reserved none class.
+func NewLabelVocab() *LabelVocab {
+	lv := &LabelVocab{idx: map[string]int{}}
+	lv.labels = append(lv.labels, "") // class 0 = none
+	return lv
+}
+
+// Add interns a label and returns its class.
+func (lv *LabelVocab) Add(label string) int {
+	if label == "" {
+		return 0
+	}
+	if c, ok := lv.idx[label]; ok {
+		return c
+	}
+	c := len(lv.labels)
+	lv.idx[label] = c
+	lv.labels = append(lv.labels, label)
+	return c
+}
+
+// Class returns the class for a label (0 when unknown or none).
+func (lv *LabelVocab) Class(label string) int { return lv.idx[label] }
+
+// Label returns the label string for a class ("" for none/unknown).
+func (lv *LabelVocab) Label(class int) string {
+	if class <= 0 || class >= len(lv.labels) {
+		return ""
+	}
+	return lv.labels[class]
+}
+
+// Size returns the number of classes including none.
+func (lv *LabelVocab) Size() int { return len(lv.labels) }
+
+// encodePrompt serializes, encodes and segments one prompt. Segment 1 marks
+// everything after [SEP] (the candidate pair).
+func encodePrompt(tok *serialize.Tokenizer, cfg serialize.Config, in serialize.Input) ([]int, []int) {
+	tokens := serialize.Prompt(cfg, in)
+	ids := tok.Encode(tokens)
+	segs := make([]int, len(tokens))
+	seg := 0
+	for i, tkn := range tokens {
+		if tkn == serialize.TokSEP {
+			seg = 1
+		}
+		segs[i] = seg
+	}
+	return ids, segs
+}
+
+// ---------------------------------------------------------------------------
+// The fine-tuned metadata model (Schema and Data variants).
+// ---------------------------------------------------------------------------
+
+// TrainConfig controls weak-supervision training of a MetadataModel.
+type TrainConfig struct {
+	// Tables is the corpus size (the paper uses 500k; experiments scale it).
+	Tables int
+	// Serialization selects the prompt variant; the Mode decides whether
+	// this is the Schema or the Data model.
+	Serialization serialize.Config
+	Epochs        int
+	LR            float64
+	Seed          int64
+	// NegPerPos bounds the ratio of none-examples kept per positive.
+	NegPerPos float64
+	// NegWeight scales the loss of the none class (default 0.5): weak
+	// negatives are less trustworthy than weak positives — an annotator
+	// abstaining on a covered pair may simply be a resource coverage gap.
+	NegWeight float64
+	// MinTokenCount drops prompt tokens seen fewer times than this into
+	// UNK (default 3), so out-of-vocabulary attribute names at test time
+	// hit a calibrated UNK embedding instead of an arbitrary rare one.
+	MinTokenCount int
+	// AugmentOOV duplicates this fraction of positive examples with the
+	// candidate pair's attribute tokens masked to UNK — word-dropout
+	// augmentation that teaches the data-task model to decide from the
+	// value distributions alone, the behaviour acronym headers require at
+	// test time. Zero disables it (the schema task has nothing left to
+	// decide from once the pair tokens are gone).
+	AugmentOOV float64
+	// Threshold is the minimum label probability to assert ambiguity at
+	// inference. Higher = more precision, less recall.
+	Threshold float64
+	// EmbedDim/Hidden size the classifier (defaults from nn apply).
+	EmbedDim int
+	Hidden   int
+	// Pretrain holds definition token bags (kb.DefinitionBags()) used to
+	// pretrain the token embeddings before fine-tuning — the substitute
+	// for starting from a pre-trained LM. Nil skips pretraining.
+	Pretrain [][]string
+	// PretrainEpochs controls the pretraining passes (default 5).
+	PretrainEpochs int
+	// Quiet suppresses progress output.
+	Progress func(stage string, done, total int)
+}
+
+// DefaultSchemaConfig returns the configuration used for the paper-shaped
+// Schema model.
+func DefaultSchemaConfig() TrainConfig {
+	return TrainConfig{
+		Tables:        4000,
+		Serialization: serialize.Config{Mode: serialize.SchemaOnly, MaxCellTokens: 3},
+		Epochs:        5,
+		LR:            3e-3,
+		Seed:          17,
+		NegPerPos:     1.5,
+		Threshold:     0.65,
+	}
+}
+
+// DefaultDataConfig returns the configuration for the Data model (row
+// serialization, 5 rows — the paper's best).
+func DefaultDataConfig() TrainConfig {
+	cfg := DefaultSchemaConfig()
+	cfg.Serialization = serialize.Config{Mode: serialize.DataRows, MaxRows: 5, MaxCellTokens: 3}
+	cfg.Threshold = 0.50
+	cfg.AugmentOOV = 0.5
+	return cfg
+}
+
+// MetadataModel is a fine-tuned predictor (Schema or Data variant,
+// depending on its serialization mode).
+type MetadataModel struct {
+	name      string
+	tok       *serialize.Tokenizer
+	labels    *LabelVocab
+	clf       *nn.TextClassifier
+	serial    serialize.Config
+	threshold float64
+}
+
+// Name implements Predictor.
+func (m *MetadataModel) Name() string { return m.name }
+
+// Threshold returns the decision threshold (for calibration sweeps).
+func (m *MetadataModel) Threshold() float64 { return m.threshold }
+
+// SetThreshold overrides the decision threshold.
+func (m *MetadataModel) SetThreshold(t float64) { m.threshold = t }
+
+// LabelVocabSize exposes the number of label classes (diagnostics).
+func (m *MetadataModel) LabelVocabSize() int { return m.labels.Size() }
+
+// PredictPair implements Predictor. The ambiguity decision compares the
+// total label mass (1 - P(none)) against the threshold; annotators often
+// disagree on the exact label for the same kind of pair, so the mass for a
+// truly ambiguous pair is spread over sibling labels while P(none) stays
+// low. The emitted label is the argmax over the label classes.
+func (m *MetadataModel) PredictPair(header []string, rows [][]string, attrA, attrB string) (string, float64, bool) {
+	in := serialize.Input{Header: header, Rows: rows, AttrA: attrA, AttrB: attrB}
+	ids, segs := encodePrompt(m.tok, m.serial, in)
+	_, probs := m.clf.Predict(ids, segs)
+	posMass := 1 - probs[0]
+	if posMass < m.threshold {
+		return "", posMass, false
+	}
+	best, bestP := 0, 0.0
+	for c := 1; c < len(probs); c++ {
+		if probs[c] > bestP {
+			best, bestP = c, probs[c]
+		}
+	}
+	if best == 0 {
+		return "", posMass, false
+	}
+	return m.labels.Label(best), posMass, true
+}
+
+// Train runs the full weak-supervision pipeline of Figure 3: generate (or
+// accept) a corpus, annotate attribute pairs, serialize prompts, and
+// fine-tune the classifier.
+func Train(name string, gen *corpus.Generator, annotators []annotate.Annotator, cfg TrainConfig) (*MetadataModel, error) {
+	if cfg.Tables <= 0 {
+		return nil, fmt.Errorf("model: TrainConfig.Tables must be positive")
+	}
+	if cfg.NegPerPos <= 0 {
+		cfg.NegPerPos = 1.5
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.5
+	}
+
+	m := &MetadataModel{
+		name:      name,
+		tok:       serialize.NewTokenizer(),
+		labels:    NewLabelVocab(),
+		serial:    cfg.Serialization,
+		threshold: cfg.Threshold,
+	}
+
+	// Pass 1: annotate the corpus and collect labeled pairs.
+	type rawExample struct {
+		in    serialize.Input
+		class int
+	}
+	var positives, negatives []rawExample
+	for i := 0; i < cfg.Tables; i++ {
+		t := gen.Table(i)
+		for _, pe := range annotate.LabelTable(annotators, t.Name, t.Header, t.Rows) {
+			ex := rawExample{in: serialize.Input{Header: t.Header, Rows: t.Rows, AttrA: pe.AttrA, AttrB: pe.AttrB}}
+			switch {
+			case pe.Label != "":
+				ex.class = m.labels.Add(pe.Label)
+				positives = append(positives, ex)
+			case pe.Covered:
+				// Covered-but-unlabeled pairs are weak negatives.
+				// Uncovered pairs are unlabeled: training on them as
+				// negatives would poison exactly the acronym/code pairs
+				// the model is supposed to generalize to.
+				negatives = append(negatives, ex)
+			}
+		}
+		if cfg.Progress != nil && (i+1)%1000 == 0 {
+			cfg.Progress("annotate", i+1, cfg.Tables)
+		}
+	}
+	if len(positives) == 0 {
+		return nil, fmt.Errorf("model: weak supervision produced no positive examples over %d tables", cfg.Tables)
+	}
+
+	// Deterministic negative subsampling: keep every k-th negative.
+	maxNeg := int(float64(len(positives)) * cfg.NegPerPos)
+	if maxNeg < 1 {
+		maxNeg = 1
+	}
+	if len(negatives) > maxNeg {
+		stride := float64(len(negatives)) / float64(maxNeg)
+		kept := make([]rawExample, 0, maxNeg)
+		for i := 0; i < maxNeg; i++ {
+			kept = append(kept, negatives[int(float64(i)*stride)])
+		}
+		negatives = kept
+	}
+
+	// Pass 2: fit the tokenizer (prompts AND pretraining bags) with a
+	// frequency cutoff, then encode.
+	if cfg.MinTokenCount <= 0 {
+		cfg.MinTokenCount = 3
+	}
+	raw := append(positives, negatives...)
+	counts := map[string]int{}
+	for _, ex := range raw {
+		for _, t := range serialize.Prompt(cfg.Serialization, ex.in) {
+			counts[t]++
+		}
+	}
+	fitCounted := func(tokens []string) {
+		kept := tokens[:0:0]
+		for _, t := range tokens {
+			if counts[t] >= cfg.MinTokenCount || strings.HasPrefix(t, "<") || strings.HasPrefix(t, "[") {
+				kept = append(kept, t)
+			}
+		}
+		m.tok.Fit(kept)
+	}
+	for _, ex := range raw {
+		fitCounted(serialize.Prompt(cfg.Serialization, ex.in))
+	}
+	for _, bag := range cfg.Pretrain {
+		m.tok.Fit(bag)
+	}
+	m.tok.Freeze()
+	examples := make([]nn.Example, 0, len(raw))
+	unk, _ := m.tok.ID(serialize.TokUnk)
+	augmentEvery := 0
+	if cfg.AugmentOOV > 0 {
+		augmentEvery = int(1 / cfg.AugmentOOV)
+	}
+	posSeen := 0
+	for _, ex := range raw {
+		ids, segs := encodePrompt(m.tok, cfg.Serialization, ex.in)
+		examples = append(examples, nn.Example{IDs: ids, Segs: segs, Class: ex.class})
+		if ex.class == 0 || augmentEvery == 0 {
+			continue
+		}
+		posSeen++
+		if posSeen%augmentEvery != 0 {
+			continue
+		}
+		// Word-dropout copy: the pair's attribute tokens become UNK
+		// everywhere in the prompt (header and question segment alike).
+		attrToks := map[string]bool{}
+		for _, t := range vocab.Tokens(ex.in.AttrA) {
+			attrToks[t] = true
+		}
+		for _, t := range vocab.Tokens(ex.in.AttrB) {
+			attrToks[t] = true
+		}
+		tokens := serialize.Prompt(cfg.Serialization, ex.in)
+		masked := m.tok.Encode(tokens)
+		for i, t := range tokens {
+			if attrToks[t] {
+				masked[i] = unk
+			}
+		}
+		examples = append(examples, nn.Example{IDs: masked, Segs: segs, Class: ex.class})
+	}
+
+	m.clf = nn.NewTextClassifier(nn.Config{
+		VocabSize: m.tok.Size(),
+		EmbedDim:  cfg.EmbedDim,
+		Hidden:    cfg.Hidden,
+		Classes:   m.labels.Size(),
+		Seed:      cfg.Seed,
+	})
+	if len(cfg.Pretrain) > 0 {
+		bags := make([][]int, 0, len(cfg.Pretrain))
+		for _, bag := range cfg.Pretrain {
+			bags = append(bags, m.tok.Encode(bag))
+		}
+		m.clf.PretrainEmbeddings(bags, nn.PretrainOptions{
+			Epochs: cfg.PretrainEpochs,
+			Seed:   cfg.Seed + 2,
+		})
+	}
+	var progress func(int, float64)
+	if cfg.Progress != nil {
+		progress = func(epoch int, loss float64) {
+			cfg.Progress(fmt.Sprintf("epoch %d loss %.4f", epoch, loss), epoch+1, cfg.Epochs)
+		}
+	}
+	if cfg.NegWeight == 0 {
+		cfg.NegWeight = 0.5
+	}
+	weights := make([]float64, m.labels.Size())
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[0] = cfg.NegWeight
+	m.clf.Train(examples, nn.TrainOptions{
+		Epochs:       cfg.Epochs,
+		LR:           cfg.LR,
+		Seed:         cfg.Seed + 1,
+		ClassWeights: weights,
+		Progress:     progress,
+	})
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// SLabel baseline.
+// ---------------------------------------------------------------------------
+
+// SLabel is the supervised baseline of Section VI-A: a model fine-tuned to
+// emit labels for a *single* attribute; two attributes are ambiguous when
+// their predicted label sets intersect.
+type SLabel struct {
+	tok     *serialize.Tokenizer
+	labels  *LabelVocab
+	clf     *nn.TextClassifier
+	topK    int
+	minProb float64
+}
+
+// SLabelConfig controls SLabel training.
+type SLabelConfig struct {
+	Tables  int
+	Epochs  int
+	LR      float64
+	Seed    int64
+	TopK    int     // size of each attribute's predicted label set
+	MinProb float64 // minimum probability for set membership
+}
+
+// DefaultSLabelConfig mirrors the scale of the main models.
+func DefaultSLabelConfig() SLabelConfig {
+	return SLabelConfig{Tables: 4000, Epochs: 5, LR: 3e-3, Seed: 23, TopK: 4, MinProb: 0.04}
+}
+
+// NewSLabel trains the baseline: every alias an annotator produces for an
+// attribute becomes one (attribute -> alias) training example.
+func NewSLabel(gen *corpus.Generator, k *kb.KB, cfg SLabelConfig) (*SLabel, error) {
+	if cfg.Tables <= 0 {
+		return nil, fmt.Errorf("model: SLabelConfig.Tables must be positive")
+	}
+	s := &SLabel{
+		tok:     serialize.NewTokenizer(),
+		labels:  NewLabelVocab(),
+		topK:    cfg.TopK,
+		minProb: cfg.MinProb,
+	}
+	type rawExample struct {
+		attr  string
+		class int
+	}
+	var raw []rawExample
+	seen := map[string]bool{}
+	for i := 0; i < cfg.Tables; i++ {
+		t := gen.Table(i)
+		for ai, attr := range t.Header {
+			key := strings.ToLower(attr)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			var aliases []string
+			for _, rel := range []kb.Relation{kb.Synonym, kb.RelatedTo, kb.DerivedFrom, kb.IsA} {
+				aliases = append(aliases, k.Aliases(attr, rel)...)
+			}
+			aliases = append(aliases, k.WikiTitles(attr)...)
+			// The least common substring with every other attribute
+			// (dictionary filtered), as the paper describes.
+			lcs := annotate.All(k)[5]
+			for bi, other := range t.Header {
+				if ai == bi {
+					continue
+				}
+				aliases = append(aliases, lcs.Annotate(attr, other)...)
+			}
+			for _, alias := range aliases {
+				if annotate.Stopword(alias) {
+					continue
+				}
+				raw = append(raw, rawExample{attr: attr, class: s.labels.Add(alias)})
+			}
+		}
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("model: no alias examples for SLabel over %d tables", cfg.Tables)
+	}
+	for _, ex := range raw {
+		s.tok.Fit(attrTokens(ex.attr))
+	}
+	s.tok.Freeze()
+	examples := make([]nn.Example, 0, len(raw))
+	for _, ex := range raw {
+		examples = append(examples, nn.Example{IDs: s.tok.Encode(attrTokens(ex.attr)), Class: ex.class})
+	}
+	s.clf = nn.NewTextClassifier(nn.Config{
+		VocabSize: s.tok.Size(),
+		Classes:   s.labels.Size(),
+		Seed:      cfg.Seed,
+	})
+	s.clf.Train(examples, nn.TrainOptions{Epochs: cfg.Epochs, LR: cfg.LR, Seed: cfg.Seed + 1})
+	return s, nil
+}
+
+func attrTokens(attr string) []string {
+	ts := serialize.CellTokens(attr, 4)
+	return ts
+}
+
+// Name implements Predictor.
+func (s *SLabel) Name() string { return "SLabel" }
+
+// labelSet predicts the top-K labels for one attribute. Attributes whose
+// tokens are all out of vocabulary (the paper's "A12") get an empty set:
+// the model has no evidence to emit labels from.
+func (s *SLabel) labelSet(attr string) map[string]float64 {
+	ids := s.tok.Encode(attrTokens(attr))
+	unk, _ := s.tok.ID(serialize.TokUnk)
+	known := false
+	for _, id := range ids {
+		if id != unk {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil
+	}
+	_, probs := s.clf.Predict(ids, nil)
+	type cand struct {
+		class int
+		p     float64
+	}
+	var cands []cand
+	for c := 1; c < len(probs); c++ {
+		if probs[c] >= s.minProb {
+			cands = append(cands, cand{c, probs[c]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].p > cands[j].p })
+	if len(cands) > s.topK {
+		cands = cands[:s.topK]
+	}
+	out := map[string]float64{}
+	for _, c := range cands {
+		out[s.labels.Label(c.class)] = c.p
+	}
+	return out
+}
+
+// PredictPair implements Predictor: label sets with non-empty intersection
+// mean ambiguity; the best joint label wins.
+func (s *SLabel) PredictPair(_ []string, _ [][]string, attrA, attrB string) (string, float64, bool) {
+	sa := s.labelSet(attrA)
+	if len(sa) == 0 {
+		return "", 0, false
+	}
+	sb := s.labelSet(attrB)
+	var best string
+	var bestScore float64
+	for l, pa := range sa {
+		if pb, ok := sb[l]; ok {
+			if score := pa * pb; score > bestScore {
+				best, bestScore = l, score
+			}
+		}
+	}
+	if best == "" {
+		return "", 0, false
+	}
+	return best, bestScore, true
+}

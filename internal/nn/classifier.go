@@ -1,0 +1,469 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config sizes a TextClassifier.
+type Config struct {
+	VocabSize int // token vocabulary size (from the tokenizer)
+	NumSegs   int // segment vocabulary size (e.g. 2: context / question)
+	EmbedDim  int
+	Hidden    int
+	Classes   int
+	Seed      int64
+}
+
+// withDefaults fills unset dimensions with the defaults used across the
+// repository (embed 48, hidden 96, 2 segments).
+func (c Config) withDefaults() Config {
+	if c.EmbedDim == 0 {
+		c.EmbedDim = 48
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 96
+	}
+	if c.NumSegs == 0 {
+		c.NumSegs = 2
+	}
+	return c
+}
+
+// Example is one training instance: a token-ID sequence with per-token
+// segment tags and a class label.
+type Example struct {
+	IDs   []int
+	Segs  []int // same length as IDs; nil means all zeros
+	Class int
+}
+
+// TrainOptions controls the optimization loop.
+type TrainOptions struct {
+	Epochs int
+	LR     float64
+	Seed   int64
+	// ClassWeights scales the loss per class (nil = uniform). Used to keep
+	// the skewed "none" class from dominating.
+	ClassWeights []float64
+	// Progress, when non-nil, receives (epoch, meanLoss) after each epoch.
+	Progress func(epoch int, loss float64)
+}
+
+// TextClassifier is an embedding + attention-pooling + MLP classifier:
+//
+//	e_i  = E[id_i] + S[seg_i]
+//	a    = softmax(u · e_i / sqrt(d))
+//	p    = Σ a_i e_i
+//	h    = relu(W1 p + b1)
+//	out  = softmax(W2 h + b2)
+//
+// It is the stand-in for fine-tuning a pre-trained LM head: small enough to
+// train in seconds on a laptop, expressive enough to generalize past its
+// weak supervision.
+type TextClassifier struct {
+	Cfg Config
+
+	Emb []float64 // VocabSize x EmbedDim
+	Seg []float64 // NumSegs x EmbedDim
+	U   []float64 // EmbedDim attention query
+	W1  []float64 // Hidden x EmbedDim
+	B1  []float64 // Hidden
+	W2  []float64 // Classes x Hidden
+	B2  []float64 // Classes
+
+	optEmb *lazyAdam
+	optSeg []*Adam // one per segment row
+	optU   *Adam
+	optW1  *Adam
+	optB1  *Adam
+	optW2  *Adam
+	optB2  *Adam
+}
+
+// lazyAdam applies Adam row-wise to an embedding table, touching only the
+// rows present in each example (per-row step counts approximate the bias
+// correction).
+type lazyAdam struct {
+	M, V []float64
+	T    []int
+	Dim  int
+	LR   float64
+}
+
+func newLazyAdam(rows, dim int, lr float64) *lazyAdam {
+	return &lazyAdam{M: make([]float64, rows*dim), V: make([]float64, rows*dim), T: make([]int, rows), Dim: dim, LR: lr}
+}
+
+func (l *lazyAdam) step(params []float64, row int, grad []float64) {
+	l.T[row]++
+	t := float64(l.T[row])
+	c1 := 1 - math.Pow(0.9, t)
+	c2 := 1 - math.Pow(0.999, t)
+	off := row * l.Dim
+	for i, g := range grad {
+		j := off + i
+		l.M[j] = 0.9*l.M[j] + 0.1*g
+		l.V[j] = 0.999*l.V[j] + 0.001*g*g
+		params[j] -= l.LR * (l.M[j] / c1) / (math.Sqrt(l.V[j]/c2) + 1e-8)
+	}
+}
+
+// NewTextClassifier allocates and initializes a model.
+func NewTextClassifier(cfg Config) *TextClassifier {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &TextClassifier{Cfg: cfg}
+	c.Emb = make([]float64, cfg.VocabSize*cfg.EmbedDim)
+	c.Seg = make([]float64, cfg.NumSegs*cfg.EmbedDim)
+	c.U = make([]float64, cfg.EmbedDim)
+	c.W1 = make([]float64, cfg.Hidden*cfg.EmbedDim)
+	c.B1 = make([]float64, cfg.Hidden)
+	c.W2 = make([]float64, cfg.Classes*cfg.Hidden)
+	c.B2 = make([]float64, cfg.Classes)
+	xavier(c.Emb, cfg.EmbedDim, cfg.EmbedDim, rng)
+	xavier(c.Seg, cfg.EmbedDim, cfg.EmbedDim, rng)
+	xavier(c.U, cfg.EmbedDim, 1, rng)
+	xavier(c.W1, cfg.EmbedDim, cfg.Hidden, rng)
+	xavier(c.W2, cfg.Hidden, cfg.Classes, rng)
+	return c
+}
+
+// forwardState carries per-example activations for backprop.
+type forwardState struct {
+	embs   [][]float64 // e_i (materialized copies)
+	attn   []float64   // a
+	pooled []float64   // p
+	pre1   []float64   // W1 p + b1
+	hidden []float64   // relu(pre1)
+	logits []float64
+	probs  []float64
+}
+
+// forward runs the network and fills st.
+func (c *TextClassifier) forward(ids, segs []int, st *forwardState) {
+	d := c.Cfg.EmbedDim
+	n := len(ids)
+	st.embs = st.embs[:0]
+	scores := make([]float64, n)
+	invSqrt := 1 / math.Sqrt(float64(d))
+	for i := 0; i < n; i++ {
+		e := make([]float64, d)
+		copy(e, c.Emb[ids[i]*d:(ids[i]+1)*d])
+		if segs != nil {
+			axpy(1, c.Seg[segs[i]*d:(segs[i]+1)*d], e)
+		}
+		st.embs = append(st.embs, e)
+		scores[i] = dot(c.U, e) * invSqrt
+	}
+	st.attn = make([]float64, n)
+	Softmax(scores, st.attn)
+	st.pooled = make([]float64, d)
+	for i := 0; i < n; i++ {
+		axpy(st.attn[i], st.embs[i], st.pooled)
+	}
+	h := c.Cfg.Hidden
+	st.pre1 = make([]float64, h)
+	st.hidden = make([]float64, h)
+	for j := 0; j < h; j++ {
+		st.pre1[j] = c.B1[j] + dot(c.W1[j*d:(j+1)*d], st.pooled)
+		if st.pre1[j] > 0 {
+			st.hidden[j] = st.pre1[j]
+		} else {
+			st.hidden[j] = 0
+		}
+	}
+	k := c.Cfg.Classes
+	st.logits = make([]float64, k)
+	st.probs = make([]float64, k)
+	for j := 0; j < k; j++ {
+		st.logits[j] = c.B2[j] + dot(c.W2[j*h:(j+1)*h], st.hidden)
+	}
+	Softmax(st.logits, st.probs)
+}
+
+// gradScratch reuses gradient buffers across steps.
+type gradScratch struct {
+	dlogits, dh, dp, da, de, gW1, gW2, gU []float64
+	segs                                  []int
+}
+
+func (g *gradScratch) vec(slot *[]float64, n int) []float64 {
+	if cap(*slot) < n {
+		*slot = make([]float64, n)
+	}
+	*slot = (*slot)[:n]
+	return *slot
+}
+
+func (g *gradScratch) zeroSegs(n int) []int {
+	if cap(g.segs) < n {
+		g.segs = make([]int, n)
+	}
+	g.segs = g.segs[:n]
+	for i := range g.segs {
+		g.segs[i] = 0
+	}
+	return g.segs
+}
+
+// grads accumulates one example's parameter gradients. Embedding and
+// segment gradients are kept per touched row.
+type grads struct {
+	embRows           map[int][]float64
+	segRows           map[int][]float64
+	u, w1, b1, w2, b2 []float64
+}
+
+func (g *grads) reset(cfg Config) {
+	if g.embRows == nil {
+		g.embRows = map[int][]float64{}
+		g.segRows = map[int][]float64{}
+	}
+	for k := range g.embRows {
+		delete(g.embRows, k)
+	}
+	for k := range g.segRows {
+		delete(g.segRows, k)
+	}
+	g.u = resize(g.u, cfg.EmbedDim)
+	g.w1 = resize(g.w1, cfg.Hidden*cfg.EmbedDim)
+	g.b1 = resize(g.b1, cfg.Hidden)
+	g.w2 = resize(g.w2, cfg.Classes*cfg.Hidden)
+	g.b2 = resize(g.b2, cfg.Classes)
+}
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (g *grads) row(m map[int][]float64, row, dim int) []float64 {
+	r, ok := m[row]
+	if !ok {
+		r = make([]float64, dim)
+		m[row] = r
+	}
+	return r
+}
+
+// backward runs forward + backprop for one example, filling g. It returns
+// the weighted loss and does not touch model parameters.
+func (c *TextClassifier) backward(ex Example, weight float64, st *forwardState, scratch *gradScratch, g *grads) float64 {
+	segs := ex.Segs
+	if segs == nil {
+		segs = scratch.zeroSegs(len(ex.IDs))
+	}
+	c.forward(ex.IDs, segs, st)
+	d, h, k := c.Cfg.EmbedDim, c.Cfg.Hidden, c.Cfg.Classes
+	n := len(ex.IDs)
+	g.reset(c.Cfg)
+
+	dlogits := scratch.vec(&scratch.dlogits, k)
+	loss := CrossEntropy(st.probs, ex.Class, dlogits) * weight
+	for i := range dlogits {
+		dlogits[i] *= weight
+	}
+	copy(g.b2, dlogits)
+
+	// Output layer: dW2 = dlogits ⊗ h, dh = W2ᵀ dlogits.
+	dh := scratch.vec(&scratch.dh, h)
+	for j := range dh {
+		dh[j] = 0
+	}
+	for j := 0; j < k; j++ {
+		for i := 0; i < h; i++ {
+			g.w2[j*h+i] = dlogits[j] * st.hidden[i]
+			dh[i] += dlogits[j] * c.W2[j*h+i]
+		}
+	}
+	// ReLU gate.
+	for j := 0; j < h; j++ {
+		if st.pre1[j] <= 0 {
+			dh[j] = 0
+		}
+	}
+	copy(g.b1, dh)
+	// First layer: dW1 = dh ⊗ p, dp = W1ᵀ dh.
+	dp := scratch.vec(&scratch.dp, d)
+	for i := range dp {
+		dp[i] = 0
+	}
+	for j := 0; j < h; j++ {
+		for i := 0; i < d; i++ {
+			g.w1[j*d+i] = dh[j] * st.pooled[i]
+			dp[i] += dh[j] * c.W1[j*d+i]
+		}
+	}
+	// Pooling: da_i = dp·e_i; softmax backward ds_i = a_i(da_i - Σ a_j da_j);
+	// de_i = a_i dp + ds_i u / sqrt(d); du += ds_i e_i / sqrt(d).
+	da := scratch.vec(&scratch.da, n)
+	var daDotA float64
+	for i := 0; i < n; i++ {
+		da[i] = dot(dp, st.embs[i])
+		daDotA += da[i] * st.attn[i]
+	}
+	invSqrt := 1 / math.Sqrt(float64(d))
+	de := scratch.vec(&scratch.de, d)
+	for i := 0; i < n; i++ {
+		ds := st.attn[i] * (da[i] - daDotA) * invSqrt
+		for x := 0; x < d; x++ {
+			de[x] = st.attn[i]*dp[x] + ds*c.U[x]
+			g.u[x] += ds * st.embs[i][x]
+		}
+		axpy(1, de, g.row(g.embRows, ex.IDs[i], d))
+		axpy(1, de, g.row(g.segRows, segs[i], d))
+	}
+	return loss
+}
+
+// trainStep runs backward then applies the optimizers.
+func (c *TextClassifier) trainStep(ex Example, weight float64, st *forwardState, scratch *gradScratch, g *grads) float64 {
+	loss := c.backward(ex, weight, st, scratch, g)
+	d := c.Cfg.EmbedDim
+	for row, gr := range g.embRows {
+		c.optEmb.step(c.Emb, row, gr)
+	}
+	for row, gr := range g.segRows {
+		c.optSeg[row].Step(c.Seg[row*d:(row+1)*d], gr)
+	}
+	c.optU.Step(c.U, g.u)
+	c.optW1.Step(c.W1, g.w1)
+	c.optB1.Step(c.B1, g.b1)
+	c.optW2.Step(c.W2, g.w2)
+	c.optB2.Step(c.B2, g.b2)
+	return loss
+}
+
+// Train optimizes the model over the examples. It is deterministic for a
+// fixed (model seed, TrainOptions.Seed) pair and returns the mean loss of
+// the final epoch.
+func (c *TextClassifier) Train(examples []Example, opts TrainOptions) float64 {
+	if opts.Epochs <= 0 {
+		opts.Epochs = 3
+	}
+	if opts.LR == 0 {
+		opts.LR = 2e-3
+	}
+	c.optEmb = newLazyAdam(c.Cfg.VocabSize, c.Cfg.EmbedDim, opts.LR)
+	c.optSeg = make([]*Adam, c.Cfg.NumSegs)
+	for i := range c.optSeg {
+		c.optSeg[i] = NewAdam(c.Cfg.EmbedDim, opts.LR)
+	}
+	c.optU = NewAdam(len(c.U), opts.LR)
+	c.optW1 = NewAdam(len(c.W1), opts.LR)
+	c.optB1 = NewAdam(len(c.B1), opts.LR)
+	c.optW2 = NewAdam(len(c.W2), opts.LR)
+	c.optB2 = NewAdam(len(c.B2), opts.LR)
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	var st forwardState
+	var scratch gradScratch
+	var g grads
+	var lastLoss float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		for _, idx := range order {
+			ex := examples[idx]
+			if len(ex.IDs) == 0 {
+				continue
+			}
+			w := 1.0
+			if opts.ClassWeights != nil && ex.Class < len(opts.ClassWeights) {
+				w = opts.ClassWeights[ex.Class]
+			}
+			total += c.trainStep(ex, w, &st, &scratch, &g)
+		}
+		lastLoss = total / float64(len(examples))
+		if opts.Progress != nil {
+			opts.Progress(epoch, lastLoss)
+		}
+	}
+	return lastLoss
+}
+
+// Predict returns the argmax class and the class probability vector.
+func (c *TextClassifier) Predict(ids, segs []int) (int, []float64) {
+	var st forwardState
+	if segs == nil {
+		segs = make([]int, len(ids))
+	}
+	c.forward(ids, segs, &st)
+	best := 0
+	for i, p := range st.probs {
+		if p > st.probs[best] {
+			best = i
+		}
+	}
+	return best, st.probs
+}
+
+// Loss computes the mean cross-entropy of the model over examples without
+// updating parameters.
+func (c *TextClassifier) Loss(examples []Example) float64 {
+	var st forwardState
+	var total float64
+	n := 0
+	dst := make([]float64, c.Cfg.Classes)
+	for _, ex := range examples {
+		if len(ex.IDs) == 0 {
+			continue
+		}
+		segs := ex.Segs
+		if segs == nil {
+			segs = make([]int, len(ex.IDs))
+		}
+		c.forward(ex.IDs, segs, &st)
+		total += CrossEntropy(st.probs, ex.Class, dst)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// persisted is the gob-serializable snapshot of a model.
+type persisted struct {
+	Cfg                         Config
+	Emb, Seg, U, W1, B1, W2, B2 []float64
+}
+
+// Marshal serializes the model weights.
+func (c *TextClassifier) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(persisted{
+		Cfg: c.Cfg, Emb: c.Emb, Seg: c.Seg, U: c.U,
+		W1: c.W1, B1: c.B1, W2: c.W2, B2: c.B2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nn: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal restores a model serialized by Marshal.
+func Unmarshal(data []byte) (*TextClassifier, error) {
+	var p persisted
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("nn: unmarshal: %w", err)
+	}
+	return &TextClassifier{
+		Cfg: p.Cfg, Emb: p.Emb, Seg: p.Seg, U: p.U,
+		W1: p.W1, B1: p.B1, W2: p.W2, B2: p.B2,
+	}, nil
+}

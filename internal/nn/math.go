@@ -1,0 +1,128 @@
+// Package nn is a small from-scratch neural-network stack: embeddings with
+// segment tags, attention pooling, a feed-forward head, softmax
+// cross-entropy and (lazy) Adam. It stands in for the pre-trained T5 of the
+// paper: every downstream trainable component — the ambiguity metadata
+// model, the fact-checking classifiers and the text-to-SQL abstain head —
+// is an instance of its TextClassifier.
+//
+// Everything is float64, seeded and single-threaded, so training runs are
+// bit-for-bit reproducible.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// dot returns the inner product of equal-length vectors.
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// axpy computes y += alpha * x.
+func axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Softmax writes the softmax of logits into out (may alias logits) and
+// returns out. It is numerically stabilized by max subtraction.
+func Softmax(logits, out []float64) []float64 {
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropy returns the negative log likelihood of class y under probs,
+// and writes dlogits = probs - onehot(y) into dst (the softmax+CE gradient).
+func CrossEntropy(probs []float64, y int, dst []float64) float64 {
+	copy(dst, probs)
+	dst[y] -= 1
+	p := probs[y]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p)
+}
+
+// Adam is the Adam optimizer state for one dense parameter slice.
+type Adam struct {
+	M, V []float64
+	T    int
+	// Hyperparameters; zero values are replaced by the defaults
+	// (lr 1e-3, beta1 0.9, beta2 0.999, eps 1e-8) at first Step.
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+}
+
+// NewAdam allocates optimizer state for n parameters at learning rate lr.
+func NewAdam(n int, lr float64) *Adam {
+	return &Adam{M: make([]float64, n), V: make([]float64, n), LR: lr}
+}
+
+func (a *Adam) defaults() {
+	if a.LR == 0 {
+		a.LR = 1e-3
+	}
+	if a.Beta1 == 0 {
+		a.Beta1 = 0.9
+	}
+	if a.Beta2 == 0 {
+		a.Beta2 = 0.999
+	}
+	if a.Eps == 0 {
+		a.Eps = 1e-8
+	}
+}
+
+// Step applies one Adam update: params -= lr * m̂ / (sqrt(v̂) + eps).
+func (a *Adam) Step(params, grads []float64) {
+	a.defaults()
+	a.T++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.T))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.T))
+	for i, g := range grads {
+		a.M[i] = a.Beta1*a.M[i] + (1-a.Beta1)*g
+		a.V[i] = a.Beta2*a.V[i] + (1-a.Beta2)*g*g
+		params[i] -= a.LR * (a.M[i] / c1) / (math.Sqrt(a.V[i]/c2) + a.Eps)
+	}
+}
+
+// xavier fills dst with scaled Gaussian initialization.
+func xavier(dst []float64, fanIn, fanOut int, rng *rand.Rand) {
+	scale := math.Sqrt(2.0 / float64(fanIn+fanOut))
+	for i := range dst {
+		dst[i] = rng.NormFloat64() * scale
+	}
+}
+
+// checkFinite panics with context if any value is NaN or Inf; training code
+// calls it in debug paths and tests.
+func checkFinite(name string, xs []float64) {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			panic(fmt.Sprintf("nn: %s[%d] is not finite (%v)", name, i, x))
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSoftmax(t *testing.T) {
+	out := make([]float64, 3)
+	Softmax([]float64{1, 2, 3}, out)
+	var sum float64
+	for _, p := range out {
+		if p <= 0 || p >= 1 {
+			t.Errorf("softmax out of range: %v", out)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	if !(out[2] > out[1] && out[1] > out[0]) {
+		t.Errorf("softmax not monotone: %v", out)
+	}
+	// Large logits must not overflow.
+	Softmax([]float64{1000, 1001, 999}, out)
+	for _, p := range out {
+		if math.IsNaN(p) {
+			t.Errorf("softmax overflow: %v", out)
+		}
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	probs := []float64{0.1, 0.7, 0.2}
+	dst := make([]float64, 3)
+	loss := CrossEntropy(probs, 1, dst)
+	if math.Abs(loss-(-math.Log(0.7))) > 1e-12 {
+		t.Errorf("loss = %v", loss)
+	}
+	want := []float64{0.1, -0.3, 0.2}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Errorf("dlogits = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestAdamMovesTowardMinimum(t *testing.T) {
+	// Minimize f(x) = (x-3)^2 with Adam.
+	params := []float64{0}
+	a := NewAdam(1, 0.1)
+	for i := 0; i < 500; i++ {
+		grad := []float64{2 * (params[0] - 3)}
+		a.Step(params, grad)
+	}
+	if math.Abs(params[0]-3) > 0.05 {
+		t.Errorf("Adam converged to %v, want 3", params[0])
+	}
+}
+
+// TestGradientCheck compares the analytic backward pass with finite
+// differences on every parameter group of a tiny model.
+func TestGradientCheck(t *testing.T) {
+	cfg := Config{VocabSize: 7, NumSegs: 2, EmbedDim: 5, Hidden: 4, Classes: 3, Seed: 9}
+	c := NewTextClassifier(cfg)
+	ex := Example{IDs: []int{1, 3, 3, 5, 2}, Segs: []int{0, 0, 1, 1, 0}, Class: 2}
+
+	var st forwardState
+	var scratch gradScratch
+	var g grads
+	c.backward(ex, 1.0, &st, &scratch, &g)
+
+	lossAt := func() float64 {
+		var st2 forwardState
+		c.forward(ex.IDs, ex.Segs, &st2)
+		dst := make([]float64, cfg.Classes)
+		return CrossEntropy(st2.probs, ex.Class, dst)
+	}
+	const eps = 1e-6
+	check := func(name string, params []float64, analytic []float64, idxs []int) {
+		for _, i := range idxs {
+			orig := params[i]
+			params[i] = orig + eps
+			up := lossAt()
+			params[i] = orig - eps
+			down := lossAt()
+			params[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-analytic[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", name, i, analytic[i], numeric)
+			}
+		}
+	}
+
+	check("U", c.U, g.u, []int{0, 2, 4})
+	check("W1", c.W1, g.w1, []int{0, 7, 19})
+	check("B1", c.B1, g.b1, []int{0, 3})
+	check("W2", c.W2, g.w2, []int{0, 5, 11})
+	check("B2", c.B2, g.b2, []int{0, 1, 2})
+	// Embedding rows: flatten the analytic row grads into table coordinates.
+	for row, gr := range g.embRows {
+		analytic := make([]float64, len(c.Emb))
+		copy(analytic[row*cfg.EmbedDim:], gr)
+		check("Emb", c.Emb, analytic, []int{row * cfg.EmbedDim, row*cfg.EmbedDim + 2})
+	}
+	for row, gr := range g.segRows {
+		analytic := make([]float64, len(c.Seg))
+		copy(analytic[row*cfg.EmbedDim:], gr)
+		check("Seg", c.Seg, analytic, []int{row*cfg.EmbedDim + 1})
+	}
+}
+
+// TestLearnsSeparableTask trains on a synthetic task: class = which marker
+// token the sequence contains.
+func TestLearnsSeparableTask(t *testing.T) {
+	const vocabSize = 50
+	rng := rand.New(rand.NewSource(3))
+	gen := func(n int) []Example {
+		exs := make([]Example, n)
+		for i := range exs {
+			class := rng.Intn(3)
+			ids := []int{10 + class} // marker
+			for j := 0; j < 6; j++ {
+				ids = append(ids, 20+rng.Intn(25)) // noise
+			}
+			rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+			exs[i] = Example{IDs: ids, Class: class}
+		}
+		return exs
+	}
+	train, test := gen(400), gen(100)
+	c := NewTextClassifier(Config{VocabSize: vocabSize, EmbedDim: 16, Hidden: 24, Classes: 3, Seed: 1})
+	c.Train(train, TrainOptions{Epochs: 6, LR: 5e-3, Seed: 2})
+	correct := 0
+	for _, ex := range test {
+		got, _ := c.Predict(ex.IDs, nil)
+		if got == ex.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.95 {
+		t.Errorf("test accuracy = %.2f, want >= 0.95 on separable task", acc)
+	}
+}
+
+// TestSegmentEmbeddingsMatter trains a task solvable only via segments:
+// class 1 iff token 5 appears in segment 1.
+func TestSegmentEmbeddingsMatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func(n int) []Example {
+		exs := make([]Example, n)
+		for i := range exs {
+			class := rng.Intn(2)
+			var ids, segs []int
+			// Context always contains token 5 in segment 0.
+			ids = append(ids, 5, 6, 7)
+			segs = append(segs, 0, 0, 0)
+			if class == 1 {
+				ids = append(ids, 5)
+				segs = append(segs, 1)
+			} else {
+				ids = append(ids, 8)
+				segs = append(segs, 1)
+			}
+			exs[i] = Example{IDs: ids, Segs: segs, Class: class}
+		}
+		return exs
+	}
+	train, test := gen(300), gen(80)
+	c := NewTextClassifier(Config{VocabSize: 10, EmbedDim: 12, Hidden: 16, Classes: 2, Seed: 1})
+	c.Train(train, TrainOptions{Epochs: 8, LR: 5e-3, Seed: 2})
+	correct := 0
+	for _, ex := range test {
+		got, _ := c.Predict(ex.IDs, ex.Segs)
+		if got == ex.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.9 {
+		t.Errorf("segment task accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestTrainingIsDeterministic(t *testing.T) {
+	gen := func() *TextClassifier {
+		rng := rand.New(rand.NewSource(1))
+		exs := make([]Example, 100)
+		for i := range exs {
+			exs[i] = Example{IDs: []int{rng.Intn(20), rng.Intn(20)}, Class: rng.Intn(2)}
+		}
+		c := NewTextClassifier(Config{VocabSize: 20, EmbedDim: 8, Hidden: 8, Classes: 2, Seed: 4})
+		c.Train(exs, TrainOptions{Epochs: 2, Seed: 5})
+		return c
+	}
+	a, b := gen(), gen()
+	if !reflect.DeepEqual(a.Emb, b.Emb) || !reflect.DeepEqual(a.W2, b.W2) {
+		t.Error("training is not deterministic")
+	}
+}
+
+func TestOverfitsTinyDataset(t *testing.T) {
+	exs := []Example{
+		{IDs: []int{1, 2}, Class: 0},
+		{IDs: []int{3, 4}, Class: 1},
+		{IDs: []int{5, 6}, Class: 2},
+	}
+	c := NewTextClassifier(Config{VocabSize: 8, EmbedDim: 8, Hidden: 8, Classes: 3, Seed: 2})
+	loss := c.Train(exs, TrainOptions{Epochs: 200, LR: 1e-2, Seed: 1})
+	if loss > 0.01 {
+		t.Errorf("final loss = %v, want < 0.01 (must overfit 3 examples)", loss)
+	}
+	for _, ex := range exs {
+		if got, _ := c.Predict(ex.IDs, nil); got != ex.Class {
+			t.Errorf("Predict(%v) = %d, want %d", ex.IDs, got, ex.Class)
+		}
+	}
+}
+
+func TestClassWeightsShiftDecisions(t *testing.T) {
+	// Ambiguous data: identical inputs with conflicting labels, 50/50.
+	var exs []Example
+	for i := 0; i < 50; i++ {
+		exs = append(exs, Example{IDs: []int{1}, Class: 0}, Example{IDs: []int{1}, Class: 1})
+	}
+	weighted := NewTextClassifier(Config{VocabSize: 4, EmbedDim: 8, Hidden: 8, Classes: 2, Seed: 3})
+	weighted.Train(exs, TrainOptions{Epochs: 10, Seed: 1, ClassWeights: []float64{1, 5}})
+	got, probs := weighted.Predict([]int{1}, nil)
+	if got != 1 {
+		t.Errorf("upweighted class not preferred: class %d, probs %v", got, probs)
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	c := NewTextClassifier(Config{VocabSize: 10, EmbedDim: 8, Hidden: 8, Classes: 2, Seed: 6})
+	c.Train([]Example{{IDs: []int{1, 2}, Class: 1}}, TrainOptions{Epochs: 3, Seed: 1})
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	ids := []int{1, 2, 3}
+	c1, p1 := c.Predict(ids, nil)
+	c2, p2 := back.Predict(ids, nil)
+	if c1 != c2 || !reflect.DeepEqual(p1, p2) {
+		t.Error("roundtripped model predicts differently")
+	}
+	if _, err := Unmarshal([]byte("garbage")); err == nil {
+		t.Error("expected error for garbage input")
+	}
+}
+
+func TestEmptyExamplesSkipped(t *testing.T) {
+	c := NewTextClassifier(Config{VocabSize: 4, EmbedDim: 4, Hidden: 4, Classes: 2, Seed: 1})
+	// Must not panic on empty ID sequences.
+	c.Train([]Example{{IDs: nil, Class: 0}, {IDs: []int{1}, Class: 1}}, TrainOptions{Epochs: 1, Seed: 1})
+	if l := c.Loss([]Example{{IDs: nil, Class: 0}}); l != 0 {
+		t.Errorf("Loss over empty examples = %v, want 0", l)
+	}
+}
+
+func TestLossDecreasesDuringTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var exs []Example
+	for i := 0; i < 200; i++ {
+		class := rng.Intn(2)
+		exs = append(exs, Example{IDs: []int{class*2 + 1, rng.Intn(10) + 10}, Class: class})
+	}
+	c := NewTextClassifier(Config{VocabSize: 20, EmbedDim: 8, Hidden: 12, Classes: 2, Seed: 11})
+	var losses []float64
+	c.Train(exs, TrainOptions{Epochs: 5, Seed: 3, Progress: func(_ int, l float64) {
+		losses = append(losses, l)
+	}})
+	if len(losses) != 5 {
+		t.Fatalf("progress callbacks = %d", len(losses))
+	}
+	if losses[4] >= losses[0] {
+		t.Errorf("loss did not decrease: %v", losses)
+	}
+	checkFinite("losses", losses)
+}

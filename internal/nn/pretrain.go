@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PretrainOptions controls embedding pretraining.
+type PretrainOptions struct {
+	Epochs    int     // passes over the bags (default 5)
+	LR        float64 // SGD learning rate (default 0.05)
+	Negatives int     // negative samples per positive (default 4)
+	Seed      int64
+}
+
+// PretrainEmbeddings runs skip-gram-with-negative-sampling over token bags:
+// tokens that co-occur in a bag are pulled together, random tokens pushed
+// apart. It is the stand-in for the semantic prior a pre-trained language
+// model brings to fine-tuning — after it, "length" and "weight" are close
+// because both co-occur with "magnitude" in their definition bags, even
+// though no fine-tuning example links them directly.
+//
+// Call before Train; Train's Adam state is independent of these updates.
+func (c *TextClassifier) PretrainEmbeddings(bags [][]int, opts PretrainOptions) {
+	if opts.Epochs <= 0 {
+		opts.Epochs = 5
+	}
+	if opts.LR == 0 {
+		opts.LR = 0.05
+	}
+	if opts.Negatives <= 0 {
+		opts.Negatives = 4
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	d := c.Cfg.EmbedDim
+	vocab := c.Cfg.VocabSize
+	sigmoid := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	gradA := make([]float64, d)
+
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for _, bag := range bags {
+			if len(bag) < 2 {
+				continue
+			}
+			for i, a := range bag {
+				// One positive partner per anchor per pass keeps cost linear.
+				b := bag[rng.Intn(len(bag))]
+				if b == a && len(bag) > 1 {
+					b = bag[(i+1)%len(bag)]
+				}
+				ea := c.Emb[a*d : (a+1)*d]
+				eb := c.Emb[b*d : (b+1)*d]
+				// Positive: maximize log sigma(ea.eb).
+				g := 1 - sigmoid(dot(ea, eb))
+				for x := 0; x < d; x++ {
+					gradA[x] = g * eb[x]
+					eb[x] += opts.LR * g * ea[x]
+				}
+				// Negatives: minimize log sigma(ea.en).
+				for k := 0; k < opts.Negatives; k++ {
+					n := rng.Intn(vocab)
+					if n == a || n == b {
+						continue
+					}
+					en := c.Emb[n*d : (n+1)*d]
+					gn := sigmoid(dot(ea, en))
+					for x := 0; x < d; x++ {
+						gradA[x] -= gn * en[x]
+						en[x] -= opts.LR * gn * ea[x]
+					}
+				}
+				axpy(opts.LR, gradA, ea)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func cosine(a, b []float64) float64 {
+	return dot(a, b) / (math.Sqrt(dot(a, a)) * math.Sqrt(dot(b, b)))
+}
+
+func TestPretrainPullsCooccurringTokensTogether(t *testing.T) {
+	cfg := Config{VocabSize: 40, EmbedDim: 16, Hidden: 8, Classes: 2, Seed: 3}
+	c := NewTextClassifier(cfg)
+	// Tokens 1 and 2 always co-occur ("length" and "magnitude"); tokens 1
+	// and 30 never do.
+	var bags [][]int
+	for i := 0; i < 30; i++ {
+		bags = append(bags, []int{1, 2, 3 + i%5})
+	}
+	d := cfg.EmbedDim
+	before := cosine(c.Emb[1*d:2*d], c.Emb[2*d:3*d])
+	c.PretrainEmbeddings(bags, PretrainOptions{Epochs: 8, Seed: 1})
+	afterNear := cosine(c.Emb[1*d:2*d], c.Emb[2*d:3*d])
+	afterFar := cosine(c.Emb[1*d:2*d], c.Emb[30*d:31*d])
+	if afterNear <= before {
+		t.Errorf("co-occurring tokens did not move closer: %.3f -> %.3f", before, afterNear)
+	}
+	if afterNear <= afterFar {
+		t.Errorf("co-occurring pair (%.3f) not closer than unrelated pair (%.3f)", afterNear, afterFar)
+	}
+}
+
+func TestPretrainTransitiveSimilarity(t *testing.T) {
+	// "length" (1) and "weight" (5) never co-occur but share "magnitude"
+	// (9) — the T5-prior mechanism the metadata model relies on.
+	cfg := Config{VocabSize: 30, EmbedDim: 16, Hidden: 8, Classes: 2, Seed: 4}
+	c := NewTextClassifier(cfg)
+	var bags [][]int
+	for i := 0; i < 40; i++ {
+		bags = append(bags, []int{1, 9, 10 + i%3}) // length ~ magnitude
+		bags = append(bags, []int{5, 9, 14 + i%3}) // weight ~ magnitude
+		bags = append(bags, []int{20, 21 + i%4})   // unrelated cluster
+	}
+	c.PretrainEmbeddings(bags, PretrainOptions{Epochs: 10, Seed: 2})
+	d := cfg.EmbedDim
+	bridge := cosine(c.Emb[1*d:2*d], c.Emb[5*d:6*d])
+	unrelated := cosine(c.Emb[1*d:2*d], c.Emb[20*d:21*d])
+	if bridge <= unrelated {
+		t.Errorf("transitive pair (%.3f) not closer than unrelated pair (%.3f)", bridge, unrelated)
+	}
+}
+
+func TestPretrainDeterministic(t *testing.T) {
+	mk := func() *TextClassifier {
+		c := NewTextClassifier(Config{VocabSize: 10, EmbedDim: 8, Hidden: 4, Classes: 2, Seed: 1})
+		c.PretrainEmbeddings([][]int{{1, 2, 3}, {2, 3, 4}}, PretrainOptions{Epochs: 3, Seed: 7})
+		return c
+	}
+	a, b := mk(), mk()
+	for i := range a.Emb {
+		if a.Emb[i] != b.Emb[i] {
+			t.Fatal("pretraining not deterministic")
+		}
+	}
+}
+
+func TestPretrainIgnoresTinyBags(t *testing.T) {
+	c := NewTextClassifier(Config{VocabSize: 6, EmbedDim: 4, Hidden: 4, Classes: 2, Seed: 2})
+	orig := append([]float64{}, c.Emb...)
+	c.PretrainEmbeddings([][]int{{1}, {}}, PretrainOptions{Epochs: 2, Seed: 1})
+	for i := range orig {
+		if orig[i] != c.Emb[i] {
+			t.Fatal("single-token bags must not move embeddings")
+		}
+	}
+}
+
+func TestPretrainKeepsValuesFinite(t *testing.T) {
+	c := NewTextClassifier(Config{VocabSize: 20, EmbedDim: 8, Hidden: 4, Classes: 2, Seed: 5})
+	var bags [][]int
+	for i := 0; i < 19; i++ {
+		bags = append(bags, []int{i, i + 1})
+	}
+	c.PretrainEmbeddings(bags, PretrainOptions{Epochs: 50, LR: 0.2, Seed: 3})
+	checkFinite("pretrained embeddings", c.Emb)
+}

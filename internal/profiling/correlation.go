@@ -1,0 +1,90 @@
+package profiling
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/relation"
+)
+
+// Correlation computes the Pearson correlation between two numeric columns
+// over rows where both are non-NULL. It supports the paper's future-work
+// direction of exploiting correlation across ambiguous attributes: strongly
+// correlated pairs (total vs cumulative counts) behave differently in
+// examples than anti-correlated ones. Returns an error for non-numeric
+// columns; returns 0 when fewer than two complete rows exist or a column
+// is constant.
+func Correlation(t *relation.Table, attrA, attrB string) (float64, error) {
+	ia := t.Schema.Index(attrA)
+	ib := t.Schema.Index(attrB)
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("profiling: correlation: unknown column (%q, %q)", attrA, attrB)
+	}
+	if !t.Schema[ia].Kind.Numeric() || !t.Schema[ib].Kind.Numeric() {
+		return 0, fmt.Errorf("profiling: correlation needs numeric columns, got %s and %s",
+			t.Schema[ia].Kind, t.Schema[ib].Kind)
+	}
+	var n int
+	var sumA, sumB float64
+	for _, row := range t.Rows {
+		if row[ia].IsNull() || row[ib].IsNull() {
+			continue
+		}
+		sumA += row[ia].AsFloat()
+		sumB += row[ib].AsFloat()
+		n++
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	meanA, meanB := sumA/float64(n), sumB/float64(n)
+	var cov, varA, varB float64
+	for _, row := range t.Rows {
+		if row[ia].IsNull() || row[ib].IsNull() {
+			continue
+		}
+		da := row[ia].AsFloat() - meanA
+		db := row[ib].AsFloat() - meanB
+		cov += da * db
+		varA += da * da
+		varB += db * db
+	}
+	if varA == 0 || varB == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(varA*varB), nil
+}
+
+// ValueOverlap computes the Jaccard similarity of the two columns' distinct
+// value sets. For categorical attributes it is the value-level ambiguity
+// evidence of the paper's future-work item (4): two color columns sharing
+// their vocabulary are better ambiguity candidates than two disjoint code
+// columns.
+func ValueOverlap(t *relation.Table, attrA, attrB string) (float64, error) {
+	ia := t.Schema.Index(attrA)
+	ib := t.Schema.Index(attrB)
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("profiling: overlap: unknown column (%q, %q)", attrA, attrB)
+	}
+	setA := map[string]bool{}
+	setB := map[string]bool{}
+	for _, row := range t.Rows {
+		if !row[ia].IsNull() {
+			setA[row[ia].HashKey()] = true
+		}
+		if !row[ib].IsNull() {
+			setB[row[ib].HashKey()] = true
+		}
+	}
+	if len(setA) == 0 && len(setB) == 0 {
+		return 0, nil
+	}
+	inter := 0
+	for v := range setA {
+		if setB[v] {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	return float64(inter) / float64(union), nil
+}

@@ -1,0 +1,99 @@
+package profiling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func corrTable(t *testing.T) *relation.Table {
+	t.Helper()
+	tab, err := relation.ReadCSVString("c", `x,y,z,w,c1,c2
+1,2,10,5,red,red
+2,4,8,5,blue,blue
+3,6,6,5,red,green
+4,8,4,5,green,yellow
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestCorrelationPerfect(t *testing.T) {
+	tab := corrTable(t)
+	r, err := Correlation(tab, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("corr(x, y) = %v, want 1", r)
+	}
+	r, err = Correlation(tab, "x", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("corr(x, z) = %v, want -1", r)
+	}
+}
+
+func TestCorrelationConstantColumn(t *testing.T) {
+	tab := corrTable(t)
+	r, err := Correlation(tab, "x", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("corr with constant = %v, want 0", r)
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	tab := corrTable(t)
+	if _, err := Correlation(tab, "x", "nope"); err == nil {
+		t.Error("expected error for missing column")
+	}
+	if _, err := Correlation(tab, "x", "c1"); err == nil {
+		t.Error("expected error for categorical column")
+	}
+}
+
+func TestCorrelationWithNulls(t *testing.T) {
+	tab, err := relation.ReadCSVString("n", "a,b\n1,1\n2,\n3,3\n4,4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Correlation(tab, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("corr over complete rows = %v, want 1", r)
+	}
+}
+
+func TestValueOverlap(t *testing.T) {
+	tab := corrTable(t)
+	// c1 = {red, blue, green}, c2 = {red, blue, green, yellow}: 3/4.
+	j, err := ValueOverlap(tab, "c1", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-0.75) > 1e-12 {
+		t.Errorf("overlap = %v, want 0.75", j)
+	}
+	// Numeric columns work too (distinct sets).
+	j, err = ValueOverlap(tab, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x = {1,2,3,4}, y = {2,4,6,8}: intersection {2,4} of union {1..4,6,8}.
+	if math.Abs(j-2.0/6.0) > 1e-12 {
+		t.Errorf("numeric overlap = %v, want 1/3", j)
+	}
+	if _, err := ValueOverlap(tab, "x", "nope"); err == nil {
+		t.Error("expected error for missing column")
+	}
+}

@@ -1,0 +1,324 @@
+// Package profiling implements the standard data-profiling step PYTHIA runs
+// before ambiguity discovery: per-column statistics, candidate-key discovery
+// (single and composite) and type classification.
+//
+// The paper assumes "information about keys ... is automatically obtained
+// with any of the existing data profiling methods" (Section III). This
+// package is that method: a level-wise unique-column-combination search in
+// the style of HCA/Ducc, bounded to small key arities, which is what the
+// row-ambiguity templates need (they select a strict subset of a composite
+// key).
+package profiling
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// ColumnStats summarizes one column of a profiled table.
+type ColumnStats struct {
+	Name     string
+	Kind     relation.Kind
+	Distinct int // number of distinct non-null values
+	Nulls    int // number of NULL cells
+	Min      relation.Value
+	Max      relation.Value
+	MeanLen  float64 // mean formatted length, a cheap width proxy
+	Unique   bool    // no duplicate non-null values and no NULLs
+}
+
+// Profile is the result of profiling a table.
+type Profile struct {
+	Table         *relation.Table
+	Columns       []ColumnStats
+	PrimaryKey    []string   // the chosen key: shortest, leftmost unique combination
+	CandidateKeys [][]string // all minimal unique column combinations found (arity <= MaxKeyArity)
+}
+
+// MaxKeyArity bounds the composite-key search. Real-world composite keys in
+// the paper's tables have arity 2 (Player+Team, country+date); 3 gives slack.
+const MaxKeyArity = 3
+
+// ProfileTable computes column statistics and discovers minimal candidate
+// keys up to MaxKeyArity. An empty table yields no keys.
+func ProfileTable(t *relation.Table) (*Profile, error) {
+	if t == nil {
+		return nil, fmt.Errorf("profiling: nil table")
+	}
+	p := &Profile{Table: t}
+	p.Columns = make([]ColumnStats, t.NumCols())
+	for c := range t.Schema {
+		p.Columns[c] = columnStats(t, c)
+	}
+	if t.NumRows() > 0 {
+		p.CandidateKeys = discoverKeys(t, p.Columns)
+		p.PrimaryKey = choosePrimaryKey(t, p.CandidateKeys)
+	}
+	return p, nil
+}
+
+// identifierWords are header fragments that signal an identifier-like
+// column. Small tables make measure columns accidentally unique; real
+// profilers break the tie with header semantics, and so do we.
+var identifierWords = []string{
+	"id", "name", "code", "key", "label", "title", "symbol", "player",
+	"team", "country", "city", "region", "state", "date", "day", "year",
+	"model", "species", "class",
+}
+
+// columnKeyScore scores how much a column looks like a key part.
+func columnKeyScore(c relation.Column) float64 {
+	var score float64
+	lower := strings.ToLower(c.Name)
+	for _, w := range identifierWords {
+		if strings.Contains(lower, w) {
+			score += 4
+			break
+		}
+	}
+	switch {
+	case c.Kind == relation.KindString || c.Kind == relation.KindDate:
+		score += 2
+	case c.Kind.Numeric() && score == 0:
+		// A numeric column with no identifier-like name is almost
+		// certainly a measure that is unique by accident.
+		score -= 3
+	}
+	return score
+}
+
+// choosePrimaryKey picks the candidate key that most looks like a semantic
+// key: highest mean column score, with a mild penalty per extra column;
+// ties break toward lower arity, then leftmost.
+func choosePrimaryKey(t *relation.Table, keys [][]string) []string {
+	if len(keys) == 0 {
+		return nil
+	}
+	best := -1
+	bestScore := 0.0
+	for i, key := range keys {
+		var sum float64
+		for _, name := range key {
+			col, _ := t.Schema.Column(name)
+			sum += columnKeyScore(col)
+		}
+		score := sum/float64(len(key)) - 0.5*float64(len(key)-1)
+		if best == -1 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return keys[best]
+}
+
+// columnStats computes the statistics for column c.
+func columnStats(t *relation.Table, c int) ColumnStats {
+	st := ColumnStats{Name: t.Schema[c].Name, Kind: t.Schema[c].Kind}
+	seen := make(map[string]struct{}, t.NumRows())
+	dup := false
+	var totalLen int
+	for _, row := range t.Rows {
+		v := row[c]
+		if v.IsNull() {
+			st.Nulls++
+			continue
+		}
+		k := v.HashKey()
+		if _, ok := seen[k]; ok {
+			dup = true
+		} else {
+			seen[k] = struct{}{}
+		}
+		totalLen += len(v.Format())
+		if st.Min.IsNull() {
+			st.Min, st.Max = v, v
+			continue
+		}
+		if cmp, err := v.Compare(st.Min); err == nil && cmp < 0 {
+			st.Min = v
+		}
+		if cmp, err := v.Compare(st.Max); err == nil && cmp > 0 {
+			st.Max = v
+		}
+	}
+	st.Distinct = len(seen)
+	if n := t.NumRows() - st.Nulls; n > 0 {
+		st.MeanLen = float64(totalLen) / float64(n)
+	}
+	st.Unique = !dup && st.Nulls == 0 && t.NumRows() > 0
+	return st
+}
+
+// discoverKeys runs a level-wise search for minimal unique column
+// combinations: first single columns, then pairs not containing a unique
+// column, then triples not containing a unique pair, etc. Results are
+// ordered by arity, then by leftmost column position, so the head is a
+// sensible primary-key choice.
+func discoverKeys(t *relation.Table, stats []ColumnStats) [][]string {
+	var keys [][]string
+	var minimalIdx [][]int
+
+	// Level 1: single unique columns.
+	var nonUnique []int
+	for c, st := range stats {
+		if st.Unique {
+			minimalIdx = append(minimalIdx, []int{c})
+		} else if st.Nulls == 0 {
+			// Columns with NULLs cannot participate in keys.
+			nonUnique = append(nonUnique, c)
+		}
+	}
+
+	// Higher levels over non-unique, null-free columns.
+	level := [][]int{}
+	for _, c := range nonUnique {
+		level = append(level, []int{c})
+	}
+	for arity := 2; arity <= MaxKeyArity; arity++ {
+		var next [][]int
+		for i := 0; i < len(level); i++ {
+			last := level[i][len(level[i])-1]
+			for _, c := range nonUnique {
+				if c <= last {
+					continue
+				}
+				combo := append(append([]int{}, level[i]...), c)
+				if containsMinimal(combo, minimalIdx) {
+					continue
+				}
+				if comboUnique(t, combo) {
+					minimalIdx = append(minimalIdx, combo)
+				} else {
+					next = append(next, combo)
+				}
+			}
+		}
+		level = next
+		if len(level) == 0 {
+			break
+		}
+	}
+
+	sort.Slice(minimalIdx, func(a, b int) bool {
+		if len(minimalIdx[a]) != len(minimalIdx[b]) {
+			return len(minimalIdx[a]) < len(minimalIdx[b])
+		}
+		for i := range minimalIdx[a] {
+			if minimalIdx[a][i] != minimalIdx[b][i] {
+				return minimalIdx[a][i] < minimalIdx[b][i]
+			}
+		}
+		return false
+	})
+	for _, combo := range minimalIdx {
+		names := make([]string, len(combo))
+		for i, c := range combo {
+			names[i] = t.Schema[c].Name
+		}
+		keys = append(keys, names)
+	}
+	return keys
+}
+
+// containsMinimal reports whether combo is a superset of any already-found
+// minimal key (and is therefore not minimal itself).
+func containsMinimal(combo []int, minimal [][]int) bool {
+	for _, m := range minimal {
+		if subsetOf(m, combo) {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetOf reports whether every element of a (sorted) occurs in b (sorted).
+func subsetOf(a, b []int) bool {
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// comboUnique reports whether the projection onto the given columns has no
+// duplicate rows.
+func comboUnique(t *relation.Table, combo []int) bool {
+	seen := make(map[string]struct{}, t.NumRows())
+	var b strings.Builder
+	for _, row := range t.Rows {
+		b.Reset()
+		for _, c := range combo {
+			b.WriteString(row[c].HashKey())
+			b.WriteByte(0x1f)
+		}
+		k := b.String()
+		if _, ok := seen[k]; ok {
+			return false
+		}
+		seen[k] = struct{}{}
+	}
+	return true
+}
+
+// CompositeKeys returns the candidate keys with arity >= 2. Row-ambiguity
+// templates need a composite key whose strict subset under-identifies rows.
+func (p *Profile) CompositeKeys() [][]string {
+	var out [][]string
+	for _, k := range p.CandidateKeys {
+		if len(k) >= 2 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// NonKeyAttributes returns the attributes that are not part of the primary
+// key, preserving schema order.
+func (p *Profile) NonKeyAttributes() []string {
+	inKey := make(map[string]bool, len(p.PrimaryKey))
+	for _, k := range p.PrimaryKey {
+		inKey[strings.ToLower(k)] = true
+	}
+	var out []string
+	for _, c := range p.Table.Schema {
+		if !inKey[strings.ToLower(c.Name)] {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// NumericAttributes returns the names of int/float columns, schema order.
+func (p *Profile) NumericAttributes() []string {
+	var out []string
+	for _, c := range p.Table.Schema {
+		if c.Kind.Numeric() {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Stats returns the statistics for the named column, or false if absent.
+func (p *Profile) Stats(name string) (ColumnStats, bool) {
+	for _, st := range p.Columns {
+		if strings.EqualFold(st.Name, name) {
+			return st, true
+		}
+	}
+	return ColumnStats{}, false
+}
+
+// SameTypeClass reports whether two columns belong to the same ambiguity
+// type class. The paper only pairs attributes of the same class: numerical
+// with numerical, categorical with categorical (Section IV, Algorithm 1).
+func SameTypeClass(a, b relation.Kind) bool {
+	if a.Numeric() && b.Numeric() {
+		return true
+	}
+	return a == b
+}

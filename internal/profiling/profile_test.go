@@ -1,0 +1,245 @@
+package profiling
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+const basketCSV = `Player,Team,FG%,3FG%,fouls,apps
+Carter,LA,56,47,4,5
+Smith,SF,55,30,4,7
+Carter,SF,50,51,3,3
+`
+
+func mustTable(t *testing.T, name, doc string) *relation.Table {
+	t.Helper()
+	tab, err := relation.ReadCSVString(name, doc)
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return tab
+}
+
+func TestProfileBasket(t *testing.T) {
+	tab := mustTable(t, "D", basketCSV)
+	p, err := ProfileTable(tab)
+	if err != nil {
+		t.Fatalf("ProfileTable: %v", err)
+	}
+	// (Player, Team) is the minimal composite key from the paper's example.
+	want := []string{"Player", "Team"}
+	if !reflect.DeepEqual(p.PrimaryKey, want) {
+		t.Errorf("PrimaryKey = %v, want %v", p.PrimaryKey, want)
+	}
+	cks := p.CompositeKeys()
+	if len(cks) == 0 || !reflect.DeepEqual(cks[0], want) {
+		t.Errorf("CompositeKeys = %v, want leading %v", cks, want)
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	tab := mustTable(t, "D", basketCSV)
+	p, err := ProfileTable(tab)
+	if err != nil {
+		t.Fatalf("ProfileTable: %v", err)
+	}
+	st, ok := p.Stats("fouls")
+	if !ok {
+		t.Fatal("Stats(fouls) missing")
+	}
+	if st.Distinct != 2 || st.Nulls != 0 || st.Unique {
+		t.Errorf("fouls stats = %+v", st)
+	}
+	if st.Min.AsInt() != 3 || st.Max.AsInt() != 4 {
+		t.Errorf("fouls min/max = %s/%s", st.Min.Format(), st.Max.Format())
+	}
+	if _, ok := p.Stats("nope"); ok {
+		t.Error("Stats(nope) should be absent")
+	}
+}
+
+func TestSingleColumnKey(t *testing.T) {
+	doc := "id,name\n1,a\n2,b\n3,a\n"
+	p, err := ProfileTable(mustTable(t, "t", doc))
+	if err != nil {
+		t.Fatalf("ProfileTable: %v", err)
+	}
+	if !reflect.DeepEqual(p.PrimaryKey, []string{"id"}) {
+		t.Errorf("PrimaryKey = %v, want [id]", p.PrimaryKey)
+	}
+	if len(p.CompositeKeys()) != 0 {
+		t.Errorf("CompositeKeys = %v, want none (single key subsumes)", p.CompositeKeys())
+	}
+}
+
+func TestNullColumnExcludedFromKeys(t *testing.T) {
+	doc := "a,b\n1,x\n,y\n"
+	p, err := ProfileTable(mustTable(t, "t", doc))
+	if err != nil {
+		t.Fatalf("ProfileTable: %v", err)
+	}
+	for _, k := range p.CandidateKeys {
+		for _, col := range k {
+			if col == "a" {
+				t.Errorf("column with NULLs appears in key %v", k)
+			}
+		}
+	}
+}
+
+func TestNoKeyTable(t *testing.T) {
+	doc := "a,b\n1,x\n1,x\n"
+	p, err := ProfileTable(mustTable(t, "t", doc))
+	if err != nil {
+		t.Fatalf("ProfileTable: %v", err)
+	}
+	if len(p.CandidateKeys) != 0 {
+		t.Errorf("CandidateKeys = %v, want none for duplicate rows", p.CandidateKeys)
+	}
+	if p.PrimaryKey != nil {
+		t.Errorf("PrimaryKey = %v, want nil", p.PrimaryKey)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := relation.NewTable("e", relation.Schema{{Name: "x", Kind: relation.KindInt}})
+	p, err := ProfileTable(tab)
+	if err != nil {
+		t.Fatalf("ProfileTable: %v", err)
+	}
+	if len(p.CandidateKeys) != 0 || p.Columns[0].Unique {
+		t.Errorf("empty table profile = %+v", p)
+	}
+	if _, err := ProfileTable(nil); err == nil {
+		t.Error("expected error for nil table")
+	}
+}
+
+func TestMinimalityOfCompositeKeys(t *testing.T) {
+	// (a,b) unique, and (a,b,c) also unique but not minimal.
+	doc := "a,b,c\n1,1,1\n1,2,1\n2,1,1\n"
+	p, err := ProfileTable(mustTable(t, "t", doc))
+	if err != nil {
+		t.Fatalf("ProfileTable: %v", err)
+	}
+	for _, k := range p.CandidateKeys {
+		if len(k) == 3 {
+			t.Errorf("non-minimal key reported: %v (keys=%v)", k, p.CandidateKeys)
+		}
+	}
+	found := false
+	for _, k := range p.CandidateKeys {
+		if reflect.DeepEqual(k, []string{"a", "b"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing minimal key [a b]; got %v", p.CandidateKeys)
+	}
+}
+
+func TestNonKeyAndNumericAttributes(t *testing.T) {
+	tab := mustTable(t, "D", basketCSV)
+	p, err := ProfileTable(tab)
+	if err != nil {
+		t.Fatalf("ProfileTable: %v", err)
+	}
+	nk := p.NonKeyAttributes()
+	if strings.Join(nk, ",") != "FG%,3FG%,fouls,apps" {
+		t.Errorf("NonKeyAttributes = %v", nk)
+	}
+	num := p.NumericAttributes()
+	if strings.Join(num, ",") != "FG%,3FG%,fouls,apps" {
+		t.Errorf("NumericAttributes = %v", num)
+	}
+}
+
+func TestSameTypeClass(t *testing.T) {
+	cases := []struct {
+		a, b relation.Kind
+		want bool
+	}{
+		{relation.KindInt, relation.KindFloat, true},
+		{relation.KindInt, relation.KindInt, true},
+		{relation.KindString, relation.KindString, true},
+		{relation.KindString, relation.KindInt, false},
+		{relation.KindDate, relation.KindDate, true},
+		{relation.KindDate, relation.KindInt, false},
+	}
+	for _, tc := range cases {
+		if got := SameTypeClass(tc.a, tc.b); got != tc.want {
+			t.Errorf("SameTypeClass(%s, %s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Property: every reported candidate key is actually unique over the table,
+// and no reported key is a superset of another.
+func TestKeyPropertiesRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		cols := 2 + rng.Intn(4)
+		rows := 1 + rng.Intn(30)
+		var b strings.Builder
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "c%d", c)
+		}
+		b.WriteByte('\n')
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if c > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", rng.Intn(4))
+			}
+			b.WriteByte('\n')
+		}
+		tab := mustTable(t, "rnd", b.String())
+		p, err := ProfileTable(tab)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, key := range p.CandidateKeys {
+			seen := map[string]bool{}
+			for _, row := range tab.Rows {
+				var sb strings.Builder
+				for _, name := range key {
+					sb.WriteString(row[tab.Schema.Index(name)].HashKey())
+					sb.WriteByte('|')
+				}
+				if seen[sb.String()] {
+					t.Fatalf("trial %d: key %v not unique\n%s", trial, key, tab)
+				}
+				seen[sb.String()] = true
+			}
+		}
+		for i, a := range p.CandidateKeys {
+			for j, b := range p.CandidateKeys {
+				if i != j && isSubsetNames(a, b) {
+					t.Fatalf("trial %d: key %v subsumes key %v", trial, a, b)
+				}
+			}
+		}
+	}
+}
+
+func isSubsetNames(a, b []string) bool {
+	set := map[string]bool{}
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+package pythia
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/textgen"
+)
+
+// AggregateSpec configures the aggregate-ambiguity extension sketched in
+// the paper's conclusion: sentences like "The total number of vaccinated in
+// EU is higher than in Africa", whose evidence is a comparison of two sums
+// over groups derived from joining the fact table with a dimension table.
+type AggregateSpec struct {
+	// Dimension is the grouping table, e.g. Regions(region, country).
+	Dimension *relation.Table
+	// JoinAttr is the attribute shared by the fact table and the dimension.
+	JoinAttr string
+	// GroupAttr is the dimension attribute defining the groups.
+	GroupAttr string
+}
+
+// AggregateComparisons generates the future-work examples: for every
+// discovered ambiguous numeric attribute pair, it aggregates both
+// attributes per group with one GROUP BY a-query over the join, then
+// compares every group pair. An example is contradictory when the two
+// interpretations (SUM over attr A vs SUM over attr B) order the groups
+// differently.
+func (g *Generator) AggregateComparisons(spec AggregateSpec, opts Options) ([]Example, error) {
+	opts = opts.defaults()
+	g.gen = textgen.NewGenerator(opts.Seed)
+	if spec.Dimension == nil {
+		return nil, fmt.Errorf("pythia: aggregate spec needs a dimension table")
+	}
+	if g.table.Schema.Index(spec.JoinAttr) < 0 || spec.Dimension.Schema.Index(spec.JoinAttr) < 0 {
+		return nil, fmt.Errorf("pythia: join attribute %q missing from fact or dimension", spec.JoinAttr)
+	}
+	if spec.Dimension.Schema.Index(spec.GroupAttr) < 0 {
+		return nil, fmt.Errorf("pythia: group attribute %q missing from dimension", spec.GroupAttr)
+	}
+	g.engine.Register(spec.Dimension)
+
+	wantMatch := map[Match]bool{}
+	for _, m := range opts.Matches {
+		wantMatch[m] = true
+	}
+
+	var out []Example
+	seen := map[string]bool{}
+	for _, pair := range g.md.Pairs {
+		ka, oka := g.table.Schema.Column(pair.AttrA)
+		kbCol, okb := g.table.Schema.Column(pair.AttrB)
+		if !oka || !okb || !ka.Kind.Numeric() || !kbCol.Kind.Numeric() {
+			continue
+		}
+		q := fmt.Sprintf(
+			"SELECT r.%s, SUM(b.%s) AS s1, SUM(b.%s) AS s2 FROM %s b, %s r WHERE b.%s = r.%s GROUP BY r.%s",
+			qi(spec.GroupAttr), qi(pair.AttrA), qi(pair.AttrB),
+			qi(g.table.Name), qi(spec.Dimension.Name),
+			qi(spec.JoinAttr), qi(spec.JoinAttr), qi(spec.GroupAttr),
+		)
+		res, err := g.engine.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("pythia: aggregate query: %w", err)
+		}
+		// Compare every ordered pair of groups.
+		for i := 0; i < res.NumRows(); i++ {
+			for j := 0; j < res.NumRows(); j++ {
+				if i == j {
+					continue
+				}
+				g1, g2 := res.Cell(i, 0), res.Cell(j, 0)
+				s1a, s2a := res.Cell(i, 1), res.Cell(j, 1)
+				s1b, s2b := res.Cell(i, 2), res.Cell(j, 2)
+				if s1a.IsNull() || s2a.IsNull() || s1b.IsNull() || s2b.IsNull() {
+					continue
+				}
+				// Interpretation A: totals of AttrA; interpretation B:
+				// totals of AttrB. The claim asserts "higher".
+				aHigher := s1a.AsFloat() > s2a.AsFloat()
+				bHigher := s1b.AsFloat() > s2b.AsFloat()
+				if !aHigher {
+					continue // claim phrased from the higher side only
+				}
+				match := Uniform
+				if aHigher != bHigher {
+					match = Contradictory
+				}
+				if !wantMatch[match] {
+					continue
+				}
+				text := fmt.Sprintf("The total %s in %s is higher than in %s", pair.Label, g1.Format(), g2.Format())
+				if seen[text] {
+					continue
+				}
+				seen[text] = true
+				out = append(out, Example{
+					Dataset:   g.table.Name,
+					Query:     q,
+					Text:      text,
+					Structure: AttributeAmb,
+					Match:     match,
+					Label:     pair.Label,
+					Attrs:     []string{pair.AttrA, pair.AttrB},
+					KeyAttrs:  []string{spec.GroupAttr},
+					Evidence: []textgen.Cell{
+						{Attr: spec.GroupAttr, Value: g1.Format()},
+						{Attr: pair.Label, Value: s1a.Format()},
+						{Attr: pair.Label, Value: s1b.Format()},
+						{Attr: spec.GroupAttr, Value: g2.Format()},
+						{Attr: pair.Label, Value: s2a.Format()},
+						{Attr: pair.Label, Value: s2b.Format()},
+					},
+					Op: ">",
+				})
+			}
+		}
+	}
+	return out, nil
+}

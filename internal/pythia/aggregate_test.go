@@ -1,0 +1,127 @@
+package pythia
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+)
+
+func covidGenerator(t *testing.T) *Generator {
+	t.Helper()
+	d := data.MustLoad("Covid")
+	md, err := WithPairs(d.Table, []model.Pair{
+		{AttrA: "total_confirmed", AttrB: "new_confirmed", Label: "cases"},
+		{AttrA: "total_deaths", AttrB: "new_deaths", Label: "deaths"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGenerator(d.Table, md)
+}
+
+func covidSpec() AggregateSpec {
+	return AggregateSpec{
+		Dimension: data.MustLoad("Regions").Table,
+		JoinAttr:  "country",
+		GroupAttr: "region",
+	}
+}
+
+func TestAggregateComparisons(t *testing.T) {
+	g := covidGenerator(t)
+	exs, err := g.AggregateComparisons(covidSpec(), Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("AggregateComparisons: %v", err)
+	}
+	if len(exs) == 0 {
+		t.Fatal("no aggregate examples generated")
+	}
+	for _, ex := range exs {
+		if !strings.HasPrefix(ex.Text, "The total ") || !strings.Contains(ex.Text, "is higher than in") {
+			t.Errorf("unexpected text shape: %q", ex.Text)
+		}
+		if !strings.Contains(ex.Query, "SUM(") || !strings.Contains(ex.Query, "GROUP BY") {
+			t.Errorf("query lacks aggregation: %q", ex.Query)
+		}
+		if ex.Label != "cases" && ex.Label != "deaths" {
+			t.Errorf("label = %q", ex.Label)
+		}
+		if len(ex.Evidence) != 6 {
+			t.Errorf("evidence cells = %d, want 6", len(ex.Evidence))
+		}
+	}
+}
+
+func TestAggregateMatchClassification(t *testing.T) {
+	// Verify the match type against a hand computation over the Covid data.
+	g := covidGenerator(t)
+	d := data.MustLoad("Covid")
+	regions := data.MustLoad("Regions")
+	regionOf := map[string]string{}
+	for _, row := range regions.Table.Rows {
+		regionOf[row[1].AsString()] = row[0].AsString()
+	}
+	sum := func(attr, region string) float64 {
+		ci := d.Table.Schema.Index(attr)
+		cc := d.Table.Schema.Index("country")
+		var s float64
+		for _, row := range d.Table.Rows {
+			if regionOf[row[cc].AsString()] == region {
+				s += row[ci].AsFloat()
+			}
+		}
+		return s
+	}
+	exs, err := g.AggregateComparisons(covidSpec(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range exs {
+		// Parse groups out of the evidence (cells 0 and 3).
+		g1, g2 := ex.Evidence[0].Value, ex.Evidence[3].Value
+		aHigher := sum(ex.Attrs[0], g1) > sum(ex.Attrs[0], g2)
+		bHigher := sum(ex.Attrs[1], g1) > sum(ex.Attrs[1], g2)
+		if !aHigher {
+			t.Errorf("claim not phrased from the higher side: %q", ex.Text)
+		}
+		wantMatch := Uniform
+		if aHigher != bHigher {
+			wantMatch = Contradictory
+		}
+		if ex.Match != wantMatch {
+			t.Errorf("match = %s, want %s for %q", ex.Match, wantMatch, ex.Text)
+		}
+	}
+}
+
+func TestAggregateMatchFilter(t *testing.T) {
+	g := covidGenerator(t)
+	uniform, err := g.AggregateComparisons(covidSpec(), Options{Matches: []Match{Uniform}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range uniform {
+		if ex.Match != Uniform {
+			t.Errorf("filtered generation returned %s", ex.Match)
+		}
+	}
+}
+
+func TestAggregateSpecValidation(t *testing.T) {
+	g := covidGenerator(t)
+	if _, err := g.AggregateComparisons(AggregateSpec{}, Options{}); err == nil {
+		t.Error("expected error for missing dimension")
+	}
+	bad := covidSpec()
+	bad.JoinAttr = "nope"
+	if _, err := g.AggregateComparisons(bad, Options{}); err == nil {
+		t.Error("expected error for bad join attribute")
+	}
+	bad = covidSpec()
+	bad.GroupAttr = "nope"
+	if _, err := g.AggregateComparisons(bad, Options{}); err == nil {
+		t.Error("expected error for bad group attribute")
+	}
+}

@@ -1,0 +1,470 @@
+package pythia
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/sqlengine"
+	"repro/internal/textgen"
+)
+
+// Mode selects the text production path of Section IV.
+type Mode uint8
+
+const (
+	// TextGeneration runs the data-to-text generator over the evidence
+	// (variety, slower) — the paper's default.
+	TextGeneration Mode = iota
+	// Templates produces the text inside the SQL SELECT clause
+	// (uniform phrasing, millions of examples in seconds).
+	Templates
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Templates {
+		return "templates"
+	}
+	return "text-generation"
+}
+
+// Options configures Algorithm 1.
+type Options struct {
+	// Structures to generate; nil means all three.
+	Structures []Structure
+	// Matches to generate; nil means both.
+	Matches []Match
+	// Ops are the claim operators; nil means {">", "<", "="}.
+	Ops []string
+	// Mode selects text generation vs. templates.
+	Mode Mode
+	// MaxPerQuery caps the evidence rows consumed per a-query (0 = 4 in
+	// text-generation mode, unlimited in template mode).
+	MaxPerQuery int
+	// Questions interleaves interrogative forms with statements.
+	Questions bool
+	// Seed drives phrasing variety.
+	Seed int64
+}
+
+// defaults fills zero values.
+func (o Options) defaults() Options {
+	if o.Structures == nil {
+		o.Structures = []Structure{AttributeAmb, RowAmb, FullAmb}
+	}
+	if o.Matches == nil {
+		o.Matches = []Match{Contradictory, Uniform}
+	}
+	if o.Ops == nil {
+		o.Ops = []string{">", "<", "="}
+	}
+	if o.MaxPerQuery == 0 && o.Mode == TextGeneration {
+		o.MaxPerQuery = 4
+	}
+	return o
+}
+
+// Generator generates examples for one table given its metadata.
+type Generator struct {
+	table  *relation.Table
+	md     *Metadata
+	engine *sqlengine.Engine
+	gen    *textgen.Generator
+}
+
+// NewGenerator prepares a generator: registers the table with a fresh
+// engine instance.
+func NewGenerator(t *relation.Table, md *Metadata) *Generator {
+	e := sqlengine.NewEngine()
+	e.Register(t)
+	return &Generator{table: t, md: md, engine: e}
+}
+
+// Generate runs Algorithm 1 and returns the examples, deduplicated by text.
+func (g *Generator) Generate(opts Options) ([]Example, error) {
+	opts = opts.defaults()
+	g.gen = textgen.NewGenerator(opts.Seed)
+	var out []Example
+	seen := map[string]bool{}
+	emit := func(ex Example) {
+		if ex.Text == "" || seen[ex.Text] {
+			return
+		}
+		seen[ex.Text] = true
+		ex.Dataset = g.table.Name
+		out = append(out, ex)
+	}
+
+	for _, op := range opts.Ops {
+		for _, match := range opts.Matches {
+			for _, st := range opts.Structures {
+				var err error
+				switch st {
+				case AttributeAmb:
+					err = g.attrAmb(op, match, opts, emit)
+				case RowAmb:
+					err = g.rowAmb(op, match, opts, emit)
+				case FullAmb:
+					err = g.fullAmb(op, match, opts, emit)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// opAllowed reports whether an operator applies to a column kind: order
+// operators need numeric columns; equality works for every kind.
+func opAllowed(op string, kind relation.Kind) bool {
+	switch op {
+	case "=", "<>":
+		return true
+	default:
+		return kind.Numeric()
+	}
+}
+
+// attrAmb generates attribute-ambiguity examples: one a-query per
+// discovered ambiguous pair (lines 10-16 of Algorithm 1).
+func (g *Generator) attrAmb(op string, match Match, opts Options, emit func(Example)) error {
+	pk := g.md.Profile.PrimaryKey
+	if len(pk) == 0 {
+		return nil // no key: subjects cannot be precisely identified
+	}
+	for _, pair := range g.md.Pairs {
+		ka, oka := g.table.Schema.Column(pair.AttrA)
+		kb, okb := g.table.Schema.Column(pair.AttrB)
+		if !oka || !okb || inKey(pk, pair.AttrA) || inKey(pk, pair.AttrB) {
+			continue
+		}
+		if !opAllowed(op, ka.Kind) || !opAllowed(op, kb.Kind) {
+			continue
+		}
+		if opts.Mode == Templates {
+			q := attrTemplateQuery(g.table.Name, pk, pair.AttrA, pair.AttrB, op, match, pair.Label, opts.MaxPerQuery)
+			res, err := g.engine.Query(q)
+			if err != nil {
+				return fmt.Errorf("pythia: attribute template query: %w", err)
+			}
+			for _, row := range res.Rows {
+				emit(Example{
+					Query: q, Text: row[0].AsString(),
+					Structure: AttributeAmb, Match: match,
+					Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
+					KeyAttrs: pk, Op: op,
+				})
+			}
+			continue
+		}
+		q := attrEvidenceQuery(g.table.Name, pk, pair.AttrA, pair.AttrB, op, match, opts.MaxPerQuery)
+		res, err := g.engine.Query(q)
+		if err != nil {
+			return fmt.Errorf("pythia: attribute evidence query: %w", err)
+		}
+		for i, row := range res.Rows {
+			n := len(pk)
+			keys1 := keyCells(pk, row[:n])
+			keys2 := keyCells(pk, row[n:2*n])
+			evidence := append(append([]textgen.Cell{}, keys1...), keys2...)
+			evidence = append(evidence,
+				textgen.Cell{Attr: pair.Label, Value: row[2*n].Format()},
+				textgen.Cell{Attr: pair.Label, Value: row[2*n+1].Format()},
+				textgen.Cell{Attr: pair.Label, Value: row[2*n+2].Format()},
+				textgen.Cell{Attr: pair.Label, Value: row[2*n+3].Format()},
+			)
+			var text string
+			question := opts.Questions && i%2 == 1
+			if question {
+				text = g.gen.ComparativeQuestion(keys1, keys2, pair.Label, op)
+			} else {
+				text = g.gen.Comparative(keys1, keys2, pair.Label, op)
+			}
+			emit(Example{
+				Query: q, Text: text, IsQuestion: question,
+				Structure: AttributeAmb, Match: match,
+				Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
+				KeyAttrs: pk, Evidence: evidence, Op: op,
+			})
+		}
+	}
+	return nil
+}
+
+// rowAmb generates row-ambiguity examples: one a-query per composite key
+// and non-key attribute (lines 17-24 of Algorithm 1). Uniform evidence is
+// only defined for the equality claim (two distinct rows, same value).
+func (g *Generator) rowAmb(op string, match Match, opts Options, emit func(Example)) error {
+	if match == Uniform && op != "=" {
+		return nil
+	}
+	for _, ck := range g.compositeKeys() {
+		subset, rest := ck[:1], ck[1:]
+		for _, att := range g.md.Profile.NonKeyAttributes() {
+			col, ok := g.table.Schema.Column(att)
+			if !ok || !opAllowed(op, col.Kind) {
+				continue
+			}
+			if op == "<>" {
+				continue // "does not have" claims are not in the paper's templates
+			}
+			if opts.Mode == Templates {
+				q := rowTemplateQuery(g.table.Name, subset, rest, att, op, match, opts.MaxPerQuery)
+				res, err := g.engine.Query(q)
+				if err != nil {
+					return fmt.Errorf("pythia: row template query: %w", err)
+				}
+				for _, row := range res.Rows {
+					emit(Example{
+						Query: q, Text: row[0].AsString(),
+						Structure: RowAmb, Match: match,
+						Attrs: []string{att}, KeyAttrs: subset, Op: op,
+					})
+				}
+				continue
+			}
+			q := rowEvidenceQuery(g.table.Name, subset, rest, att, op, match, opts.MaxPerQuery)
+			res, err := g.engine.Query(q)
+			if err != nil {
+				return fmt.Errorf("pythia: row evidence query: %w", err)
+			}
+			for i, row := range res.Rows {
+				n := len(subset)
+				partial := keyCells(subset, row[:n])
+				v1, v2 := row[n], row[n+1]
+				claim := v1
+				if match == Contradictory && op != "=" {
+					claim = v2 // "more than {lesser}" so interpretations split
+				}
+				measure := textgen.Cell{Attr: att, Value: claim.Format()}
+				evidence := append(append([]textgen.Cell{}, partial...),
+					textgen.Cell{Attr: att, Value: v1.Format()},
+					textgen.Cell{Attr: att, Value: v2.Format()},
+				)
+				var text string
+				question := opts.Questions && i%2 == 1
+				if question {
+					text = g.gen.RowQuestion(partial, measure, op)
+				} else {
+					text = g.gen.RowStatement(partial, measure, op)
+				}
+				emit(Example{
+					Query: q, Text: text, IsQuestion: question,
+					Structure: RowAmb, Match: match,
+					Attrs: []string{att}, KeyAttrs: subset, Evidence: evidence, Op: op,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// fullAmb generates full-ambiguity examples: partial subject plus an
+// ambiguous attribute pair (lines 25-34 of Algorithm 1). The claim is an
+// equality; each evidence row is classified uniform or contradictory by
+// comparing all four interpretations, mirroring the paper's note that Q3
+// returns both kinds.
+func (g *Generator) fullAmb(op string, match Match, opts Options, emit func(Example)) error {
+	if op != "=" {
+		return nil
+	}
+	for _, ck := range g.compositeKeys() {
+		subset, rest := ck[:1], ck[1:]
+		for _, pair := range g.md.Pairs {
+			if inKey(ck, pair.AttrA) || inKey(ck, pair.AttrB) {
+				continue
+			}
+			if _, ok := g.table.Schema.Column(pair.AttrA); !ok {
+				continue
+			}
+			if _, ok := g.table.Schema.Column(pair.AttrB); !ok {
+				continue
+			}
+			if opts.Mode == Templates {
+				q := fullTemplateQuery(g.table.Name, subset, rest, pair.AttrA, pair.Label, opts.MaxPerQuery)
+				res, err := g.engine.Query(q)
+				if err != nil {
+					return fmt.Errorf("pythia: full template query: %w", err)
+				}
+				for _, row := range res.Rows {
+					emit(Example{
+						Query: q, Text: row[0].AsString(),
+						Structure: FullAmb, Match: match,
+						Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
+						KeyAttrs: subset, Op: op,
+					})
+				}
+				continue
+			}
+			q := fullEvidenceQuery(g.table.Name, subset, rest, pair.AttrA, pair.AttrB, opts.MaxPerQuery*2)
+			res, err := g.engine.Query(q)
+			if err != nil {
+				return fmt.Errorf("pythia: full evidence query: %w", err)
+			}
+			emitted := 0
+			for i, row := range res.Rows {
+				if opts.MaxPerQuery > 0 && emitted >= opts.MaxPerQuery {
+					break
+				}
+				n := len(subset)
+				partial := keyCells(subset, row[:n])
+				vals := row[n : n+4] // b1.a1, b1.a2, b2.a1, b2.a2
+				claim := vals[0]
+				uniform := true
+				for _, v := range vals[1:] {
+					if !v.Equal(claim) {
+						uniform = false
+						break
+					}
+				}
+				got := Contradictory
+				if uniform {
+					got = Uniform
+				}
+				if got != match {
+					continue
+				}
+				measure := textgen.Cell{Attr: pair.Label, Value: claim.Format()}
+				evidence := append(append([]textgen.Cell{}, partial...),
+					textgen.Cell{Attr: pair.Label, Value: vals[0].Format()},
+					textgen.Cell{Attr: pair.Label, Value: vals[1].Format()},
+					textgen.Cell{Attr: pair.Label, Value: vals[2].Format()},
+					textgen.Cell{Attr: pair.Label, Value: vals[3].Format()},
+				)
+				var text string
+				question := opts.Questions && i%2 == 1
+				if question {
+					text = g.gen.Question(partial, measure)
+				} else {
+					text = g.gen.Statement(partial, measure)
+				}
+				emit(Example{
+					Query: q, Text: text, IsQuestion: question,
+					Structure: FullAmb, Match: match,
+					Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
+					KeyAttrs: subset, Evidence: evidence, Op: op,
+				})
+				emitted++
+			}
+		}
+	}
+	return nil
+}
+
+// NotAmbiguous generates control examples without data ambiguity: subjects
+// identified by the full primary key, claims over a single unambiguous
+// attribute. Target applications need them to balance training data.
+func (g *Generator) NotAmbiguous(opts Options) ([]Example, error) {
+	opts = opts.defaults()
+	g.gen = textgen.NewGenerator(opts.Seed)
+	pk := g.md.Profile.PrimaryKey
+	if len(pk) == 0 {
+		return nil, nil
+	}
+	ambiguous := map[string]bool{}
+	for _, p := range g.md.Pairs {
+		ambiguous[strings.ToLower(p.AttrA)] = true
+		ambiguous[strings.ToLower(p.AttrB)] = true
+	}
+	var out []Example
+	seen := map[string]bool{}
+	for _, att := range g.md.Profile.NonKeyAttributes() {
+		if ambiguous[strings.ToLower(att)] {
+			continue
+		}
+		col, _ := g.table.Schema.Column(att)
+		max := opts.MaxPerQuery
+		if max <= 0 {
+			max = 4
+		}
+		for i, row := range g.table.Rows {
+			if i >= max {
+				break
+			}
+			keys := make([]textgen.Cell, len(pk))
+			for j, k := range pk {
+				keys[j] = textgen.Cell{Attr: k, Value: row[g.table.Schema.Index(k)].Format()}
+			}
+			v := row[g.table.Schema.Index(att)]
+			for _, op := range opts.Ops {
+				if !opAllowed(op, col.Kind) || (op == "<>") {
+					continue
+				}
+				// The claim must hold under its single interpretation:
+				// "more than X" claims cite a bound below the true value.
+				claim := v
+				switch {
+				case op == ">" && v.Kind() == relation.KindInt:
+					claim = relation.Int(v.AsInt() - 1)
+				case op == "<" && v.Kind() == relation.KindInt:
+					claim = relation.Int(v.AsInt() + 1)
+				case op == ">" && v.Kind() == relation.KindFloat:
+					claim = relation.Float(v.AsFloat() - 1)
+				case op == "<" && v.Kind() == relation.KindFloat:
+					claim = relation.Float(v.AsFloat() + 1)
+				}
+				measure := textgen.Cell{Attr: att, Value: claim.Format()}
+				var text string
+				question := opts.Questions && i%2 == 1
+				switch {
+				case op == "=" && question:
+					text = g.gen.Question(keys, measure)
+				case op == "=":
+					text = g.gen.Statement(keys, measure)
+				case question:
+					text = g.gen.RowQuestion(keys, measure, op)
+				default:
+					text = g.gen.RowStatement(keys, measure, op)
+				}
+				if text == "" || seen[text] {
+					continue
+				}
+				seen[text] = true
+				// Evidence carries the true table cell; the text may cite a
+				// bound derived from it.
+				evidence := append(append([]textgen.Cell{}, keys...), textgen.Cell{Attr: att, Value: v.Format()})
+				out = append(out, Example{
+					Dataset: g.table.Name, Text: text, IsQuestion: question,
+					Match: Uniform, Structure: NoAmb,
+					Attrs: []string{att}, KeyAttrs: pk,
+					Evidence: evidence, Op: op,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// compositeKeys returns the keys row/full ambiguity may under-identify.
+// Small tables make measure columns accidentally unique, so instead of
+// every minimal unique column combination we only trust the semantically
+// chosen primary key, when it is composite.
+func (g *Generator) compositeKeys() [][]string {
+	pk := g.md.Profile.PrimaryKey
+	if len(pk) < 2 {
+		return nil
+	}
+	return [][]string{pk}
+}
+
+// inKey reports whether att is one of the key columns.
+func inKey(key []string, att string) bool {
+	for _, k := range key {
+		if strings.EqualFold(k, att) {
+			return true
+		}
+	}
+	return false
+}
+
+// keyCells pairs key attribute names with their values.
+func keyCells(names []string, vals relation.Row) []textgen.Cell {
+	out := make([]textgen.Cell, len(names))
+	for i := range names {
+		out[i] = textgen.Cell{Attr: names[i], Value: vals[i].Format()}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package pythia
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlengine"
+	"repro/internal/textgen"
+)
+
+// NegOp returns the opposite comparison operator, the paper's neg(Op).
+func NegOp(op string) string {
+	switch op {
+	case ">":
+		return "<"
+	case "<":
+		return ">"
+	case ">=":
+		return "<="
+	case "<=":
+		return ">="
+	case "=":
+		return "<>"
+	case "<>":
+		return "="
+	default:
+		return op
+	}
+}
+
+// qi quotes an identifier for the engine's dialect.
+func qi(name string) string { return sqlengine.QuoteIdent(name) }
+
+// qcol renders alias.column.
+func qcol(alias, col string) string { return alias + "." + qi(col) }
+
+// attrEvidenceQuery builds the Section II-B a-query for attribute
+// ambiguity in evidence mode (the paper's q1): project both subjects' keys
+// and both ambiguous attributes, join on every key attribute differing,
+// and constrain the two attributes per the match type.
+func attrEvidenceQuery(table string, pk []string, a1, a2, op string, match Match, limit int) string {
+	var sel []string
+	for _, k := range pk {
+		sel = append(sel, qcol("b1", k))
+	}
+	for _, k := range pk {
+		sel = append(sel, qcol("b2", k))
+	}
+	sel = append(sel, qcol("b1", a1), qcol("b2", a1), qcol("b1", a2), qcol("b2", a2))
+
+	var where []string
+	for _, k := range pk {
+		where = append(where, fmt.Sprintf("%s <> %s", qcol("b1", k), qcol("b2", k)))
+	}
+	opB := op
+	if match == Contradictory {
+		opB = NegOp(op)
+	}
+	where = append(where,
+		fmt.Sprintf("%s %s %s", qcol("b1", a1), op, qcol("b2", a1)),
+		fmt.Sprintf("%s %s %s", qcol("b1", a2), opB, qcol("b2", a2)),
+	)
+	return selectStmt(sel, table, where, limit)
+}
+
+// attrTemplateQuery is the template-mode variant (the paper's Q1): the
+// SELECT clause CONCATs the sentence directly using print(Op, label).
+func attrTemplateQuery(table string, pk []string, a1, a2, op string, match Match, label string, limit int) string {
+	verb := textgen.PrintOp(op, label)
+	var parts []string
+	for i, k := range pk {
+		if i > 0 {
+			parts = append(parts, "' '")
+		}
+		parts = append(parts, qcol("b1", k))
+	}
+	parts = append(parts, sqlengine.QuoteString(" "+verb+" "))
+	for i, k := range pk {
+		if i > 0 {
+			parts = append(parts, "' '")
+		}
+		parts = append(parts, qcol("b2", k))
+	}
+	sel := []string{"CONCAT(" + strings.Join(parts, ", ") + ") AS text"}
+
+	var where []string
+	for _, k := range pk {
+		where = append(where, fmt.Sprintf("%s <> %s", qcol("b1", k), qcol("b2", k)))
+	}
+	opB := op
+	if match == Contradictory {
+		opB = NegOp(op)
+	}
+	where = append(where,
+		fmt.Sprintf("%s %s %s", qcol("b1", a1), op, qcol("b2", a1)),
+		fmt.Sprintf("%s %s %s", qcol("b1", a2), opB, qcol("b2", a2)),
+	)
+	return selectStmt(sel, table, where, limit)
+}
+
+// rowEvidenceQuery builds the row-ambiguity a-query (the paper's q2): the
+// subject is identified by a strict subset of the composite key. subset and
+// rest partition the key. The WHERE clause depends on (op, match):
+// contradictory uses b1.att op' b2.att (op' = op, or <> when op is =);
+// uniform requires equal values on distinct rows.
+func rowEvidenceQuery(table string, subset, rest []string, att, op string, match Match, limit int) string {
+	var sel []string
+	for _, s := range subset {
+		sel = append(sel, qcol("b1", s))
+	}
+	sel = append(sel, qcol("b1", att), qcol("b2", att))
+
+	var where []string
+	for _, s := range subset {
+		where = append(where, fmt.Sprintf("%s = %s", qcol("b1", s), qcol("b2", s)))
+	}
+	if match == Contradictory {
+		opW := op
+		if op == "=" {
+			opW = "<>"
+		}
+		where = append(where, fmt.Sprintf("%s %s %s", qcol("b1", att), opW, qcol("b2", att)))
+	} else {
+		where = append(where, fmt.Sprintf("%s = %s", qcol("b1", att), qcol("b2", att)))
+		if len(rest) > 0 {
+			where = append(where, fmt.Sprintf("%s <> %s", qcol("b1", rest[0]), qcol("b2", rest[0])))
+		}
+	}
+	return selectStmt(sel, table, where, limit)
+}
+
+// rowTemplateQuery is the template-mode variant (the paper's Q2).
+func rowTemplateQuery(table string, subset, rest []string, att, op string, match Match, limit int) string {
+	verb := textgen.PrintOp(op, "")
+	valueCol := qcol("b1", att)
+	if match == Contradictory && op != "=" {
+		// "Carter has more than 3 fouls": the value comes from the lesser
+		// row so that one interpretation holds and the other fails.
+		valueCol = qcol("b2", att)
+	}
+	var parts []string
+	for i, s := range subset {
+		if i > 0 {
+			parts = append(parts, "' '")
+		}
+		parts = append(parts, qcol("b1", s))
+	}
+	parts = append(parts, sqlengine.QuoteString(" "+verb+" "), valueCol, sqlengine.QuoteString(" "+att))
+	sel := []string{"CONCAT(" + strings.Join(parts, ", ") + ") AS text"}
+
+	var where []string
+	for _, s := range subset {
+		where = append(where, fmt.Sprintf("%s = %s", qcol("b1", s), qcol("b2", s)))
+	}
+	if match == Contradictory {
+		opW := op
+		if op == "=" {
+			opW = "<>"
+		}
+		where = append(where, fmt.Sprintf("%s %s %s", qcol("b1", att), opW, qcol("b2", att)))
+	} else {
+		where = append(where, fmt.Sprintf("%s = %s", qcol("b1", att), qcol("b2", att)))
+		if len(rest) > 0 {
+			where = append(where, fmt.Sprintf("%s <> %s", qcol("b1", rest[0]), qcol("b2", rest[0])))
+		}
+	}
+	return selectStmt(sel, table, where, limit)
+}
+
+// fullEvidenceQuery builds the full-ambiguity a-query (the paper's Q3):
+// subjects identified by a key subset, evidence spanning an ambiguous
+// attribute pair. It returns both uniform and contradicting evidence; the
+// caller classifies each result row by its values.
+func fullEvidenceQuery(table string, subset, rest []string, a1, a2 string, limit int) string {
+	var sel []string
+	for _, s := range subset {
+		sel = append(sel, qcol("b1", s))
+	}
+	sel = append(sel, qcol("b1", a1), qcol("b1", a2), qcol("b2", a1), qcol("b2", a2))
+	var where []string
+	for _, s := range subset {
+		where = append(where, fmt.Sprintf("%s = %s", qcol("b1", s), qcol("b2", s)))
+	}
+	if len(rest) > 0 {
+		where = append(where, fmt.Sprintf("%s <> %s", qcol("b1", rest[0]), qcol("b2", rest[0])))
+	}
+	return selectStmt(sel, table, where, limit)
+}
+
+// fullTemplateQuery is the template-mode variant (the paper's Q3).
+func fullTemplateQuery(table string, subset, rest []string, a1, label string, limit int) string {
+	var parts []string
+	for i, s := range subset {
+		if i > 0 {
+			parts = append(parts, "' '")
+		}
+		parts = append(parts, qcol("b1", s))
+	}
+	parts = append(parts, sqlengine.QuoteString(" has "), qcol("b1", a1), sqlengine.QuoteString(" "+label))
+	sel := []string{"CONCAT(" + strings.Join(parts, ", ") + ") AS text"}
+	var where []string
+	for _, s := range subset {
+		where = append(where, fmt.Sprintf("%s = %s", qcol("b1", s), qcol("b2", s)))
+	}
+	if len(rest) > 0 {
+		where = append(where, fmt.Sprintf("%s <> %s", qcol("b1", rest[0]), qcol("b2", rest[0])))
+	}
+	return selectStmt(sel, table, where, limit)
+}
+
+// selectStmt assembles the final SQL text.
+func selectStmt(sel []string, table string, where []string, limit int) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(qi(table))
+	b.WriteString(" b1, ")
+	b.WriteString(qi(table))
+	b.WriteString(" b2")
+	if len(where) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(where, " AND "))
+	}
+	if limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+// Package pythia is the core of the reproduction: the end-to-end pipeline
+// of the paper. Given a relational table it (1) profiles keys and types,
+// (2) discovers ambiguity metadata with a model.Predictor, and (3) runs
+// Algorithm 1 to generate (query, evidence, text) examples for every
+// ambiguity structure and match type — either through the data-to-text
+// generator or through the scalable SQL templates whose SELECT clause
+// builds the sentence directly.
+package pythia
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/profiling"
+	"repro/internal/relation"
+	"repro/internal/textgen"
+)
+
+// Structure is the ambiguity structure type of Section II-A.
+type Structure uint8
+
+const (
+	// AttributeAmb: a word in the text maps to several attributes.
+	AttributeAmb Structure = iota
+	// RowAmb: the text under-identifies rows (subset of a composite key).
+	RowAmb
+	// FullAmb: both at once.
+	FullAmb
+	// NoAmb marks control examples without any data ambiguity.
+	NoAmb
+)
+
+// String names the structure for reports.
+func (s Structure) String() string {
+	switch s {
+	case AttributeAmb:
+		return "attribute"
+	case RowAmb:
+		return "row"
+	case FullAmb:
+		return "full"
+	case NoAmb:
+		return "none"
+	default:
+		return "structure?"
+	}
+}
+
+// Ambiguous reports whether the structure carries data ambiguity.
+func (s Structure) Ambiguous() bool { return s != NoAmb }
+
+// Match is the match type of Section II-B: whether the different
+// interpretations agree.
+type Match uint8
+
+const (
+	// Contradictory: the interpretations disagree (some true, some false).
+	Contradictory Match = iota
+	// Uniform: every interpretation gives the same verdict.
+	Uniform
+)
+
+// String names the match type for reports.
+func (m Match) String() string {
+	switch m {
+	case Contradictory:
+		return "contradictory"
+	case Uniform:
+		return "uniform"
+	default:
+		return "match?"
+	}
+}
+
+// Example is one generated training example: the triple of Section II plus
+// the metadata that produced it.
+type Example struct {
+	Dataset    string
+	Query      string // the a-query that identified the evidence
+	Text       string
+	IsQuestion bool
+	Structure  Structure
+	Match      Match
+	Label      string   // ambiguity label ("" for row ambiguity)
+	Attrs      []string // ambiguous attributes (2 for attribute/full, 1 for row)
+	KeyAttrs   []string // subject attributes used in the text
+	Evidence   []textgen.Cell
+	Op         string // comparison operator of the claim
+}
+
+// Metadata is everything example generation needs about one table: the
+// profiling result (keys, types) plus the discovered ambiguity pairs.
+type Metadata struct {
+	Profile *profiling.Profile
+	Pairs   []model.Pair
+}
+
+// Discover profiles the table and predicts its ambiguity metadata. Every
+// discovered pair is annotated with the value-level profiling signals of
+// the paper's future-work directions: Pearson correlation (numeric pairs)
+// and distinct-value overlap.
+func Discover(t *relation.Table, pred model.Predictor) (*Metadata, error) {
+	prof, err := profiling.ProfileTable(t)
+	if err != nil {
+		return nil, fmt.Errorf("pythia: profile %s: %w", t.Name, err)
+	}
+	rows := stringRows(t)
+	pairs := model.PredictTable(pred, t.Schema.Names(), rows)
+	for i := range pairs {
+		if corr, err := profiling.Correlation(t, pairs[i].AttrA, pairs[i].AttrB); err == nil {
+			pairs[i].Correlation = corr
+		}
+		if ov, err := profiling.ValueOverlap(t, pairs[i].AttrA, pairs[i].AttrB); err == nil {
+			pairs[i].ValueOverlap = ov
+		}
+	}
+	return &Metadata{Profile: prof, Pairs: pairs}, nil
+}
+
+// WithPairs builds metadata from profiling plus externally supplied pairs
+// (used when ground-truth metadata is available, and by tests).
+func WithPairs(t *relation.Table, pairs []model.Pair) (*Metadata, error) {
+	prof, err := profiling.ProfileTable(t)
+	if err != nil {
+		return nil, fmt.Errorf("pythia: profile %s: %w", t.Name, err)
+	}
+	return &Metadata{Profile: prof, Pairs: pairs}, nil
+}
+
+// stringRows formats the table cells for the predictors.
+func stringRows(t *relation.Table) [][]string {
+	rows := make([][]string, t.NumRows())
+	for r, row := range t.Rows {
+		out := make([]string, len(row))
+		for c, v := range row {
+			out[c] = v.Format()
+		}
+		rows[r] = out
+	}
+	return rows
+}

@@ -1,0 +1,96 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadCSV parses a CSV stream with a header row into a typed table. Column
+// kinds are inferred per column across all rows (InferKind unified with
+// UnifyKind); a column whose cells are all empty becomes a string column.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read csv %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: read csv %s: empty input", name)
+	}
+	header := records[0]
+	body := records[1:]
+
+	kinds := make([]Kind, len(header))
+	for _, rec := range body {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: read csv %s: record arity %d != header arity %d",
+				name, len(rec), len(header))
+		}
+		for c, cell := range rec {
+			kinds[c] = UnifyKind(kinds[c], InferKind(cell))
+		}
+	}
+	schema := make(Schema, len(header))
+	for c, h := range header {
+		k := kinds[c]
+		if k == KindNull {
+			k = KindString
+		}
+		schema[c] = Column{Name: strings.TrimSpace(h), Kind: k}
+	}
+
+	t := NewTable(name, schema)
+	t.Rows = make([]Row, 0, len(body))
+	for i, rec := range body {
+		row := make(Row, len(rec))
+		for c, cell := range rec {
+			v, err := ParseValue(cell, schema[c].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("relation: read csv %s row %d: %w", name, i+1, err)
+			}
+			row[c] = v
+		}
+		if err := t.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVString is ReadCSV over an in-memory document. It is the loader used
+// by the embedded datasets.
+func ReadCSVString(name, doc string) (*Table, error) {
+	return ReadCSV(name, strings.NewReader(doc))
+}
+
+// MustReadCSVString is ReadCSVString for statically-known documents; it
+// panics on error.
+func MustReadCSVString(name, doc string) *Table {
+	t, err := ReadCSVString(name, doc)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// WriteCSV serializes the table, header first, NULLs as empty cells.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return fmt.Errorf("relation: write csv %s: %w", t.Name, err)
+	}
+	rec := make([]string, t.NumCols())
+	for _, row := range t.Rows {
+		for c, v := range row {
+			rec[c] = v.Format()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: write csv %s: %w", t.Name, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,100 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `Player,Team,FG%,3FG%,fouls,apps
+Carter,LA,56,47,4,5
+Smith,SF,55,30,4,7
+Carter,SF,50,51,3,3
+`
+
+func TestReadCSVInfersTypes(t *testing.T) {
+	tab, err := ReadCSVString("D", sampleCSV)
+	if err != nil {
+		t.Fatalf("ReadCSVString: %v", err)
+	}
+	wantKinds := []Kind{KindString, KindString, KindInt, KindInt, KindInt, KindInt}
+	for i, k := range wantKinds {
+		if tab.Schema[i].Kind != k {
+			t.Errorf("column %s kind = %s, want %s", tab.Schema[i].Name, tab.Schema[i].Kind, k)
+		}
+	}
+	if tab.NumRows() != 3 {
+		t.Errorf("rows = %d, want 3", tab.NumRows())
+	}
+	if tab.Cell(1, 2).AsInt() != 55 {
+		t.Errorf("cell(1,2) = %#v", tab.Cell(1, 2))
+	}
+}
+
+func TestReadCSVMixedColumnWidens(t *testing.T) {
+	doc := "a,b\n1,x\n2.5,y\n"
+	tab, err := ReadCSVString("m", doc)
+	if err != nil {
+		t.Fatalf("ReadCSVString: %v", err)
+	}
+	if tab.Schema[0].Kind != KindFloat {
+		t.Errorf("mixed int/float column kind = %s, want float", tab.Schema[0].Kind)
+	}
+}
+
+func TestReadCSVEmptyColumnDefaultsString(t *testing.T) {
+	doc := "a,b\n,1\n,2\n"
+	tab, err := ReadCSVString("e", doc)
+	if err != nil {
+		t.Fatalf("ReadCSVString: %v", err)
+	}
+	if tab.Schema[0].Kind != KindString {
+		t.Errorf("all-empty column kind = %s, want string", tab.Schema[0].Kind)
+	}
+	if !tab.Cell(0, 0).IsNull() {
+		t.Errorf("empty cell = %#v, want NULL", tab.Cell(0, 0))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSVString("x", ""); err == nil {
+		t.Error("expected error for empty document")
+	}
+	if _, err := ReadCSVString("x", "a,b\n1\n"); err == nil {
+		t.Error("expected error for ragged record")
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	tab, err := ReadCSVString("D", sampleCSV)
+	if err != nil {
+		t.Fatalf("ReadCSVString: %v", err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(tab, &b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSVString("D", b.String())
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if back.NumRows() != tab.NumRows() || back.NumCols() != tab.NumCols() {
+		t.Fatalf("roundtrip shape mismatch: %dx%d vs %dx%d",
+			back.NumRows(), back.NumCols(), tab.NumRows(), tab.NumCols())
+	}
+	for r := range tab.Rows {
+		for c := range tab.Rows[r] {
+			if !back.Cell(r, c).Equal(tab.Cell(r, c)) {
+				t.Errorf("roundtrip cell (%d,%d): %#v != %#v", r, c, back.Cell(r, c), tab.Cell(r, c))
+			}
+		}
+	}
+}
+
+func TestMustReadCSVStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustReadCSVString("bad", "")
+}

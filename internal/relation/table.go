@@ -1,0 +1,239 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one attribute of a relation: its name and value kind.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Names returns the column names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Index returns the position of the column with the given name
+// (case-insensitive), or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the column with the given name and whether it exists.
+func (s Schema) Column(name string) (Column, bool) {
+	if i := s.Index(name); i >= 0 {
+		return s[i], true
+	}
+	return Column{}, false
+}
+
+// Clone returns a deep copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the schema as "name:kind, ...".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + ":" + c.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Row is one tuple of a relation. Its length always matches the schema.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an in-memory relation: a named schema plus row-major tuples.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   []Row
+}
+
+// NewTable returns an empty table with the given name and schema.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema.Clone()}
+}
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the arity of the relation.
+func (t *Table) NumCols() int { return len(t.Schema) }
+
+// Append adds a row after validating its arity and kinds. Values of kind
+// NULL are accepted in any column; int values are accepted in float columns
+// (and widened).
+func (t *Table) Append(row Row) error {
+	if len(row) != len(t.Schema) {
+		return fmt.Errorf("relation: table %s: row arity %d != schema arity %d",
+			t.Name, len(row), len(t.Schema))
+	}
+	stored := make(Row, len(row))
+	for i, v := range row {
+		switch {
+		case v.IsNull(), v.Kind() == t.Schema[i].Kind:
+			stored[i] = v
+		case v.Kind() == KindInt && t.Schema[i].Kind == KindFloat:
+			stored[i] = Float(v.AsFloat())
+		default:
+			return fmt.Errorf("relation: table %s: column %s expects %s, got %s",
+				t.Name, t.Schema[i].Name, t.Schema[i].Kind, v.Kind())
+		}
+	}
+	t.Rows = append(t.Rows, stored)
+	return nil
+}
+
+// MustAppend is Append for statically-known rows; it panics on error. It is
+// intended for embedded datasets and tests.
+func (t *Table) MustAppend(row Row) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Cell returns the value at (row, col).
+func (t *Table) Cell(row, col int) Value { return t.Rows[row][col] }
+
+// ColumnValues returns all values of the named column in row order.
+func (t *Table) ColumnValues(name string) ([]Value, error) {
+	i := t.Schema.Index(name)
+	if i < 0 {
+		return nil, fmt.Errorf("relation: table %s has no column %q", t.Name, name)
+	}
+	out := make([]Value, len(t.Rows))
+	for r, row := range t.Rows {
+		out[r] = row[i]
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := NewTable(t.Name, t.Schema)
+	out.Rows = make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	return out
+}
+
+// Project returns a new table containing only the named columns, in the
+// given order.
+func (t *Table) Project(names ...string) (*Table, error) {
+	idx := make([]int, len(names))
+	schema := make(Schema, len(names))
+	for i, n := range names {
+		j := t.Schema.Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: table %s has no column %q", t.Name, n)
+		}
+		idx[i] = j
+		schema[i] = t.Schema[j]
+	}
+	out := NewTable(t.Name, schema)
+	out.Rows = make([]Row, len(t.Rows))
+	for r, row := range t.Rows {
+		nr := make(Row, len(idx))
+		for i, j := range idx {
+			nr[i] = row[j]
+		}
+		out.Rows[r] = nr
+	}
+	return out, nil
+}
+
+// Sample returns up to n rows, deterministically spread across the table
+// (first, then evenly strided). It never copies cell values.
+func (t *Table) Sample(n int) []Row {
+	if n <= 0 || len(t.Rows) == 0 {
+		return nil
+	}
+	if n >= len(t.Rows) {
+		out := make([]Row, len(t.Rows))
+		copy(out, t.Rows)
+		return out
+	}
+	out := make([]Row, 0, n)
+	stride := float64(len(t.Rows)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, t.Rows[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// String renders a small ASCII preview (schema plus up to 8 rows), for
+// debugging and error messages.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) [%d rows]", t.Name, t.Schema, len(t.Rows))
+	n := len(t.Rows)
+	if n > 8 {
+		n = 8
+	}
+	for _, row := range t.Rows[:n] {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Format()
+		}
+		b.WriteString("\n  " + strings.Join(parts, " | "))
+	}
+	if len(t.Rows) > n {
+		fmt.Fprintf(&b, "\n  … %d more", len(t.Rows)-n)
+	}
+	return b.String()
+}
+
+// SortBy sorts rows in place by the named columns ascending. Unordered or
+// mixed-kind comparisons fall back to the formatted string. It is used to
+// make test output deterministic.
+func (t *Table) SortBy(names ...string) error {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := t.Schema.Index(n)
+		if j < 0 {
+			return fmt.Errorf("relation: table %s has no column %q", t.Name, n)
+		}
+		idx[i] = j
+	}
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		for _, j := range idx {
+			c, err := t.Rows[a][j].Compare(t.Rows[b][j])
+			if err != nil {
+				c = strings.Compare(t.Rows[a][j].Format(), t.Rows[b][j].Format())
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}

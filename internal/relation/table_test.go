@@ -1,0 +1,159 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func basketTable(t *testing.T) *Table {
+	t.Helper()
+	tab := NewTable("D", Schema{
+		{Name: "Player", Kind: KindString},
+		{Name: "Team", Kind: KindString},
+		{Name: "FG%", Kind: KindInt},
+		{Name: "3FG%", Kind: KindInt},
+		{Name: "fouls", Kind: KindInt},
+		{Name: "apps", Kind: KindInt},
+	})
+	rows := []Row{
+		{String("Carter"), String("LA"), Int(56), Int(47), Int(4), Int(5)},
+		{String("Smith"), String("SF"), Int(55), Int(30), Int(4), Int(7)},
+		{String("Carter"), String("SF"), Int(50), Int(51), Int(3), Int(3)},
+	}
+	for _, r := range rows {
+		if err := tab.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	return tab
+}
+
+func TestSchemaIndexAndColumn(t *testing.T) {
+	tab := basketTable(t)
+	if i := tab.Schema.Index("fg%"); i != 2 {
+		t.Errorf("Index(fg%%) = %d, want 2 (case-insensitive)", i)
+	}
+	if i := tab.Schema.Index("missing"); i != -1 {
+		t.Errorf("Index(missing) = %d, want -1", i)
+	}
+	c, ok := tab.Schema.Column("Team")
+	if !ok || c.Kind != KindString {
+		t.Errorf("Column(Team) = %+v, %v", c, ok)
+	}
+	if got := strings.Join(tab.Schema.Names(), ","); got != "Player,Team,FG%,3FG%,fouls,apps" {
+		t.Errorf("Names = %s", got)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tab := basketTable(t)
+	if err := tab.Append(Row{String("x")}); err == nil {
+		t.Error("expected arity error")
+	}
+	if err := tab.Append(Row{Int(1), String("LA"), Int(1), Int(1), Int(1), Int(1)}); err == nil {
+		t.Error("expected kind error for int in string column")
+	}
+	// NULL is accepted anywhere.
+	if err := tab.Append(Row{Null, Null, Null, Null, Null, Null}); err != nil {
+		t.Errorf("NULL row rejected: %v", err)
+	}
+}
+
+func TestAppendWidensIntToFloat(t *testing.T) {
+	tab := NewTable("f", Schema{{Name: "x", Kind: KindFloat}})
+	if err := tab.Append(Row{Int(3)}); err != nil {
+		t.Fatalf("Append int into float column: %v", err)
+	}
+	if got := tab.Cell(0, 0); got.Kind() != KindFloat || got.AsFloat() != 3 {
+		t.Errorf("stored value = %#v, want float 3", got)
+	}
+}
+
+func TestColumnValues(t *testing.T) {
+	tab := basketTable(t)
+	vals, err := tab.ColumnValues("Player")
+	if err != nil {
+		t.Fatalf("ColumnValues: %v", err)
+	}
+	want := []string{"Carter", "Smith", "Carter"}
+	for i, v := range vals {
+		if v.AsString() != want[i] {
+			t.Errorf("Player[%d] = %s, want %s", i, v.Format(), want[i])
+		}
+	}
+	if _, err := tab.ColumnValues("nope"); err == nil {
+		t.Error("expected error for missing column")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tab := basketTable(t)
+	p, err := tab.Project("Team", "Player")
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.NumCols() != 2 || p.Schema[0].Name != "Team" {
+		t.Errorf("projected schema = %s", p.Schema)
+	}
+	if p.Cell(0, 1).AsString() != "Carter" {
+		t.Errorf("projected cell = %#v", p.Cell(0, 1))
+	}
+	if _, err := tab.Project("nope"); err == nil {
+		t.Error("expected error for missing column")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tab := basketTable(t)
+	cl := tab.Clone()
+	cl.Rows[0][0] = String("Mutated")
+	if tab.Cell(0, 0).AsString() != "Carter" {
+		t.Error("Clone shares row storage with original")
+	}
+}
+
+func TestSample(t *testing.T) {
+	tab := basketTable(t)
+	if got := tab.Sample(0); got != nil {
+		t.Errorf("Sample(0) = %v, want nil", got)
+	}
+	if got := tab.Sample(10); len(got) != 3 {
+		t.Errorf("Sample(10) returned %d rows, want 3", len(got))
+	}
+	got := tab.Sample(2)
+	if len(got) != 2 {
+		t.Fatalf("Sample(2) returned %d rows", len(got))
+	}
+	if got[0][0].AsString() != "Carter" {
+		t.Errorf("Sample(2)[0] = %v", got[0])
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	tab := basketTable(t)
+	if err := tab.SortBy("Player", "Team"); err != nil {
+		t.Fatalf("SortBy: %v", err)
+	}
+	order := make([]string, len(tab.Rows))
+	for i, r := range tab.Rows {
+		order[i] = r[0].AsString() + "/" + r[1].AsString()
+	}
+	want := []string{"Carter/LA", "Carter/SF", "Smith/SF"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("sorted order = %v, want %v", order, want)
+			break
+		}
+	}
+	if err := tab.SortBy("nope"); err == nil {
+		t.Error("expected error for missing sort column")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := basketTable(t)
+	s := tab.String()
+	if !strings.Contains(s, "D(") || !strings.Contains(s, "Carter") {
+		t.Errorf("String() preview missing content: %s", s)
+	}
+}

@@ -1,0 +1,381 @@
+// Package relation implements the typed relational table model that all of
+// PYTHIA is built on: values, columns, schemas, tables and a CSV codec with
+// type inference.
+//
+// The model is deliberately small. A Value is a tagged union rather than an
+// interface so that a-query execution (large self-joins in
+// internal/sqlengine) does not allocate per cell, and tables are stored
+// row-major because every consumer (profiling, serialization, evidence
+// collection) walks whole rows.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the value types supported by the engine.
+type Kind uint8
+
+// The supported kinds. KindNull is the zero value, so an uninitialized
+// Value is NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindDate
+)
+
+// String returns the lowercase SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindDate:
+		return "date"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether values of this kind can participate in ordered
+// numeric comparisons (<, >). Dates are ordered but not numeric.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Ordered reports whether values of this kind have a total order usable by
+// range predicates.
+func (k Kind) Ordered() bool {
+	return k == KindInt || k == KindFloat || k == KindDate || k == KindString
+}
+
+// Value is a single table cell: a tagged union over the supported kinds.
+// The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64 // int, bool (0/1), date (days since epoch)
+	f    float64
+	s    string
+}
+
+// dateEpoch is the reference day for KindDate values.
+var dateEpoch = time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Null is the NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Date returns a date value for the given civil date.
+func Date(year int, month time.Month, day int) Value {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return Value{kind: KindDate, i: int64(t.Sub(dateEpoch).Hours() / 24)}
+}
+
+// DateFromDays returns a date value from a count of days since 1970-01-01.
+func DateFromDays(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// Kind returns the kind tag of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics if the kind is not KindInt.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("relation: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric payload widened to float64. It panics unless
+// the kind is KindInt or KindFloat.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic("relation: AsFloat on " + v.kind.String())
+	}
+}
+
+// AsString returns the string payload. It panics if the kind is not
+// KindString.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("relation: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics if the kind is not KindBool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("relation: AsBool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// AsDays returns the day count of a date value. It panics if the kind is not
+// KindDate.
+func (v Value) AsDays() int64 {
+	if v.kind != KindDate {
+		panic("relation: AsDays on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Time returns the date value as a time.Time at UTC midnight. It panics if
+// the kind is not KindDate.
+func (v Value) Time() time.Time {
+	return dateEpoch.AddDate(0, 0, int(v.AsDays()))
+}
+
+// Format renders the value the way the CSV codec and text generator print
+// it. NULL renders as the empty string.
+func (v Value) Format() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return v.Time().Format("2006-01-02")
+	default:
+		return fmt.Sprintf("<%s>", v.kind)
+	}
+}
+
+// GoString implements fmt.GoStringer for readable test failures.
+func (v Value) GoString() string {
+	if v.kind == KindNull {
+		return "relation.Null"
+	}
+	return fmt.Sprintf("%s(%s)", v.kind, v.Format())
+}
+
+// Equal reports value equality. Values of different kinds are unequal,
+// except that int and float compare numerically. NULL equals nothing,
+// including NULL (SQL semantics live in Compare; Equal is plain equality
+// for maps and tests, where NULL == NULL is true).
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindNull:
+			return true
+		case KindString:
+			return v.s == o.s
+		case KindFloat:
+			return v.f == o.f
+		default:
+			return v.i == o.i
+		}
+	}
+	if v.kind.Numeric() && o.kind.Numeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	return false
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o. Numeric
+// kinds compare numerically across int/float. NULL sorts before everything.
+// Comparing unordered or mismatched kinds returns an error.
+func (v Value) Compare(o Value) (int, error) {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0, nil
+		case v.kind == KindNull:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if v.kind.Numeric() && o.kind.Numeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if v.kind != o.kind {
+		return 0, fmt.Errorf("relation: cannot compare %s with %s", v.kind, o.kind)
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, o.s), nil
+	case KindDate:
+		switch {
+		case v.i < o.i:
+			return -1, nil
+		case v.i > o.i:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindBool:
+		switch {
+		case v.i < o.i:
+			return -1, nil
+		case v.i > o.i:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return 0, fmt.Errorf("relation: %s values are not ordered", v.kind)
+	}
+}
+
+// HashKey returns a string usable as a map key that respects Equal: values
+// that are Equal produce the same key. Int and float values with the same
+// numeric value share a key.
+func (v Value) HashKey() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindString:
+		return "s" + v.s
+	case KindBool:
+		return "b" + strconv.FormatInt(v.i, 10)
+	case KindDate:
+		return "d" + strconv.FormatInt(v.i, 10)
+	case KindInt:
+		return "n" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		}
+		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return "?"
+	}
+}
+
+// ParseValue parses s into the requested kind. The empty string parses to
+// NULL for every kind.
+func ParseValue(s string, k Kind) (Value, error) {
+	if s == "" {
+		return Null, nil
+	}
+	switch k {
+	case KindString:
+		return String(s), nil
+	case KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("relation: parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return Null, fmt.Errorf("relation: parse float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case KindBool:
+		switch strings.ToLower(strings.TrimSpace(s)) {
+		case "true", "t", "yes", "y", "1":
+			return Bool(true), nil
+		case "false", "f", "no", "n", "0":
+			return Bool(false), nil
+		}
+		return Null, fmt.Errorf("relation: parse bool %q", s)
+	case KindDate:
+		t, err := time.Parse("2006-01-02", strings.TrimSpace(s))
+		if err != nil {
+			return Null, fmt.Errorf("relation: parse date %q: %w", s, err)
+		}
+		return Date(t.Year(), t.Month(), t.Day()), nil
+	case KindNull:
+		return Null, nil
+	default:
+		return Null, fmt.Errorf("relation: parse into unknown kind %v", k)
+	}
+}
+
+// InferKind guesses the narrowest kind that can represent s. Preference
+// order: int, float, date, bool, string. The empty string infers KindNull.
+func InferKind(s string) Kind {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return KindNull
+	}
+	if _, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return KindInt
+	}
+	if _, err := strconv.ParseFloat(t, 64); err == nil {
+		return KindFloat
+	}
+	if _, err := time.Parse("2006-01-02", t); err == nil {
+		return KindDate
+	}
+	switch strings.ToLower(t) {
+	case "true", "false":
+		return KindBool
+	}
+	return KindString
+}
+
+// UnifyKind returns the narrowest kind that can hold both a and b, used by
+// column type inference. Null unifies with anything; int widens to float;
+// everything else falls back to string.
+func UnifyKind(a, b Kind) Kind {
+	if a == b {
+		return a
+	}
+	if a == KindNull {
+		return b
+	}
+	if b == KindNull {
+		return a
+	}
+	if a.Numeric() && b.Numeric() {
+		return KindFloat
+	}
+	return KindString
+}

@@ -1,0 +1,304 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "null",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindString: "string",
+		KindBool:   "bool",
+		KindDate:   "date",
+		Kind(99):   "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %g", got)
+	}
+	if got := Int(7).AsFloat(); got != 7 {
+		t.Errorf("Int(7).AsFloat() = %g", got)
+	}
+	if got := String("hi").AsString(); got != "hi" {
+		t.Errorf("String(hi).AsString() = %q", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool payload mismatch")
+	}
+	d := Date(2020, time.March, 15)
+	if got := d.Time().Format("2006-01-02"); got != "2020-03-15" {
+		t.Errorf("Date roundtrip = %s", got)
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull mismatch")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"AsInt on string", func() { String("x").AsInt() }},
+		{"AsFloat on string", func() { String("x").AsFloat() }},
+		{"AsString on int", func() { Int(1).AsString() }},
+		{"AsBool on int", func() { Int(1).AsBool() }},
+		{"AsDays on int", func() { Int(1).AsDays() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestValueFormat(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, ""},
+		{Int(-3), "-3"},
+		{Float(0.5), "0.5"},
+		{Float(100), "100"},
+		{String("Carter"), "Carter"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Date(1999, time.December, 31), "1999-12-31"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.Format(); got != tc.want {
+			t.Errorf("%#v.Format() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Float(1), true},
+		{Float(1.5), Int(1), false},
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{String("1"), Int(1), false},
+		{Null, Null, true},
+		{Null, Int(0), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Int(1), false},
+		{Date(2020, 1, 1), Date(2020, 1, 1), true},
+		{Date(2020, 1, 1), Date(2020, 1, 2), false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Equal(tc.b); got != tc.want {
+			t.Errorf("%#v.Equal(%#v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Equal(tc.a); got != tc.want {
+			t.Errorf("Equal not symmetric for %#v, %#v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Float(2.5), Int(2), 1},
+		{String("a"), String("b"), -1},
+		{Date(2020, 1, 1), Date(2021, 1, 1), -1},
+		{Bool(false), Bool(true), -1},
+		{Null, Int(5), -1},
+		{Int(5), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, tc := range cases {
+		got, err := tc.a.Compare(tc.b)
+		if err != nil {
+			t.Errorf("%#v.Compare(%#v): %v", tc.a, tc.b, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%#v.Compare(%#v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if _, err := String("a").Compare(Int(1)); err == nil {
+		t.Error("expected error comparing string with int")
+	}
+	if _, err := Date(2020, 1, 1).Compare(Bool(true)); err == nil {
+		t.Error("expected error comparing date with bool")
+	}
+}
+
+func TestHashKeyRespectsEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(3), Float(3)},
+		{Null, Null},
+		{String("x"), String("x")},
+	}
+	for _, p := range pairs {
+		if p[0].HashKey() != p[1].HashKey() {
+			t.Errorf("HashKey mismatch for equal values %#v, %#v", p[0], p[1])
+		}
+	}
+	distinct := []Value{Int(1), Int(2), String("1"), Bool(true), Date(1970, 1, 2), Null, Float(1.5)}
+	seen := map[string]Value{}
+	for _, v := range distinct {
+		k := v.HashKey()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("HashKey collision: %#v and %#v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		k    Kind
+		want Value
+	}{
+		{"42", KindInt, Int(42)},
+		{" 42 ", KindInt, Int(42)},
+		{"2.5", KindFloat, Float(2.5)},
+		{"hello", KindString, String("hello")},
+		{"true", KindBool, Bool(true)},
+		{"No", KindBool, Bool(false)},
+		{"2020-05-01", KindDate, Date(2020, time.May, 1)},
+		{"", KindInt, Null},
+		{"", KindString, Null},
+	}
+	for _, tc := range cases {
+		got, err := ParseValue(tc.in, tc.k)
+		if err != nil {
+			t.Errorf("ParseValue(%q, %s): %v", tc.in, tc.k, err)
+			continue
+		}
+		if !got.Equal(tc.want) || got.Kind() != tc.want.Kind() {
+			t.Errorf("ParseValue(%q, %s) = %#v, want %#v", tc.in, tc.k, got, tc.want)
+		}
+	}
+	bad := []struct {
+		in string
+		k  Kind
+	}{
+		{"abc", KindInt},
+		{"abc", KindFloat},
+		{"maybe", KindBool},
+		{"01/02/2020", KindDate},
+	}
+	for _, tc := range bad {
+		if _, err := ParseValue(tc.in, tc.k); err == nil {
+			t.Errorf("ParseValue(%q, %s): expected error", tc.in, tc.k)
+		}
+	}
+}
+
+func TestInferKind(t *testing.T) {
+	cases := map[string]Kind{
+		"":           KindNull,
+		"42":         KindInt,
+		"-7":         KindInt,
+		"3.14":       KindFloat,
+		"1e5":        KindFloat,
+		"2021-01-05": KindDate,
+		"true":       KindBool,
+		"FALSE":      KindBool,
+		"Carter":     KindString,
+		"SF":         KindString,
+	}
+	for in, want := range cases {
+		if got := InferKind(in); got != want {
+			t.Errorf("InferKind(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestUnifyKind(t *testing.T) {
+	cases := []struct {
+		a, b, want Kind
+	}{
+		{KindInt, KindInt, KindInt},
+		{KindInt, KindFloat, KindFloat},
+		{KindNull, KindDate, KindDate},
+		{KindBool, KindNull, KindBool},
+		{KindInt, KindString, KindString},
+		{KindDate, KindBool, KindString},
+	}
+	for _, tc := range cases {
+		if got := UnifyKind(tc.a, tc.b); got != tc.want {
+			t.Errorf("UnifyKind(%s, %s) = %s, want %s", tc.a, tc.b, got, tc.want)
+		}
+		if got := UnifyKind(tc.b, tc.a); got != tc.want {
+			t.Errorf("UnifyKind not symmetric for %s, %s", tc.a, tc.b)
+		}
+	}
+}
+
+// Property: parse(format(v)) is the identity for every non-null value kind.
+func TestFormatParseRoundtripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool, days int16) bool {
+		if math.IsNaN(fl) || math.IsInf(fl, 0) {
+			fl = 0
+		}
+		vals := []Value{Int(i), Float(fl), Bool(b), DateFromDays(int64(days))}
+		if s != "" {
+			vals = append(vals, String(s))
+		}
+		for _, v := range vals {
+			got, err := ParseValue(v.Format(), v.Kind())
+			if err != nil || !got.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal on numeric
+// values.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		va, vb := Int(int64(a)), Float(float64(b))
+		ab, err1 := va.Compare(vb)
+		ba, err2 := vb.Compare(va)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if ab != -ba {
+			return false
+		}
+		return (ab == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package serialize turns tables into the token sequences the metadata
+// model consumes, reproducing the prompt design of the paper's Figure 4:
+// a schema-only prompt, and a schema+data prompt with either row or column
+// serialization, delimited by special tokens.
+//
+// Numeric cells are bucketed into magnitude tokens rather than spelled out:
+// what the data-task model can exploit from numbers is their distribution,
+// not their digits, and shared magnitude buckets are exactly the signal
+// that lets it pair attributes with similar value domains.
+package serialize
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/vocab"
+)
+
+// Mode selects the prompt variant.
+type Mode uint8
+
+const (
+	// SchemaOnly is the schema-task prompt: header plus the attribute pair.
+	SchemaOnly Mode = iota
+	// DataRows adds up to MaxRows sample rows, serialized row by row.
+	DataRows
+	// DataColumns adds the same sample serialized column by column.
+	DataColumns
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case SchemaOnly:
+		return "schema"
+	case DataRows:
+		return "data-rows"
+	case DataColumns:
+		return "data-cols"
+	default:
+		return "mode?"
+	}
+}
+
+// Special tokens. <hs>/<he> bracket a header cell, <rs>/<re> a row,
+// <cs>/<ce> a column, <a1>/<a2> introduce the candidate attribute pair.
+const (
+	TokCLS   = "[CLS]"
+	TokSEP   = "[SEP]"
+	TokHS    = "<hs>"
+	TokHE    = "<he>"
+	TokRS    = "<rs>"
+	TokRE    = "<re>"
+	TokCS    = "<cs>"
+	TokCE    = "<ce>"
+	TokA1    = "<a1>"
+	TokA2    = "<a2>"
+	TokPad   = "[PAD]"
+	TokUnk   = "[UNK]"
+	TokEmpty = "<empty>"
+)
+
+// SpecialTokens lists every reserved token, PAD first (ID 0 by convention).
+func SpecialTokens() []string {
+	return []string{TokPad, TokUnk, TokCLS, TokSEP, TokHS, TokHE, TokRS, TokRE, TokCS, TokCE, TokA1, TokA2, TokEmpty}
+}
+
+// Config controls prompt construction.
+type Config struct {
+	Mode Mode
+	// MaxRows bounds the serialized sample for the data modes. The paper
+	// finds 5 to be the sweet spot.
+	MaxRows int
+	// MaxCellTokens bounds tokens per serialized cell.
+	MaxCellTokens int
+}
+
+// DefaultConfig returns the paper's best configuration: data task, row
+// serialization, five sample rows.
+func DefaultConfig() Config {
+	return Config{Mode: DataRows, MaxRows: 5, MaxCellTokens: 3}
+}
+
+// Input is one table context plus the candidate attribute pair.
+type Input struct {
+	Header []string
+	Rows   [][]string // formatted cells; may be nil for SchemaOnly
+	AttrA  string
+	AttrB  string
+}
+
+// Prompt serializes the input under the configuration.
+func Prompt(cfg Config, in Input) []string {
+	if cfg.MaxCellTokens <= 0 {
+		cfg.MaxCellTokens = 3
+	}
+	var out []string
+	out = append(out, TokCLS)
+	for _, h := range in.Header {
+		out = append(out, TokHS)
+		out = append(out, headerTokens(h, cfg.MaxCellTokens)...)
+		out = append(out, TokHE)
+	}
+
+	rows := in.Rows
+	if cfg.MaxRows > 0 && len(rows) > cfg.MaxRows {
+		rows = rows[:cfg.MaxRows]
+	}
+	switch cfg.Mode {
+	case DataRows:
+		for _, row := range rows {
+			out = append(out, TokRS)
+			for _, cell := range row {
+				out = append(out, CellTokens(cell, cfg.MaxCellTokens)...)
+			}
+			out = append(out, TokRE)
+		}
+	case DataColumns:
+		for c := range in.Header {
+			out = append(out, TokCS)
+			out = append(out, headerTokens(in.Header[c], cfg.MaxCellTokens)...)
+			for _, row := range rows {
+				if c < len(row) {
+					out = append(out, CellTokens(row[c], cfg.MaxCellTokens)...)
+				}
+			}
+			out = append(out, TokCE)
+		}
+	}
+
+	out = append(out, TokSEP, TokA1)
+	out = append(out, headerTokens(in.AttrA, cfg.MaxCellTokens)...)
+	if cfg.Mode != SchemaOnly {
+		out = append(out, columnValues(in, in.AttrA, rows, cfg.MaxCellTokens)...)
+	}
+	out = append(out, TokA2)
+	out = append(out, headerTokens(in.AttrB, cfg.MaxCellTokens)...)
+	if cfg.Mode != SchemaOnly {
+		out = append(out, columnValues(in, in.AttrB, rows, cfg.MaxCellTokens)...)
+	}
+	if cfg.Mode != SchemaOnly {
+		out = append(out, ValueSimilarityToken(in, rows))
+	}
+	return out
+}
+
+// ValueSimilarityToken compares the two candidate columns' value
+// distributions and emits a bucketed similarity feature. A bag-pooled
+// encoder cannot compare two sub-bags of its own input, so the comparison
+// the Data model needs ("do these columns draw from the same value
+// domain?") is computed at serialization time — this is the distributional
+// signal behind the Data model's recall advantage on acronym headers.
+func ValueSimilarityToken(in Input, rows [][]string) string {
+	a := columnTokenSet(in, in.AttrA, rows)
+	b := columnTokenSet(in, in.AttrB, rows)
+	if len(a) == 0 || len(b) == 0 {
+		return "<valsim_none>"
+	}
+	inter, union := 0, len(b)
+	for t := range a {
+		if b[t] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	j := float64(inter) / float64(union)
+	switch {
+	case j >= 0.8:
+		return "<valsim_high>"
+	case j >= 0.4:
+		return "<valsim_mid>"
+	case j > 0:
+		return "<valsim_low>"
+	default:
+		return "<valsim_zero>"
+	}
+}
+
+// columnTokenSet collects the bucketed/tokenized value set of a column.
+func columnTokenSet(in Input, attr string, rows [][]string) map[string]bool {
+	col := -1
+	for i, h := range in.Header {
+		if strings.EqualFold(h, attr) {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil
+	}
+	out := map[string]bool{}
+	for _, row := range rows {
+		if col < len(row) {
+			for _, t := range CellTokens(row[col], 2) {
+				if t != TokEmpty {
+					out[t] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// columnValues serializes the sampled values of one candidate attribute, so
+// the data-task model can compare the pair's value distributions directly.
+// This is the value signal behind the Data model's recall advantage.
+func columnValues(in Input, attr string, rows [][]string, maxCell int) []string {
+	col := -1
+	for i, h := range in.Header {
+		if strings.EqualFold(h, attr) {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil
+	}
+	var out []string
+	for _, row := range rows {
+		if col < len(row) {
+			out = append(out, CellTokens(row[col], maxCell)...)
+		}
+	}
+	return out
+}
+
+// headerTokens normalizes a header into word tokens, capped.
+func headerTokens(h string, max int) []string {
+	ts := vocab.Tokens(h)
+	if len(ts) == 0 {
+		return []string{TokEmpty}
+	}
+	if len(ts) > max {
+		ts = ts[:max]
+	}
+	return ts
+}
+
+// CellTokens serializes one cell. Numbers become magnitude-bucket tokens;
+// text becomes (capped) word tokens.
+func CellTokens(cell string, max int) []string {
+	c := strings.TrimSpace(cell)
+	if c == "" {
+		return []string{TokEmpty}
+	}
+	if f, err := strconv.ParseFloat(c, 64); err == nil {
+		return []string{NumberToken(f)}
+	}
+	ts := vocab.Tokens(c)
+	if len(ts) == 0 {
+		return []string{TokEmpty}
+	}
+	if len(ts) > max {
+		ts = ts[:max]
+	}
+	return ts
+}
+
+// NumberToken buckets a number by sign, integerness and decade magnitude:
+// e.g. 56 -> "<num+i1>", 0.47 -> "<num+f-1>", -3200 -> "<num-i3>".
+func NumberToken(f float64) string {
+	var b strings.Builder
+	b.WriteString("<num")
+	if f < 0 {
+		b.WriteByte('-')
+		f = -f
+	} else {
+		b.WriteByte('+')
+	}
+	if f == math.Trunc(f) {
+		b.WriteByte('i')
+	} else {
+		b.WriteByte('f')
+	}
+	var mag int
+	switch {
+	case f == 0:
+		mag = 0
+	default:
+		mag = int(math.Floor(math.Log10(f)))
+		if mag < -3 {
+			mag = -3
+		}
+		if mag > 9 {
+			mag = 9
+		}
+	}
+	b.WriteString(strconv.Itoa(mag))
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Tokenizer maps tokens to dense IDs. ID 0 is PAD, ID 1 is UNK; special
+// tokens are always present.
+type Tokenizer struct {
+	idx   map[string]int
+	words []string
+	// frozen stops Fit from adding words, so evaluation cannot grow the
+	// vocabulary.
+	frozen bool
+}
+
+// NewTokenizer returns a tokenizer pre-loaded with the special tokens.
+func NewTokenizer() *Tokenizer {
+	t := &Tokenizer{idx: make(map[string]int)}
+	for _, s := range SpecialTokens() {
+		t.add(s)
+	}
+	return t
+}
+
+func (t *Tokenizer) add(w string) int {
+	if id, ok := t.idx[w]; ok {
+		return id
+	}
+	id := len(t.words)
+	t.idx[w] = id
+	t.words = append(t.words, w)
+	return id
+}
+
+// Fit adds every token to the vocabulary (no-op when frozen).
+func (t *Tokenizer) Fit(tokens []string) {
+	if t.frozen {
+		return
+	}
+	for _, w := range tokens {
+		t.add(w)
+	}
+}
+
+// Freeze stops vocabulary growth; unknown tokens map to UNK afterwards.
+func (t *Tokenizer) Freeze() { t.frozen = true }
+
+// Size returns the vocabulary size.
+func (t *Tokenizer) Size() int { return len(t.words) }
+
+// Encode maps tokens to IDs, using UNK for out-of-vocabulary tokens.
+func (t *Tokenizer) Encode(tokens []string) []int {
+	out := make([]int, len(tokens))
+	unk := t.idx[TokUnk]
+	for i, w := range tokens {
+		if id, ok := t.idx[w]; ok {
+			out[i] = id
+		} else {
+			out[i] = unk
+		}
+	}
+	return out
+}
+
+// Decode maps IDs back to tokens (for debugging).
+func (t *Tokenizer) Decode(ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		if id >= 0 && id < len(t.words) {
+			out[i] = t.words[id]
+		} else {
+			out[i] = TokUnk
+		}
+	}
+	return out
+}
+
+// ID returns the ID for a token and whether it is known.
+func (t *Tokenizer) ID(w string) (int, bool) {
+	id, ok := t.idx[w]
+	return id, ok
+}

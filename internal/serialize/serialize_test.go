@@ -1,0 +1,248 @@
+package serialize
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var basketInput = Input{
+	Header: []string{"Player", "Team", "FG%", "3FG%"},
+	Rows: [][]string{
+		{"Carter", "LA", "56", "47"},
+		{"Smith", "SF", "55", "30"},
+		{"Carter", "SF", "50", "51"},
+	},
+	AttrA: "FG%",
+	AttrB: "3FG%",
+}
+
+func TestSchemaPromptGolden(t *testing.T) {
+	got := Prompt(Config{Mode: SchemaOnly}, basketInput)
+	want := []string{
+		"[CLS]",
+		"<hs>", "player", "<he>",
+		"<hs>", "team", "<he>",
+		"<hs>", "fg", "pct", "<he>",
+		"<hs>", "3fg", "pct", "<he>",
+		"[SEP]",
+		"<a1>", "fg", "pct",
+		"<a2>", "3fg", "pct",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("schema prompt =\n%v\nwant\n%v", got, want)
+	}
+}
+
+func TestDataRowsPromptStructure(t *testing.T) {
+	got := Prompt(Config{Mode: DataRows, MaxRows: 2}, basketInput)
+	joined := strings.Join(got, " ")
+	if strings.Count(joined, TokRS) != 2 || strings.Count(joined, TokRE) != 2 {
+		t.Errorf("row markers wrong: %s", joined)
+	}
+	// Numeric cells must be bucketed, not verbatim.
+	if strings.Contains(joined, " 56 ") {
+		t.Errorf("raw number leaked into prompt: %s", joined)
+	}
+	if !strings.Contains(joined, "<num+i1>") {
+		t.Errorf("missing magnitude bucket for 56: %s", joined)
+	}
+	if !strings.Contains(joined, "carter") {
+		t.Errorf("missing categorical token: %s", joined)
+	}
+}
+
+func TestDataColumnsPromptStructure(t *testing.T) {
+	got := Prompt(Config{Mode: DataColumns, MaxRows: 3}, basketInput)
+	joined := strings.Join(got, " ")
+	if strings.Count(joined, TokCS) != 4 || strings.Count(joined, TokCE) != 4 {
+		t.Errorf("column markers wrong: %s", joined)
+	}
+	// Column serialization groups a header with its values.
+	idx := strings.Index(joined, "<cs> player")
+	if idx < 0 {
+		t.Fatalf("player column missing: %s", joined)
+	}
+	seg := joined[idx : strings.Index(joined[idx:], TokCE)+idx]
+	if !strings.Contains(seg, "carter") || !strings.Contains(seg, "smith") {
+		t.Errorf("player column lacks values: %s", seg)
+	}
+}
+
+func TestMaxRowsRespected(t *testing.T) {
+	got := Prompt(Config{Mode: DataRows, MaxRows: 1}, basketInput)
+	if n := strings.Count(strings.Join(got, " "), TokRS); n != 1 {
+		t.Errorf("rows serialized = %d, want 1", n)
+	}
+}
+
+func TestEmptyAndJunkCells(t *testing.T) {
+	in := Input{
+		Header: []string{"A12", ""},
+		Rows:   [][]string{{"", "%%%"}},
+		AttrA:  "A12",
+		AttrB:  "",
+	}
+	got := Prompt(Config{Mode: DataRows, MaxRows: 1}, in)
+	joined := strings.Join(got, " ")
+	if !strings.Contains(joined, TokEmpty) {
+		t.Errorf("empty cells not marked: %s", joined)
+	}
+}
+
+func TestNumberToken(t *testing.T) {
+	cases := map[float64]string{
+		56:      "<num+i1>",
+		0.47:    "<num+f-1>",
+		-3200:   "<num-i3>",
+		0:       "<num+i0>",
+		1e12:    "<num+i9>",  // clamped high
+		0.00001: "<num+f-3>", // clamped low
+		7:       "<num+i0>",
+		123.5:   "<num+f2>",
+	}
+	for in, want := range cases {
+		if got := NumberToken(in); got != want {
+			t.Errorf("NumberToken(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCellTokensCap(t *testing.T) {
+	got := CellTokens("one two three four five", 3)
+	if len(got) != 3 {
+		t.Errorf("cap not applied: %v", got)
+	}
+}
+
+func TestTokenizerBasics(t *testing.T) {
+	tok := NewTokenizer()
+	if id, ok := tok.ID(TokPad); !ok || id != 0 {
+		t.Errorf("PAD id = %d/%v, want 0", id, ok)
+	}
+	tok.Fit([]string{"alpha", "beta", "alpha"})
+	n := tok.Size()
+	ids := tok.Encode([]string{"alpha", "beta", "gamma"})
+	unk, _ := tok.ID(TokUnk)
+	if ids[2] != unk {
+		t.Errorf("unknown token id = %d, want UNK %d", ids[2], unk)
+	}
+	if ids[0] == ids[1] {
+		t.Error("distinct tokens share an id")
+	}
+	dec := tok.Decode(ids[:2])
+	if dec[0] != "alpha" || dec[1] != "beta" {
+		t.Errorf("decode = %v", dec)
+	}
+	tok.Freeze()
+	tok.Fit([]string{"delta"})
+	if tok.Size() != n {
+		t.Error("Fit grew a frozen tokenizer")
+	}
+}
+
+func TestTokenizerDecodeOutOfRange(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Decode([]int{-1, 99999})
+	if got[0] != TokUnk || got[1] != TokUnk {
+		t.Errorf("out-of-range decode = %v", got)
+	}
+}
+
+// Property: encoding then decoding fitted tokens is the identity.
+func TestTokenizerRoundtripProperty(t *testing.T) {
+	f := func(words []string) bool {
+		tok := NewTokenizer()
+		clean := make([]string, 0, len(words))
+		for _, w := range words {
+			if w != "" {
+				clean = append(clean, w)
+			}
+		}
+		tok.Fit(clean)
+		dec := tok.Decode(tok.Encode(clean))
+		return reflect.DeepEqual(dec, clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prompts always start with CLS and contain exactly one SEP/A1/A2
+// marker triple in order.
+func TestPromptInvariants(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mode: SchemaOnly},
+		{Mode: DataRows, MaxRows: 5},
+		{Mode: DataColumns, MaxRows: 5},
+	} {
+		got := Prompt(cfg, basketInput)
+		if got[0] != TokCLS {
+			t.Errorf("%s: prompt does not start with CLS", cfg.Mode)
+		}
+		joined := strings.Join(got, " ")
+		sep := strings.Index(joined, TokSEP)
+		a1 := strings.Index(joined, TokA1)
+		a2 := strings.Index(joined, TokA2)
+		if sep < 0 || a1 < sep || a2 < a1 {
+			t.Errorf("%s: marker order broken: %s", cfg.Mode, joined)
+		}
+		if strings.Count(joined, TokSEP) != 1 {
+			t.Errorf("%s: SEP count != 1", cfg.Mode)
+		}
+	}
+}
+
+func TestValueSimilarityToken(t *testing.T) {
+	mk := func(valsA, valsB []string) string {
+		in := Input{Header: []string{"a", "b"}, AttrA: "a", AttrB: "b"}
+		rows := make([][]string, 0, len(valsA))
+		for i := range valsA {
+			rows = append(rows, []string{valsA[i], valsB[i]})
+		}
+		in.Rows = rows
+		return ValueSimilarityToken(in, rows)
+	}
+	// Same magnitude buckets -> high.
+	if got := mk([]string{"56", "55", "50"}, []string{"47", "30", "51"}); got != "<valsim_high>" {
+		t.Errorf("same-decade ints = %s, want high", got)
+	}
+	// Disjoint buckets -> zero.
+	if got := mk([]string{"5", "6", "4"}, []string{"50000", "60000", "40000"}); got != "<valsim_zero>" {
+		t.Errorf("distant ints = %s, want zero", got)
+	}
+	// Shared categorical vocabulary -> high.
+	if got := mk([]string{"red", "blue", "red"}, []string{"blue", "red", "blue"}); got != "<valsim_high>" {
+		t.Errorf("shared categories = %s, want high", got)
+	}
+	// Disjoint categorical vocabulary -> zero.
+	if got := mk([]string{"red", "blue", "red"}, []string{"oak", "pine", "elm"}); got != "<valsim_zero>" {
+		t.Errorf("disjoint categories = %s, want zero", got)
+	}
+	// Missing column -> none.
+	in := Input{Header: []string{"a"}, AttrA: "a", AttrB: "missing"}
+	if got := ValueSimilarityToken(in, [][]string{{"1"}}); got != "<valsim_none>" {
+		t.Errorf("missing column = %s, want none", got)
+	}
+}
+
+func TestDataPromptBindsPairValues(t *testing.T) {
+	// The <a1>/<a2> segments must carry the candidate columns' values.
+	got := Prompt(Config{Mode: DataRows, MaxRows: 3}, basketInput)
+	joined := strings.Join(got, " ")
+	a1 := strings.Index(joined, TokA1)
+	a2 := strings.Index(joined, TokA2)
+	if a1 < 0 || a2 < a1 {
+		t.Fatalf("marker order: %s", joined)
+	}
+	seg1 := joined[a1:a2]
+	// FG% column values 56, 55, 50 bucket to <num+i1>.
+	if strings.Count(seg1, "<num+i1>") != 3 {
+		t.Errorf("a1 segment lacks bound values: %s", seg1)
+	}
+	// And the prompt ends with a similarity feature.
+	if !strings.Contains(joined, "<valsim_") {
+		t.Errorf("missing valsim feature: %s", joined)
+	}
+}

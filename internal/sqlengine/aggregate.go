@@ -1,0 +1,291 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// isAggregateQuery reports whether the statement needs the grouping path.
+func isAggregateQuery(stmt *SelectStmt) bool {
+	if len(stmt.GroupBy) > 0 {
+		return true
+	}
+	for _, item := range stmt.Items {
+		if !item.Star && containsAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count   int
+	sum     float64
+	sumInts bool // all summed inputs were ints
+	min     relation.Value
+	max     relation.Value
+	seen    bool
+}
+
+func (a *aggState) add(v relation.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	a.count++
+	if v.Kind().Numeric() {
+		if !a.seen {
+			a.sumInts = v.Kind() == relation.KindInt
+		} else if v.Kind() != relation.KindInt {
+			a.sumInts = false
+		}
+		a.sum += v.AsFloat()
+	}
+	if !a.seen {
+		a.min, a.max = v, v
+		a.seen = true
+		return nil
+	}
+	if c, err := v.Compare(a.min); err == nil && c < 0 {
+		a.min = v
+	}
+	if c, err := v.Compare(a.max); err == nil && c > 0 {
+		a.max = v
+	}
+	return nil
+}
+
+// result renders the final value of the aggregate fn (COUNT(*) is handled
+// by the caller from the group's row count).
+func (a *aggState) result(fn string) (relation.Value, error) {
+	switch fn {
+	case "COUNT":
+		return relation.Int(int64(a.count)), nil
+	case "SUM":
+		if a.count == 0 {
+			return relation.Null, nil
+		}
+		if a.sumInts {
+			return relation.Int(int64(a.sum)), nil
+		}
+		return relation.Float(a.sum), nil
+	case "AVG":
+		if a.count == 0 {
+			return relation.Null, nil
+		}
+		return relation.Float(a.sum / float64(a.count)), nil
+	case "MIN":
+		return a.min, nil
+	case "MAX":
+		return a.max, nil
+	default:
+		return relation.Null, fmt.Errorf("sqlengine: unknown aggregate %q", fn)
+	}
+}
+
+// aggProjection is one SELECT item in an aggregate query: either a bare
+// aggregate call or a plain group expression.
+type aggProjection struct {
+	agg   *FuncCall  // nil for group expressions
+	arg   *evaluator // aggregate argument (nil for COUNT(*))
+	group *evaluator // group expression evaluator
+	name  string
+	kind  relation.Kind
+}
+
+// group is one group's accumulated state.
+type aggGroup struct {
+	key      string
+	firstRow []relation.Value
+	states   []*aggState
+	rows     int
+}
+
+// executeAggregate runs the grouping path: GROUP BY keys plus aggregate
+// accumulators, one output row per group. Each SELECT item must be either
+// a single aggregate call or an expression over the grouping columns (the
+// usual SQL restriction, checked loosely by evaluating group expressions
+// on the group's first row).
+func (e *Engine) executeAggregate(stmt *SelectStmt, b *binding, sources []*relation.Table) (*relation.Table, error) {
+	// Compile projections.
+	var projs []aggProjection
+	for i, item := range stmt.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sqlengine: SELECT * is not valid in aggregate queries")
+		}
+		if fc, ok := item.Expr.(*FuncCall); ok && fc.IsAggregate() {
+			p := aggProjection{agg: fc, name: projectionName(item, i)}
+			if !fc.Star {
+				ev, err := compile(fc.Args[0], b)
+				if err != nil {
+					return nil, err
+				}
+				p.arg = ev
+				switch strings.ToUpper(fc.Name) {
+				case "COUNT":
+					p.kind = relation.KindInt
+				case "AVG":
+					p.kind = relation.KindFloat
+				default:
+					p.kind = ev.kind
+				}
+			} else {
+				p.kind = relation.KindInt
+			}
+			projs = append(projs, p)
+			continue
+		}
+		if containsAggregate(item.Expr) {
+			return nil, fmt.Errorf("sqlengine: expressions over aggregates are not supported (%s)", item.Expr)
+		}
+		ev, err := compile(item.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		projs = append(projs, aggProjection{group: ev, name: projectionName(item, i), kind: ev.kind})
+	}
+
+	// Compile grouping keys.
+	var keys []*evaluator
+	for _, g := range stmt.GroupBy {
+		ev, err := compile(g, b)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, ev)
+	}
+
+	groups := map[string]*aggGroup{}
+	var order []string
+	var kb strings.Builder
+	sink := func(combined []relation.Value) error {
+		kb.Reset()
+		for _, k := range keys {
+			v, err := k.eval(combined)
+			if err != nil {
+				return err
+			}
+			kb.WriteString(v.HashKey())
+			kb.WriteByte(0x1f)
+		}
+		key := kb.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &aggGroup{key: key, firstRow: append([]relation.Value{}, combined...)}
+			for range projs {
+				g.states = append(g.states, &aggState{})
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows++
+		for i, p := range projs {
+			if p.arg != nil {
+				v, err := p.arg.eval(combined)
+				if err != nil {
+					return err
+				}
+				if err := g.states[i].add(v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := e.planRows(stmt, b, sources, sink); err != nil {
+		return nil, err
+	}
+	// A global aggregate over zero rows still yields one row (SQL
+	// semantics: COUNT(*) = 0).
+	if len(groups) == 0 && len(keys) == 0 {
+		g := &aggGroup{key: "", firstRow: make([]relation.Value, totalWidth(b))}
+		for range projs {
+			g.states = append(g.states, &aggState{})
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	sort.Strings(order)
+	out := make([]relation.Row, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		row := make(relation.Row, len(projs))
+		for i, p := range projs {
+			switch {
+			case p.agg != nil && p.agg.Star:
+				row[i] = relation.Int(int64(g.rows))
+			case p.agg != nil:
+				v, err := g.states[i].result(strings.ToUpper(p.agg.Name))
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			default:
+				v, err := p.group.eval(g.firstRow)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+		}
+		out = append(out, row)
+	}
+
+	// ORDER BY over output columns (by name) and LIMIT.
+	if len(stmt.OrderBy) > 0 {
+		names := make([]string, len(projs))
+		for i, p := range projs {
+			names[i] = p.name
+		}
+		sort.SliceStable(out, func(a, bI int) bool {
+			ka := orderKeysFromProjection(stmt, names, out[a])
+			kbv := orderKeysFromProjection(stmt, names, out[bI])
+			for j := range ka {
+				c, err := ka[j].Compare(kbv[j])
+				if err != nil {
+					c = strings.Compare(ka[j].Format(), kbv[j].Format())
+				}
+				if c != 0 {
+					if stmt.OrderBy[j].Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if stmt.Limit >= 0 && len(out) > stmt.Limit {
+		out = out[:stmt.Limit]
+	}
+
+	schema := make(relation.Schema, len(projs))
+	for i, p := range projs {
+		k := p.kind
+		if k == relation.KindNull {
+			for _, row := range out {
+				k = relation.UnifyKind(k, row[i].Kind())
+			}
+			if k == relation.KindNull {
+				k = relation.KindString
+			}
+		}
+		schema[i] = relation.Column{Name: p.name, Kind: k}
+	}
+	res := relation.NewTable("result", schema)
+	res.Rows = out
+	return res, nil
+}
+
+// totalWidth is the combined-row width of the binding.
+func totalWidth(b *binding) int {
+	total := 0
+	for i := range b.schemas {
+		total += len(b.schemas[i])
+	}
+	return total
+}

@@ -1,0 +1,217 @@
+package sqlengine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func aggEngine(t *testing.T) *Engine {
+	t.Helper()
+	tab, err := relation.ReadCSVString("covid", `country,region,cases,rate
+France,EU,100,1.5
+France,EU,200,2.5
+Italy,EU,50,3.0
+Egypt,Africa,40,2.0
+Kenya,Africa,10,1.0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine()
+	e.Register(tab)
+	return e
+}
+
+func TestGroupBySum(t *testing.T) {
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT region, SUM(cases) FROM covid GROUP BY region`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("groups = %d, want 2", res.NumRows())
+	}
+	got := map[string]int64{}
+	for _, row := range res.Rows {
+		got[row[0].AsString()] = row[1].AsInt()
+	}
+	if got["EU"] != 350 || got["Africa"] != 50 {
+		t.Errorf("sums = %v", got)
+	}
+}
+
+func TestGroupByAllAggregates(t *testing.T) {
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT region, COUNT(*), COUNT(cases), AVG(cases), MIN(rate), MAX(rate)
+	                     FROM covid GROUP BY region ORDER BY region`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	africa := res.Rows[0]
+	if africa[0].AsString() != "Africa" {
+		t.Fatalf("order = %v", res)
+	}
+	if africa[1].AsInt() != 2 || africa[2].AsInt() != 2 {
+		t.Errorf("counts = %v", africa)
+	}
+	if africa[3].AsFloat() != 25 {
+		t.Errorf("avg = %v", africa[3])
+	}
+	if africa[4].AsFloat() != 1.0 || africa[5].AsFloat() != 2.0 {
+		t.Errorf("min/max = %v %v", africa[4], africa[5])
+	}
+}
+
+func TestGlobalAggregateNoGroups(t *testing.T) {
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT COUNT(*), SUM(cases) FROM covid`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.NumRows() != 1 || res.Cell(0, 0).AsInt() != 5 || res.Cell(0, 1).AsInt() != 400 {
+		t.Errorf("result = %v", res)
+	}
+}
+
+func TestGlobalAggregateEmptyInput(t *testing.T) {
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT COUNT(*) FROM covid WHERE cases > 9999`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.NumRows() != 1 || res.Cell(0, 0).AsInt() != 0 {
+		t.Errorf("COUNT over empty = %v", res)
+	}
+	res, err = e.Query(`SELECT SUM(cases) FROM covid WHERE cases > 9999`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Cell(0, 0).IsNull() {
+		t.Errorf("SUM over empty = %v, want NULL", res.Cell(0, 0))
+	}
+}
+
+func TestAggregateWithWhere(t *testing.T) {
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT region, SUM(cases) FROM covid WHERE cases >= 50 GROUP BY region ORDER BY region`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.NumRows() != 1 || res.Cell(0, 0).AsString() != "EU" || res.Cell(0, 1).AsInt() != 350 {
+		t.Errorf("result = %v", res)
+	}
+}
+
+func TestAggregateOverJoin(t *testing.T) {
+	// The paper's future-work query shape: aggregate over a join of a fact
+	// table and a dimension table.
+	e := aggEngine(t)
+	dim, err := relation.ReadCSVString("regions", `region,continent
+EU,Europe
+Africa,Africa
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Register(dim)
+	res, err := e.Query(`SELECT r.continent, SUM(c.cases)
+	                     FROM covid c, regions r
+	                     WHERE c.region = r.region
+	                     GROUP BY r.continent ORDER BY r.continent`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if res.Cell(0, 0).AsString() != "Africa" || res.Cell(0, 1).AsInt() != 50 {
+		t.Errorf("africa = %v", res.Rows[0])
+	}
+	if res.Cell(1, 0).AsString() != "Europe" || res.Cell(1, 1).AsInt() != 350 {
+		t.Errorf("europe = %v", res.Rows[1])
+	}
+}
+
+func TestAvgIsFloat(t *testing.T) {
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT AVG(cases) FROM covid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema[0].Kind != relation.KindFloat {
+		t.Errorf("AVG kind = %s", res.Schema[0].Kind)
+	}
+	if math.Abs(res.Cell(0, 0).AsFloat()-80) > 1e-9 {
+		t.Errorf("AVG = %v", res.Cell(0, 0))
+	}
+}
+
+func TestSumFloatColumn(t *testing.T) {
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT SUM(rate) FROM covid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema[0].Kind != relation.KindFloat || math.Abs(res.Cell(0, 0).AsFloat()-10) > 1e-9 {
+		t.Errorf("SUM(rate) = %v (%s)", res.Cell(0, 0), res.Schema[0].Kind)
+	}
+}
+
+func TestMinMaxStrings(t *testing.T) {
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT MIN(country), MAX(country) FROM covid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cell(0, 0).AsString() != "Egypt" || res.Cell(0, 1).AsString() != "Kenya" {
+		t.Errorf("min/max = %v", res.Rows[0])
+	}
+}
+
+func TestAggregateParseAndValidation(t *testing.T) {
+	e := aggEngine(t)
+	bad := []string{
+		`SELECT SUM(*) FROM covid`,                      // * only for COUNT
+		`SELECT SUM(cases, rate) FROM covid`,            // arity
+		`SELECT * FROM covid GROUP BY region`,           // star in aggregate query
+		`SELECT SUM(cases) + 1 FROM covid`,              // expression over aggregate
+		`SELECT region FROM covid WHERE SUM(cases) > 1`, // aggregate in WHERE
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("Query(%q): expected error", q)
+		}
+	}
+}
+
+func TestGroupByStmtString(t *testing.T) {
+	stmt, err := Parse(`SELECT region, SUM(cases) FROM covid GROUP BY region LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(stmt.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", stmt.String(), err)
+	}
+	if len(s2.GroupBy) != 1 {
+		t.Errorf("GroupBy lost in roundtrip: %q", stmt.String())
+	}
+}
+
+func TestCountDistinctValuesViaGroup(t *testing.T) {
+	// GROUP BY itself deduplicates; COUNT(*) per group plus row count give
+	// the usual building blocks.
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT country, COUNT(*) FROM covid GROUP BY country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 {
+		t.Errorf("distinct countries = %d, want 4", res.NumRows())
+	}
+}

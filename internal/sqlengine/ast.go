@@ -1,0 +1,237 @@
+package sqlengine
+
+import (
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Expr is a SQL expression node.
+type Expr interface {
+	// String renders the expression back to parseable SQL.
+	String() string
+}
+
+// ColumnRef is a possibly-qualified column reference such as b1."FG%".
+type ColumnRef struct {
+	Qualifier string // table alias; empty if unqualified
+	Name      string
+}
+
+func (c *ColumnRef) String() string {
+	if c.Qualifier != "" {
+		return QuoteIdent(c.Qualifier) + "." + QuoteIdent(c.Name)
+	}
+	return QuoteIdent(c.Name)
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value relation.Value
+}
+
+func (l *Literal) String() string {
+	switch l.Value.Kind() {
+	case relation.KindString:
+		return QuoteString(l.Value.AsString())
+	case relation.KindNull:
+		return "NULL"
+	default:
+		return l.Value.Format()
+	}
+}
+
+// BinaryExpr is a binary operation: comparison, arithmetic, or AND/OR.
+type BinaryExpr struct {
+	Op    string // = <> < > <= >= + - * / AND OR
+	Left  Expr
+	Right Expr
+}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// FuncCall is a function application: CONCAT or one of the aggregates
+// (COUNT, SUM, AVG, MIN, MAX). Star marks COUNT(*).
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return strings.ToUpper(f.Name) + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return strings.ToUpper(f.Name) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// aggregateFuncs are the grouping aggregates.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregate reports whether the function is a grouping aggregate.
+func (f *FuncCall) IsAggregate() bool { return aggregateFuncs[strings.ToUpper(f.Name)] }
+
+// containsAggregate walks an expression for aggregate calls.
+func containsAggregate(e Expr) bool {
+	switch n := e.(type) {
+	case *FuncCall:
+		if n.IsAggregate() {
+			return true
+		}
+		for _, a := range n.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return containsAggregate(n.Left) || containsAggregate(n.Right)
+	case *IsNullExpr:
+		return containsAggregate(n.Expr)
+	}
+	return false
+}
+
+// IsNullExpr is `expr IS [NOT] NULL`.
+type IsNullExpr struct {
+	Expr   Expr
+	Negate bool
+}
+
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return "(" + e.Expr.String() + " IS NOT NULL)"
+	}
+	return "(" + e.Expr.String() + " IS NULL)"
+}
+
+// SelectItem is one projection with an optional output alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // output column name; derived if empty
+	Star  bool   // SELECT * (Expr nil)
+}
+
+// TableRef is one FROM entry.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is the parsed form of a query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr // nil when absent; conjunctions kept as BinaryExpr AND trees
+	GroupBy  []Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// String renders the statement back to SQL (normalized).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + QuoteIdent(it.Alias))
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, tr := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(QuoteIdent(tr.Table))
+		if tr.Alias != "" && tr.Alias != tr.Table {
+			b.WriteString(" " + QuoteIdent(tr.Alias))
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT " + itoa(s.Limit))
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// conjuncts flattens an AND tree into its conjunct list. Non-AND
+// expressions yield themselves.
+func conjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(conjuncts(b.Left), conjuncts(b.Right)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}

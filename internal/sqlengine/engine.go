@@ -1,0 +1,633 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Engine is an in-memory SQL engine over registered relation.Tables. It is
+// safe for concurrent queries once all tables are registered; registration
+// itself is not synchronized.
+type Engine struct {
+	tables map[string]*relation.Table
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{tables: make(map[string]*relation.Table)}
+}
+
+// Register adds (or replaces) a table under its own name.
+func (e *Engine) Register(t *relation.Table) {
+	e.tables[strings.ToLower(t.Name)] = t
+}
+
+// Table returns a registered table by name.
+func (e *Engine) Table(name string) (*relation.Table, bool) {
+	t, ok := e.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Query parses and executes a SELECT statement, returning the result as a
+// fresh table named "result".
+func (e *Engine) Query(sql string) (*relation.Table, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(stmt)
+}
+
+// QueryCount executes the statement and returns only the row count. It
+// avoids materializing projection output for counting workloads.
+func (e *Engine) QueryCount(sql string) (int, error) {
+	t, err := e.Query(sql)
+	if err != nil {
+		return 0, err
+	}
+	return t.NumRows(), nil
+}
+
+// Execute runs an already-parsed statement.
+func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
+	// Resolve FROM tables and build the binding.
+	b := &binding{}
+	var sources []*relation.Table
+	offset := 0
+	for _, tr := range stmt.From {
+		t, ok := e.Table(tr.Table)
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: unknown table %q", tr.Table)
+		}
+		sources = append(sources, t)
+		b.aliases = append(b.aliases, strings.ToLower(tr.Alias))
+		b.schemas = append(b.schemas, t.Schema)
+		b.offsets = append(b.offsets, offset)
+		offset += t.NumCols()
+	}
+	if len(b.aliases) == 2 && b.aliases[0] == b.aliases[1] {
+		return nil, fmt.Errorf("sqlengine: duplicate table alias %q", b.aliases[0])
+	}
+
+	// Aggregate queries (GROUP BY or aggregate functions) take the
+	// grouping path.
+	if isAggregateQuery(stmt) {
+		return e.executeAggregate(stmt, b, sources)
+	}
+
+	// Compile projections, expanding stars.
+	projs, names, err := compileProjections(stmt, b)
+	if err != nil {
+		return nil, err
+	}
+
+	// Compile ORDER BY.
+	var orderEvals []*evaluator
+	for _, o := range stmt.OrderBy {
+		ev, err := compile(o.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		orderEvals = append(orderEvals, ev)
+	}
+
+	// Plan and consume the row stream. Without ORDER BY the projection
+	// (plus DISTINCT and LIMIT) streams directly out of the join — the
+	// combined rows are never materialized. With ORDER BY the source rows
+	// must survive until sorting, so they are collected first.
+	width := len(projs)
+	const chunkRows = 1024
+	var arena []relation.Value
+	newRow := func() relation.Row {
+		if len(arena) < width {
+			arena = make([]relation.Value, chunkRows*width)
+		}
+		pr := relation.Row(arena[:width:width])
+		arena = arena[width:]
+		return pr
+	}
+
+	var out []relation.Row
+	var rows [][]relation.Value // combined source rows (ORDER BY path only)
+
+	if len(orderEvals) == 0 {
+		var seen map[string]struct{}
+		if stmt.Distinct {
+			seen = map[string]struct{}{}
+		}
+		var kb strings.Builder
+		sink := func(combined []relation.Value) error {
+			pr := newRow()
+			for i, ev := range projs {
+				v, err := ev.eval(combined)
+				if err != nil {
+					return err
+				}
+				pr[i] = v
+			}
+			if seen != nil {
+				kb.Reset()
+				for _, v := range pr {
+					kb.WriteString(v.HashKey())
+					kb.WriteByte(0x1f)
+				}
+				if _, dup := seen[kb.String()]; dup {
+					return nil
+				}
+				seen[kb.String()] = struct{}{}
+			}
+			out = append(out, pr)
+			if stmt.Limit >= 0 && len(out) >= stmt.Limit {
+				return errLimitReached
+			}
+			return nil
+		}
+		if err := e.planRows(stmt, b, sources, sink); err != nil {
+			return nil, err
+		}
+	} else {
+		// Collect combined rows, then project.
+		var srcArena []relation.Value
+		total := 0
+		for i := range b.schemas {
+			total += len(b.schemas[i])
+		}
+		sink := func(combined []relation.Value) error {
+			if len(srcArena) < total {
+				srcArena = make([]relation.Value, chunkRows*total)
+			}
+			row := srcArena[:total:total]
+			srcArena = srcArena[total:]
+			copy(row, combined)
+			rows = append(rows, row)
+			return nil
+		}
+		if err := e.planRows(stmt, b, sources, sink); err != nil {
+			return nil, err
+		}
+		out = make([]relation.Row, 0, len(rows))
+		for _, row := range rows {
+			pr := newRow()
+			for i, ev := range projs {
+				v, err := ev.eval(row)
+				if err != nil {
+					return nil, err
+				}
+				pr[i] = v
+			}
+			out = append(out, pr)
+		}
+		if stmt.Distinct {
+			seen := make(map[string]struct{}, len(out))
+			dedup := out[:0]
+			var kb strings.Builder
+			for _, row := range out {
+				kb.Reset()
+				for _, v := range row {
+					kb.WriteString(v.HashKey())
+					kb.WriteByte(0x1f)
+				}
+				k := kb.String()
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				dedup = append(dedup, row)
+			}
+			out = dedup
+		}
+	}
+
+	// ORDER BY: evaluated over the *source* rows is not possible after
+	// projection, so we sort (projected, source) pairs together when
+	// ordering expressions exist.
+	if len(orderEvals) > 0 {
+		type pair struct {
+			proj relation.Row
+			keys []relation.Value
+		}
+		pairs := make([]pair, len(out))
+		if stmt.Distinct {
+			// After DISTINCT the source rows no longer correspond 1:1;
+			// order keys must be computable from the projection. We
+			// re-evaluate against projections by name when possible.
+			for i, row := range out {
+				pairs[i] = pair{proj: row, keys: orderKeysFromProjection(stmt, names, row)}
+			}
+		} else {
+			for i, row := range out {
+				keys := make([]relation.Value, len(orderEvals))
+				for j, ev := range orderEvals {
+					v, err := ev.eval(rows[i])
+					if err != nil {
+						return nil, err
+					}
+					keys[j] = v
+				}
+				pairs[i] = pair{proj: row, keys: keys}
+			}
+		}
+		sort.SliceStable(pairs, func(a, bI int) bool {
+			for j := range pairs[a].keys {
+				c, err := pairs[a].keys[j].Compare(pairs[bI].keys[j])
+				if err != nil {
+					c = strings.Compare(pairs[a].keys[j].Format(), pairs[bI].keys[j].Format())
+				}
+				if c != 0 {
+					if stmt.OrderBy[j].Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		for i := range pairs {
+			out[i] = pairs[i].proj
+		}
+	}
+
+	// LIMIT.
+	if stmt.Limit >= 0 && len(out) > stmt.Limit {
+		out = out[:stmt.Limit]
+	}
+
+	// Result schema: static kind guesses refined by observed values.
+	schema := make(relation.Schema, len(projs))
+	for i := range projs {
+		k := projs[i].kind
+		if k == relation.KindNull {
+			for _, row := range out {
+				k = relation.UnifyKind(k, row[i].Kind())
+			}
+			if k == relation.KindNull {
+				k = relation.KindString
+			}
+		}
+		schema[i] = relation.Column{Name: names[i], Kind: k}
+	}
+	res := relation.NewTable("result", schema)
+	res.Rows = out
+	return res, nil
+}
+
+// orderKeysFromProjection resolves ORDER BY items against output column
+// names after DISTINCT. Unresolvable items order as NULL.
+func orderKeysFromProjection(stmt *SelectStmt, names []string, row relation.Row) []relation.Value {
+	keys := make([]relation.Value, len(stmt.OrderBy))
+	for j, o := range stmt.OrderBy {
+		keys[j] = relation.Null
+		if c, ok := o.Expr.(*ColumnRef); ok {
+			for i, n := range names {
+				if strings.EqualFold(n, c.Name) {
+					keys[j] = row[i]
+					break
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// compileProjections expands SELECT items (including *) into compiled
+// evaluators plus output column names.
+func compileProjections(stmt *SelectStmt, b *binding) ([]*evaluator, []string, error) {
+	var projs []*evaluator
+	var names []string
+	for _, item := range stmt.Items {
+		if item.Star {
+			for ti := range b.schemas {
+				for ci, col := range b.schemas[ti] {
+					idx := b.offsets[ti] + ci
+					kind := col.Kind
+					i := idx
+					projs = append(projs, &evaluator{
+						eval: func(row []relation.Value) (relation.Value, error) { return row[i], nil },
+						kind: kind,
+					})
+					names = append(names, col.Name)
+				}
+			}
+			continue
+		}
+		ev, err := compile(item.Expr, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		projs = append(projs, ev)
+		names = append(names, projectionName(item, len(names)))
+	}
+	return projs, names, nil
+}
+
+// projectionName derives the output column name for a projection.
+func projectionName(item SelectItem, pos int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *ColumnRef:
+		return e.Name
+	case *FuncCall:
+		return strings.ToLower(e.Name)
+	default:
+		return fmt.Sprintf("col%d", pos+1)
+	}
+}
+
+// rowSink consumes one combined row. The slice is reused between calls;
+// sinks that retain data must copy. Returning errLimitReached stops the
+// stream without error.
+type rowSink func(combined []relation.Value) error
+
+// planRows streams the combined rows of the FROM/WHERE part into sink.
+func (e *Engine) planRows(stmt *SelectStmt, b *binding, sources []*relation.Table, sink rowSink) error {
+	var err error
+	switch len(sources) {
+	case 1:
+		err = e.planScan(stmt, b, sources[0], sink)
+	case 2:
+		err = e.planJoin(stmt, b, sources, sink)
+	default:
+		err = fmt.Errorf("sqlengine: unsupported FROM arity %d", len(sources))
+	}
+	if err == errLimitReached {
+		return nil
+	}
+	return err
+}
+
+// planScan filters a single table.
+func (e *Engine) planScan(stmt *SelectStmt, b *binding, t *relation.Table, sink rowSink) error {
+	var filter *evaluator
+	if stmt.Where != nil {
+		ev, err := compile(stmt.Where, b)
+		if err != nil {
+			return err
+		}
+		filter = ev
+	}
+	for _, row := range t.Rows {
+		if filter != nil {
+			v, err := filter.eval(row)
+			if err != nil {
+				return err
+			}
+			ok, err := truthy(v)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if err := sink(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sideOf classifies which FROM sides an expression's column references
+// touch, as a bitmask (bit 0 = left, bit 1 = right). Errors propagate nil
+// classification via the bool.
+func sideOf(e Expr, b *binding) (int, bool) {
+	switch n := e.(type) {
+	case *Literal:
+		return 0, true
+	case *ColumnRef:
+		idx, _, err := b.resolve(n)
+		if err != nil {
+			return 0, false
+		}
+		if idx < b.offsets[1] {
+			return 1, true
+		}
+		return 2, true
+	case *IsNullExpr:
+		return sideOf(n.Expr, b)
+	case *FuncCall:
+		mask := 0
+		for _, a := range n.Args {
+			m, ok := sideOf(a, b)
+			if !ok {
+				return 0, false
+			}
+			mask |= m
+		}
+		return mask, true
+	case *BinaryExpr:
+		lm, ok := sideOf(n.Left, b)
+		if !ok {
+			return 0, false
+		}
+		rm, ok := sideOf(n.Right, b)
+		if !ok {
+			return 0, false
+		}
+		return lm | rm, true
+	default:
+		return 0, false
+	}
+}
+
+// equiJoinCols extracts (leftIdx, rightIdx) when e is `a = b` with one
+// column per side.
+func equiJoinCols(e Expr, b *binding) (int, int, bool) {
+	be, ok := e.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		return 0, 0, false
+	}
+	lc, ok1 := be.Left.(*ColumnRef)
+	rc, ok2 := be.Right.(*ColumnRef)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	li, _, err1 := b.resolve(lc)
+	ri, _, err2 := b.resolve(rc)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	boundary := b.offsets[1]
+	switch {
+	case li < boundary && ri >= boundary:
+		return li, ri - boundary, true
+	case ri < boundary && li >= boundary:
+		return ri, li - boundary, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// errLimitReached signals early termination from the join emit path.
+var errLimitReached = fmt.Errorf("sqlengine: limit reached")
+
+// planJoin executes a binary join: single-side conjuncts are pushed below
+// the join, equality conjuncts across sides drive a hash join, and the
+// remaining conjuncts filter joined rows before streaming into sink.
+func (e *Engine) planJoin(stmt *SelectStmt, b *binding, sources []*relation.Table, sink rowSink) error {
+	left, right := sources[0], sources[1]
+	nL, nR := left.NumCols(), right.NumCols()
+
+	var leftPred, rightPred, crossPred []Expr
+	var hashL, hashR []int
+	for _, c := range conjuncts(stmt.Where) {
+		if li, ri, ok := equiJoinCols(c, b); ok {
+			hashL = append(hashL, li)
+			hashR = append(hashR, ri)
+			continue
+		}
+		mask, ok := sideOf(c, b)
+		if !ok {
+			// Let compilation produce the real error.
+			if _, err := compile(c, b); err != nil {
+				return err
+			}
+			crossPred = append(crossPred, c)
+			continue
+		}
+		switch mask {
+		case 0, 1:
+			leftPred = append(leftPred, c)
+		case 2:
+			rightPred = append(rightPred, c)
+		default:
+			crossPred = append(crossPred, c)
+		}
+	}
+
+	leftRows, err := filterSide(left.Rows, leftPred, b, 0, nL)
+	if err != nil {
+		return err
+	}
+	rightRows, err := filterSide(right.Rows, rightPred, b, nL, nR)
+	if err != nil {
+		return err
+	}
+
+	var residual *evaluator
+	if len(crossPred) > 0 {
+		residual, err = compile(conjoin(crossPred), b)
+		if err != nil {
+			return err
+		}
+	}
+
+	// The combined buffer is reused across emits; the sink copies if it
+	// retains rows.
+	combined := make([]relation.Value, nL+nR)
+	emit := func(l, r relation.Row) error {
+		copy(combined, l)
+		copy(combined[nL:], r)
+		if residual != nil {
+			v, err := residual.eval(combined)
+			if err != nil {
+				return err
+			}
+			ok, err := truthy(v)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		return sink(combined)
+	}
+
+	if len(hashL) > 0 {
+		// Hash join: build on the right side.
+		index := make(map[string][]relation.Row, len(rightRows))
+		var kb strings.Builder
+		for _, r := range rightRows {
+			kb.Reset()
+			skip := false
+			for _, ci := range hashR {
+				if r[ci].IsNull() {
+					skip = true // NULL never equi-joins
+					break
+				}
+				kb.WriteString(r[ci].HashKey())
+				kb.WriteByte(0x1f)
+			}
+			if skip {
+				continue
+			}
+			index[kb.String()] = append(index[kb.String()], r)
+		}
+		for _, l := range leftRows {
+			kb.Reset()
+			skip := false
+			for _, ci := range hashL {
+				if l[ci].IsNull() {
+					skip = true
+					break
+				}
+				kb.WriteString(l[ci].HashKey())
+				kb.WriteByte(0x1f)
+			}
+			if skip {
+				continue
+			}
+			for _, r := range index[kb.String()] {
+				if err := emit(l, r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// Nested loop.
+	for _, l := range leftRows {
+		for _, r := range rightRows {
+			if err := emit(l, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// filterSide applies single-side conjuncts to one input. The predicate is
+// compiled against the full binding, so rows are padded into the combined
+// layout at the side's offset.
+func filterSide(rows []relation.Row, preds []Expr, b *binding, offset, width int) ([]relation.Row, error) {
+	if len(preds) == 0 {
+		return rows, nil
+	}
+	ev, err := compile(conjoin(preds), b)
+	if err != nil {
+		return nil, err
+	}
+	total := b.offsets[len(b.offsets)-1] + len(b.schemas[len(b.schemas)-1])
+	combined := make([]relation.Value, total)
+	var out []relation.Row
+	for _, r := range rows {
+		copy(combined[offset:offset+width], r)
+		v, err := ev.eval(combined)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := truthy(v)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// conjoin folds conjuncts back into an AND tree.
+func conjoin(preds []Expr) Expr {
+	e := preds[0]
+	for _, p := range preds[1:] {
+		e = &BinaryExpr{Op: "AND", Left: e, Right: p}
+	}
+	return e
+}

@@ -1,0 +1,300 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// binding maps column references to positions in the executor's combined
+// row layout: the columns of FROM table 0, then the columns of FROM table 1.
+type binding struct {
+	aliases []string          // lowercased alias per FROM entry
+	schemas []relation.Schema // schema per FROM entry
+	offsets []int             // column offset of each FROM entry in the combined row
+}
+
+// resolve finds the combined-row index and kind for a column reference.
+// Unqualified names must be unambiguous across the FROM entries.
+func (b *binding) resolve(c *ColumnRef) (int, relation.Kind, error) {
+	if c.Qualifier != "" {
+		q := strings.ToLower(c.Qualifier)
+		for i, a := range b.aliases {
+			if a == q {
+				j := b.schemas[i].Index(c.Name)
+				if j < 0 {
+					return 0, 0, fmt.Errorf("sqlengine: table %s has no column %q", c.Qualifier, c.Name)
+				}
+				return b.offsets[i] + j, b.schemas[i][j].Kind, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("sqlengine: unknown table alias %q", c.Qualifier)
+	}
+	found := -1
+	var kind relation.Kind
+	for i := range b.aliases {
+		if j := b.schemas[i].Index(c.Name); j >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("sqlengine: column %q is ambiguous across FROM tables", c.Name)
+			}
+			found = b.offsets[i] + j
+			kind = b.schemas[i][j].Kind
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("sqlengine: unknown column %q", c.Name)
+	}
+	return found, kind, nil
+}
+
+// evaluator is a compiled expression: all column references resolved to
+// combined-row indices. Evaluate never allocates for comparisons.
+type evaluator struct {
+	eval func(row []relation.Value) (relation.Value, error)
+	kind relation.Kind // static result kind guess; KindNull when unknown
+	expr Expr
+}
+
+// compile builds an evaluator for e under the binding.
+func compile(e Expr, b *binding) (*evaluator, error) {
+	switch n := e.(type) {
+	case *Literal:
+		v := n.Value
+		return &evaluator{
+			eval: func([]relation.Value) (relation.Value, error) { return v, nil },
+			kind: v.Kind(),
+			expr: e,
+		}, nil
+	case *ColumnRef:
+		idx, kind, err := b.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return &evaluator{
+			eval: func(row []relation.Value) (relation.Value, error) { return row[idx], nil },
+			kind: kind,
+			expr: e,
+		}, nil
+	case *IsNullExpr:
+		inner, err := compile(n.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		neg := n.Negate
+		return &evaluator{
+			eval: func(row []relation.Value) (relation.Value, error) {
+				v, err := inner.eval(row)
+				if err != nil {
+					return relation.Null, err
+				}
+				return relation.Bool(v.IsNull() != neg), nil
+			},
+			kind: relation.KindBool,
+			expr: e,
+		}, nil
+	case *FuncCall:
+		if !strings.EqualFold(n.Name, "CONCAT") {
+			return nil, fmt.Errorf("sqlengine: unknown function %q", n.Name)
+		}
+		args := make([]*evaluator, len(n.Args))
+		for i, a := range n.Args {
+			ev, err := compile(a, b)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ev
+		}
+		return &evaluator{
+			eval: func(row []relation.Value) (relation.Value, error) {
+				var sb strings.Builder
+				for _, a := range args {
+					v, err := a.eval(row)
+					if err != nil {
+						return relation.Null, err
+					}
+					sb.WriteString(v.Format())
+				}
+				return relation.String(sb.String()), nil
+			},
+			kind: relation.KindString,
+			expr: e,
+		}, nil
+	case *BinaryExpr:
+		return compileBinary(n, b)
+	default:
+		return nil, fmt.Errorf("sqlengine: cannot compile %T", e)
+	}
+}
+
+func compileBinary(n *BinaryExpr, b *binding) (*evaluator, error) {
+	left, err := compile(n.Left, b)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compile(n.Right, b)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "AND", "OR":
+		and := n.Op == "AND"
+		return &evaluator{
+			eval: func(row []relation.Value) (relation.Value, error) {
+				lv, err := left.eval(row)
+				if err != nil {
+					return relation.Null, err
+				}
+				lb, err := truthy(lv)
+				if err != nil {
+					return relation.Null, err
+				}
+				// Short circuit.
+				if and && !lb {
+					return relation.Bool(false), nil
+				}
+				if !and && lb {
+					return relation.Bool(true), nil
+				}
+				rv, err := right.eval(row)
+				if err != nil {
+					return relation.Null, err
+				}
+				rb, err := truthy(rv)
+				if err != nil {
+					return relation.Null, err
+				}
+				return relation.Bool(rb), nil
+			},
+			kind: relation.KindBool,
+			expr: n,
+		}, nil
+	case "=", "<>", "<", ">", "<=", ">=":
+		op := n.Op
+		return &evaluator{
+			eval: func(row []relation.Value) (relation.Value, error) {
+				lv, err := left.eval(row)
+				if err != nil {
+					return relation.Null, err
+				}
+				rv, err := right.eval(row)
+				if err != nil {
+					return relation.Null, err
+				}
+				ok, err := compareValues(op, lv, rv)
+				if err != nil {
+					return relation.Null, err
+				}
+				return relation.Bool(ok), nil
+			},
+			kind: relation.KindBool,
+			expr: n,
+		}, nil
+	case "+", "-", "*", "/":
+		op := n.Op
+		kind := relation.KindInt
+		if left.kind == relation.KindFloat || right.kind == relation.KindFloat || op == "/" {
+			kind = relation.KindFloat
+		}
+		return &evaluator{
+			eval: func(row []relation.Value) (relation.Value, error) {
+				lv, err := left.eval(row)
+				if err != nil {
+					return relation.Null, err
+				}
+				rv, err := right.eval(row)
+				if err != nil {
+					return relation.Null, err
+				}
+				return arith(op, lv, rv)
+			},
+			kind: kind,
+			expr: n,
+		}, nil
+	default:
+		return nil, fmt.Errorf("sqlengine: unknown operator %q", n.Op)
+	}
+}
+
+// truthy converts a value to a predicate result. NULL is false (two-valued
+// simplification of SQL's UNKNOWN).
+func truthy(v relation.Value) (bool, error) {
+	switch v.Kind() {
+	case relation.KindBool:
+		return v.AsBool(), nil
+	case relation.KindNull:
+		return false, nil
+	default:
+		return false, fmt.Errorf("sqlengine: %s value used as predicate", v.Kind())
+	}
+}
+
+// compareValues applies a comparison operator. Any comparison against NULL
+// is false, matching SQL's UNKNOWN-filtered-out behaviour.
+func compareValues(op string, a, b relation.Value) (bool, error) {
+	if a.IsNull() || b.IsNull() {
+		return false, nil
+	}
+	switch op {
+	case "=":
+		return a.Equal(b), nil
+	case "<>":
+		return !a.Equal(b), nil
+	}
+	c, err := a.Compare(b)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case "<":
+		return c < 0, nil
+	case ">":
+		return c > 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">=":
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("sqlengine: unknown comparison %q", op)
+	}
+}
+
+// arith applies an arithmetic operator over numeric values. NULL operands
+// produce NULL. Integer arithmetic stays integral except division, which is
+// always float.
+func arith(op string, a, b relation.Value) (relation.Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return relation.Null, nil
+	}
+	if !a.Kind().Numeric() || !b.Kind().Numeric() {
+		return relation.Null, fmt.Errorf("sqlengine: arithmetic on %s and %s", a.Kind(), b.Kind())
+	}
+	if op == "/" {
+		d := b.AsFloat()
+		if d == 0 {
+			return relation.Null, fmt.Errorf("sqlengine: division by zero")
+		}
+		return relation.Float(a.AsFloat() / d), nil
+	}
+	if a.Kind() == relation.KindInt && b.Kind() == relation.KindInt {
+		x, y := a.AsInt(), b.AsInt()
+		switch op {
+		case "+":
+			return relation.Int(x + y), nil
+		case "-":
+			return relation.Int(x - y), nil
+		case "*":
+			return relation.Int(x * y), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case "+":
+		return relation.Float(x + y), nil
+	case "-":
+		return relation.Float(x - y), nil
+	case "*":
+		return relation.Float(x * y), nil
+	}
+	return relation.Null, fmt.Errorf("sqlengine: unknown arithmetic operator %q", op)
+}

@@ -1,0 +1,382 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlengine: parse error at offset %d: %s", p.cur().pos,
+		fmt.Sprintf(format, args...))
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, tr)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if len(stmt.From) > 2 {
+		return nil, p.errf("at most two FROM tables are supported, got %d", len(stmt.From))
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, found %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.advance().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT value")
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.cur().kind == tokStar {
+		p.advance()
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		if p.cur().kind != tokIdent {
+			return SelectItem{}, p.errf("expected alias after AS, found %q", p.cur().text)
+		}
+		item.Alias = p.advance().text
+	} else if p.cur().kind == tokIdent {
+		// Bare alias: SELECT expr name
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	if p.cur().kind != tokIdent {
+		return TableRef{}, p.errf("expected table name, found %q", p.cur().text)
+	}
+	tr := TableRef{Table: p.advance().text}
+	if p.acceptKeyword("AS") {
+		if p.cur().kind != tokIdent {
+			return TableRef{}, p.errf("expected alias after AS, found %q", p.cur().text)
+		}
+		tr.Alias = p.advance().text
+	} else if p.cur().kind == tokIdent {
+		tr.Alias = p.advance().text
+	} else {
+		tr.Alias = tr.Table
+	}
+	return tr, nil
+}
+
+// Operator precedence, loosest to tightest:
+//
+//	1: OR
+//	2: AND
+//	3: comparisons, IS [NOT] NULL
+//	4: + -
+//	5: * /
+func binaryPrecedence(t token) int {
+	switch t.kind {
+	case tokKeyword:
+		switch t.text {
+		case "OR":
+			return 1
+		case "AND":
+			return 2
+		case "IS":
+			return 3
+		}
+	case tokOp:
+		switch t.text {
+		case "=", "<>", "!=", "<", ">", "<=", ">=":
+			return 3
+		case "+", "-":
+			return 4
+		case "/":
+			return 5
+		}
+	case tokStar:
+		return 5 // multiplication
+	}
+	return 0
+}
+
+// parseExpr parses with precedence climbing.
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := binaryPrecedence(p.cur())
+		if prec == 0 || prec < minPrec {
+			return left, nil
+		}
+		opTok := p.advance()
+		if opTok.kind == tokKeyword && opTok.text == "IS" {
+			neg := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{Expr: left, Negate: neg}
+			continue
+		}
+		op := opTok.text
+		if opTok.kind == tokStar {
+			op = "*"
+		}
+		if op == "!=" {
+			op = "<>"
+		}
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.text)
+			}
+			return &Literal{Value: relation.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return &Literal{Value: relation.Int(i)}, nil
+	case tokString:
+		p.advance()
+		return &Literal{Value: relation.String(t.text)}, nil
+	case tokOp:
+		if t.text == "-" { // unary minus on numeric literal
+			p.advance()
+			inner, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			lit, ok := inner.(*Literal)
+			if !ok {
+				return &BinaryExpr{Op: "-", Left: &Literal{Value: relation.Int(0)}, Right: inner}, nil
+			}
+			switch lit.Value.Kind() {
+			case relation.KindInt:
+				return &Literal{Value: relation.Int(-lit.Value.AsInt())}, nil
+			case relation.KindFloat:
+				return &Literal{Value: relation.Float(-lit.Value.AsFloat())}, nil
+			}
+			return nil, p.errf("cannot negate %s", lit.Value.Kind())
+		}
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, p.errf("expected ')', found %q", p.cur().text)
+		}
+		p.advance()
+		return e, nil
+	case tokKeyword:
+		if builtinFuncs[t.text] {
+			p.advance()
+			if p.cur().kind != tokLParen {
+				return nil, p.errf("expected '(' after %s", t.text)
+			}
+			p.advance()
+			f := &FuncCall{Name: t.text}
+			if p.cur().kind == tokStar {
+				if t.text != "COUNT" {
+					return nil, p.errf("'*' argument is only valid for COUNT")
+				}
+				f.Star = true
+				p.advance()
+			} else if p.cur().kind != tokRParen {
+				for {
+					arg, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, arg)
+					if p.cur().kind != tokComma {
+						break
+					}
+					p.advance()
+				}
+			}
+			if f.IsAggregate() && !f.Star && len(f.Args) != 1 {
+				return nil, p.errf("%s takes exactly one argument", t.text)
+			}
+			if p.cur().kind != tokRParen {
+				return nil, p.errf("expected ')' to close %s, found %q", t.text, p.cur().text)
+			}
+			p.advance()
+			return f, nil
+		}
+		if t.text == "NULL" {
+			p.advance()
+			return &Literal{Value: relation.Null}, nil
+		}
+	case tokIdent:
+		p.advance()
+		if p.cur().kind == tokDot {
+			p.advance()
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected column name after %q.", t.text)
+			}
+			name := p.advance().text
+			return &ColumnRef{Qualifier: t.text, Name: name}, nil
+		}
+		return &ColumnRef{Name: t.text}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

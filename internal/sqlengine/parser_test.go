@@ -1,0 +1,169 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperQueryQ1(t *testing.T) {
+	// a-query q1 from the paper's introduction (identifiers adapted to the
+	// dialect's quoting).
+	src := `SELECT b1.Player, b1.Team, b2.Player,
+	               b2.Team, b1.FG%, b2.FG%,
+	               b1."3FG%", b2."3FG%"
+	        FROM D b1, D b2
+	        WHERE b1.Player <> b2.Player AND
+	              b1.Team <> b2.Team AND
+	              b1.FG% > b2.FG% AND
+	              b1."3FG%" < b2."3FG%"`
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(stmt.Items) != 8 {
+		t.Errorf("items = %d, want 8", len(stmt.Items))
+	}
+	if len(stmt.From) != 2 || stmt.From[0].Alias != "b1" || stmt.From[1].Alias != "b2" {
+		t.Errorf("from = %+v", stmt.From)
+	}
+	if got := len(conjuncts(stmt.Where)); got != 4 {
+		t.Errorf("conjuncts = %d, want 4", got)
+	}
+}
+
+func TestParseConcatSelect(t *testing.T) {
+	src := `SELECT CONCAT(b1.Player, ' ', b1.Team, ' has higher shooting than ', b2.Player) AS text
+	        FROM D b1, D b2 WHERE b1.Player <> b2.Player`
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f, ok := stmt.Items[0].Expr.(*FuncCall)
+	if !ok || len(f.Args) != 5 {
+		t.Fatalf("item[0] = %#v", stmt.Items[0].Expr)
+	}
+	if stmt.Items[0].Alias != "text" {
+		t.Errorf("alias = %q", stmt.Items[0].Alias)
+	}
+}
+
+func TestParseOrderLimitDistinct(t *testing.T) {
+	stmt, err := Parse(`SELECT DISTINCT a FROM t ORDER BY a DESC, b LIMIT 10`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !stmt.Distinct || stmt.Limit != 10 || len(stmt.OrderBy) != 2 {
+		t.Errorf("stmt = %+v", stmt)
+	}
+	if !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("order = %+v", stmt.OrderBy)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	stmt, err := Parse(`SELECT * FROM t WHERE x = 1`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !stmt.Items[0].Star {
+		t.Error("expected star item")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE a + 1 * 2 > 3 AND b < 4 OR c = 5`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Expect ((a + (1*2)) > 3 AND b < 4) OR c = 5.
+	or, ok := stmt.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top op = %#v", stmt.Where)
+	}
+	and, ok := or.Left.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("left of OR = %#v", or.Left)
+	}
+	cmp, ok := and.Left.(*BinaryExpr)
+	if !ok || cmp.Op != ">" {
+		t.Fatalf("left of AND = %#v", and.Left)
+	}
+	add, ok := cmp.Left.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("left of > = %#v", cmp.Left)
+	}
+	if mul, ok := add.Right.(*BinaryExpr); !ok || mul.Op != "*" {
+		t.Fatalf("right of + = %#v", add.Right)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cs := conjuncts(stmt.Where)
+	if len(cs) != 2 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+	n1, ok1 := cs[0].(*IsNullExpr)
+	n2, ok2 := cs[1].(*IsNullExpr)
+	if !ok1 || !ok2 || n1.Negate || !n2.Negate {
+		t.Errorf("IS NULL parse: %#v, %#v", cs[0], cs[1])
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE a > -2.5`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cmp := stmt.Where.(*BinaryExpr)
+	lit, ok := cmp.Right.(*Literal)
+	if !ok || lit.Value.AsFloat() != -2.5 {
+		t.Errorf("right = %#v", cmp.Right)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t extra garbage (",
+		"SELECT a FROM t1, t2, t3",
+		"SELECT CONCAT(a FROM t",
+		"SELECT a FROM t ORDER",
+		"FROM t",
+		"SELECT a AS FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestStmtStringRoundtrip(t *testing.T) {
+	srcs := []string{
+		`SELECT DISTINCT CONCAT(b1.Player, ' x ') AS t, b1."3FG%" FROM D b1, D b2 WHERE b1.a = b2.b AND b1.c > 3 ORDER BY t DESC LIMIT 5`,
+		`SELECT * FROM t`,
+		`SELECT a + 1 FROM t WHERE a IS NOT NULL`,
+	}
+	for _, src := range srcs {
+		s1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("Parse(String()) of %q (%q): %v", src, s1.String(), err)
+		}
+		if !strings.EqualFold(s1.String(), s2.String()) {
+			t.Errorf("String not stable: %q vs %q", s1.String(), s2.String())
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package sqlengine implements the in-memory SQL engine PYTHIA executes its
+// a-queries on. It replaces the PostgreSQL instance of the paper's setup.
+//
+// The dialect is the subset a-queries need — and a little more, so the
+// engine is usable on its own:
+//
+//	SELECT [DISTINCT] expr [AS name], ...
+//	FROM table [alias] [, table [alias]]
+//	[WHERE pred AND pred ...]
+//	[ORDER BY expr [DESC], ...]
+//	[LIMIT n]
+//
+// Expressions cover qualified column references (b1."FG%"), string/number
+// literals, arithmetic (+ - * /), comparisons (= <> != < > <= >=), and the
+// CONCAT(...) function. Joins are binary (self-joins in practice); the
+// planner uses a hash join whenever an equality predicate links the two
+// sides, which is what makes template-based generation produce millions of
+// examples in seconds.
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // single-quoted literal
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp      // = <> != < > <= >= + - /
+	tokKeyword // SELECT FROM WHERE AND OR ORDER BY LIMIT AS DISTINCT CONCAT DESC ASC NOT NULL IS
+)
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// keywords is the reserved-word set, upper-cased.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"ORDER": true, "BY": true, "LIMIT": true, "AS": true, "DISTINCT": true,
+	"DESC": true, "ASC": true, "NOT": true, "NULL": true, "IS": true,
+	"GROUP": true, "HAVING": true,
+}
+
+// builtinFuncs are the function names the parser recognizes ahead of '('.
+var builtinFuncs = map[string]bool{
+	"CONCAT": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true,
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src string
+	pos int
+}
+
+// isIdentStart reports whether r can begin a bare identifier.
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+// isIdentStartByte decodes the leading rune of s and applies isIdentStart.
+func isIdentStartByte(s string) bool {
+	r, _ := utf8.DecodeRuneInString(s)
+	return r != utf8.RuneError && isIdentStart(r)
+}
+
+// isIdentPart reports whether r can continue a bare identifier. We allow
+// '%' so that headers like FG% work unquoted when they start with a letter.
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '%'
+}
+
+// next returns the next token, or an error for an unterminated literal or
+// stray byte.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == '=', c == '+', c == '-', c == '/':
+		l.pos++
+		return token{tokOp, string(c), start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+			return token{tokOp, l.src[start:l.pos], start}, nil
+		}
+		return token{tokOp, "<", start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, ">=", start}, nil
+		}
+		return token{tokOp, ">", start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, "!=", start}, nil
+		}
+		return token{}, fmt.Errorf("sqlengine: stray '!' at offset %d", start)
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'') // escaped quote
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{tokString, b.String(), start}, nil
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{}, fmt.Errorf("sqlengine: unterminated string literal at offset %d", start)
+	case c == '"':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '"' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+					b.WriteByte('"')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{tokIdent, b.String(), start}, nil
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{}, fmt.Errorf("sqlengine: unterminated quoted identifier at offset %d", start)
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && (isDigitByte(l.src[l.pos]) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{tokNumber, l.src[start:l.pos], start}, nil
+	case isIdentStartByte(l.src[l.pos:]):
+		for l.pos < len(l.src) {
+			r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			l.pos += size
+		}
+		word := l.src[start:l.pos]
+		if keywords[strings.ToUpper(word)] || builtinFuncs[strings.ToUpper(word)] {
+			return token{tokKeyword, strings.ToUpper(word), start}, nil
+		}
+		return token{tokIdent, word, start}, nil
+	default:
+		return token{}, fmt.Errorf("sqlengine: unexpected byte %q at offset %d", c, start)
+	}
+}
+
+func isDigitByte(b byte) bool { return b >= '0' && b <= '9' }
+
+// lexAll tokenizes the whole input (including the trailing EOF token).
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+// QuoteIdent renders an identifier so the lexer reads it back as a single
+// identifier token: bare when possible, double-quoted otherwise. The query
+// builders in internal/pythia use it for headers like "3FG%".
+func QuoteIdent(name string) string {
+	if name == "" {
+		return `""`
+	}
+	runes := []rune(name)
+	if isIdentStart(runes[0]) {
+		ok := true
+		for _, r := range runes[1:] {
+			if !isIdentPart(r) {
+				ok = false
+				break
+			}
+		}
+		if ok && !keywords[strings.ToUpper(name)] && !builtinFuncs[strings.ToUpper(name)] {
+			return name
+		}
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// QuoteString renders a single-quoted SQL string literal.
+func QuoteString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

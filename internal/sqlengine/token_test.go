@@ -1,0 +1,110 @@
+package sqlengine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll(`SELECT b1."FG%", 'it''s' FROM D b1 WHERE x <> 3.5`)
+	if err != nil {
+		t.Fatalf("lexAll: %v", err)
+	}
+	kinds := []tokenKind{
+		tokKeyword, tokIdent, tokDot, tokIdent, tokComma, tokString,
+		tokKeyword, tokIdent, tokIdent, tokKeyword, tokIdent, tokOp, tokNumber, tokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %+v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d kind = %d, want %d (%q)", i, toks[i].kind, k, toks[i].text)
+		}
+	}
+	if toks[3].text != "FG%" {
+		t.Errorf("quoted ident = %q, want FG%%", toks[3].text)
+	}
+	if toks[5].text != "it's" {
+		t.Errorf("string literal = %q, want it's", toks[5].text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lexAll(`= <> != < > <= >= + - * /`)
+	if err != nil {
+		t.Fatalf("lexAll: %v", err)
+	}
+	want := []string{"=", "<>", "!=", "<", ">", "<=", ">=", "+", "-", "*", "/"}
+	for i, w := range want {
+		if toks[i].text != w {
+			t.Errorf("op %d = %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestLexIdentWithPercent(t *testing.T) {
+	toks, err := lexAll(`fouls FG% apps3`)
+	if err != nil {
+		t.Fatalf("lexAll: %v", err)
+	}
+	if toks[1].text != "FG%" || toks[1].kind != tokIdent {
+		t.Errorf("FG%% lexed as %q kind %d", toks[1].text, toks[1].kind)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "a ! b", "a ; b"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q): expected error", src)
+		}
+	}
+}
+
+func TestQuoteIdent(t *testing.T) {
+	cases := map[string]string{
+		"Player":         "Player",
+		"FG%":            "FG%",
+		"3FG%":           `"3FG%"`,
+		"a b":            `"a b"`,
+		"select":         `"select"`,
+		"CONCAT":         `"CONCAT"`,
+		`we"ird`:         `"we""ird"`,
+		"":               `""`,
+		"hours-per-week": `"hours-per-week"`,
+	}
+	for in, want := range cases {
+		if got := QuoteIdent(in); got != want {
+			t.Errorf("QuoteIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: QuoteIdent always lexes back to a single identifier token with
+// the original text.
+func TestQuoteIdentRoundtripProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := lexAll(QuoteIdent(s))
+		if err != nil {
+			return false
+		}
+		return len(toks) == 2 && toks[0].kind == tokIdent && toks[0].text == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QuoteString round-trips arbitrary strings through the lexer.
+func TestQuoteStringRoundtripProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := lexAll(QuoteString(s))
+		if err != nil {
+			return false
+		}
+		return len(toks) == 2 && toks[0].kind == tokString && toks[0].text == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package textgen is the data-to-text module of Section II-C: given
+// linearized evidence cells (with ambiguity labels substituted for the
+// ambiguous attribute names, per Figure 5), it produces one-sentence
+// descriptions or questions.
+//
+// The paper fine-tunes T5 for this step; we use a grammar-based surface
+// realizer with many seeded patterns. Downstream consumers only depend on
+// the contract that the text verbalizes exactly the given cells and uses
+// the label in place of the attribute names — which the realizer
+// guarantees by construction rather than by fine-tuning.
+package textgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Cell is one linearized evidence cell. Attr is an attribute name or, for
+// ambiguous attributes, the ambiguity label ("shooting").
+type Cell struct {
+	Attr  string
+	Value string
+}
+
+// Generator realizes sentences deterministically: the pattern choice is a
+// hash of the content and the generator seed, so regeneration is stable
+// while different evidence gets varied phrasing.
+type Generator struct {
+	seed int64
+}
+
+// NewGenerator returns a generator with the given variety seed.
+func NewGenerator(seed int64) *Generator { return &Generator{seed: seed} }
+
+// pick hashes the parts with the seed into [0, n).
+func (g *Generator) pick(n int, parts ...string) int {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(g.seed >> (8 * i))
+	}
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0x1f})
+	}
+	return int(h.Sum64() % uint64(n))
+}
+
+// subject renders the identifying cells ("Carter LA", "Carter from LA").
+func (g *Generator) subject(keys []Cell, variant int) string {
+	vals := make([]string, len(keys))
+	for i, k := range keys {
+		vals[i] = k.Value
+	}
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	switch variant % 3 {
+	case 0:
+		return strings.Join(vals, " ")
+	case 1:
+		return vals[0] + " from " + strings.Join(vals[1:], " ")
+	default:
+		return vals[0] + " (" + strings.Join(vals[1:], ", ") + ")"
+	}
+}
+
+// Statement realizes a declarative sentence about one measure cell of one
+// subject: "Carter from LA has a shooting of 56".
+func (g *Generator) Statement(keys []Cell, measure Cell) string {
+	v := g.pick(4, "stmt", measure.Attr, measure.Value, joinCells(keys))
+	subj := g.subject(keys, g.pick(3, "subj", joinCells(keys)))
+	switch v {
+	case 0:
+		return fmt.Sprintf("%s has a %s of %s", subj, measure.Attr, measure.Value)
+	case 1:
+		return fmt.Sprintf("%s recorded %s %s", subj, measure.Value, measure.Attr)
+	case 2:
+		return fmt.Sprintf("The %s of %s is %s", measure.Attr, subj, measure.Value)
+	default:
+		return fmt.Sprintf("%s had %s as %s", subj, measure.Value, measure.Attr)
+	}
+}
+
+// Question realizes an interrogative about one measure cell: "Did Carter
+// commit 3 fouls?".
+func (g *Generator) Question(keys []Cell, measure Cell) string {
+	v := g.pick(3, "q", measure.Attr, measure.Value, joinCells(keys))
+	subj := g.subject(keys, g.pick(3, "subj", joinCells(keys)))
+	switch v {
+	case 0:
+		return fmt.Sprintf("Did %s have %s %s?", subj, measure.Value, measure.Attr)
+	case 1:
+		return fmt.Sprintf("Is the %s of %s %s?", measure.Attr, subj, measure.Value)
+	default:
+		return fmt.Sprintf("Does %s have a %s of %s?", subj, measure.Attr, measure.Value)
+	}
+}
+
+// Comparative realizes the attribute-ambiguity sentence shape of the
+// paper's running example: "Carter LA has higher shooting than Smith SF".
+// The op is a SQL comparison operator over the (label-substituted) measure.
+func (g *Generator) Comparative(keys1, keys2 []Cell, label, op string) string {
+	v := g.pick(3, "cmp", label, op, joinCells(keys1), joinCells(keys2))
+	sv := g.pick(3, "subj", joinCells(keys1))
+	s1 := g.subject(keys1, sv)
+	s2 := g.subject(keys2, sv)
+	verb := PrintOp(op, label)
+	switch v {
+	case 0:
+		return fmt.Sprintf("%s %s %s", s1, verb, s2)
+	case 1:
+		return fmt.Sprintf("Compared with %s, %s %s", s2, s1, strings.Replace(verb, " than", "", 1))
+	default:
+		return fmt.Sprintf("%s %s %s", s1, verb, s2)
+	}
+}
+
+// ComparativeQuestion is the interrogative form of Comparative.
+func (g *Generator) ComparativeQuestion(keys1, keys2 []Cell, label, op string) string {
+	s1 := g.subject(keys1, 0)
+	s2 := g.subject(keys2, 0)
+	return fmt.Sprintf("Does %s %s %s?", s1, questionVerb(op, label), s2)
+}
+
+// PrintOp is the paper's print(operator, label) function: it renders a
+// comparison operator and an optional label into a verb phrase, e.g.
+// ('>', "shooting") -> "has higher shooting than".
+func PrintOp(op, label string) string {
+	if label == "" {
+		switch op {
+		case "=":
+			return "has"
+		case ">":
+			return "has more than"
+		case "<":
+			return "has less than"
+		case ">=":
+			return "has at least"
+		case "<=":
+			return "has at most"
+		case "<>":
+			return "does not have"
+		default:
+			return "has"
+		}
+	}
+	switch op {
+	case ">":
+		return "has higher " + label + " than"
+	case "<":
+		return "has lower " + label + " than"
+	case "=":
+		return "has the same " + label + " as"
+	case ">=":
+		return "has at least the " + label + " of"
+	case "<=":
+		return "has at most the " + label + " of"
+	case "<>":
+		return "has different " + label + " than"
+	default:
+		return "has comparable " + label + " to"
+	}
+}
+
+// questionVerb renders the interrogative verb phrase for an operator.
+func questionVerb(op, label string) string {
+	switch op {
+	case ">":
+		return "have higher " + label + " than"
+	case "<":
+		return "have lower " + label + " than"
+	case "=":
+		return "have the same " + label + " as"
+	default:
+		return "have comparable " + label + " to"
+	}
+}
+
+// RowStatement realizes the row-ambiguity sentence: a subject identified by
+// a strict subset of its key, one measure, one operator: "Carter has 3
+// fouls" / "Carter has more than 3 fouls".
+func (g *Generator) RowStatement(partialKeys []Cell, measure Cell, op string) string {
+	subj := g.subject(partialKeys, 0)
+	verb := PrintOp(op, "")
+	if op == "=" {
+		v := g.pick(3, "row", subj, measure.Attr, measure.Value)
+		switch v {
+		case 0:
+			return fmt.Sprintf("%s has %s %s", subj, measure.Value, measure.Attr)
+		case 1:
+			return fmt.Sprintf("%s recorded %s %s", subj, measure.Value, measure.Attr)
+		default:
+			return fmt.Sprintf("%s has a %s of %s", subj, measure.Attr, measure.Value)
+		}
+	}
+	return fmt.Sprintf("%s %s %s %s", subj, verb, measure.Value, measure.Attr)
+}
+
+// RowQuestion is the interrogative row-ambiguity form: "Did Carter commit 3
+// fouls?".
+func (g *Generator) RowQuestion(partialKeys []Cell, measure Cell, op string) string {
+	subj := g.subject(partialKeys, 0)
+	switch op {
+	case "=":
+		return fmt.Sprintf("Did %s have %s %s?", subj, measure.Value, measure.Attr)
+	case ">":
+		return fmt.Sprintf("Did %s have more than %s %s?", subj, measure.Value, measure.Attr)
+	case "<":
+		return fmt.Sprintf("Did %s have fewer than %s %s?", subj, measure.Value, measure.Attr)
+	default:
+		return fmt.Sprintf("Did %s have %s %s %s?", subj, PrintOp(op, ""), measure.Value, measure.Attr)
+	}
+}
+
+// Linearize renders cells in the Figure 5 prompt style:
+// "Player:Carter — Team:LA — shooting:56".
+func Linearize(cells []Cell) string {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = c.Attr + ":" + c.Value
+	}
+	return strings.Join(parts, " — ")
+}
+
+func joinCells(cells []Cell) string {
+	return Linearize(cells)
+}

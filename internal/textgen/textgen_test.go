@@ -1,0 +1,139 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+)
+
+var carterLA = []Cell{{Attr: "Player", Value: "Carter"}, {Attr: "Team", Value: "LA"}}
+var smithSF = []Cell{{Attr: "Player", Value: "Smith"}, {Attr: "Team", Value: "SF"}}
+
+func TestStatementContainsEvidence(t *testing.T) {
+	g := NewGenerator(1)
+	s := g.Statement(carterLA, Cell{Attr: "shooting", Value: "56"})
+	for _, want := range []string{"Carter", "shooting", "56"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("statement %q missing %q", s, want)
+		}
+	}
+}
+
+func TestQuestionShape(t *testing.T) {
+	g := NewGenerator(1)
+	q := g.Question([]Cell{{Attr: "Player", Value: "Carter"}}, Cell{Attr: "fouls", Value: "3"})
+	if !strings.HasSuffix(q, "?") {
+		t.Errorf("question %q lacks question mark", q)
+	}
+	for _, want := range []string{"Carter", "fouls", "3"} {
+		if !strings.Contains(q, want) {
+			t.Errorf("question %q missing %q", q, want)
+		}
+	}
+}
+
+func TestComparativeUsesLabelNotAttributes(t *testing.T) {
+	g := NewGenerator(2)
+	s := g.Comparative(carterLA, smithSF, "shooting", ">")
+	if !strings.Contains(s, "shooting") {
+		t.Errorf("comparative %q missing label", s)
+	}
+	if strings.Contains(s, "FG%") {
+		t.Errorf("comparative %q leaks attribute name", s)
+	}
+	for _, want := range []string{"Carter", "Smith"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("comparative %q missing subject %q", s, want)
+		}
+	}
+}
+
+func TestPrintOp(t *testing.T) {
+	cases := []struct{ op, label, want string }{
+		{">", "shooting", "has higher shooting than"},
+		{"<", "shooting", "has lower shooting than"},
+		{"=", "scoring", "has the same scoring as"},
+		{"=", "", "has"},
+		{">", "", "has more than"},
+		{"<", "", "has less than"},
+		{">=", "", "has at least"},
+	}
+	for _, tc := range cases {
+		if got := PrintOp(tc.op, tc.label); got != tc.want {
+			t.Errorf("PrintOp(%q, %q) = %q, want %q", tc.op, tc.label, got, tc.want)
+		}
+	}
+}
+
+func TestRowStatementVariants(t *testing.T) {
+	g := NewGenerator(3)
+	partial := []Cell{{Attr: "Player", Value: "Carter"}}
+	eq := g.RowStatement(partial, Cell{Attr: "fouls", Value: "3"}, "=")
+	for _, want := range []string{"Carter", "3", "fouls"} {
+		if !strings.Contains(eq, want) {
+			t.Errorf("row statement %q missing %q", eq, want)
+		}
+	}
+	gt := g.RowStatement(partial, Cell{Attr: "fouls", Value: "3"}, ">")
+	if !strings.Contains(gt, "more than") {
+		t.Errorf("row statement with > = %q", gt)
+	}
+}
+
+func TestRowQuestion(t *testing.T) {
+	g := NewGenerator(3)
+	partial := []Cell{{Attr: "Player", Value: "Carter"}}
+	q := g.RowQuestion(partial, Cell{Attr: "fouls", Value: "3"}, "=")
+	if !strings.HasSuffix(q, "?") || !strings.Contains(q, "Carter") {
+		t.Errorf("row question = %q", q)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(5)
+	b := NewGenerator(5)
+	if a.Statement(carterLA, Cell{"fouls", "4"}) != b.Statement(carterLA, Cell{"fouls", "4"}) {
+		t.Error("same seed, different sentences")
+	}
+}
+
+func TestVarietyAcrossEvidence(t *testing.T) {
+	// Distinct evidence should not always pick the same pattern.
+	g := NewGenerator(7)
+	shapes := map[string]bool{}
+	subjects := [][]Cell{
+		{{Attr: "Player", Value: "Carter"}, {Attr: "Team", Value: "LA"}},
+		{{Attr: "Player", Value: "Smith"}, {Attr: "Team", Value: "SF"}},
+		{{Attr: "Player", Value: "Jordan"}, {Attr: "Team", Value: "CHI"}},
+		{{Attr: "Player", Value: "Curry"}, {Attr: "Team", Value: "NY"}},
+		{{Attr: "Player", Value: "Davis"}, {Attr: "Team", Value: "MIA"}},
+		{{Attr: "Player", Value: "Lopez"}, {Attr: "Team", Value: "BOS"}},
+	}
+	for i, subj := range subjects {
+		s := g.Statement(subj, Cell{Attr: "points", Value: "20"})
+		// Normalize away the content to capture the pattern shape.
+		shape := s
+		shape = strings.ReplaceAll(shape, subj[0].Value, "S")
+		shape = strings.ReplaceAll(shape, subj[1].Value, "T")
+		shapes[shape] = true
+		_ = i
+	}
+	if len(shapes) < 2 {
+		t.Errorf("no pattern variety across evidence: %v", shapes)
+	}
+}
+
+func TestComparativeQuestion(t *testing.T) {
+	g := NewGenerator(9)
+	q := g.ComparativeQuestion(carterLA, smithSF, "shooting", ">")
+	if !strings.HasSuffix(q, "?") || !strings.Contains(q, "higher shooting") {
+		t.Errorf("comparative question = %q", q)
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	got := Linearize([]Cell{{Attr: "Player", Value: "Carter"}, {Attr: "shooting", Value: "56"}})
+	want := "Player:Carter — shooting:56"
+	if got != want {
+		t.Errorf("Linearize = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,454 @@
+// Package texttosql reproduces the text-to-SQL application of the Table VII
+// experiment: WikiSQL-style natural-language questions over a single table,
+// answered with a SQL query — or with "none" when the question is data
+// ambiguous and no single query is warranted.
+//
+// The baseline stands in for the T5 model pre-trained on WikiSQL: a
+// sketch-based slot filler that matches question tokens to schema columns
+// and cell values and ALWAYS emits a query. Fine-tuning on PYTHIA examples
+// adds the abstain head: a trained classifier over question tokens plus
+// parse-derived features (column-match strength, WHERE-clause key
+// coverage) that generalize across tables.
+package texttosql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/profiling"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+	"repro/internal/serialize"
+	"repro/internal/sqlengine"
+	"repro/internal/vocab"
+)
+
+// None is the output for questions the system judges unanswerable due to
+// data ambiguity.
+const None = "none"
+
+// Example is one (question, table, gold SQL) instance; ambiguous questions
+// have GoldSQL == None.
+type Example struct {
+	Question  string
+	Dataset   string
+	GoldSQL   string
+	Ambiguous bool
+}
+
+// ---------------------------------------------------------------------------
+// The sketch-based parser (baseline model).
+// ---------------------------------------------------------------------------
+
+// parseResult carries the parser's decision plus the features the abstain
+// head consumes.
+type parseResult struct {
+	sql          string
+	colScore     float64 // best column match strength [0, 1]
+	colTie       bool    // two columns tied for best
+	keyCoverage  bool    // WHERE clauses cover a full candidate key
+	whereClauses int
+}
+
+// Parser fills the WikiSQL sketch SELECT col FROM t WHERE k='v' AND ...
+type Parser struct {
+	profiles map[string]*profiling.Profile
+}
+
+// NewParser returns a parser with an empty profile cache.
+func NewParser() *Parser {
+	return &Parser{profiles: map[string]*profiling.Profile{}}
+}
+
+func (p *Parser) profile(t *relation.Table) *profiling.Profile {
+	if prof, ok := p.profiles[t.Name]; ok {
+		return prof
+	}
+	prof, err := profiling.ProfileTable(t)
+	if err != nil {
+		prof = &profiling.Profile{Table: t}
+	}
+	p.profiles[t.Name] = prof
+	return prof
+}
+
+// Parse produces the best-guess SQL for a question over a table.
+func (p *Parser) Parse(question string, t *relation.Table) parseResult {
+	low := strings.ToLower(question)
+	qTokens := map[string]bool{}
+	for _, w := range strings.Fields(low) {
+		for _, tk := range vocab.Tokens(strings.Trim(w, ".,?!'\"()")) {
+			qTokens[tk] = true
+		}
+	}
+	prof := p.profile(t)
+
+	// Target column: highest token-coverage score among non-key columns.
+	inPK := map[string]bool{}
+	for _, k := range prof.PrimaryKey {
+		inPK[strings.ToLower(k)] = true
+	}
+	var best, second float64
+	bestCol := ""
+	for _, col := range t.Schema {
+		if inPK[strings.ToLower(col.Name)] {
+			continue
+		}
+		toks := vocab.Tokens(col.Name)
+		if len(toks) == 0 {
+			continue
+		}
+		hit := 0
+		for _, tk := range toks {
+			if qTokens[tk] {
+				hit++
+			}
+		}
+		score := float64(hit) / float64(len(toks))
+		if score > best {
+			second = best
+			best, bestCol = score, col.Name
+		} else if score > second {
+			second = score
+		}
+	}
+
+	// WHERE clauses over the primary-key columns: string subjects match at
+	// word boundaries; numeric subjects bind the first question number that
+	// exists in the column (wrong when value and subject collide — a real
+	// failure mode of sketch fillers).
+	var clauses []string
+	covered := map[string]bool{}
+	questionNumbers := numberTokens(low)
+	for _, keyCol := range prof.PrimaryKey {
+		ci := t.Schema.Index(keyCol)
+		if ci < 0 {
+			continue
+		}
+		col := t.Schema[ci]
+		if col.Kind == relation.KindString {
+			seen := map[string]bool{}
+			for _, row := range t.Rows {
+				v := row[ci].Format()
+				if v == "" || seen[v] {
+					continue
+				}
+				seen[v] = true
+				if containsWord(low, strings.ToLower(v)) {
+					clauses = append(clauses, Clause(col, v))
+					covered[strings.ToLower(col.Name)] = true
+					break
+				}
+			}
+			continue
+		}
+		colVals := map[string]bool{}
+		for _, row := range t.Rows {
+			colVals[row[ci].Format()] = true
+		}
+		for _, num := range questionNumbers {
+			if colVals[num] {
+				clauses = append(clauses, Clause(col, num))
+				covered[strings.ToLower(col.Name)] = true
+				break
+			}
+		}
+	}
+	sort.Strings(clauses)
+
+	keyCovered := len(prof.PrimaryKey) > 0
+	for _, k := range prof.PrimaryKey {
+		if !covered[strings.ToLower(k)] {
+			keyCovered = false
+			break
+		}
+	}
+
+	res := parseResult{
+		colScore:     best,
+		colTie:       best > 0 && best == second,
+		keyCoverage:  keyCovered,
+		whereClauses: len(clauses),
+	}
+	if bestCol == "" {
+		// The model still emits its best sketch: project the first non-key
+		// column (baseline never abstains).
+		for _, col := range t.Schema {
+			if !inPK[strings.ToLower(col.Name)] {
+				bestCol = col.Name
+				break
+			}
+		}
+	}
+	res.sql = BuildSQL(t.Name, bestCol, clauses)
+	return res
+}
+
+// Clause renders one canonical WHERE clause: numeric values unquoted,
+// strings quoted.
+func Clause(col relation.Column, value string) string {
+	if col.Kind.Numeric() {
+		return fmt.Sprintf("%s = %s", sqlengine.QuoteIdent(col.Name), value)
+	}
+	return fmt.Sprintf("%s = %s", sqlengine.QuoteIdent(col.Name), sqlengine.QuoteString(value))
+}
+
+// numberTokens extracts the numeric word tokens of a question, in order.
+func numberTokens(low string) []string {
+	var out []string
+	for _, w := range strings.Fields(low) {
+		w = strings.Trim(w, ".,?!'\"()")
+		if w == "" {
+			continue
+		}
+		if _, err := relation.ParseValue(w, relation.KindFloat); err == nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BuildSQL renders the canonical sketch query.
+func BuildSQL(table, column string, clauses []string) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(sqlengine.QuoteIdent(column))
+	b.WriteString(" FROM ")
+	b.WriteString(sqlengine.QuoteIdent(table))
+	if len(clauses) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(clauses, " AND "))
+	}
+	return b.String()
+}
+
+// containsWord reports whether w occurs in text at word boundaries.
+func containsWord(text, w string) bool {
+	idx := 0
+	for {
+		i := strings.Index(text[idx:], w)
+		if i < 0 {
+			return false
+		}
+		i += idx
+		before := i == 0 || !isWordByte(text[i-1])
+		j := i + len(w)
+		after := j >= len(text) || !isWordByte(text[j])
+		if before && after {
+			return true
+		}
+		idx = i + 1
+	}
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// ---------------------------------------------------------------------------
+// The system: parser + optional abstain head.
+// ---------------------------------------------------------------------------
+
+// System answers questions over registered tables.
+type System struct {
+	parser   *Parser
+	tables   map[string]*relation.Table
+	detector *nn.TextClassifier // nil = baseline (never abstains)
+	tok      *serialize.Tokenizer
+}
+
+// Baseline returns the never-abstaining pre-trained system.
+func Baseline(tables ...*relation.Table) *System {
+	s := &System{parser: NewParser(), tables: map[string]*relation.Table{}}
+	for _, t := range tables {
+		s.tables[t.Name] = t
+	}
+	return s
+}
+
+// Register adds a table the system can be queried about.
+func (s *System) Register(t *relation.Table) { s.tables[t.Name] = t }
+
+// encode builds the detector input: raw question tokens plus the
+// subject-coverage feature. The model reads the table alongside the
+// question (as WikiSQL models do), so whether the WHERE values cover a full
+// key is observable input; the attribute-side ambiguity signature (label
+// words with no matching column) must be LEARNED from examples, which is
+// what gives the Table VII sweep its training-size effect.
+func (s *System) encode(question string, res parseResult, fit bool) []int {
+	var tokens []string
+	for _, w := range strings.Fields(strings.ToLower(question)) {
+		tokens = append(tokens, serialize.CellTokens(strings.Trim(w, ".,?!'\"()"), 3)...)
+	}
+	if res.keyCoverage {
+		tokens = append(tokens, "<key_full>")
+	} else if res.whereClauses > 0 {
+		tokens = append(tokens, "<key_partial>")
+	} else {
+		tokens = append(tokens, "<key_none>")
+	}
+	if fit {
+		s.tok.Fit(tokens)
+	}
+	return s.tok.Encode(tokens)
+}
+
+// Predict answers a question about a registered table: the gold-format SQL
+// string, or None when the abstain head flags ambiguity.
+func (s *System) Predict(question, dataset string) string {
+	t, ok := s.tables[dataset]
+	if !ok {
+		return None
+	}
+	res := s.parser.Parse(question, t)
+	if s.detector != nil {
+		ids := s.encode(question, res, false)
+		if class, _ := s.detector.Predict(ids, nil); class == 1 {
+			return None
+		}
+	}
+	return res.sql
+}
+
+// FineTuneOptions controls training of the abstain head.
+type FineTuneOptions struct {
+	Epochs int
+	Seed   int64
+}
+
+// FineTune trains the abstain head on a PYTHIA-generated corpus. The
+// tables referenced by the training examples must be registered on the
+// returned system before predicting (test tables are added by the caller).
+func FineTune(train []Example, tables []*relation.Table, opts FineTuneOptions) (*System, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("texttosql: empty training corpus")
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 6
+	}
+	s := Baseline(tables...)
+	s.tok = serialize.NewTokenizer()
+	type enc struct {
+		res parseResult
+		ex  Example
+	}
+	encs := make([]enc, 0, len(train))
+	for _, ex := range train {
+		t, ok := s.tables[ex.Dataset]
+		if !ok {
+			return nil, fmt.Errorf("texttosql: training example references unregistered table %q", ex.Dataset)
+		}
+		res := s.parser.Parse(ex.Question, t)
+		s.encode(ex.Question, res, true)
+		encs = append(encs, enc{res: res, ex: ex})
+	}
+	s.tok.Freeze()
+	examples := make([]nn.Example, 0, len(encs))
+	for _, e := range encs {
+		class := 0
+		if e.ex.Ambiguous {
+			class = 1
+		}
+		examples = append(examples, nn.Example{IDs: s.encode(e.ex.Question, e.res, false), Class: class})
+	}
+	s.detector = nn.NewTextClassifier(nn.Config{
+		VocabSize: s.tok.Size(),
+		Classes:   2,
+		Seed:      opts.Seed,
+	})
+	s.detector.Train(examples, nn.TrainOptions{Epochs: opts.Epochs, LR: 3e-3, Seed: opts.Seed + 1})
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Corpus generation.
+// ---------------------------------------------------------------------------
+
+// GenerateCorpus builds (question, gold SQL) examples over the named
+// datasets using both PYTHIA generation modes, split between ambiguous
+// (gold None) and non-ambiguous questions.
+func GenerateCorpus(datasets []string, seed int64) ([]Example, error) {
+	var out []Example
+	for _, name := range datasets {
+		d, err := data.Load(name)
+		if err != nil {
+			return nil, fmt.Errorf("texttosql: %w", err)
+		}
+		var pairs []model.Pair
+		for _, gt := range d.GroundTruthPairs() {
+			pairs = append(pairs, model.Pair{AttrA: gt.AttrA, AttrB: gt.AttrB, Label: gt.Labels[0]})
+		}
+		md, err := pythia.WithPairs(d.Table, pairs)
+		if err != nil {
+			return nil, fmt.Errorf("texttosql: %w", err)
+		}
+		g := pythia.NewGenerator(d.Table, md)
+
+		// Ambiguous questions from both modes (gold = none).
+		for _, mode := range []pythia.Mode{pythia.TextGeneration, pythia.Templates} {
+			exs, err := g.Generate(pythia.Options{Mode: mode, Seed: seed, Questions: true, MaxPerQuery: 40})
+			if err != nil {
+				return nil, fmt.Errorf("texttosql: %w", err)
+			}
+			for _, ex := range exs {
+				out = append(out, Example{Question: ex.Text, Dataset: name, GoldSQL: None, Ambiguous: true})
+			}
+		}
+
+		// Non-ambiguous questions with their gold sketch SQL.
+		plain, err := g.NotAmbiguous(pythia.Options{Seed: seed + 1, Questions: true, MaxPerQuery: 40})
+		if err != nil {
+			return nil, fmt.Errorf("texttosql: %w", err)
+		}
+		for _, ex := range plain {
+			out = append(out, Example{Question: ex.Text, Dataset: name, GoldSQL: goldSQL(d.Table, ex)})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("texttosql: no examples generated")
+	}
+	return out, nil
+}
+
+// Balance subsamples the ambiguous side of a corpus to the given
+// ambiguous-per-plain ratio (the paper's generated dataset is split between
+// queries with and without ambiguities). Subsampling is deterministic.
+func Balance(exs []Example, ambPerPlain float64, seed int64) []Example {
+	var amb, plain []Example
+	for _, ex := range exs {
+		if ex.Ambiguous {
+			amb = append(amb, ex)
+		} else {
+			plain = append(plain, ex)
+		}
+	}
+	maxAmb := int(float64(len(plain)) * ambPerPlain)
+	if len(amb) > maxAmb && maxAmb > 0 {
+		stride := float64(len(amb)) / float64(maxAmb)
+		kept := make([]Example, 0, maxAmb)
+		for i := 0; i < maxAmb; i++ {
+			kept = append(kept, amb[int(float64(i)*stride)])
+		}
+		amb = kept
+	}
+	out := append(plain, amb...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// goldSQL renders the reference query for a non-ambiguous example.
+func goldSQL(t *relation.Table, ex pythia.Example) string {
+	var clauses []string
+	for i, k := range ex.KeyAttrs {
+		col, _ := t.Schema.Column(k)
+		clauses = append(clauses, Clause(col, ex.Evidence[i].Value))
+	}
+	sort.Strings(clauses)
+	return BuildSQL(t.Name, ex.Attrs[0], clauses)
+}

@@ -1,0 +1,228 @@
+package texttosql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/relation"
+)
+
+// trainNames / testNames follow the paper's split.
+var trainNames = []string{"Adults", "Soccer", "Laptop", "HeartDiseases"}
+var testNames = []string{"Abalone", "Iris", "WineQuality", "Basket", "BasketAcronyms"}
+
+func loadTables(t *testing.T, names []string) []*data.Dataset {
+	t.Helper()
+	var out []*data.Dataset
+	for _, n := range names {
+		out = append(out, data.MustLoad(n))
+	}
+	return out
+}
+
+func TestParserFillsSketch(t *testing.T) {
+	d := data.MustLoad("Basket")
+	p := NewParser()
+	res := p.Parse("Does Carter LA have a Points of 20?", d.Table)
+	if !strings.Contains(res.sql, "SELECT Points FROM Basket") {
+		t.Errorf("sql = %q", res.sql)
+	}
+	if !strings.Contains(res.sql, "Player = 'Carter'") || !strings.Contains(res.sql, "Team = 'LA'") {
+		t.Errorf("where clauses missing: %q", res.sql)
+	}
+	if !res.keyCoverage {
+		t.Error("key coverage not detected")
+	}
+}
+
+func TestParserPartialSubject(t *testing.T) {
+	d := data.MustLoad("Basket")
+	p := NewParser()
+	res := p.Parse("Did Carter have 4 Fouls?", d.Table)
+	if res.keyCoverage {
+		t.Error("partial subject reported as full key coverage")
+	}
+	if !strings.Contains(res.sql, "Player = 'Carter'") {
+		t.Errorf("sql = %q", res.sql)
+	}
+}
+
+func TestParserAmbiguousLabelHasNoColumn(t *testing.T) {
+	d := data.MustLoad("Basket")
+	p := NewParser()
+	res := p.Parse("Does Carter LA have higher shooting than Smith SF?", d.Table)
+	if res.colScore != 0 {
+		t.Errorf("colScore = %v for label word, want 0", res.colScore)
+	}
+}
+
+func TestNumericKeyBinding(t *testing.T) {
+	d := data.MustLoad("WineQuality")
+	p := NewParser()
+	// Subject id first: binds correctly.
+	res := p.Parse("Does 17 have a quality of 7?", d.Table)
+	if !strings.Contains(res.sql, "wine_id = 17") {
+		t.Errorf("sql = %q, want wine_id = 17", res.sql)
+	}
+}
+
+func TestBaselineNeverAbstains(t *testing.T) {
+	tables := loadTables(t, testNames)
+	var rels []*data.Dataset = tables
+	sys := Baseline()
+	for _, d := range rels {
+		sys.Register(d.Table)
+	}
+	corpus, err := GenerateCorpus([]string{"Basket"}, 3)
+	if err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+	for _, ex := range corpus {
+		if got := sys.Predict(ex.Question, ex.Dataset); got == None {
+			t.Errorf("baseline abstained on %q", ex.Question)
+		}
+	}
+}
+
+func TestGenerateCorpusShape(t *testing.T) {
+	corpus, err := GenerateCorpus(trainNames, 5)
+	if err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+	amb, plain := 0, 0
+	for _, ex := range corpus {
+		if ex.Ambiguous {
+			if ex.GoldSQL != None {
+				t.Errorf("ambiguous example with SQL gold: %+v", ex)
+			}
+			amb++
+		} else {
+			if !strings.HasPrefix(ex.GoldSQL, "SELECT ") {
+				t.Errorf("gold SQL malformed: %q", ex.GoldSQL)
+			}
+			plain++
+		}
+	}
+	t.Logf("corpus: %d ambiguous, %d plain", amb, plain)
+	if amb < 200 || plain < 100 {
+		t.Errorf("corpus too small: %d/%d", amb, plain)
+	}
+}
+
+func TestGoldSQLMatchesParserFormat(t *testing.T) {
+	// On clean questions the parser must reproduce the gold string exactly,
+	// otherwise exact-match accuracy is meaningless.
+	corpus, err := GenerateCorpus([]string{"Basket"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data.MustLoad("Basket")
+	p := NewParser()
+	matches, total := 0, 0
+	for _, ex := range corpus {
+		if ex.Ambiguous {
+			continue
+		}
+		total++
+		if p.Parse(ex.Question, d.Table).sql == ex.GoldSQL {
+			matches++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no plain examples")
+	}
+	if frac := float64(matches) / float64(total); frac < 0.9 {
+		t.Errorf("parser matches gold on %.2f of clean questions, want >= 0.9", frac)
+	}
+}
+
+func TestFineTunedBeatsBaseline(t *testing.T) {
+	rawTrain, err := GenerateCorpus(trainNames, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := Balance(rawTrain, 1.0, 11)
+	rawTest, err := GenerateCorpus(testNames, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := Balance(rawTest, 1.0, 13)
+	all := loadTables(t, append(append([]string{}, trainNames...), testNames...))
+	baseline := Baseline()
+	for _, d := range all {
+		baseline.Register(d.Table)
+	}
+
+	ft, err := FineTune(train, tablesOf(all), FineTuneOptions{Epochs: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("FineTune: %v", err)
+	}
+
+	score := func(s *System) (acc float64, f1 float64) {
+		correct := 0
+		tp, fp, fn := 0, 0, 0
+		for _, ex := range test {
+			got := s.Predict(ex.Question, ex.Dataset)
+			if got == ex.GoldSQL {
+				correct++
+			}
+			switch {
+			case ex.Ambiguous && got == None:
+				tp++
+			case !ex.Ambiguous && got == None:
+				fp++
+			case ex.Ambiguous && got != None:
+				fn++
+			}
+		}
+		return float64(correct) / float64(len(test)), metrics.Compute(tp, fp, fn).F1
+	}
+	baseAcc, _ := score(baseline)
+	ftAcc, ftF1 := score(ft)
+	t.Logf("baseline ACC %.2f -> fine-tuned ACC %.2f (ambiguity F1 %.2f)", baseAcc, ftAcc, ftF1)
+	if ftAcc <= baseAcc {
+		t.Errorf("fine-tuning did not improve accuracy: %.2f -> %.2f", baseAcc, ftAcc)
+	}
+	if ftF1 < 0.6 {
+		t.Errorf("ambiguity detection F1 = %.2f, want >= 0.6", ftF1)
+	}
+}
+
+// tablesOf extracts the relation tables of datasets.
+func tablesOf(ds []*data.Dataset) []*relation.Table {
+	out := make([]*relation.Table, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.Table)
+	}
+	return out
+}
+
+func TestFineTuneValidation(t *testing.T) {
+	if _, err := FineTune(nil, nil, FineTuneOptions{}); err == nil {
+		t.Error("expected error for empty corpus")
+	}
+	bad := []Example{{Question: "q", Dataset: "Nope", GoldSQL: None, Ambiguous: true}}
+	if _, err := FineTune(bad, nil, FineTuneOptions{}); err == nil {
+		t.Error("expected error for unregistered table")
+	}
+}
+
+func TestContainsWord(t *testing.T) {
+	cases := []struct {
+		text, w string
+		want    bool
+	}{
+		{"carter from la", "carter", true},
+		{"carter from la", "art", false},
+		{"id 17 here", "17", true},
+		{"id 170 here", "17", false},
+		{"x", "x", true},
+	}
+	for _, tc := range cases {
+		if got := containsWord(tc.text, tc.w); got != tc.want {
+			t.Errorf("containsWord(%q, %q) = %v", tc.text, tc.w, got)
+		}
+	}
+}

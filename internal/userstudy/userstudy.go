@@ -1,0 +1,182 @@
+// Package userstudy simulates the two human-annotation campaigns of the
+// paper: the Section V attribute-ambiguity corpus over 13 tables (the test
+// set of Table III), and the Section VI-D end-to-end judgment of generated
+// text (Table VIII).
+//
+// Ground truth comes from the vocabulary's curated labels; simulated
+// annotators are the ground-truth oracle plus calibrated, seeded noise
+// (attention slips, near-miss attribute marking), reproducing
+// inter-annotator variance without biasing method rankings.
+package userstudy
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/pythia"
+)
+
+// CorpusEntry is one table of the annotated corpus with its ground-truth
+// ambiguous pairs.
+type CorpusEntry struct {
+	Name    string
+	Dataset *data.Dataset
+	Pairs   []data.GroundTruthPair
+}
+
+// AnnotatedCorpus returns the 13-table corpus of Section V.
+func AnnotatedCorpus() []CorpusEntry {
+	var out []CorpusEntry
+	for _, name := range data.AnnotatedCorpusNames() {
+		d := data.MustLoad(name)
+		out = append(out, CorpusEntry{Name: name, Dataset: d, Pairs: d.GroundTruthPairs()})
+	}
+	return out
+}
+
+// Stats summarizes the corpus the way the paper reports it: ambiguous
+// pairs and (pair, label) annotations.
+type Stats struct {
+	Tables      int
+	Pairs       int
+	Annotations int // pair-label combinations
+}
+
+// CorpusStats computes the summary.
+func CorpusStats(corpus []CorpusEntry) Stats {
+	st := Stats{Tables: len(corpus)}
+	for _, e := range corpus {
+		st.Pairs += len(e.Pairs)
+		for _, p := range e.Pairs {
+			st.Annotations += len(p.Labels)
+		}
+	}
+	return st
+}
+
+// PairKey canonicalizes an unordered attribute pair for set comparison.
+func PairKey(a, b string) string {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x1f" + b
+}
+
+// ---------------------------------------------------------------------------
+// Table VIII simulated judges.
+// ---------------------------------------------------------------------------
+
+// Judge is one simulated study participant. Error rates are calibrated to
+// the paper's observed agreement (ambiguity detection F1 ~0.84, attribute
+// marking slightly below).
+type Judge struct {
+	ID int
+	// DetectSlip is the probability of judging ambiguity incorrectly.
+	DetectSlip float64
+	// AttrSlip is the probability of marking a wrong attribute set when
+	// the ambiguity judgment itself was right.
+	AttrSlip float64
+	Seed     int64
+}
+
+// DefaultPanel returns the paper's panel: eleven annotators with slightly
+// varied reliability.
+func DefaultPanel(seed int64) []Judge {
+	var out []Judge
+	for i := 0; i < 11; i++ {
+		out = append(out, Judge{
+			ID:         i,
+			DetectSlip: 0.10 + 0.04*float64(i%3),
+			AttrSlip:   0.12 + 0.05*float64(i%2),
+			Seed:       seed + int64(i)*101,
+		})
+	}
+	return out
+}
+
+// Assessment is one judge's annotation of one generated text.
+type Assessment struct {
+	JudgedAmbiguous bool
+	MarkedAttrs     []string // non-empty only when judged ambiguous
+}
+
+// chance produces a deterministic pseudo-random draw in [0, 1) for a judge
+// and content key.
+func (j Judge) chance(key string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(j.Seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+// Assess simulates judging one generated example against its dataset: the
+// judge sees the text, the schema and a data sample; we model the outcome
+// as ground truth perturbed by the judge's slip rates.
+func (j Judge) Assess(ex pythia.Example, ds *data.Dataset) Assessment {
+	truthAmbiguous := ex.Structure.Ambiguous()
+	judged := truthAmbiguous
+	if j.chance("detect|"+ex.Text) < j.DetectSlip {
+		judged = !judged
+	}
+	out := Assessment{JudgedAmbiguous: judged}
+	if !judged {
+		return out
+	}
+	// Attribute marking. A correct judge marks the true ambiguous
+	// attributes; a slipping judge marks a plausible-but-wrong set.
+	schema := ds.Table.Schema.Names()
+	if truthAmbiguous && j.chance("attr|"+ex.Text) >= j.AttrSlip {
+		out.MarkedAttrs = append(out.MarkedAttrs, ex.Attrs...)
+		return out
+	}
+	// Wrong set: pick schema columns deterministically, skewed away from
+	// the truth.
+	truth := map[string]bool{}
+	for _, a := range ex.Attrs {
+		truth[strings.ToLower(a)] = true
+	}
+	var wrong []string
+	for _, col := range schema {
+		if truth[strings.ToLower(col)] {
+			continue
+		}
+		wrong = append(wrong, col)
+	}
+	sort.Strings(wrong)
+	if len(wrong) == 0 {
+		out.MarkedAttrs = append(out.MarkedAttrs, ex.Attrs...)
+		return out
+	}
+	pick := int(j.chance("which|"+ex.Text) * float64(len(wrong)))
+	if pick >= len(wrong) {
+		pick = len(wrong) - 1
+	}
+	out.MarkedAttrs = []string{wrong[pick]}
+	if len(wrong) > 1 {
+		out.MarkedAttrs = append(out.MarkedAttrs, wrong[(pick+1)%len(wrong)])
+	}
+	return out
+}
+
+// AttrMatch scores attribute marking per the paper's rule: "a match if at
+// least one of the annotated attributes is in the ground truth of the
+// text".
+func AttrMatch(marked, truth []string) bool {
+	set := map[string]bool{}
+	for _, a := range truth {
+		set[strings.ToLower(a)] = true
+	}
+	for _, m := range marked {
+		if set[strings.ToLower(m)] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package userstudy
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/pythia"
+)
+
+func TestAnnotatedCorpus(t *testing.T) {
+	corpus := AnnotatedCorpus()
+	if len(corpus) != 13 {
+		t.Fatalf("corpus tables = %d, want 13", len(corpus))
+	}
+	st := CorpusStats(corpus)
+	if st.Pairs < 40 {
+		t.Errorf("pairs = %d, want a substantial corpus", st.Pairs)
+	}
+	if st.Annotations < st.Pairs {
+		t.Errorf("annotations (%d) < pairs (%d)", st.Annotations, st.Pairs)
+	}
+	t.Logf("corpus: %d tables, %d ambiguous pairs, %d pair-label annotations",
+		st.Tables, st.Pairs, st.Annotations)
+}
+
+func TestPairKeyUnordered(t *testing.T) {
+	if PairKey("FG%", "3FG%") != PairKey("3fg%", "fg%") {
+		t.Error("PairKey not order/case insensitive")
+	}
+	if PairKey("a", "b") == PairKey("a", "c") {
+		t.Error("PairKey collides")
+	}
+}
+
+func exampleFor(t *testing.T, ambiguous bool) (pythia.Example, *data.Dataset) {
+	t.Helper()
+	d := data.MustLoad("Basket")
+	if ambiguous {
+		return pythia.Example{
+			Text:      "Carter LA has higher shooting than Smith SF",
+			Structure: pythia.AttributeAmb,
+			Attrs:     []string{"FieldGoalPct", "ThreePointPct"},
+		}, d
+	}
+	return pythia.Example{
+		Text:      "Carter LA has a Points of 20",
+		Structure: pythia.NoAmb,
+		Attrs:     []string{"Points"},
+	}, d
+}
+
+func TestJudgeDeterministic(t *testing.T) {
+	j := Judge{ID: 0, DetectSlip: 0.2, AttrSlip: 0.2, Seed: 5}
+	ex, d := exampleFor(t, true)
+	a1, a2 := j.Assess(ex, d), j.Assess(ex, d)
+	if a1.JudgedAmbiguous != a2.JudgedAmbiguous || len(a1.MarkedAttrs) != len(a2.MarkedAttrs) {
+		t.Error("judge not deterministic")
+	}
+}
+
+func TestJudgePanelCalibration(t *testing.T) {
+	// Over many texts, a panel judge must be right most of the time but
+	// not always.
+	panel := DefaultPanel(3)
+	d := data.MustLoad("Basket")
+	correct, total := 0, 0
+	for i := 0; i < 200; i++ {
+		amb := i%2 == 0
+		ex := pythia.Example{
+			Text:      "probe text variant " + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+(i/26)%26)),
+			Structure: pythia.NoAmb,
+			Attrs:     []string{"Points"},
+		}
+		if amb {
+			ex.Structure = pythia.AttributeAmb
+			ex.Attrs = []string{"FieldGoalPct", "ThreePointPct"}
+		}
+		for _, j := range panel[:3] {
+			got := j.Assess(ex, d)
+			if got.JudgedAmbiguous == amb {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.8 || acc > 0.97 {
+		t.Errorf("panel detection accuracy = %.3f, want calibrated 0.80-0.97", acc)
+	}
+}
+
+func TestPerfectJudge(t *testing.T) {
+	j := Judge{Seed: 1} // zero slip rates
+	exA, d := exampleFor(t, true)
+	got := j.Assess(exA, d)
+	if !got.JudgedAmbiguous {
+		t.Error("perfect judge missed ambiguity")
+	}
+	if !AttrMatch(got.MarkedAttrs, exA.Attrs) {
+		t.Errorf("perfect judge marked %v", got.MarkedAttrs)
+	}
+	exN, _ := exampleFor(t, false)
+	if j.Assess(exN, d).JudgedAmbiguous {
+		t.Error("perfect judge hallucinated ambiguity")
+	}
+}
+
+func TestWrongAttrMarkingAvoidsTruth(t *testing.T) {
+	// With AttrSlip 1, marked attributes must come from outside the truth.
+	j := Judge{AttrSlip: 1, Seed: 9}
+	ex, d := exampleFor(t, true)
+	got := j.Assess(ex, d)
+	if !got.JudgedAmbiguous {
+		t.Fatal("detection should be perfect with DetectSlip 0")
+	}
+	if AttrMatch(got.MarkedAttrs, ex.Attrs) {
+		t.Errorf("slipping judge still matched truth: %v", got.MarkedAttrs)
+	}
+	if len(got.MarkedAttrs) == 0 {
+		t.Error("no attributes marked")
+	}
+}
+
+func TestAttrMatch(t *testing.T) {
+	if !AttrMatch([]string{"fg%"}, []string{"FG%", "3FG%"}) {
+		t.Error("case-insensitive match failed")
+	}
+	if AttrMatch([]string{"fouls"}, []string{"FG%", "3FG%"}) {
+		t.Error("false match")
+	}
+	if AttrMatch(nil, []string{"FG%"}) {
+		t.Error("empty marking matched")
+	}
+}
+
+func TestJudgeOnNonAmbiguousMarksNothing(t *testing.T) {
+	j := Judge{Seed: 2}
+	ex, d := exampleFor(t, false)
+	got := j.Assess(ex, d)
+	if got.JudgedAmbiguous || len(got.MarkedAttrs) != 0 {
+		t.Errorf("assessment = %+v", got)
+	}
+}

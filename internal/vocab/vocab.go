@@ -1,0 +1,196 @@
+// Package vocab defines the concept vocabulary behind PYTHIA's simulated
+// external world. It is the single source of truth from which three other
+// substrates are derived:
+//
+//   - internal/kb builds its ConceptNet-like graph and Wikipedia-title index
+//     from concept aliases (with noise injected at build time);
+//   - internal/corpus samples synthetic WebTables schemas and cell values
+//     from concept surface forms and value generators;
+//   - internal/userstudy derives the ground-truth ambiguity annotations for
+//     the evaluation tables from the curated Labels sets.
+//
+// Two concepts are *ambiguous* with label L exactly when L appears in both
+// concepts' Labels (the judgment the paper crowdsources to 10 annotators).
+// The knowledge graph intentionally covers only part of that ground truth
+// and adds generic aliases shared by unrelated concepts, so the annotator
+// functions of internal/annotate are noisy in both directions — which is
+// the premise of the paper's weak-supervision setup.
+package vocab
+
+import (
+	"sort"
+	"strings"
+)
+
+// ValueClass says how cell values for a concept are generated and, for the
+// data-task model, what distributional signal they carry.
+type ValueClass struct {
+	Kind string // "int", "float", "string", "date"
+	// Numeric range for int/float kinds.
+	Min, Max float64
+	// Categorical vocabulary for the string kind. Concepts that share a
+	// label often share (part of) this vocabulary, which is the value
+	// signal the Data model can exploit.
+	Categories []string
+	// Decimals is the number of fractional digits for float rendering.
+	Decimals int
+}
+
+// Concept is one entry of the vocabulary.
+type Concept struct {
+	ID      string   // canonical snake_case identifier
+	Domain  string   // topical group, used to sample coherent schemas
+	Surface []string // header surface forms seen in web tables (first is primary)
+
+	// Alias sets, mirrored (with noise) into the knowledge graph.
+	Synonyms    []string
+	RelatedTo   []string
+	DerivedFrom []string
+	IsA         []string
+	Wiki        []string
+
+	// Labels is the curated ambiguity ground truth: abstract words a human
+	// would accept as describing this attribute.
+	Labels []string
+
+	Values ValueClass
+}
+
+// Vocabulary is the full concept set with lookup indexes.
+type Vocabulary struct {
+	Concepts []Concept
+	byID     map[string]int
+	bySurf   map[string][]int // normalized surface form -> concept indexes
+	domains  []string
+	byDomain map[string][]int
+}
+
+// Build indexes a concept list into a Vocabulary.
+func Build(concepts []Concept) *Vocabulary {
+	v := &Vocabulary{
+		Concepts: concepts,
+		byID:     make(map[string]int, len(concepts)),
+		bySurf:   make(map[string][]int),
+		byDomain: make(map[string][]int),
+	}
+	for i, c := range concepts {
+		v.byID[c.ID] = i
+		for _, s := range c.Surface {
+			n := Normalize(s)
+			v.bySurf[n] = append(v.bySurf[n], i)
+		}
+		// The canonical ID is always a recognizable surface form.
+		n := Normalize(c.ID)
+		if !containsInt(v.bySurf[n], i) {
+			v.bySurf[n] = append(v.bySurf[n], i)
+		}
+		v.byDomain[c.Domain] = append(v.byDomain[c.Domain], i)
+	}
+	for d := range v.byDomain {
+		v.domains = append(v.domains, d)
+	}
+	sort.Strings(v.domains)
+	return v
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Default returns the built-in vocabulary (see concepts.go).
+func Default() *Vocabulary { return defaultVocab }
+
+var defaultVocab = Build(builtinConcepts)
+
+// ByID returns the concept with the given canonical ID.
+func (v *Vocabulary) ByID(id string) (Concept, bool) {
+	i, ok := v.byID[id]
+	if !ok {
+		return Concept{}, false
+	}
+	return v.Concepts[i], true
+}
+
+// Lookup resolves a column header to the concepts it may denote, by
+// normalized surface form. Unknown headers resolve to nothing, like the
+// paper's "A12" example.
+func (v *Vocabulary) Lookup(header string) []Concept {
+	idxs := v.bySurf[Normalize(header)]
+	out := make([]Concept, len(idxs))
+	for i, j := range idxs {
+		out[i] = v.Concepts[j]
+	}
+	return out
+}
+
+// Domains returns the sorted list of topical domains.
+func (v *Vocabulary) Domains() []string { return v.domains }
+
+// Domain returns the concepts of one domain.
+func (v *Vocabulary) Domain(name string) []Concept {
+	idxs := v.byDomain[name]
+	out := make([]Concept, len(idxs))
+	for i, j := range idxs {
+		out[i] = v.Concepts[j]
+	}
+	return out
+}
+
+// SharedLabels returns the curated ambiguity labels common to two concepts
+// (the ground truth for the pair), or nil when the pair is not ambiguous.
+func SharedLabels(a, b Concept) []string {
+	if a.ID == b.ID {
+		return nil // an attribute is not ambiguous with itself
+	}
+	set := make(map[string]bool, len(a.Labels))
+	for _, l := range a.Labels {
+		set[l] = true
+	}
+	var out []string
+	for _, l := range b.Labels {
+		if set[l] {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize canonicalizes a header or word for lookup: lowercase, split
+// camelCase, strip decorations (%, _, -, .), collapse spaces. "FG%" and
+// "fg_pct" normalize to comparable forms via the surface lists.
+func Normalize(s string) string {
+	var b strings.Builder
+	prevLower := false
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			if prevLower {
+				b.WriteByte(' ')
+			}
+			b.WriteRune(r - 'A' + 'a')
+			prevLower = false
+		case r == '_' || r == '-' || r == '.' || r == '/' || r == ' ':
+			b.WriteByte(' ')
+			prevLower = false
+		case r == '%':
+			b.WriteString(" pct")
+			prevLower = false
+		default:
+			b.WriteRune(r)
+			prevLower = r >= 'a' && r <= 'z'
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// Tokens splits a header into normalized word tokens ("sepal_length" ->
+// ["sepal", "length"]). The metadata model consumes these.
+func Tokens(s string) []string {
+	return strings.Fields(Normalize(s))
+}

@@ -1,0 +1,190 @@
+package vocab
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDefaultVocabularyIsWellFormed(t *testing.T) {
+	v := Default()
+	if len(v.Concepts) < 100 {
+		t.Fatalf("vocabulary has %d concepts, want >= 100", len(v.Concepts))
+	}
+	seen := map[string]bool{}
+	for _, c := range v.Concepts {
+		if c.ID == "" || c.Domain == "" {
+			t.Errorf("concept %+v missing ID or Domain", c)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate concept ID %q", c.ID)
+		}
+		seen[c.ID] = true
+		if len(c.Surface) == 0 {
+			t.Errorf("concept %s has no surface forms", c.ID)
+		}
+		switch c.Values.Kind {
+		case "int", "float":
+			if c.Values.Min >= c.Values.Max {
+				t.Errorf("concept %s has empty numeric range [%g, %g]", c.ID, c.Values.Min, c.Values.Max)
+			}
+		case "string":
+			if len(c.Values.Categories) == 0 {
+				t.Errorf("concept %s has string kind but no categories", c.ID)
+			}
+		case "date":
+		default:
+			t.Errorf("concept %s has unknown value kind %q", c.ID, c.Values.Kind)
+		}
+	}
+}
+
+func TestLookupSurfaceForms(t *testing.T) {
+	v := Default()
+	cases := map[string]string{
+		"FG%":            "field_goal_pct",
+		"fg_pct":         "field_goal_pct",
+		"FieldGoalPct":   "field_goal_pct",
+		"3FG%":           "three_point_pct",
+		"sepal_length":   "sepal_length",
+		"SepalLength":    "sepal_length",
+		"capital-gain":   "capital_gain",
+		"native_country": "country",
+		"gender":         "sex",
+	}
+	for header, wantID := range cases {
+		cs := v.Lookup(header)
+		found := false
+		for _, c := range cs {
+			if c.ID == wantID {
+				found = true
+			}
+		}
+		if !found {
+			got := make([]string, len(cs))
+			for i, c := range cs {
+				got[i] = c.ID
+			}
+			t.Errorf("Lookup(%q) = %v, want to include %s", header, got, wantID)
+		}
+	}
+	if cs := v.Lookup("A12"); len(cs) != 0 {
+		t.Errorf("Lookup(A12) = %v, want empty (paper's meaningless-header case)", cs)
+	}
+}
+
+func TestSharedLabelsGroundTruth(t *testing.T) {
+	v := Default()
+	get := func(id string) Concept {
+		c, ok := v.ByID(id)
+		if !ok {
+			t.Fatalf("missing concept %s", id)
+		}
+		return c
+	}
+	// The paper's flagship pair.
+	fg, tp := get("field_goal_pct"), get("three_point_pct")
+	labels := SharedLabels(fg, tp)
+	if !containsStr(labels, "shooting") {
+		t.Errorf("SharedLabels(FG%%, 3FG%%) = %v, want to include shooting", labels)
+	}
+	// CoronaCheck's pair.
+	fr, mr := get("total_fatality_rate"), get("total_mortality_rate")
+	if labels := SharedLabels(fr, mr); !containsStr(labels, "death rate") {
+		t.Errorf("SharedLabels(fatality, mortality) = %v, want death rate", labels)
+	}
+	// Adults: capital-gain and salary share "income".
+	cg, sal := get("capital_gain"), get("salary")
+	if labels := SharedLabels(cg, sal); !containsStr(labels, "income") {
+		t.Errorf("SharedLabels(capital_gain, salary) = %v, want income", labels)
+	}
+	// capital-loss shares "capital" with capital-gain but not "income".
+	cl := get("capital_loss")
+	labels = SharedLabels(cg, cl)
+	if !containsStr(labels, "capital") || containsStr(labels, "income") {
+		t.Errorf("SharedLabels(capital_gain, capital_loss) = %v", labels)
+	}
+	// Unrelated attributes share nothing.
+	if labels := SharedLabels(get("fouls"), get("humidity")); len(labels) != 0 {
+		t.Errorf("SharedLabels(fouls, humidity) = %v, want none", labels)
+	}
+	// Self pairs are never ambiguous.
+	if labels := SharedLabels(fg, fg); labels != nil {
+		t.Errorf("SharedLabels(x, x) = %v, want nil", labels)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"FG%":              "fg pct",
+		"3FG%":             "3fg pct",
+		"SepalLength":      "sepal length",
+		"sepal_length":     "sepal length",
+		"hours-per-week":   "hours per week",
+		"  total  deaths ": "total deaths",
+		"capital.gain":     "capital gain",
+		"mpg/city":         "mpg city",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTokens(t *testing.T) {
+	got := Tokens("Sepal_LengthCm")
+	want := []string{"sepal", "length", "cm"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestDomains(t *testing.T) {
+	v := Default()
+	ds := v.Domains()
+	if len(ds) < 10 {
+		t.Errorf("domains = %v, want >= 10", ds)
+	}
+	for _, d := range ds {
+		if len(v.Domain(d)) == 0 {
+			t.Errorf("domain %s has no concepts", d)
+		}
+	}
+	// Sorted.
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1] >= ds[i] {
+			t.Errorf("domains not sorted: %v", ds)
+		}
+	}
+}
+
+func TestAmbiguityGroundTruthDensity(t *testing.T) {
+	// Sanity check that the vocabulary provides a healthy number of
+	// ambiguous pairs overall (the paper's test corpus has 252).
+	v := Default()
+	count := 0
+	for i := range v.Concepts {
+		for j := i + 1; j < len(v.Concepts); j++ {
+			if len(SharedLabels(v.Concepts[i], v.Concepts[j])) > 0 {
+				count++
+			}
+		}
+	}
+	if count < 150 {
+		t.Errorf("ambiguous concept pairs = %d, want >= 150", count)
+	}
+	total := len(v.Concepts) * (len(v.Concepts) - 1) / 2
+	if count*2 > total {
+		t.Errorf("ambiguous pairs = %d of %d: ground truth too dense to be realistic", count, total)
+	}
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if strings.EqualFold(x, want) {
+			return true
+		}
+	}
+	return false
+}
