@@ -85,7 +85,9 @@ func cmdSQL(args []string) error {
 	load := tableFlags(fs)
 	interactive := fs.Bool("i", false, "interactive prompt (read queries from stdin)")
 	limit := fs.Int("print", 20, "max rows to print per result")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	t, err := load()
 	if err != nil {
 		return err
@@ -168,7 +170,9 @@ func tableFlags(fs *flag.FlagSet) func() (*relation.Table, error) {
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	load := tableFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	t, err := load()
 	if err != nil {
 		return err
@@ -217,7 +221,9 @@ func cmdMetadata(args []string) error {
 	load := tableFlags(fs)
 	method := fs.String("method", "ulabel", "metadata method: ulabel, schema or data")
 	tables := fs.Int("tables", 0, "training corpus size for schema/data (0 = default)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	t, err := load()
 	if err != nil {
 		return err
@@ -255,7 +261,9 @@ func cmdGenerate(args []string) error {
 	max := fs.Int("max", 4, "max evidence rows per a-query (0 = unlimited in template mode)")
 	asJSON := fs.Bool("json", false, "emit JSON lines instead of text")
 	seed := fs.Int64("seed", 1, "phrasing seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	t, err := load()
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"log"
 
 	"repro/internal/data"
+	"repro/internal/detrand"
 	"repro/internal/relation"
 	"repro/internal/texttosql"
 )
@@ -29,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	train := texttosql.Balance(raw, 1.0, 11)
+	train := texttosql.Balance(raw, 1.0, detrand.New(11))
 	fmt.Printf("training corpus: %d examples\n", len(train))
 
 	baseline := texttosql.Baseline(tables...)

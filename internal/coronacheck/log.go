@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/pythia"
 	"repro/internal/relation"
 )
@@ -26,7 +27,7 @@ type LogClaim struct {
 // outside the deployed lexicon, and a few need unsupported aggregations.
 func UserLog(seed int64) []LogClaim {
 	s := NewOriginal()
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrand.New(seed)
 	var log []LogClaim
 	add := func(text string, st pythia.Structure, gold VerdictKind, complex bool) {
 		log = append(log, LogClaim{Text: text, Structure: st, Gold: gold, Complex: complex})

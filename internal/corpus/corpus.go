@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/detrand"
 	"repro/internal/vocab"
 )
 
@@ -90,7 +91,7 @@ func NewDefaultGenerator() *Generator {
 
 // Table generates the i-th table of the corpus.
 func (g *Generator) Table(i int) Table {
-	rng := rand.New(rand.NewSource(g.opts.Seed*1_000_003 + int64(i)))
+	rng := detrand.Derive(g.opts.Seed, int64(i))
 	domains := g.vocab.Domains()
 	domain := domains[rng.Intn(len(domains))]
 	pool := g.vocab.Domain(domain)

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/corpus"
+	"repro/internal/detrand"
 	"repro/internal/relation"
 	"repro/internal/vocab"
 )
@@ -97,7 +98,7 @@ type builder struct {
 }
 
 func newBuilder(name string, seed int64, cols ...column) *builder {
-	return &builder{name: name, cols: cols, rng: rand.New(rand.NewSource(seed))}
+	return &builder{name: name, cols: cols, rng: detrand.New(seed)}
 }
 
 // value produces a cell for a concept column.

@@ -1,0 +1,82 @@
+package detrand
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// TestNewMatchesLegacyConstruction pins New and Derive to the expressions
+// they consolidated, so corpora generated before the refactor stay
+// byte-identical to corpora generated after it.
+func TestNewMatchesLegacyConstruction(t *testing.T) {
+	a := New(42)
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 32; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("draw %d: New(42)=%d, legacy=%d", i, x, y)
+		}
+	}
+	c := Derive(42, 7)
+	d := rand.New(rand.NewSource(42*1_000_003 + 7))
+	for i := 0; i < 32; i++ {
+		if x, y := c.Int63(), d.Int63(); x != y {
+			t.Fatalf("draw %d: Derive(42,7)=%d, legacy=%d", i, x, y)
+		}
+	}
+}
+
+func TestOr(t *testing.T) {
+	injected := New(1)
+	if Or(injected, 99) != injected {
+		t.Error("Or must return the injected generator when non-nil")
+	}
+	fallback := Or(nil, 99)
+	want := New(99)
+	if fallback.Int63() != want.Int63() {
+		t.Error("Or(nil, seed) must behave like New(seed)")
+	}
+}
+
+// TestChancePinned replicates the FNV-1a construction Chance replaced
+// (eight little-endian seed bytes, then the key) and checks determinism
+// and range.
+func TestChancePinned(t *testing.T) {
+	const seed, key = int64(7), "attrA\x00attrB"
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	want := float64(h.Sum64()%1_000_000) / 1_000_000
+	if got := Chance(seed, key); got != want {
+		t.Errorf("Chance(%d, %q) = %v, want %v", seed, key, got, want)
+	}
+	if got := Chance(seed, key); got != Chance(seed, key) {
+		t.Errorf("Chance is not deterministic: %v", got)
+	}
+	for _, key := range []string{"", "x", "a long key with spaces"} {
+		if c := Chance(3, key); c < 0 || c >= 1 {
+			t.Errorf("Chance(3, %q) = %v out of [0,1)", key, c)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	const n = 5
+	for _, parts := range [][]string{{}, {"a"}, {"a", "b"}, {"ab"}, {"a", "bc"}} {
+		p := Pick(11, n, parts...)
+		if p < 0 || p >= n {
+			t.Errorf("Pick(11, %d, %v) = %d out of range", n, parts, p)
+		}
+		if p != Pick(11, n, parts...) {
+			t.Errorf("Pick not deterministic for %v", parts)
+		}
+	}
+	// Length delimiting: ("ab","c") and ("a","bc") must hash differently.
+	if Pick(11, 1<<30, "ab", "c") == Pick(11, 1<<30, "a", "bc") {
+		t.Error(`Pick("ab","c") collided with Pick("a","bc"); parts are not length-delimited`)
+	}
+}

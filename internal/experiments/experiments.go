@@ -32,6 +32,7 @@ func QuickConfig() Config { return Config{Scale: 0.15, Seed: 7} }
 // logf writes a progress line when logging is enabled.
 func (c Config) logf(format string, args ...any) {
 	if c.Log != nil {
+		//lint:ignore err-ignored best-effort progress logging; experiment results never depend on the log stream
 		fmt.Fprintf(c.Log, format+"\n", args...)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/annotate"
@@ -32,9 +33,14 @@ type FigResult struct {
 // String renders the figure series as rows.
 func (r FigResult) String() string {
 	header := []string{"Series", r.XLabel, "Amb-F1", "Lab-F1"}
+	names := make([]string, 0, len(r.Series))
+	for name := range r.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var rows [][]string
-	for name, pts := range r.Series {
-		for _, p := range pts {
+	for _, name := range names {
+		for _, p := range r.Series[name] {
 			rows = append(rows, []string{name, fmt.Sprintf("%g", p.X), pct(p.Ambiguity.F1), pct(p.Labeling.F1)})
 		}
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in, so tests
+// whose training loops run ~15x slower under instrumentation can skip
+// rather than trip the per-package test timeout.
+const raceEnabled = true

@@ -12,6 +12,9 @@ func TestTableIIIShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains four models")
 	}
+	if raceEnabled {
+		t.Skip("trains four models; ~15x slower under the race detector, past the package timeout")
+	}
 	cfg := QuickConfig()
 	cfg.Scale = 0.3 // the Data model needs a mid-size corpus to stabilize
 	res, err := TableIII(cfg)

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/data"
+	"repro/internal/detrand"
 	"repro/internal/metrics"
 	"repro/internal/relation"
 	"repro/internal/texttosql"
@@ -58,12 +58,12 @@ func TableVII(cfg Config) (TableVIIResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("experiments: table VII: %w", err)
 	}
-	train := texttosql.Balance(rawTrain, 1.0, cfg.Seed)
+	train := texttosql.Balance(rawTrain, 1.0, detrand.New(cfg.Seed))
 	rawTest, err := texttosql.GenerateCorpus(TableVIITestNames, cfg.Seed+500)
 	if err != nil {
 		return res, fmt.Errorf("experiments: table VII: %w", err)
 	}
-	test := texttosql.Balance(rawTest, 1.0, cfg.Seed+500)
+	test := texttosql.Balance(rawTest, 1.0, detrand.New(cfg.Seed+500))
 	cfg.logf("TableVII: %d training candidates, %d test examples", len(train), len(test))
 
 	var tables []*relation.Table
@@ -103,7 +103,7 @@ func TableVII(cfg Config) (TableVIIResult, error) {
 	baseline := texttosql.Baseline(tables...)
 	res.Rows = append(res.Rows, evaluate(baseline, "Baseline (WikiSQL)", 0))
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := detrand.New(cfg.Seed)
 	shuffled := append([]texttosql.Example{}, train...)
 	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 	for _, size := range TableVIISizes {

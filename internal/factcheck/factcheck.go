@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/data"
+	"repro/internal/detrand"
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/pythia"
@@ -216,6 +217,9 @@ type CorpusOptions struct {
 	// training split mostly does not).
 	AmbiguousNEIFraction float64
 	Seed                 int64
+	// Rand, when non-nil, is the injected generator driving corpus
+	// assembly; Seed then only seeds the text generator.
+	Rand *rand.Rand
 	// Datasets to draw from; nil means a default mix.
 	Datasets []string
 }
@@ -229,7 +233,7 @@ func GenerateCorpus(opts CorpusOptions) ([]Claim, error) {
 			"Adults", "Superstore", "HeartDiseases", "WineQuality",
 		}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := detrand.Or(opts.Rand, opts.Seed)
 	gen := textgen.NewGenerator(opts.Seed)
 
 	// Collect raw material per dataset: true statements (evidence-backed),

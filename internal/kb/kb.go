@@ -12,10 +12,10 @@
 package kb
 
 import (
-	"hash/fnv"
 	"sort"
 	"strings"
 
+	"repro/internal/detrand"
 	"repro/internal/vocab"
 )
 
@@ -262,14 +262,7 @@ func dedupSorted(xs []string) []string {
 
 // chance hashes a salted key into [0, 1).
 func chance(seed int64, key string) float64 {
-	h := fnv.New64a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(seed >> (8 * i))
-	}
-	h.Write(b[:])
-	h.Write([]byte(key))
-	return float64(h.Sum64()%1_000_000) / 1_000_000
+	return detrand.Chance(seed, key)
 }
 
 // Aliases returns the graph neighbours of a word under one relation. The

@@ -1,0 +1,200 @@
+// Concurrency analyzers: conc-loop-capture and conc-lock-copy.
+//
+// The ROADMAP's next step is sharding the generation pipeline; these two
+// rules pin down the classic hazards before that lands. conc-loop-capture
+// guards goroutine bodies that read an enclosing loop's variable directly
+// (pre-Go-1.22 semantics share one variable across iterations, and even
+// with per-iteration variables the pattern hides which value a goroutine
+// observes — pass it as an argument). conc-lock-copy catches sync
+// primitives moved by value, which silently forks their internal state.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LoopCaptureAnalyzer flags goroutines launched with a function literal
+// that references a variable of an enclosing for/range statement instead
+// of receiving it as an argument.
+func LoopCaptureAnalyzer() *Analyzer {
+	return &Analyzer{
+		ID:  "conc-loop-capture",
+		Doc: "goroutine captures enclosing loop variable by reference",
+		Run: runLoopCapture,
+	}
+}
+
+func runLoopCapture(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		// The traversal keeps a stack of loop-variable objects for the
+		// statements enclosing the current node.
+		var stack []types.Object
+		var walk func(n ast.Node, depth int)
+		walk = func(n ast.Node, depth int) {
+			mark := len(stack)
+			switch s := n.(type) {
+			case *ast.RangeStmt:
+				for _, e := range []ast.Expr{s.Key, s.Value} {
+					if id := identOf(e); id != nil {
+						if obj := p.Info.Defs[id]; obj != nil {
+							stack = append(stack, obj)
+						}
+					}
+				}
+			case *ast.ForStmt:
+				if init, ok := s.Init.(*ast.AssignStmt); ok {
+					for _, e := range init.Lhs {
+						if id := identOf(e); id != nil {
+							if obj := p.Info.Defs[id]; obj != nil {
+								stack = append(stack, obj)
+							}
+						}
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && len(stack) > 0 {
+					out = append(out, capturedLoopVars(p, lit, stack)...)
+				}
+			}
+			ast.Inspect(n, func(child ast.Node) bool {
+				if child == nil || child == n {
+					return child == n
+				}
+				walk(child, depth+1)
+				return false
+			})
+			stack = stack[:mark]
+		}
+		walk(f, 0)
+	}
+	return out
+}
+
+// capturedLoopVars reports each use inside lit of a variable on the loop
+// stack. References in the call's argument list are evaluated before the
+// goroutine starts and are therefore fine; only body uses are flagged.
+func capturedLoopVars(p *Package, lit *ast.FuncLit, loopVars []types.Object) []Diagnostic {
+	seen := make(map[types.Object]bool)
+	var out []Diagnostic
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		for _, lv := range loopVars {
+			if obj == lv {
+				seen[obj] = true
+				out = append(out, Diagnostic{
+					Pos:     p.Fset.Position(id.Pos()),
+					RuleID:  "conc-loop-capture",
+					Message: fmt.Sprintf("goroutine captures loop variable %q by reference; pass it as an argument to the function literal", obj.Name()),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// LockCopyAnalyzer flags function signatures that move a sync primitive by
+// value: parameters, results and value receivers whose type is (or
+// contains, through struct or array composition) a sync.Mutex, RWMutex,
+// WaitGroup, Once, Cond, Map or Pool.
+func LockCopyAnalyzer() *Analyzer {
+	return &Analyzer{
+		ID:  "conc-lock-copy",
+		Doc: "sync primitive passed, returned or received by value",
+		Run: runLockCopy,
+	}
+}
+
+// syncLockTypes are the sync types whose value-copy is always a bug.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+func runLockCopy(p *Package) []Diagnostic {
+	var out []Diagnostic
+	flag := func(n ast.Node, role, name string, t types.Type) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(n.Pos()),
+			RuleID:  "conc-lock-copy",
+			Message: fmt.Sprintf("%s %q copies %s by value; use a pointer", role, name, lockName(t)),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var recv *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, recv = fn.Type, fn.Recv
+			case *ast.FuncLit:
+				ftype = fn.Type
+			default:
+				return true
+			}
+			check := func(fl *ast.FieldList, role string) {
+				if fl == nil {
+					return
+				}
+				for _, field := range fl.List {
+					tv, ok := p.Info.Types[field.Type]
+					if !ok || tv.Type == nil || containsLock(tv.Type) == nil {
+						continue
+					}
+					if len(field.Names) == 0 {
+						flag(field.Type, role, tv.Type.String(), containsLock(tv.Type))
+						continue
+					}
+					for _, name := range field.Names {
+						flag(name, role, name.Name, containsLock(tv.Type))
+					}
+				}
+			}
+			check(recv, "receiver")
+			check(ftype.Params, "parameter")
+			check(ftype.Results, "result")
+			return true
+		})
+	}
+	return out
+}
+
+// containsLock returns the sync type reachable from t by value (directly,
+// or through struct fields and array elements), or nil. Pointers, slices,
+// maps and channels stop the search: sharing through them is the fix.
+func containsLock(t types.Type) types.Type {
+	switch u := types.Unalias(t).(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return t
+		}
+		return containsLock(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if found := containsLock(u.Field(i).Type()); found != nil {
+				return found
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem())
+	}
+	return nil
+}
+
+// lockName renders the offending sync type for a message.
+func lockName(t types.Type) string {
+	if t == nil {
+		return "a sync primitive"
+	}
+	return t.String()
+}

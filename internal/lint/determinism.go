@@ -1,0 +1,329 @@
+// Determinism analyzers: det-map-iter and det-global-rand.
+//
+// Both target the same failure mode at different entry points. Go map
+// iteration order is intentionally randomized per run, so a map-range loop
+// that appends to an output slice, writes to a stream or sends on a
+// channel produces a different order every execution — exactly the silent
+// drift PYTHIA's generated corpora must not have. Likewise, math/rand's
+// package-global functions draw from a process-wide, auto-seeded source,
+// so their output can never be pinned to an experiment seed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIterAnalyzer flags `for … := range m` over a map whose body performs
+// an order-sensitive operation — appending to a slice declared outside the
+// loop, writing to a stream, or sending on a channel — unless the slice is
+// later passed to a sort.* or slices.Sort* call in the same function.
+func MapIterAnalyzer() *Analyzer {
+	return &Analyzer{
+		ID:  "det-map-iter",
+		Doc: "map iteration feeding ordered output without a subsequent sort",
+		Run: runMapIter,
+	}
+}
+
+func runMapIter(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn := funcBody(n)
+			if fn == nil {
+				return true
+			}
+			out = append(out, mapIterInFunc(p, fn)...)
+			return true
+		})
+	}
+	return out
+}
+
+// funcBody returns the body of a function declaration or literal, else nil.
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// mapIterInFunc analyzes one function body. Range statements over maps are
+// gathered first; appends recorded inside them are excused when the target
+// slice reaches a sort call positioned after the loop.
+func mapIterInFunc(p *Package, body *ast.BlockStmt) []Diagnostic {
+	if body == nil {
+		return nil
+	}
+	type pendingAppend struct {
+		obj  types.Object
+		diag Diagnostic
+		loop *ast.RangeStmt
+	}
+	var pending []pendingAppend
+	var out []Diagnostic
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != nil {
+			// Nested literals are analyzed as their own functions.
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(p, rs) {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			switch stmt := m.(type) {
+			case *ast.AssignStmt:
+				obj, pos := appendTarget(p, stmt, rs)
+				if obj != nil {
+					pending = append(pending, pendingAppend{
+						obj:  obj,
+						loop: rs,
+						diag: Diagnostic{
+							Pos:     p.Fset.Position(pos),
+							RuleID:  "det-map-iter",
+							Message: fmt.Sprintf("append to %q inside map iteration: order is nondeterministic; sort %q after the loop or iterate sorted keys", obj.Name(), obj.Name()),
+						},
+					})
+				}
+			case *ast.SendStmt:
+				out = append(out, Diagnostic{
+					Pos:     p.Fset.Position(stmt.Pos()),
+					RuleID:  "det-map-iter",
+					Message: "channel send inside map iteration: delivery order is nondeterministic; iterate sorted keys",
+				})
+			case *ast.CallExpr:
+				if name, ok := emitCall(p, stmt, rs); ok {
+					out = append(out, Diagnostic{
+						Pos:     p.Fset.Position(stmt.Pos()),
+						RuleID:  "det-map-iter",
+						Message: fmt.Sprintf("%s inside map iteration writes in nondeterministic order; iterate sorted keys", name),
+					})
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	for _, pa := range pending {
+		if !sortedAfter(p, body, pa.obj, pa.loop.End()) {
+			out = append(out, pa.diag)
+		}
+	}
+	return out
+}
+
+// isMapRange reports whether rs ranges over a map.
+func isMapRange(p *Package, rs *ast.RangeStmt) bool {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// appendTarget matches `x = append(x, …)` (or the multi-assign form) where
+// x was declared before the range statement, returning x's object.
+func appendTarget(p *Package, as *ast.AssignStmt, rs *ast.RangeStmt) (types.Object, token.Pos) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			continue
+		}
+		if b, ok := p.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := p.Info.Uses[lhs]
+		if obj == nil {
+			obj = p.Info.Defs[lhs]
+		}
+		// Only targets that outlive the loop can observe iteration order.
+		if obj != nil && obj.Pos().IsValid() && obj.Pos() < rs.Pos() {
+			return obj, as.Pos()
+		}
+	}
+	return nil, token.NoPos
+}
+
+// emitWriters are method names that append to an ordered sink.
+var emitWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true, "Encode": true,
+}
+
+// emitCall reports whether call writes to an ordered output stream: a
+// fmt print/fprint function, io.WriteString, or a Write*/Print*/Encode
+// method on a receiver declared outside the loop.
+func emitCall(p *Package, call *ast.CallExpr, rs *ast.RangeStmt) (string, bool) {
+	fn := pkgFunc(p.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	full := fn.FullName()
+	switch full {
+	case "fmt.Print", "fmt.Printf", "fmt.Println":
+		return full, true
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln", "io.WriteString":
+		// Writing to a buffer created inside the loop body is order-safe;
+		// anything reachable from before the loop observes iteration order.
+		if len(call.Args) > 0 {
+			if w, ok := rootIdent(call.Args[0]); ok {
+				if obj := p.Info.Uses[w]; obj != nil && obj.Pos().IsValid() && obj.Pos() > rs.Pos() {
+					return "", false
+				}
+			}
+		}
+		return full, true
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || !emitWriters[fn.Name()] {
+		return "", false
+	}
+	// Method form: only flag when the receiver expression names a variable
+	// declared before the loop; a per-iteration buffer is order-safe.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	recv, ok := rootIdent(sel.X)
+	if !ok {
+		return "", false
+	}
+	obj := p.Info.Uses[recv]
+	if obj == nil || !obj.Pos().IsValid() || obj.Pos() >= rs.Pos() {
+		return "", false
+	}
+	return full, true
+}
+
+// rootIdent unwraps selectors/derefs/indexes to the leftmost identifier.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// sortedAfter reports whether obj appears in the arguments of a sort.* or
+// slices.Sort* call located after pos in the same function body.
+func sortedAfter(p *Package, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := pkgFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkgPath := fn.Pkg().Path()
+		if pkgPath != "sort" && pkgPath != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				id, ok := a.(*ast.Ident)
+				if ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// GlobalRandAnalyzer flags calls to math/rand's package-level functions
+// (rand.Intn, rand.Shuffle, …) outside _test.go files. Constructors that
+// build an injectable generator (rand.New, rand.NewSource, rand.NewZipf)
+// are allowed; everything drawing from the global source is not.
+func GlobalRandAnalyzer() *Analyzer {
+	return &Analyzer{
+		ID:  "det-global-rand",
+		Doc: "package-global math/rand call; inject a seeded *rand.Rand",
+		Run: runGlobalRand,
+	}
+}
+
+// randConstructors build explicit sources rather than drawing from the
+// global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runGlobalRand(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgName, ok := p.Info.Uses[identOf(sel.X)].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || randConstructors[fn.Name()] {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:     p.Fset.Position(sel.Pos()),
+				RuleID:  "det-global-rand",
+				Message: fmt.Sprintf("use of global %s.%s: output cannot be pinned to a seed; inject a *rand.Rand (see internal/detrand)", path, fn.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// identOf returns e as an identifier, unwrapping parens, or nil.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}

@@ -1,0 +1,166 @@
+// Error-hygiene analyzer: err-ignored.
+//
+// PYTHIA's pipeline stages (profiling → metadata → generation → downstream
+// corpora) pass failures up as errors; a silently dropped error turns a
+// broken stage into a subtly wrong corpus. This analyzer flags the two
+// ways Go lets an error vanish — a bare call statement and an explicit
+// blank assignment — unless the callee is on a small allowlist of
+// can't-meaningfully-fail functions.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// IgnoredErrorAnalyzer flags discarded error results.
+func IgnoredErrorAnalyzer() *Analyzer {
+	return &Analyzer{
+		ID:  "err-ignored",
+		Doc: "discarded error return (`_ =` or bare call)",
+		Run: runIgnoredError,
+	}
+}
+
+// errAllowlist holds *types.Func full names whose error results may be
+// dropped: in-memory writers whose documented contract is a nil error, and
+// fmt printing to standard streams.
+var errAllowlist = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+}
+
+// fprintFuncs write to an explicit io.Writer; their errors may be dropped
+// only when the writer itself cannot fail (standard streams and in-memory
+// buffers).
+var fprintFuncs = map[string]bool{
+	"fmt.Fprint":     true,
+	"fmt.Fprintf":    true,
+	"fmt.Fprintln":   true,
+	"io.WriteString": true,
+}
+
+func runIgnoredError(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if idx := resultErrIndexes(p.Info, call); len(idx) > 0 && !allowlisted(p, call) {
+					out = append(out, Diagnostic{
+						Pos:     p.Fset.Position(call.Pos()),
+						RuleID:  "err-ignored",
+						Message: fmt.Sprintf("result of %s contains an error that is silently dropped; handle it or assign and check it", calleeName(p, call)),
+					})
+				}
+			case *ast.AssignStmt:
+				out = append(out, blankErrAssigns(p, stmt)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// blankErrAssigns flags `_`-discarded error values in an assignment, both
+// the multi-result form `v, _ := f()` and the direct form `_ = err`.
+func blankErrAssigns(p *Package, as *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	flag := func(pos ast.Node, what string) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(pos.Pos()),
+			RuleID:  "err-ignored",
+			Message: fmt.Sprintf("error from %s discarded with _; handle it or suppress with a reason", what),
+		})
+	}
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || allowlisted(p, call) {
+			return nil
+		}
+		for _, i := range resultErrIndexes(p.Info, call) {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				flag(as.Lhs[i], calleeName(p, call))
+			}
+		}
+		return out
+	}
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		rhs := ast.Unparen(as.Rhs[i])
+		tv, ok := p.Info.Types[rhs]
+		if !ok || tv.Type == nil || !types.Identical(tv.Type, errorType) {
+			continue
+		}
+		if call, isCall := rhs.(*ast.CallExpr); isCall && allowlisted(p, call) {
+			continue
+		}
+		flag(lhs, "expression")
+	}
+	return out
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// allowlisted reports whether call's dropped error is acceptable.
+func allowlisted(p *Package, call *ast.CallExpr) bool {
+	fn := pkgFunc(p.Info, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if errAllowlist[full] {
+		return true
+	}
+	if fprintFuncs[full] && len(call.Args) > 0 {
+		return safeWriter(p, call.Args[0])
+	}
+	return false
+}
+
+// safeWriter reports whether the writer expression is a standard stream or
+// an in-memory buffer, none of which produce meaningful write errors.
+func safeWriter(p *Package, w ast.Expr) bool {
+	w = ast.Unparen(w)
+	if tv, ok := p.Info.Types[w]; ok && tv.Type != nil {
+		switch tv.Type.String() {
+		case "*strings.Builder", "*bytes.Buffer":
+			return true
+		}
+	}
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if obj, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+			return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+		}
+	}
+	return false
+}
+
+// calleeName renders the called function for a message.
+func calleeName(p *Package, call *ast.CallExpr) string {
+	if fn := pkgFunc(p.Info, call); fn != nil {
+		return fn.FullName()
+	}
+	return "call"
+}

@@ -1,0 +1,162 @@
+// Package lint implements pythia-lint, a repo-specific static-analysis
+// pass built only on the standard library's go/ast, go/parser, go/token
+// and go/types (no external analysis frameworks, per DESIGN.md).
+//
+// PYTHIA's contract is reproducibility: Algorithm 1 must emit the same
+// (a-query, evidence, text) triples for the same table and seed, or every
+// downstream corpus silently drifts. The analyzers here machine-check the
+// invariants that protect that contract before the pipeline is sharded and
+// parallelized:
+//
+//	det-map-iter      map iteration feeding ordered output without a sort
+//	det-global-rand   package-global math/rand calls (unseeded randomness)
+//	err-ignored       discarded error returns (`_ =` or bare calls)
+//	conc-loop-capture goroutines capturing loop variables by reference
+//	conc-lock-copy    sync locks passed or returned by value
+//
+// Findings print as "file:line:col: [rule-id] message". A finding can be
+// suppressed with a comment on the same line or the line directly above:
+//
+//	//lint:ignore rule-id reason
+//
+// The reason is mandatory; an ignore comment without one does not
+// suppress.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos     token.Position
+	RuleID  string
+	Message string
+}
+
+// String renders the canonical "file:line:col: [rule-id] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.RuleID, d.Message)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path (module-relative) or directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	ID  string // stable rule ID used in reports and ignore comments
+	Doc string // one-line description
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers returns every rule in the fixed, documented order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapIterAnalyzer(),
+		GlobalRandAnalyzer(),
+		IgnoredErrorAnalyzer(),
+		LoopCaptureAnalyzer(),
+		LockCopyAnalyzer(),
+	}
+}
+
+// AnalyzerByID returns the rule with the given ID, or nil.
+func AnalyzerByID(id string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.ID == id {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to each package, drops suppressed findings and
+// returns the remainder sorted by position then rule ID, so output is
+// stable across runs (the linter holds itself to its own determinism bar).
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	seen := make(map[Diagnostic]bool)
+	for _, p := range pkgs {
+		sup := suppressions(p)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				// Nested constructs can attribute one defect to several
+				// enclosing nodes; report each finding once.
+				if !sup.covers(d) && !seen[d] {
+					seen[d] = true
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.RuleID < b.RuleID
+	})
+	return out
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// pkgFunc resolves a call expression to the *types.Func it invokes, or nil
+// for calls through variables, conversions and builtins.
+func pkgFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// resultErrIndexes returns the positions of error-typed results in a call's
+// result tuple (nil if none). A single-value call is treated as a 1-tuple.
+func resultErrIndexes(info *types.Info, call *ast.CallExpr) []int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	var idx []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				idx = append(idx, i)
+			}
+		}
+	default:
+		if t != nil && types.Identical(t, errorType) {
+			idx = append(idx, 0)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,190 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// fixtureDirs lists the deliberately-broken packages under testdata/src.
+// Every fixture is run through ALL analyzers, and the findings must match
+// the `// want rule-id` markers exactly — so each fixture also proves the
+// other rules stay quiet on it.
+var fixtureDirs = []string{
+	"detmapiter",
+	"detglobalrand",
+	"errignored",
+	"concloopcapture",
+	"conclockcopy",
+	"suppressed",
+}
+
+// wantMarkers scans fixture sources for `// want rule-id` markers and
+// returns "file:line:rule" keys.
+func wantMarkers(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	want := map[string]int{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, mark, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, id := range strings.Fields(mark) {
+				want[fmt.Sprintf("%s:%d:%s", path, i+1, id)]++
+			}
+		}
+	}
+	return want
+}
+
+func TestFixtures(t *testing.T) {
+	for _, name := range fixtureDirs {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			loader, err := lint.NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			loader.IncludeTests = true
+			pkgs, err := loader.Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]int{}
+			for _, d := range lint.Run(pkgs, lint.Analyzers()) {
+				got[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.RuleID)]++
+			}
+			want := wantMarkers(t, dir)
+			for k := range want {
+				if got[k] == 0 {
+					t.Errorf("missing finding %s", k)
+				}
+			}
+			for k, n := range got {
+				if want[k] == 0 {
+					t.Errorf("unexpected finding %s (x%d)", k, n)
+				}
+			}
+		})
+	}
+}
+
+// TestFixtureRuleCoverage pins each fixture to its namesake rule: the rule
+// must fire at least once there, proving every analyzer has a golden
+// package exercising it.
+func TestFixtureRuleCoverage(t *testing.T) {
+	byFixture := map[string]string{
+		"detmapiter":      "det-map-iter",
+		"detglobalrand":   "det-global-rand",
+		"errignored":      "err-ignored",
+		"concloopcapture": "conc-loop-capture",
+		"conclockcopy":    "conc-lock-copy",
+		"suppressed":      "det-global-rand",
+	}
+	for name, rule := range byFixture {
+		want := wantMarkers(t, filepath.Join("testdata", "src", name))
+		found := false
+		for k := range want {
+			if strings.HasSuffix(k, ":"+rule) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("fixture %s has no want marker for rule %s", name, rule)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{RuleID: "det-map-iter", Message: "boom"}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "x.go:3:7: [det-map-iter] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAnalyzerByID(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		if lint.AnalyzerByID(a.ID) != a && lint.AnalyzerByID(a.ID) == nil {
+			t.Errorf("AnalyzerByID(%q) did not resolve", a.ID)
+		}
+	}
+	if lint.AnalyzerByID("no-such-rule") != nil {
+		t.Error("AnalyzerByID on unknown ID should return nil")
+	}
+}
+
+// TestLoaderModuleResolution builds a scratch module with a testdata
+// directory and a module-local import, checking pattern expansion skips
+// testdata and the importer resolves module paths from source.
+func TestLoaderModuleResolution(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/scratch\n\ngo 1.22\n")
+	write("a/a.go", "package a\n\nfunc A() int { return 1 }\n")
+	write("a/testdata/skip.go", "package skipme\n\nfunc Broken() {\n")
+	write("b/b.go", "package b\n\nimport \"example.com/scratch/a\"\n\nfunc B() int { return a.A() }\n")
+
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	want := []string{"example.com/scratch/a", "example.com/scratch/b"}
+	if len(paths) != len(want) || paths[0] != want[0] || paths[1] != want[1] {
+		t.Errorf("loaded %v, want %v (testdata must be skipped, module imports resolved)", paths, want)
+	}
+}
+
+// TestCleanPackageHasNoFindings runs all analyzers over this package's own
+// loader/analyzer sources: the linter must hold itself to its own rules.
+func TestCleanPackageHasNoFindings(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lint.Run(pkgs, lint.Analyzers()) {
+		t.Errorf("unexpected finding in internal/lint: %s", d)
+	}
+}

@@ -1,0 +1,293 @@
+// Package loading: pattern expansion, parsing and type checking with no
+// dependency outside the standard library. Module-local imports are
+// resolved recursively from source; standard-library imports go through
+// go/importer's source mode, which type-checks GOROOT packages directly
+// and therefore needs no pre-compiled export data.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader discovers, parses and type-checks packages for analysis.
+type Loader struct {
+	// IncludeTests adds _test.go files to loaded packages. External test
+	// packages (package foo_test) are loaded as their own package.
+	IncludeTests bool
+
+	fset       *token.FileSet
+	moduleRoot string // directory containing go.mod ("" outside a module)
+	modulePath string // module path from go.mod ("" outside a module)
+	stdlib     types.Importer
+	cache      map[string]*types.Package // module-local import cache
+	loading    map[string]bool           // import-cycle guard
+}
+
+// NewLoader creates a loader rooted at dir. If dir (or a parent) holds a
+// go.mod, imports under its module path resolve to source inside the
+// module; otherwise only standard-library imports resolve.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		cache:   make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	l.stdlib = importer.ForCompiler(l.fset, "source", nil)
+	if root, path, ok := findModule(abs); ok {
+		l.moduleRoot = root
+		l.modulePath = path
+	}
+	return l, nil
+}
+
+// Fset exposes the loader's file set for position lookup.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// findModule walks upward from dir looking for a go.mod with a module line.
+func findModule(dir string) (root, path string, ok bool) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, found := strings.CutPrefix(line, "module "); found {
+					return d, strings.TrimSpace(rest), true
+				}
+			}
+		}
+		if filepath.Dir(d) == d {
+			return "", "", false
+		}
+	}
+}
+
+// Load expands the patterns (directories, or dir/... recursive forms) and
+// returns one analysis Package per Go package found, in sorted path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		got, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, got...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// expand resolves patterns to package directories. "dir/..." walks
+// recursively, skipping testdata, vendor, and hidden or underscore
+// directories — the same conventions the go tool applies.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Clean(rest)
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: expanding %s: %w", pat, err)
+			}
+			continue
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: %s is not a directory", pat)
+		}
+		add(filepath.Clean(pat))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks the package(s) in one directory. With
+// IncludeTests, in-package test files join the primary package and
+// external test files (package name ending in _test) form a second one.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	byName := make(map[string][]*ast.File)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		byName[f.Name.Name] = append(byName[f.Name.Name], f)
+	}
+	// Merge in-package test files into the primary package: with tests
+	// included, "foo" and "foo_test" in one directory are two packages.
+	var names []string
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var pkgs []*Package
+	for _, name := range names {
+		files := byName[name]
+		path := l.importPath(dir)
+		if strings.HasSuffix(name, "_test") {
+			path += " [" + name + "]"
+		}
+		pkg, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// importPath maps a directory to its module import path when inside the
+// module, else returns the cleaned directory itself.
+func (l *Loader) importPath(dir string) string {
+	if l.moduleRoot == "" {
+		return filepath.Clean(dir)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.Clean(dir)
+	}
+	rel, err := filepath.Rel(l.moduleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.Clean(dir)
+	}
+	if rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// check type-checks one file group and wraps it as an analysis Package.
+func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loaderImporter resolves imports during type checking: module-local paths
+// load recursively from source, everything else falls through to the
+// standard-library source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if l.modulePath == "" || (path != l.modulePath && !strings.HasPrefix(path, l.modulePath+"/")) {
+		return l.stdlib.Import(path)
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.moduleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath)))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resolving import %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files for import %s in %s", path, dir)
+	}
+	conf := types.Config{Importer: li}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}

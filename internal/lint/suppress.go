@@ -1,0 +1,77 @@
+// Suppression comments. A finding is suppressed by
+//
+//	//lint:ignore rule-id reason
+//
+// placed either on the flagged line itself (trailing comment) or on the
+// line directly above it. The reason is mandatory: review-time context is
+// the whole point of an explicit waiver.
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// suppression is one parsed ignore comment.
+type suppression struct {
+	file   string
+	line   int // line of the comment itself
+	ruleID string
+}
+
+// suppressionSet indexes suppressions by file and line.
+type suppressionSet map[string]map[int][]string
+
+// covers reports whether d is waived by a comment on its line or the line
+// above.
+func (s suppressionSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, id := range lines[line] {
+			if id == d.RuleID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suppressions collects every well-formed ignore comment in the package.
+func suppressions(p *Package) suppressionSet {
+	set := make(suppressionSet)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				sup, ok := parseIgnore(c)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				sup.file = pos.Filename
+				sup.line = pos.Line
+				if set[sup.file] == nil {
+					set[sup.file] = make(map[int][]string)
+				}
+				set[sup.file][sup.line] = append(set[sup.file][sup.line], sup.ruleID)
+			}
+		}
+	}
+	return set
+}
+
+// parseIgnore recognizes "//lint:ignore rule-id reason". The directive is
+// rejected without a reason, matching staticcheck's convention.
+func parseIgnore(c *ast.Comment) (suppression, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+	if !ok {
+		return suppression{}, false
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return suppression{}, false // no reason given
+	}
+	return suppression{ruleID: fields[0]}, true
+}

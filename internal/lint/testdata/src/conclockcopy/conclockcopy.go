@@ -1,0 +1,44 @@
+// Fixture for the conc-lock-copy rule.
+package conclockcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockByValue(mu sync.Mutex) { // want conc-lock-copy
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func structByValue(g guarded) int { // want conc-lock-copy
+	return g.n
+}
+
+func waitGroupByValue(wg sync.WaitGroup) { // want conc-lock-copy
+	wg.Wait()
+}
+
+func returnsLock() sync.Mutex { // want conc-lock-copy
+	var mu sync.Mutex
+	return mu
+}
+
+func (g guarded) valueReceiver() int { // want conc-lock-copy
+	return g.n
+}
+
+func (g *guarded) pointerReceiver() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func pointersAreFine(g *guarded, mu *sync.Mutex) {
+	mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	mu.Unlock()
+}

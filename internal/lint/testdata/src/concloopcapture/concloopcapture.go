@@ -1,0 +1,45 @@
+// Fixture for the conc-loop-capture rule.
+package concloopcapture
+
+import "sync"
+
+func process(string) {}
+
+func capturesRangeVar(items []string) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(it) // want conc-loop-capture
+		}()
+	}
+	wg.Wait()
+}
+
+func capturesIndexVar(n int) {
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			results[i] = i * i // want conc-loop-capture
+		}()
+	}
+}
+
+func passesAsArgument(items []string) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(s string) {
+			defer wg.Done()
+			process(s)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func goroutineOutsideLoop(item string) {
+	go func() {
+		process(item)
+	}()
+}

@@ -1,0 +1,25 @@
+// Fixture for the det-global-rand rule.
+package detglobalrand
+
+import "math/rand"
+
+func shuffleGlobally(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want det-global-rand
+}
+
+func drawGlobally() int {
+	return rand.Intn(10) // want det-global-rand
+}
+
+func floatGlobally() float64 {
+	return rand.Float64() // want det-global-rand
+}
+
+func seededIsFine(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func injectedIsFine(rng *rand.Rand) int {
+	return rng.Intn(10)
+}

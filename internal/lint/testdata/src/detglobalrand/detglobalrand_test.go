@@ -1,0 +1,9 @@
+// Test files are exempt from det-global-rand: nondeterminism in a test
+// helper cannot leak into generated corpora.
+package detglobalrand
+
+import "math/rand"
+
+func fuzzInput() int {
+	return rand.Intn(100)
+}

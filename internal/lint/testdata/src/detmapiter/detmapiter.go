@@ -1,0 +1,79 @@
+// Fixture for the det-map-iter rule. Lines carrying a want-marker comment
+// must be flagged; all other lines must stay clean.
+package detmapiter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendWithoutSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want det-map-iter
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSortSlice(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return m[keys[i]] < m[keys[j]] })
+	return keys
+}
+
+func writeDuringIteration(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want det-map-iter
+	}
+}
+
+func printDuringIteration(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want det-map-iter
+	}
+}
+
+func sendDuringIteration(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want det-map-iter
+	}
+}
+
+func perIterationBuffer(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "value=%d", v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+func orderInsensitiveAggregation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Fixture for the err-ignored rule.
+package errignored
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func blankFromCall(s string) int {
+	n, _ := strconv.Atoi(s) // want err-ignored
+	return n
+}
+
+func bareCall(name string) {
+	os.Remove(name) // want err-ignored
+}
+
+func blankFromValue(err error) {
+	_ = err // want err-ignored
+}
+
+func handled(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("errignored: %w", err)
+	}
+	return n, nil
+}
+
+func allowlisted() string {
+	var b strings.Builder
+	b.WriteString("hello ")
+	fmt.Fprintf(&b, "%d", 42)
+	fmt.Println("progress")
+	fmt.Fprintln(os.Stderr, "status")
+	return b.String()
+}
+
+func fprintToFile(f *os.File) {
+	fmt.Fprintln(f, "not a standard stream") // want err-ignored
+}

@@ -1,0 +1,25 @@
+// Fixture for //lint:ignore suppression handling: a well-formed directive
+// on the preceding line or trailing on the flagged line waives exactly its
+// rule ID; a wrong ID or a missing reason waives nothing.
+package suppressed
+
+import "math/rand"
+
+func coveredByPrecedingLine() int {
+	//lint:ignore det-global-rand fixture demonstrating the suppression syntax
+	return rand.Intn(3)
+}
+
+func coveredByTrailingComment(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) //lint:ignore det-global-rand fixture demonstrating trailing suppression
+}
+
+func wrongRuleID() int {
+	//lint:ignore err-ignored the wrong rule ID does not cover this line
+	return rand.Intn(5) // want det-global-rand
+}
+
+func missingReason() int {
+	//lint:ignore det-global-rand
+	return rand.Intn(7) // want det-global-rand
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/detrand"
 )
 
 // Config sizes a TextClassifier.
@@ -46,6 +48,10 @@ type TrainOptions struct {
 	Epochs int
 	LR     float64
 	Seed   int64
+	// Rand, when non-nil, is the injected generator driving example
+	// shuffling; Seed is ignored. Callers sharing one generator across
+	// stages get decorrelated draws without coordinating seed offsets.
+	Rand *rand.Rand
 	// ClassWeights scales the loss per class (nil = uniform). Used to keep
 	// the skewed "none" class from dominating.
 	ClassWeights []float64
@@ -115,7 +121,7 @@ func (l *lazyAdam) step(params []float64, row int, grad []float64) {
 // NewTextClassifier allocates and initializes a model.
 func NewTextClassifier(cfg Config) *TextClassifier {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := detrand.New(cfg.Seed)
 	c := &TextClassifier{Cfg: cfg}
 	c.Emb = make([]float64, cfg.VocabSize*cfg.EmbedDim)
 	c.Seg = make([]float64, cfg.NumSegs*cfg.EmbedDim)
@@ -365,7 +371,7 @@ func (c *TextClassifier) Train(examples []Example, opts TrainOptions) float64 {
 	c.optW2 = NewAdam(len(c.W2), opts.LR)
 	c.optB2 = NewAdam(len(c.B2), opts.LR)
 
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := detrand.Or(opts.Rand, opts.Seed)
 	order := make([]int, len(examples))
 	for i := range order {
 		order[i] = i

@@ -3,6 +3,8 @@ package nn
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/detrand"
 )
 
 // PretrainOptions controls embedding pretraining.
@@ -11,6 +13,8 @@ type PretrainOptions struct {
 	LR        float64 // SGD learning rate (default 0.05)
 	Negatives int     // negative samples per positive (default 4)
 	Seed      int64
+	// Rand, when non-nil, replaces the Seed-derived generator.
+	Rand *rand.Rand
 }
 
 // PretrainEmbeddings runs skip-gram-with-negative-sampling over token bags:
@@ -31,7 +35,7 @@ func (c *TextClassifier) PretrainEmbeddings(bags [][]int, opts PretrainOptions) 
 	if opts.Negatives <= 0 {
 		opts.Negatives = 4
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := detrand.Or(opts.Rand, opts.Seed)
 	d := c.Cfg.EmbedDim
 	vocab := c.Cfg.VocabSize
 	sigmoid := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

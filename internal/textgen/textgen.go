@@ -12,8 +12,9 @@ package textgen
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
+
+	"repro/internal/detrand"
 )
 
 // Cell is one linearized evidence cell. Attr is an attribute name or, for
@@ -35,17 +36,7 @@ func NewGenerator(seed int64) *Generator { return &Generator{seed: seed} }
 
 // pick hashes the parts with the seed into [0, n).
 func (g *Generator) pick(n int, parts ...string) int {
-	h := fnv.New64a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(g.seed >> (8 * i))
-	}
-	h.Write(b[:])
-	for _, p := range parts {
-		h.Write([]byte(p))
-		h.Write([]byte{0x1f})
-	}
-	return int(h.Sum64() % uint64(n))
+	return detrand.Pick(g.seed, n, parts...)
 }
 
 // subject renders the identifying cells ("Carter LA", "Carter from LA").

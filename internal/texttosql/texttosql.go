@@ -418,7 +418,7 @@ func GenerateCorpus(datasets []string, seed int64) ([]Example, error) {
 // Balance subsamples the ambiguous side of a corpus to the given
 // ambiguous-per-plain ratio (the paper's generated dataset is split between
 // queries with and without ambiguities). Subsampling is deterministic.
-func Balance(exs []Example, ambPerPlain float64, seed int64) []Example {
+func Balance(exs []Example, ambPerPlain float64, rng *rand.Rand) []Example {
 	var amb, plain []Example
 	for _, ex := range exs {
 		if ex.Ambiguous {
@@ -437,7 +437,6 @@ func Balance(exs []Example, ambPerPlain float64, seed int64) []Example {
 		amb = kept
 	}
 	out := append(plain, amb...)
-	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/data"
+	"repro/internal/detrand"
 	"repro/internal/metrics"
 	"repro/internal/relation"
 )
@@ -143,12 +144,12 @@ func TestFineTunedBeatsBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	train := Balance(rawTrain, 1.0, 11)
+	train := Balance(rawTrain, 1.0, detrand.New(11))
 	rawTest, err := GenerateCorpus(testNames, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
-	test := Balance(rawTest, 1.0, 13)
+	test := Balance(rawTest, 1.0, detrand.New(13))
 	all := loadTables(t, append(append([]string{}, trainNames...), testNames...))
 	baseline := Baseline()
 	for _, d := range all {

@@ -10,11 +10,11 @@
 package userstudy
 
 import (
-	"hash/fnv"
 	"sort"
 	"strings"
 
 	"repro/internal/data"
+	"repro/internal/detrand"
 	"repro/internal/pythia"
 )
 
@@ -106,14 +106,7 @@ type Assessment struct {
 // chance produces a deterministic pseudo-random draw in [0, 1) for a judge
 // and content key.
 func (j Judge) chance(key string) float64 {
-	h := fnv.New64a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(j.Seed >> (8 * i))
-	}
-	h.Write(b[:])
-	h.Write([]byte(key))
-	return float64(h.Sum64()%1_000_000) / 1_000_000
+	return detrand.Chance(j.Seed, key)
 }
 
 // Assess simulates judging one generated example against its dataset: the
