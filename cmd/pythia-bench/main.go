@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	pythia-bench [-scale 1.0] [-seed 7] [-run tableiii,tableiv,...|all] [-quiet]
+//	pythia-bench [-scale 1.0] [-seed 7] [-workers 0] [-run tableiii,tableiv,...|all]
+//	             [-json report.json] [-quiet]
 //
 // At -scale 1.0 the metadata models train on 20k synthetic web tables
-// (minutes of CPU); tests and smoke runs use smaller scales.
+// (minutes of CPU); tests and smoke runs use smaller scales. -workers
+// shards the parallel stages (0 = GOMAXPROCS); results are byte-identical
+// at every worker count. -json additionally writes a machine-readable
+// report ("-" for stdout) with per-experiment wall-clock and the
+// FigScalability throughput points.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,14 +37,79 @@ func wrap[T fmt.Stringer](f func(experiments.Config) (T, error)) func(experiment
 	}
 }
 
+// selectRunners resolves the -run spec against the runner list, returning
+// the selected runners in list order plus any names that match nothing —
+// a misspelled experiment must be an error, not a silent no-op run.
+func selectRunners(all []runner, spec string) (selected []runner, unknown []string) {
+	want := map[string]bool{}
+	for _, n := range strings.Split(spec, ",") {
+		n = strings.TrimSpace(strings.ToLower(n))
+		if n == "" {
+			continue
+		}
+		want[n] = true
+	}
+	known := map[string]bool{"all": true}
+	for _, r := range all {
+		known[r.name] = true
+	}
+	for _, n := range strings.Split(spec, ",") {
+		n = strings.TrimSpace(strings.ToLower(n))
+		if n != "" && !known[n] {
+			unknown = append(unknown, n)
+		}
+	}
+	for _, r := range all {
+		if want["all"] || want[r.name] {
+			selected = append(selected, r)
+		}
+	}
+	return selected, unknown
+}
+
+// jsonExperiment is one entry of the -json report.
+type jsonExperiment struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	// Scalability carries the FigScalability throughput points (including
+	// the worker sweep); empty for every other experiment.
+	Scalability []experiments.ScalabilityPoint `json:"scalability,omitempty"`
+}
+
+// jsonReport is the machine-readable -json output.
+type jsonReport struct {
+	Scale       float64          `json:"scale"`
+	Seed        int64            `json:"seed"`
+	Workers     int              `json:"workers"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+// writeJSON writes the report to path ("-" for stdout).
+func writeJSON(path string, report jsonReport) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "training-volume multiplier (1.0 = paper scale)")
 	seed := flag.Int64("seed", 7, "global seed")
+	workers := flag.Int("workers", 0, "worker pool size for parallel stages (0 = GOMAXPROCS)")
 	run := flag.String("run", "all", "comma-separated experiments: tableiii,tableiv,tablev,tablevi,tablevii,tableviii,figrows,figserialization,figcorpus,figscalability,ablation")
+	jsonPath := flag.String("json", "", "write a machine-readable report to this file (\"-\" for stdout)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}
@@ -59,17 +130,19 @@ func main() {
 		}},
 	}
 
-	want := map[string]bool{}
-	for _, n := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(strings.ToLower(n))] = true
+	selected, unknown := selectRunners(all, *run)
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "pythia-bench: unknown experiment(s): %s\n", strings.Join(unknown, ", "))
+		os.Exit(2)
 	}
-	runAll := want["all"]
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "pythia-bench: -run selected no experiments")
+		os.Exit(2)
+	}
 
+	report := jsonReport{Scale: *scale, Seed: *seed, Workers: *workers}
 	exit := 0
-	for _, r := range all {
-		if !runAll && !want[r.name] {
-			continue
-		}
+	for _, r := range selected {
 		start := time.Now()
 		res, err := r.run(cfg)
 		if err != nil {
@@ -77,7 +150,19 @@ func main() {
 			exit = 1
 			continue
 		}
-		fmt.Printf("\n%s\n(%s, scale %.2f, %s)\n", res, r.name, *scale, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("\n%s\n(%s, scale %.2f, %s)\n", res, r.name, *scale, elapsed.Round(time.Millisecond))
+		entry := jsonExperiment{Name: r.name, Seconds: elapsed.Seconds()}
+		if sc, ok := res.(experiments.FigScalabilityResult); ok {
+			entry.Scalability = sc.Points
+		}
+		report.Experiments = append(report.Experiments, entry)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, report); err != nil {
+			fmt.Fprintf(os.Stderr, "pythia-bench: write -json: %v\n", err)
+			exit = 1
+		}
 	}
 	os.Exit(exit)
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func testRunners() []runner {
+	mk := func(name string) runner {
+		return runner{name: name, run: func(experiments.Config) (fmt.Stringer, error) {
+			return nil, fmt.Errorf("not run in tests")
+		}}
+	}
+	return []runner{mk("tableiii"), mk("tableiv"), mk("figscalability")}
+}
+
+func names(rs []runner) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.name
+	}
+	return out
+}
+
+func TestSelectRunnersAll(t *testing.T) {
+	sel, unknown := selectRunners(testRunners(), "all")
+	if len(unknown) != 0 {
+		t.Fatalf("unknown = %v", unknown)
+	}
+	if got := names(sel); len(got) != 3 {
+		t.Fatalf("selected = %v, want all 3", got)
+	}
+}
+
+func TestSelectRunnersSubsetKeepsListOrder(t *testing.T) {
+	sel, unknown := selectRunners(testRunners(), "figscalability, TableIII")
+	if len(unknown) != 0 {
+		t.Fatalf("unknown = %v", unknown)
+	}
+	got := names(sel)
+	if len(got) != 2 || got[0] != "tableiii" || got[1] != "figscalability" {
+		t.Fatalf("selected = %v, want [tableiii figscalability]", got)
+	}
+}
+
+func TestSelectRunnersReportsUnknownInOrder(t *testing.T) {
+	sel, unknown := selectRunners(testRunners(), "tablevix,tableiv,figscalabilty")
+	if len(unknown) != 2 || unknown[0] != "tablevix" || unknown[1] != "figscalabilty" {
+		t.Fatalf("unknown = %v, want [tablevix figscalabilty]", unknown)
+	}
+	if got := names(sel); len(got) != 1 || got[0] != "tableiv" {
+		t.Fatalf("selected = %v, want the one valid name", got)
+	}
+}
+
+func TestSelectRunnersEmptySpec(t *testing.T) {
+	sel, unknown := selectRunners(testRunners(), " , ")
+	if len(sel) != 0 || len(unknown) != 0 {
+		t.Fatalf("sel = %v, unknown = %v, want both empty", names(sel), unknown)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	in := jsonReport{
+		Scale: 0.5, Seed: 7, Workers: 4,
+		Experiments: []jsonExperiment{
+			{Name: "tableiv", Seconds: 1.25},
+			{Name: "figscalability", Seconds: 2.5, Scalability: []experiments.ScalabilityPoint{
+				{TableRows: 100, Mode: "templates", Workers: 4, Examples: 12, PerSecond: 48},
+			}},
+		},
+	}
+	if err := writeJSON(path, in); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var out jsonReport
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Workers != 4 || len(out.Experiments) != 2 {
+		t.Fatalf("round trip = %+v", out)
+	}
+	sc := out.Experiments[1].Scalability
+	if len(sc) != 1 || sc[0].Workers != 4 || sc[0].Mode != "templates" {
+		t.Fatalf("scalability points = %+v", sc)
+	}
+	if out.Experiments[0].Scalability != nil {
+		t.Fatalf("non-scalability experiment carries points: %+v", out.Experiments[0])
+	}
+}

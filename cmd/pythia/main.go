@@ -5,14 +5,17 @@
 //
 //	pythia profile  (-in table.csv | -dataset Basket)
 //	pythia metadata (-in table.csv | -dataset Basket) [-method ulabel|schema|data] [-tables N]
+//	                [-workers N]
 //	pythia generate (-in table.csv | -dataset Basket) [-method ...] [-mode textgen|templates]
 //	                [-structures attribute,row,full] [-match both|contradictory|uniform]
-//	                [-questions] [-max N] [-json]
+//	                [-questions] [-max N] [-json] [-workers N]
 //	pythia datasets
 //
 // The ulabel method needs no training and is the default; schema/data
 // train the corresponding metadata model on a synthetic web-table corpus
-// first (-tables controls its size).
+// first (-tables controls its size). -workers shards generation and model
+// training across a worker pool (0 = GOMAXPROCS) with byte-identical
+// output at every worker count.
 package main
 
 import (
@@ -69,10 +72,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pythia profile  (-in table.csv | -dataset NAME)
-  pythia metadata (-in table.csv | -dataset NAME) [-method ulabel|schema|data] [-tables N]
+  pythia metadata (-in table.csv | -dataset NAME) [-method ulabel|schema|data] [-tables N] [-workers N]
   pythia generate (-in table.csv | -dataset NAME) [-method ulabel|schema|data] [-mode textgen|templates]
                   [-structures attribute,row,full] [-match both|contradictory|uniform]
-                  [-questions] [-max N] [-json] [-tables N]
+                  [-questions] [-max N] [-json] [-tables N] [-workers N]
   pythia sql      (-in table.csv | -dataset NAME) ["QUERY" | -i]
   pythia datasets`)
 }
@@ -193,7 +196,9 @@ func cmdProfile(args []string) error {
 }
 
 // buildPredictor resolves -method into a Predictor, training if needed.
-func buildPredictor(method string, tables int) (model.Predictor, error) {
+// workers sizes the corpus/annotation worker pool for the trained methods
+// (0 = GOMAXPROCS); training output is identical at every worker count.
+func buildPredictor(method string, tables, workers int) (model.Predictor, error) {
 	knowledge := kb.BuildDefault()
 	switch method {
 	case "ulabel":
@@ -221,6 +226,7 @@ func cmdMetadata(args []string) error {
 	load := tableFlags(fs)
 	method := fs.String("method", "ulabel", "metadata method: ulabel, schema or data")
 	tables := fs.Int("tables", 0, "training corpus size for schema/data (0 = default)")
+	workers := fs.Int("workers", 0, "worker pool size for training (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -228,7 +234,7 @@ func cmdMetadata(args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := buildPredictor(*method, *tables)
+	pred, err := buildPredictor(*method, *tables, *workers)
 	if err != nil {
 		return err
 	}
@@ -261,6 +267,7 @@ func cmdGenerate(args []string) error {
 	max := fs.Int("max", 4, "max evidence rows per a-query (0 = unlimited in template mode)")
 	asJSON := fs.Bool("json", false, "emit JSON lines instead of text")
 	seed := fs.Int64("seed", 1, "phrasing seed")
+	workers := fs.Int("workers", 0, "worker pool size for generation and training (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -269,7 +276,7 @@ func cmdGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := buildPredictor(*method, *tables)
+	pred, err := buildPredictor(*method, *tables, *workers)
 	if err != nil {
 		return err
 	}
@@ -278,7 +285,7 @@ func cmdGenerate(args []string) error {
 		return err
 	}
 
-	opts := pythia.Options{Questions: *questions, MaxPerQuery: *max, Seed: *seed}
+	opts := pythia.Options{Questions: *questions, MaxPerQuery: *max, Seed: *seed, Workers: *workers}
 	switch *mode {
 	case "textgen":
 		opts.Mode = pythia.TextGeneration

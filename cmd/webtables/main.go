@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	webtables -n 500000 [-stats] [-dump 5] [-labels]
+//	webtables -n 500000 [-stats] [-dump 5] [-labels] [-workers 0]
 package main
 
 import (
@@ -27,10 +27,12 @@ func main() {
 	dump := flag.Int("dump", 0, "print the first N tables")
 	labels := flag.Bool("labels", false, "run the annotator functions and print weak-label statistics")
 	seed := flag.Int64("seed", 42, "corpus seed")
+	workers := flag.Int("workers", 0, "worker pool size for generation and labelling (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts := corpus.DefaultOptions()
 	opts.Seed = *seed
+	opts.Workers = *workers
 	g := corpus.NewGenerator(vocab.Default(), opts)
 
 	start := time.Now()
@@ -63,9 +65,12 @@ func main() {
 		var pairs, positives, covered int
 		labelCounts := map[string]int{}
 		start := time.Now()
-		for i := 0; i < *n; i++ {
+		labelled := annotate.LabelTables(annotators, *n, *workers, func(i int) (string, []string, [][]string) {
 			t := g.Table(i)
-			for _, pe := range annotate.LabelTable(annotators, t.Name, t.Header, t.Rows) {
+			return t.Name, t.Header, t.Rows
+		})
+		for _, tablePairs := range labelled {
+			for _, pe := range tablePairs {
 				pairs++
 				if pe.Covered {
 					covered++

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/kb"
+	"repro/internal/parallel"
 	"repro/internal/vocab"
 )
 
@@ -212,6 +213,23 @@ func covered(annotators []Annotator, attr string) bool {
 		}
 	}
 	return false
+}
+
+// TableSource yields the i-th table of a corpus for labelling. It must be
+// safe for concurrent calls; corpus.Generator.Table qualifies because
+// Table(i) depends only on (options, i).
+type TableSource func(i int) (name string, header []string, rows [][]string)
+
+// LabelTables labels tables [0, n) across workers (0 = GOMAXPROCS) and
+// returns the per-table examples in table order — byte-identical to
+// calling LabelTable in a sequential loop. The knowledge base behind the
+// annotators is immutable after construction, so the annotator functions
+// are safe to share across workers.
+func LabelTables(annotators []Annotator, n, workers int, src TableSource) [][]PairExample {
+	return parallel.Map(parallel.Workers(workers), n, func(i int) []PairExample {
+		name, header, rows := src(i)
+		return LabelTable(annotators, name, header, rows)
+	})
 }
 
 // LabelTable runs the annotators over every attribute pair of a header and

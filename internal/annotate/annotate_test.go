@@ -1,8 +1,10 @@
 package annotate
 
 import (
+	"reflect"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/kb"
 	"repro/internal/vocab"
 )
@@ -184,4 +186,28 @@ func TestNoisyAnnotatorsHaveLowerRecallThanGroundTruth(t *testing.T) {
 		t.Error("annotators found nothing; weak supervision impossible")
 	}
 	t.Logf("annotator recall gap: missed %d of %d ambiguous pairs", missed, total)
+}
+
+// TestLabelTablesParallelMatchesSequential checks the fan-out helper:
+// labelling a corpus across workers returns exactly the per-table output
+// of a sequential LabelTable loop, in table order.
+func TestLabelTablesParallelMatchesSequential(t *testing.T) {
+	annotators := All(fullKB())
+	gen := corpus.NewDefaultGenerator()
+	const n = 40
+	src := func(i int) (string, []string, [][]string) {
+		tab := gen.Table(i)
+		return tab.Name, tab.Header, tab.Rows
+	}
+	var sequential [][]PairExample
+	for i := 0; i < n; i++ {
+		name, header, rows := src(i)
+		sequential = append(sequential, LabelTable(annotators, name, header, rows))
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got := LabelTables(annotators, n, workers, src)
+		if !reflect.DeepEqual(sequential, got) {
+			t.Fatalf("%d workers: parallel labelling differs from sequential", workers)
+		}
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/detrand"
+	"repro/internal/parallel"
 	"repro/internal/vocab"
 )
 
@@ -45,6 +46,10 @@ type Options struct {
 	DecorationRate float64 // probability a header is decorated (suffix year, prefix)
 	JunkRate       float64 // probability of inserting one junk column
 	MixRate        float64 // probability of importing a concept from another domain
+	// Workers shards batch generation (Tables) across a worker pool
+	// (0 = runtime.GOMAXPROCS, 1 = sequential). Table(i) depends only on
+	// (options, i), so the batch is identical at every worker count.
+	Workers int
 }
 
 // DefaultOptions is calibrated so annotators see realistic header noise.
@@ -157,13 +162,9 @@ func (g *Generator) Table(i int) Table {
 	return t
 }
 
-// Tables generates tables [0, n).
+// Tables generates tables [0, n), sharded across Options.Workers workers.
 func (g *Generator) Tables(n int) []Table {
-	out := make([]Table, n)
-	for i := range out {
-		out[i] = g.Table(i)
-	}
-	return out
+	return parallel.Map(parallel.Workers(g.opts.Workers), n, g.Table)
 }
 
 // headerFor picks a surface form for a concept and may decorate it.

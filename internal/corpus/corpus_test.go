@@ -169,3 +169,19 @@ func TestTableNamesUnique(t *testing.T) {
 		seen[n] = true
 	}
 }
+
+// TestTablesParallelMatchesSequential is the sharding contract of the
+// corpus path: any worker count yields the exact tables of the sequential
+// loop, in order.
+func TestTablesParallelMatchesSequential(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 1
+	sequential := NewGenerator(vocab.Default(), opts).Tables(60)
+	for _, workers := range []int{2, 4, 8} {
+		opts.Workers = workers
+		got := NewGenerator(vocab.Default(), opts).Tables(60)
+		if !reflect.DeepEqual(sequential, got) {
+			t.Fatalf("%d workers: parallel corpus differs from sequential", workers)
+		}
+	}
+}

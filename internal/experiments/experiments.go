@@ -19,6 +19,10 @@ type Config struct {
 	// 1.0 reproduces the headline numbers; tests use ~0.15.
 	Scale float64
 	Seed  int64
+	// Workers shards the parallel stages (corpus generation, annotation,
+	// example generation) across a worker pool; 0 = runtime.GOMAXPROCS.
+	// Results are byte-identical at every worker count.
+	Workers int
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
 }

@@ -132,18 +132,50 @@ func TestFigScalability(t *testing.T) {
 		t.Fatalf("FigScalability: %v", err)
 	}
 	t.Logf("\n%s", res.String())
-	// Templates must outpace text generation per example at every size.
-	perMode := map[string][]float64{}
+	t.Logf("templates speedup at 4 workers: %.2fx", res.Speedup(4))
+	// Templates must outpace text generation per example at every size,
+	// comparing the sequential (workers=1) baselines of each mode.
+	type key struct {
+		rows int
+		mode string
+	}
+	baseline := map[key]float64{}
+	workerCounts := map[string]map[int]bool{}
 	for _, p := range res.Points {
-		perMode[p.Mode] = append(perMode[p.Mode], p.PerSecond)
+		if p.Workers == 1 {
+			baseline[key{p.TableRows, p.Mode}] = p.PerSecond
+		}
+		if workerCounts[p.Mode] == nil {
+			workerCounts[p.Mode] = map[int]bool{}
+		}
+		workerCounts[p.Mode][p.Workers] = true
+		if p.Examples == 0 {
+			t.Errorf("point %+v generated no examples", p)
+		}
 	}
-	tm, tx := perMode["templates"], perMode["text-generation"]
-	if len(tm) == 0 || len(tx) == 0 {
-		t.Fatal("missing modes")
+	for k, tm := range baseline {
+		if k.mode != "templates" {
+			continue
+		}
+		tx, ok := baseline[key{k.rows, "text-generation"}]
+		if !ok {
+			t.Errorf("no text-generation baseline at %d rows", k.rows)
+			continue
+		}
+		if tm < tx {
+			t.Errorf("templates slower than text generation at %d rows: %.0f vs %.0f", k.rows, tm, tx)
+		}
 	}
-	for i := range tm {
-		if tm[i] < tx[i] {
-			t.Errorf("templates slower than text generation at point %d: %.0f vs %.0f", i, tm[i], tx[i])
+	// The worker sweep must cover the advertised series for templates and
+	// at least the 1/8 endpoints for text generation.
+	for _, w := range scalabilityWorkerSweep {
+		if !workerCounts["templates"][w] {
+			t.Errorf("templates missing workers=%d point", w)
+		}
+	}
+	for _, w := range []int{1, 8} {
+		if !workerCounts["text-generation"][w] {
+			t.Errorf("text-generation missing workers=%d point", w)
 		}
 	}
 }
@@ -203,5 +235,26 @@ func TestResultRenderers(t *testing.T) {
 	sc := FigScalabilityResult{Points: []ScalabilityPoint{{TableRows: 10, Mode: "templates", Examples: 5}}}
 	if !strings.Contains(sc.String(), "templates") {
 		t.Errorf("Scalability render:\n%s", sc)
+	}
+}
+
+func TestScalabilitySpeedup(t *testing.T) {
+	res := FigScalabilityResult{Points: []ScalabilityPoint{
+		// Smaller table: must be ignored in favor of the largest size.
+		{TableRows: 10, Mode: "templates", Workers: 1, PerSecond: 1},
+		{TableRows: 10, Mode: "templates", Workers: 4, PerSecond: 100},
+		{TableRows: 20, Mode: "templates", Workers: 1, PerSecond: 100},
+		{TableRows: 20, Mode: "templates", Workers: 4, PerSecond: 250},
+		// Other modes never contribute to the templates speedup.
+		{TableRows: 20, Mode: "text-generation", Workers: 4, PerSecond: 9999},
+	}}
+	if got := res.Speedup(4); got != 2.5 {
+		t.Errorf("Speedup(4) = %v, want 2.5", got)
+	}
+	if got := res.Speedup(2); got != 0 {
+		t.Errorf("Speedup(2) = %v, want 0 for a missing point", got)
+	}
+	if got := (FigScalabilityResult{}).Speedup(4); got != 0 {
+		t.Errorf("empty Speedup(4) = %v, want 0", got)
 	}
 }

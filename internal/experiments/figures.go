@@ -60,6 +60,7 @@ func FigRows(cfg Config) (FigResult, error) {
 		mCfg := model.DefaultDataConfig()
 		mCfg.Tables = cfg.scaled(8000, 1200)
 		mCfg.Seed = cfg.Seed
+		mCfg.Workers = cfg.Workers
 		mCfg.Pretrain = bags
 		mCfg.Serialization.MaxRows = rows
 		cfg.logf("FigRows: training with %d sample rows", rows)
@@ -86,6 +87,7 @@ func FigSerialization(cfg Config) (FigResult, error) {
 		mCfg := model.DefaultDataConfig()
 		mCfg.Tables = cfg.scaled(8000, 1200)
 		mCfg.Seed = cfg.Seed
+		mCfg.Workers = cfg.Workers
 		mCfg.Pretrain = bags
 		mCfg.Serialization.Mode = mode
 		cfg.logf("FigSerialization: training %s", mode)
@@ -114,6 +116,7 @@ func FigCorpusSize(cfg Config) (FigResult, error) {
 		mCfg := model.DefaultSchemaConfig()
 		mCfg.Tables = n
 		mCfg.Seed = cfg.Seed
+		mCfg.Workers = cfg.Workers
 		mCfg.Pretrain = bags
 		cfg.logf("FigCorpusSize: training on %d tables", n)
 		m, err := model.Train("Schema", gen, annotators, mCfg)
@@ -130,6 +133,7 @@ func FigCorpusSize(cfg Config) (FigResult, error) {
 type ScalabilityPoint struct {
 	TableRows int
 	Mode      string
+	Workers   int
 	Examples  int
 	Elapsed   time.Duration
 	PerSecond float64
@@ -143,19 +147,53 @@ type FigScalabilityResult struct {
 
 // String renders the measurements.
 func (r FigScalabilityResult) String() string {
-	header := []string{"TableRows", "Mode", "Examples", "Elapsed", "Examples/s"}
+	header := []string{"TableRows", "Mode", "Workers", "Examples", "Elapsed", "Examples/s"}
 	var rows [][]string
 	for _, p := range r.Points {
 		rows = append(rows, []string{
-			fmt.Sprint(p.TableRows), p.Mode, fmt.Sprint(p.Examples),
+			fmt.Sprint(p.TableRows), p.Mode, fmt.Sprint(p.Workers), fmt.Sprint(p.Examples),
 			p.Elapsed.Round(time.Millisecond).String(), fmt.Sprintf("%.0f", p.PerSecond),
 		})
 	}
 	return "Figure — generation throughput, templates vs text generation\n" + renderTable(header, rows)
 }
 
+// Speedup returns the throughput ratio of the workers-w templates run over
+// the sequential templates run on the largest table, or 0 when either
+// point is missing — the headline number of the workers sweep.
+func (r FigScalabilityResult) Speedup(w int) float64 {
+	maxRows := 0
+	for _, p := range r.Points {
+		if p.TableRows > maxRows {
+			maxRows = p.TableRows
+		}
+	}
+	var base, at float64
+	for _, p := range r.Points {
+		if p.TableRows != maxRows || p.Mode != "templates" {
+			continue
+		}
+		switch p.Workers {
+		case 1:
+			base = p.PerSecond
+		case w:
+			at = p.PerSecond
+		}
+	}
+	if base == 0 {
+		return 0
+	}
+	return at / base
+}
+
+// scalabilityWorkerSweep is the worker-count series measured per mode and
+// table size — 1 is the sequential baseline the speedups are quoted
+// against.
+var scalabilityWorkerSweep = []int{1, 2, 4, 8}
+
 // FigScalability measures example-generation throughput on synthetic
-// Covid-like tables of growing size.
+// Covid-like tables of growing size, sweeping the worker count per mode so
+// the sharding speedup is a reported number rather than a claim.
 func FigScalability(cfg Config) (FigScalabilityResult, error) {
 	res := FigScalabilityResult{}
 	sizes := []int{500, 1000, 2000}
@@ -170,44 +208,47 @@ func FigScalability(cfg Config) (FigScalabilityResult, error) {
 		}
 		g := pythia.NewGenerator(t, md)
 
+		measure := func(mode string, workers int, opts pythia.Options) error {
+			opts.Seed = cfg.Seed
+			opts.Workers = workers
+			start := time.Now()
+			exs, err := g.Generate(opts)
+			if err != nil {
+				return fmt.Errorf("experiments: fig scalability: %w", err)
+			}
+			el := time.Since(start)
+			res.Points = append(res.Points, ScalabilityPoint{
+				TableRows: n, Mode: mode, Workers: workers, Examples: len(exs), Elapsed: el,
+				PerSecond: float64(len(exs)) / el.Seconds(),
+			})
+			return nil
+		}
+
 		// Template mode. The attribute template (Q1) names both subjects in
 		// its sentence, so its output grows quadratically — the corpus-scale
-		// path behind "millions of examples in seconds".
-		start := time.Now()
-		tmpl, err := g.Generate(pythia.Options{
-			Mode:       pythia.Templates,
-			Structures: []pythia.Structure{pythia.AttributeAmb, pythia.RowAmb},
-			Ops:        []string{">"},
-			Matches:    []pythia.Match{pythia.Uniform},
-			Seed:       cfg.Seed,
-		})
-		if err != nil {
-			return res, fmt.Errorf("experiments: fig scalability: %w", err)
+		// path behind "millions of examples in seconds". All operators and
+		// both match kinds run so the sweep has several heavy a-query units
+		// to distribute; a single-unit workload cannot shard.
+		for _, w := range scalabilityWorkerSweep {
+			if err := measure("templates", w, pythia.Options{
+				Mode:       pythia.Templates,
+				Structures: []pythia.Structure{pythia.AttributeAmb, pythia.RowAmb},
+			}); err != nil {
+				return res, err
+			}
 		}
-		el := time.Since(start)
-		res.Points = append(res.Points, ScalabilityPoint{
-			TableRows: n, Mode: "templates", Examples: len(tmpl), Elapsed: el,
-			PerSecond: float64(len(tmpl)) / el.Seconds(),
-		})
 
 		// Text generation on the same evidence (capped per query the way
-		// the default pipeline runs).
-		start = time.Now()
-		gen, err := g.Generate(pythia.Options{
-			Structures:  []pythia.Structure{pythia.AttributeAmb, pythia.RowAmb},
-			Ops:         []string{">"},
-			Matches:     []pythia.Match{pythia.Uniform},
-			MaxPerQuery: 200,
-			Seed:        cfg.Seed,
-		})
-		if err != nil {
-			return res, fmt.Errorf("experiments: fig scalability: %w", err)
+		// the default pipeline runs). Two points bound the sweep: the
+		// sequential baseline and the widest shard count.
+		for _, w := range []int{1, scalabilityWorkerSweep[len(scalabilityWorkerSweep)-1]} {
+			if err := measure("text-generation", w, pythia.Options{
+				Structures:  []pythia.Structure{pythia.AttributeAmb, pythia.RowAmb},
+				MaxPerQuery: 200,
+			}); err != nil {
+				return res, err
+			}
 		}
-		el = time.Since(start)
-		res.Points = append(res.Points, ScalabilityPoint{
-			TableRows: n, Mode: "text-generation", Examples: len(gen), Elapsed: el,
-			PerSecond: float64(len(gen)) / el.Seconds(),
-		})
 		cfg.logf("FigScalability: %d rows done", n)
 	}
 	return res, nil

@@ -65,6 +65,7 @@ func TableIII(cfg Config) (TableIIIResult, error) {
 	schemaCfg := model.DefaultSchemaConfig()
 	schemaCfg.Tables = tables
 	schemaCfg.Seed = cfg.Seed
+	schemaCfg.Workers = cfg.Workers
 	schemaCfg.Pretrain = bags
 	schema, err := model.Train("Schema", gen, annotators, schemaCfg)
 	if err != nil {
@@ -75,6 +76,7 @@ func TableIII(cfg Config) (TableIIIResult, error) {
 	dataCfg := model.DefaultDataConfig()
 	dataCfg.Tables = tables
 	dataCfg.Seed = cfg.Seed
+	dataCfg.Workers = cfg.Workers
 	dataCfg.Pretrain = bags
 	dataModel, err := model.Train("Data", gen, annotators, dataCfg)
 	if err != nil {

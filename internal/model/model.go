@@ -253,6 +253,11 @@ type TrainConfig struct {
 	Pretrain [][]string
 	// PretrainEpochs controls the pretraining passes (default 5).
 	PretrainEpochs int
+	// Workers shards the corpus-annotation pass across a worker pool
+	// (0 = runtime.GOMAXPROCS, 1 = sequential). Training is byte-identical
+	// at every worker count: tables are labelled independently and
+	// collected in corpus order.
+	Workers int
 	// Quiet suppresses progress output.
 	Progress func(stage string, done, total int)
 }
@@ -356,25 +361,39 @@ func Train(name string, gen *corpus.Generator, annotators []annotate.Annotator, 
 		in    serialize.Input
 		class int
 	}
+	// Tables are generated and labelled in parallel chunks; the chunk
+	// results come back in corpus order, so the collected example stream
+	// (and therefore the label vocabulary and every later pass) is
+	// byte-identical to the sequential loop.
 	var positives, negatives []rawExample
-	for i := 0; i < cfg.Tables; i++ {
-		t := gen.Table(i)
-		for _, pe := range annotate.LabelTable(annotators, t.Name, t.Header, t.Rows) {
-			ex := rawExample{in: serialize.Input{Header: t.Header, Rows: t.Rows, AttrA: pe.AttrA, AttrB: pe.AttrB}}
-			switch {
-			case pe.Label != "":
-				ex.class = m.labels.Add(pe.Label)
-				positives = append(positives, ex)
-			case pe.Covered:
-				// Covered-but-unlabeled pairs are weak negatives.
-				// Uncovered pairs are unlabeled: training on them as
-				// negatives would poison exactly the acronym/code pairs
-				// the model is supposed to generalize to.
-				negatives = append(negatives, ex)
+	const annotateChunk = 1000
+	for base := 0; base < cfg.Tables; base += annotateChunk {
+		chunk := annotateChunk
+		if base+chunk > cfg.Tables {
+			chunk = cfg.Tables - base
+		}
+		perTable := annotate.LabelTables(annotators, chunk, cfg.Workers, func(i int) (string, []string, [][]string) {
+			t := gen.Table(base + i)
+			return t.Name, t.Header, t.Rows
+		})
+		for _, pes := range perTable {
+			for _, pe := range pes {
+				ex := rawExample{in: serialize.Input{Header: pe.Header, Rows: pe.Rows, AttrA: pe.AttrA, AttrB: pe.AttrB}}
+				switch {
+				case pe.Label != "":
+					ex.class = m.labels.Add(pe.Label)
+					positives = append(positives, ex)
+				case pe.Covered:
+					// Covered-but-unlabeled pairs are weak negatives.
+					// Uncovered pairs are unlabeled: training on them as
+					// negatives would poison exactly the acronym/code pairs
+					// the model is supposed to generalize to.
+					negatives = append(negatives, ex)
+				}
 			}
 		}
-		if cfg.Progress != nil && (i+1)%1000 == 0 {
-			cfg.Progress("annotate", i+1, cfg.Tables)
+		if cfg.Progress != nil {
+			cfg.Progress("annotate", base+chunk, cfg.Tables)
 		}
 	}
 	if len(positives) == 0 {

@@ -1,0 +1,103 @@
+// Package parallel is the shared sharding helper behind the pipeline's
+// parallel paths: a bounded worker pool with deterministic ordered
+// collection. Work is indexed [0, n); workers claim indices from an atomic
+// counter and write results into a slot per index, so the collected output
+// is always in canonical index order regardless of scheduling — the
+// property that lets corpus generation, weak-supervision labelling and
+// Algorithm 1's a-query sharding stay byte-identical to their sequential
+// versions at any worker count.
+//
+// The pool never reorders, drops or merges results; callers that need a
+// dedup or a fold apply it over the ordered slice, exactly where the
+// sequential loop would have applied it.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: n when positive, otherwise
+// runtime.GOMAXPROCS(0). This is the shared meaning of a zero Workers
+// field across pythia, corpus, model and experiments options.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order. fn must be safe for concurrent
+// invocation; distinct calls never share state through the pool.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	//lint:ignore err-ignored the unit function wraps an infallible fn, so MapShards can only return nil
+	out, _ := MapShards(workers, n,
+		func(int) struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i), nil })
+	return out
+}
+
+// MapErr is Map for fallible work. Every index runs to completion; the
+// error reported is the one at the lowest failing index, so error
+// propagation is as deterministic as the results themselves. Result slots
+// at failing indices hold the zero value.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapShards(workers, n,
+		func(int) struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// MapShards is MapErr with per-worker state: each pool goroutine builds
+// its own shard value once via newShard(worker) and passes it to every
+// unit it claims. This is how callers give workers private resources — a
+// worker-owned sqlengine registration, a worker-owned text generator —
+// without any locking on the hot path. newShard runs inside the worker
+// goroutine, so shard construction itself may not share mutable state.
+func MapShards[S, T any](workers, n int, newShard func(worker int) S, fn func(shard S, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s := newShard(0)
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(s, i)
+		}
+		return collect(out, errs)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			s := newShard(worker)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(s, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return collect(out, errs)
+}
+
+// collect returns the results, or the lowest-index error.
+func collect[T any](out []T, errs []error) ([]T, error) {
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

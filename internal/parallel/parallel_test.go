@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != procs {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, procs)
+	}
+	if got := Workers(-2); got != procs {
+		t.Errorf("Workers(-2) = %d, want GOMAXPROCS %d", got, procs)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out := Map(workers, 100, func(i int) int { return i * i })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndTiny(t *testing.T) {
+	if out := Map(8, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Errorf("n=0: got %d results", len(out))
+	}
+	// More workers than work must not deadlock or duplicate.
+	out := Map(64, 3, func(i int) int { return i })
+	if fmt.Sprint(out) != "[0 1 2]" {
+		t.Errorf("n=3: got %v", out)
+	}
+}
+
+func TestMapErrReportsLowestIndex(t *testing.T) {
+	fail := map[int]bool{5: true, 10: true, 63: true}
+	_, err := MapErr(8, 64, func(i int) (int, error) {
+		if fail[i] {
+			return 0, fmt.Errorf("unit %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "unit 5 failed" {
+		t.Fatalf("want lowest-index error 'unit 5 failed', got %v", err)
+	}
+}
+
+func TestMapErrNoError(t *testing.T) {
+	out, err := MapErr(4, 10, func(i int) (string, error) { return fmt.Sprint(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[7] != "7" {
+		t.Errorf("out[7] = %q", out[7])
+	}
+}
+
+// TestMapShardsPrivateState proves each pool goroutine gets its own shard:
+// shards count their units without any synchronization, which the race
+// detector would flag if two workers ever shared one.
+func TestMapShardsPrivateState(t *testing.T) {
+	type shard struct{ units int }
+	var created atomic.Int64
+	const workers, n = 4, 200
+	out, err := MapShards(workers, n,
+		func(worker int) *shard {
+			created.Add(1)
+			return &shard{}
+		},
+		func(s *shard, i int) (int, error) {
+			s.units++
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(created.Load()) > workers {
+		t.Errorf("created %d shards for %d workers", created.Load(), workers)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestMapShardsSequentialFallback pins the workers<=1 path: one shard,
+// strictly ascending unit order.
+func TestMapShardsSequentialFallback(t *testing.T) {
+	var order []int
+	_, err := MapShards(1, 5,
+		func(worker int) int {
+			if worker != 0 {
+				t.Errorf("sequential path used worker %d", worker)
+			}
+			return worker
+		},
+		func(_ int, i int) (int, error) {
+			order = append(order, i)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[0 1 2 3 4]" {
+		t.Errorf("sequential order = %v", order)
+	}
+}

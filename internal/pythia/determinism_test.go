@@ -63,3 +63,20 @@ func TestGenerateByteIdenticalAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateByteIdenticalAcrossWorkers is the sharding contract of the
+// parallel pipeline: any worker count must produce the exact byte stream
+// of the sequential run, in both generation modes. Questions are enabled
+// so the row-parity alternation is covered too.
+func TestGenerateByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, mode := range []Mode{TextGeneration, Templates} {
+		sequential := generateOnce(t, Options{Mode: mode, Seed: 97, MaxPerQuery: 8, Questions: true, Workers: 1})
+		for _, workers := range []int{2, 4, 8} {
+			got := generateOnce(t, Options{Mode: mode, Seed: 97, MaxPerQuery: 8, Questions: true, Workers: workers})
+			if !bytes.Equal(sequential, got) {
+				t.Errorf("mode %v: %d workers diverge from sequential output (%d vs %d bytes)",
+					mode, workers, len(sequential), len(got))
+			}
+		}
+	}
+}

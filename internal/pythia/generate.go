@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/sqlengine"
 	"repro/internal/textgen"
@@ -46,6 +48,13 @@ type Options struct {
 	Questions bool
 	// Seed drives phrasing variety.
 	Seed int64
+	// Workers shards the a-query work units across a worker pool
+	// (0 = runtime.GOMAXPROCS, 1 = sequential). Output is byte-identical
+	// at every worker count: units are enumerated in the canonical
+	// op → match → structure → pair/key order, each shard realizes text
+	// with the same stateless seeded generator, and shard outputs are
+	// merged (and text-deduplicated) in unit order.
+	Workers int
 }
 
 // defaults fills zero values.
@@ -81,40 +90,89 @@ func NewGenerator(t *relation.Table, md *Metadata) *Generator {
 	return &Generator{table: t, md: md, engine: e}
 }
 
+// shard is one worker's private execution state: its own engine
+// registration over the shared read-only table and its own text
+// generator. textgen.Generator chooses phrasings by hashing
+// (seed, content) — it carries no mutable stream state — so per-shard
+// generators with the sequential seed realize exactly the text the
+// sequential path would, no matter which worker claims which unit.
+type shard struct {
+	engine *sqlengine.Engine
+	gen    *textgen.Generator
+}
+
+// newShard builds a worker's private state.
+func (g *Generator) newShard(opts Options) *shard {
+	e := sqlengine.NewEngine()
+	e.Register(g.table)
+	return &shard{engine: e, gen: textgen.NewGenerator(opts.Seed)}
+}
+
+// unit is one shardable a-query instance of Algorithm 1: a (structure,
+// match, op, pair-or-key) combination. Units run independently on any
+// shard and emit their examples in the same order the sequential loops
+// would.
+type unit func(sh *shard, emit func(Example)) error
+
 // Generate runs Algorithm 1 and returns the examples, deduplicated by text.
+// Work is sharded across opts.Workers workers; see Options.Workers for the
+// determinism contract.
 func (g *Generator) Generate(opts Options) ([]Example, error) {
 	opts = opts.defaults()
-	g.gen = textgen.NewGenerator(opts.Seed)
-	var out []Example
-	seen := map[string]bool{}
-	emit := func(ex Example) {
-		if ex.Text == "" || seen[ex.Text] {
-			return
-		}
-		seen[ex.Text] = true
-		ex.Dataset = g.table.Name
-		out = append(out, ex)
+	units := g.units(opts)
+	perUnit, err := parallel.MapShards(parallel.Workers(opts.Workers), len(units),
+		func(int) *shard { return g.newShard(opts) },
+		func(sh *shard, i int) ([]Example, error) {
+			var exs []Example
+			if err := units[i](sh, func(ex Example) { exs = append(exs, ex) }); err != nil {
+				return nil, err
+			}
+			return exs, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
+	// Merge in canonical unit order, applying the text dedup exactly where
+	// the sequential emit loop applied it. Generation never feeds back into
+	// later units (quota counting is per-unit and pre-dedup), so filtering
+	// here is equivalent to filtering during generation.
+	var out []Example
+	seen := map[string]bool{}
+	for _, exs := range perUnit {
+		for _, ex := range exs {
+			if ex.Text == "" || seen[ex.Text] {
+				continue
+			}
+			seen[ex.Text] = true
+			ex.Dataset = g.table.Name
+			out = append(out, ex)
+		}
+	}
+	return out, nil
+}
+
+// units enumerates the work units in the canonical order of Algorithm 1's
+// loops: operator, then match type, then structure, then the structure's
+// own pair/key iteration. The merge step relies on this order being
+// identical to the sequential emission order.
+func (g *Generator) units(opts Options) []unit {
+	var us []unit
 	for _, op := range opts.Ops {
 		for _, match := range opts.Matches {
 			for _, st := range opts.Structures {
-				var err error
 				switch st {
 				case AttributeAmb:
-					err = g.attrAmb(op, match, opts, emit)
+					us = append(us, g.attrUnits(op, match, opts)...)
 				case RowAmb:
-					err = g.rowAmb(op, match, opts, emit)
+					us = append(us, g.rowUnits(op, match, opts)...)
 				case FullAmb:
-					err = g.fullAmb(op, match, opts, emit)
-				}
-				if err != nil {
-					return nil, err
+					us = append(us, g.fullUnits(op, match, opts)...)
 				}
 			}
 		}
 	}
-	return out, nil
+	return us
 }
 
 // opAllowed reports whether an operator applies to a column kind: order
@@ -128,13 +186,14 @@ func opAllowed(op string, kind relation.Kind) bool {
 	}
 }
 
-// attrAmb generates attribute-ambiguity examples: one a-query per
+// attrUnits enumerates attribute-ambiguity units: one a-query per
 // discovered ambiguous pair (lines 10-16 of Algorithm 1).
-func (g *Generator) attrAmb(op string, match Match, opts Options, emit func(Example)) error {
+func (g *Generator) attrUnits(op string, match Match, opts Options) []unit {
 	pk := g.md.Profile.PrimaryKey
 	if len(pk) == 0 {
 		return nil // no key: subjects cannot be precisely identified
 	}
+	var us []unit
 	for _, pair := range g.md.Pairs {
 		ka, oka := g.table.Schema.Column(pair.AttrA)
 		kb, okb := g.table.Schema.Column(pair.AttrB)
@@ -144,135 +203,155 @@ func (g *Generator) attrAmb(op string, match Match, opts Options, emit func(Exam
 		if !opAllowed(op, ka.Kind) || !opAllowed(op, kb.Kind) {
 			continue
 		}
-		if opts.Mode == Templates {
-			q := attrTemplateQuery(g.table.Name, pk, pair.AttrA, pair.AttrB, op, match, pair.Label, opts.MaxPerQuery)
-			res, err := g.engine.Query(q)
-			if err != nil {
-				return fmt.Errorf("pythia: attribute template query: %w", err)
-			}
-			for _, row := range res.Rows {
-				emit(Example{
-					Query: q, Text: row[0].AsString(),
-					Structure: AttributeAmb, Match: match,
-					Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
-					KeyAttrs: pk, Op: op,
-				})
-			}
-			continue
-		}
-		q := attrEvidenceQuery(g.table.Name, pk, pair.AttrA, pair.AttrB, op, match, opts.MaxPerQuery)
-		res, err := g.engine.Query(q)
+		pair := pair
+		us = append(us, func(sh *shard, emit func(Example)) error {
+			return g.attrPair(sh, pair, op, match, opts, emit)
+		})
+	}
+	return us
+}
+
+// attrPair runs one attribute-ambiguity a-query instance.
+func (g *Generator) attrPair(sh *shard, pair model.Pair, op string, match Match, opts Options, emit func(Example)) error {
+	pk := g.md.Profile.PrimaryKey
+	if opts.Mode == Templates {
+		q := attrTemplateQuery(g.table.Name, pk, pair.AttrA, pair.AttrB, op, match, pair.Label, opts.MaxPerQuery)
+		res, err := sh.engine.Query(q)
 		if err != nil {
-			return fmt.Errorf("pythia: attribute evidence query: %w", err)
+			return fmt.Errorf("pythia: attribute template query: %w", err)
 		}
-		for i, row := range res.Rows {
-			n := len(pk)
-			keys1 := keyCells(pk, row[:n])
-			keys2 := keyCells(pk, row[n:2*n])
-			evidence := append(append([]textgen.Cell{}, keys1...), keys2...)
-			evidence = append(evidence,
-				textgen.Cell{Attr: pair.Label, Value: row[2*n].Format()},
-				textgen.Cell{Attr: pair.Label, Value: row[2*n+1].Format()},
-				textgen.Cell{Attr: pair.Label, Value: row[2*n+2].Format()},
-				textgen.Cell{Attr: pair.Label, Value: row[2*n+3].Format()},
-			)
-			var text string
-			question := opts.Questions && i%2 == 1
-			if question {
-				text = g.gen.ComparativeQuestion(keys1, keys2, pair.Label, op)
-			} else {
-				text = g.gen.Comparative(keys1, keys2, pair.Label, op)
-			}
+		for _, row := range res.Rows {
 			emit(Example{
-				Query: q, Text: text, IsQuestion: question,
+				Query: q, Text: row[0].AsString(),
 				Structure: AttributeAmb, Match: match,
 				Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
-				KeyAttrs: pk, Evidence: evidence, Op: op,
+				KeyAttrs: pk, Op: op,
 			})
 		}
+		return nil
+	}
+	q := attrEvidenceQuery(g.table.Name, pk, pair.AttrA, pair.AttrB, op, match, opts.MaxPerQuery)
+	res, err := sh.engine.Query(q)
+	if err != nil {
+		return fmt.Errorf("pythia: attribute evidence query: %w", err)
+	}
+	for i, row := range res.Rows {
+		n := len(pk)
+		keys1 := keyCells(pk, row[:n])
+		keys2 := keyCells(pk, row[n:2*n])
+		evidence := append(append([]textgen.Cell{}, keys1...), keys2...)
+		evidence = append(evidence,
+			textgen.Cell{Attr: pair.Label, Value: row[2*n].Format()},
+			textgen.Cell{Attr: pair.Label, Value: row[2*n+1].Format()},
+			textgen.Cell{Attr: pair.Label, Value: row[2*n+2].Format()},
+			textgen.Cell{Attr: pair.Label, Value: row[2*n+3].Format()},
+		)
+		var text string
+		question := opts.Questions && i%2 == 1
+		if question {
+			text = sh.gen.ComparativeQuestion(keys1, keys2, pair.Label, op)
+		} else {
+			text = sh.gen.Comparative(keys1, keys2, pair.Label, op)
+		}
+		emit(Example{
+			Query: q, Text: text, IsQuestion: question,
+			Structure: AttributeAmb, Match: match,
+			Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
+			KeyAttrs: pk, Evidence: evidence, Op: op,
+		})
 	}
 	return nil
 }
 
-// rowAmb generates row-ambiguity examples: one a-query per composite key
+// rowUnits enumerates row-ambiguity units: one a-query per composite key
 // and non-key attribute (lines 17-24 of Algorithm 1). Uniform evidence is
 // only defined for the equality claim (two distinct rows, same value).
-func (g *Generator) rowAmb(op string, match Match, opts Options, emit func(Example)) error {
+func (g *Generator) rowUnits(op string, match Match, opts Options) []unit {
 	if match == Uniform && op != "=" {
 		return nil
 	}
+	if op == "<>" {
+		return nil // "does not have" claims are not in the paper's templates
+	}
+	var us []unit
 	for _, ck := range g.compositeKeys() {
-		subset, rest := ck[:1], ck[1:]
 		for _, att := range g.md.Profile.NonKeyAttributes() {
 			col, ok := g.table.Schema.Column(att)
 			if !ok || !opAllowed(op, col.Kind) {
 				continue
 			}
-			if op == "<>" {
-				continue // "does not have" claims are not in the paper's templates
-			}
-			if opts.Mode == Templates {
-				q := rowTemplateQuery(g.table.Name, subset, rest, att, op, match, opts.MaxPerQuery)
-				res, err := g.engine.Query(q)
-				if err != nil {
-					return fmt.Errorf("pythia: row template query: %w", err)
-				}
-				for _, row := range res.Rows {
-					emit(Example{
-						Query: q, Text: row[0].AsString(),
-						Structure: RowAmb, Match: match,
-						Attrs: []string{att}, KeyAttrs: subset, Op: op,
-					})
-				}
-				continue
-			}
-			q := rowEvidenceQuery(g.table.Name, subset, rest, att, op, match, opts.MaxPerQuery)
-			res, err := g.engine.Query(q)
-			if err != nil {
-				return fmt.Errorf("pythia: row evidence query: %w", err)
-			}
-			for i, row := range res.Rows {
-				n := len(subset)
-				partial := keyCells(subset, row[:n])
-				v1, v2 := row[n], row[n+1]
-				claim := v1
-				if match == Contradictory && op != "=" {
-					claim = v2 // "more than {lesser}" so interpretations split
-				}
-				measure := textgen.Cell{Attr: att, Value: claim.Format()}
-				evidence := append(append([]textgen.Cell{}, partial...),
-					textgen.Cell{Attr: att, Value: v1.Format()},
-					textgen.Cell{Attr: att, Value: v2.Format()},
-				)
-				var text string
-				question := opts.Questions && i%2 == 1
-				if question {
-					text = g.gen.RowQuestion(partial, measure, op)
-				} else {
-					text = g.gen.RowStatement(partial, measure, op)
-				}
-				emit(Example{
-					Query: q, Text: text, IsQuestion: question,
-					Structure: RowAmb, Match: match,
-					Attrs: []string{att}, KeyAttrs: subset, Evidence: evidence, Op: op,
-				})
-			}
+			ck, att := ck, att
+			us = append(us, func(sh *shard, emit func(Example)) error {
+				return g.rowKeyAttr(sh, ck, att, op, match, opts, emit)
+			})
 		}
+	}
+	return us
+}
+
+// rowKeyAttr runs one row-ambiguity a-query instance.
+func (g *Generator) rowKeyAttr(sh *shard, ck []string, att, op string, match Match, opts Options, emit func(Example)) error {
+	subset, rest := ck[:1], ck[1:]
+	if opts.Mode == Templates {
+		q := rowTemplateQuery(g.table.Name, subset, rest, att, op, match, opts.MaxPerQuery)
+		res, err := sh.engine.Query(q)
+		if err != nil {
+			return fmt.Errorf("pythia: row template query: %w", err)
+		}
+		for _, row := range res.Rows {
+			emit(Example{
+				Query: q, Text: row[0].AsString(),
+				Structure: RowAmb, Match: match,
+				Attrs: []string{att}, KeyAttrs: subset, Op: op,
+			})
+		}
+		return nil
+	}
+	q := rowEvidenceQuery(g.table.Name, subset, rest, att, op, match, opts.MaxPerQuery)
+	res, err := sh.engine.Query(q)
+	if err != nil {
+		return fmt.Errorf("pythia: row evidence query: %w", err)
+	}
+	for i, row := range res.Rows {
+		n := len(subset)
+		partial := keyCells(subset, row[:n])
+		v1, v2 := row[n], row[n+1]
+		claim := v1
+		if match == Contradictory && op != "=" {
+			claim = v2 // "more than {lesser}" so interpretations split
+		}
+		measure := textgen.Cell{Attr: att, Value: claim.Format()}
+		evidence := append(append([]textgen.Cell{}, partial...),
+			textgen.Cell{Attr: att, Value: v1.Format()},
+			textgen.Cell{Attr: att, Value: v2.Format()},
+		)
+		var text string
+		question := opts.Questions && i%2 == 1
+		if question {
+			text = sh.gen.RowQuestion(partial, measure, op)
+		} else {
+			text = sh.gen.RowStatement(partial, measure, op)
+		}
+		emit(Example{
+			Query: q, Text: text, IsQuestion: question,
+			Structure: RowAmb, Match: match,
+			Attrs: []string{att}, KeyAttrs: subset, Evidence: evidence, Op: op,
+		})
 	}
 	return nil
 }
 
-// fullAmb generates full-ambiguity examples: partial subject plus an
+// fullUnits enumerates full-ambiguity units: partial subject plus an
 // ambiguous attribute pair (lines 25-34 of Algorithm 1). The claim is an
 // equality; each evidence row is classified uniform or contradictory by
 // comparing all four interpretations, mirroring the paper's note that Q3
 // returns both kinds.
-func (g *Generator) fullAmb(op string, match Match, opts Options, emit func(Example)) error {
+func (g *Generator) fullUnits(op string, match Match, opts Options) []unit {
 	if op != "=" {
 		return nil
 	}
+	var us []unit
 	for _, ck := range g.compositeKeys() {
-		subset, rest := ck[:1], ck[1:]
 		for _, pair := range g.md.Pairs {
 			if inKey(ck, pair.AttrA) || inKey(ck, pair.AttrB) {
 				continue
@@ -283,73 +362,88 @@ func (g *Generator) fullAmb(op string, match Match, opts Options, emit func(Exam
 			if _, ok := g.table.Schema.Column(pair.AttrB); !ok {
 				continue
 			}
-			if opts.Mode == Templates {
-				q := fullTemplateQuery(g.table.Name, subset, rest, pair.AttrA, pair.Label, opts.MaxPerQuery)
-				res, err := g.engine.Query(q)
-				if err != nil {
-					return fmt.Errorf("pythia: full template query: %w", err)
-				}
-				for _, row := range res.Rows {
-					emit(Example{
-						Query: q, Text: row[0].AsString(),
-						Structure: FullAmb, Match: match,
-						Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
-						KeyAttrs: subset, Op: op,
-					})
-				}
-				continue
-			}
-			q := fullEvidenceQuery(g.table.Name, subset, rest, pair.AttrA, pair.AttrB, opts.MaxPerQuery*2)
-			res, err := g.engine.Query(q)
-			if err != nil {
-				return fmt.Errorf("pythia: full evidence query: %w", err)
-			}
-			emitted := 0
-			for i, row := range res.Rows {
-				if opts.MaxPerQuery > 0 && emitted >= opts.MaxPerQuery {
-					break
-				}
-				n := len(subset)
-				partial := keyCells(subset, row[:n])
-				vals := row[n : n+4] // b1.a1, b1.a2, b2.a1, b2.a2
-				claim := vals[0]
-				uniform := true
-				for _, v := range vals[1:] {
-					if !v.Equal(claim) {
-						uniform = false
-						break
-					}
-				}
-				got := Contradictory
-				if uniform {
-					got = Uniform
-				}
-				if got != match {
-					continue
-				}
-				measure := textgen.Cell{Attr: pair.Label, Value: claim.Format()}
-				evidence := append(append([]textgen.Cell{}, partial...),
-					textgen.Cell{Attr: pair.Label, Value: vals[0].Format()},
-					textgen.Cell{Attr: pair.Label, Value: vals[1].Format()},
-					textgen.Cell{Attr: pair.Label, Value: vals[2].Format()},
-					textgen.Cell{Attr: pair.Label, Value: vals[3].Format()},
-				)
-				var text string
-				question := opts.Questions && i%2 == 1
-				if question {
-					text = g.gen.Question(partial, measure)
-				} else {
-					text = g.gen.Statement(partial, measure)
-				}
-				emit(Example{
-					Query: q, Text: text, IsQuestion: question,
-					Structure: FullAmb, Match: match,
-					Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
-					KeyAttrs: subset, Evidence: evidence, Op: op,
-				})
-				emitted++
+			ck, pair := ck, pair
+			us = append(us, func(sh *shard, emit func(Example)) error {
+				return g.fullKeyPair(sh, ck, pair, op, match, opts, emit)
+			})
+		}
+	}
+	return us
+}
+
+// fullKeyPair runs one full-ambiguity a-query instance.
+func (g *Generator) fullKeyPair(sh *shard, ck []string, pair model.Pair, op string, match Match, opts Options, emit func(Example)) error {
+	subset, rest := ck[:1], ck[1:]
+	if opts.Mode == Templates {
+		q := fullTemplateQuery(g.table.Name, subset, rest, pair.AttrA, pair.Label, opts.MaxPerQuery)
+		res, err := sh.engine.Query(q)
+		if err != nil {
+			return fmt.Errorf("pythia: full template query: %w", err)
+		}
+		for _, row := range res.Rows {
+			emit(Example{
+				Query: q, Text: row[0].AsString(),
+				Structure: FullAmb, Match: match,
+				Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
+				KeyAttrs: subset, Op: op,
+			})
+		}
+		return nil
+	}
+	// The quota counts rows of the requested match kind, but the query
+	// returns both kinds interleaved — so it must run unbounded and stop
+	// when the quota fills. A fixed fetch window (the old MaxPerQuery*2)
+	// silently under-fills whenever the window is dominated by the other
+	// kind.
+	q := fullEvidenceQuery(g.table.Name, subset, rest, pair.AttrA, pair.AttrB, 0)
+	res, err := sh.engine.Query(q)
+	if err != nil {
+		return fmt.Errorf("pythia: full evidence query: %w", err)
+	}
+	emitted := 0
+	for i, row := range res.Rows {
+		if opts.MaxPerQuery > 0 && emitted >= opts.MaxPerQuery {
+			break
+		}
+		n := len(subset)
+		partial := keyCells(subset, row[:n])
+		vals := row[n : n+4] // b1.a1, b1.a2, b2.a1, b2.a2
+		claim := vals[0]
+		uniform := true
+		for _, v := range vals[1:] {
+			if !v.Equal(claim) {
+				uniform = false
+				break
 			}
 		}
+		got := Contradictory
+		if uniform {
+			got = Uniform
+		}
+		if got != match {
+			continue
+		}
+		measure := textgen.Cell{Attr: pair.Label, Value: claim.Format()}
+		evidence := append(append([]textgen.Cell{}, partial...),
+			textgen.Cell{Attr: pair.Label, Value: vals[0].Format()},
+			textgen.Cell{Attr: pair.Label, Value: vals[1].Format()},
+			textgen.Cell{Attr: pair.Label, Value: vals[2].Format()},
+			textgen.Cell{Attr: pair.Label, Value: vals[3].Format()},
+		)
+		var text string
+		question := opts.Questions && i%2 == 1
+		if question {
+			text = sh.gen.Question(partial, measure)
+		} else {
+			text = sh.gen.Statement(partial, measure)
+		}
+		emit(Example{
+			Query: q, Text: text, IsQuestion: question,
+			Structure: FullAmb, Match: match,
+			Label: pair.Label, Attrs: []string{pair.AttrA, pair.AttrB},
+			KeyAttrs: subset, Evidence: evidence, Op: op,
+		})
+		emitted++
 	}
 	return nil
 }
@@ -369,6 +463,13 @@ func (g *Generator) NotAmbiguous(opts Options) ([]Example, error) {
 		ambiguous[strings.ToLower(p.AttrA)] = true
 		ambiguous[strings.ToLower(p.AttrB)] = true
 	}
+	// defaults() already resolved MaxPerQuery per mode: 4 in text
+	// generation, 0 = unlimited in template mode — mirror that here
+	// instead of re-capping template runs at 4 rows.
+	max := opts.MaxPerQuery
+	if max <= 0 {
+		max = len(g.table.Rows)
+	}
 	var out []Example
 	seen := map[string]bool{}
 	for _, att := range g.md.Profile.NonKeyAttributes() {
@@ -376,10 +477,6 @@ func (g *Generator) NotAmbiguous(opts Options) ([]Example, error) {
 			continue
 		}
 		col, _ := g.table.Schema.Column(att)
-		max := opts.MaxPerQuery
-		if max <= 0 {
-			max = 4
-		}
 		for i, row := range g.table.Rows {
 			if i >= max {
 				break

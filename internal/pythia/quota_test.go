@@ -1,0 +1,146 @@
+package pythia
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/relation"
+)
+
+// quotaTable builds a table whose full-ambiguity join yields uniform
+// evidence first and contradictory evidence only later: players a and b
+// each appear on two days; a's measures agree everywhere, b's disagree.
+// The composite primary key is (player, day), so the Q3 join (same player,
+// different day) enumerates a's two uniform rows before reaching b.
+func quotaTable(t *testing.T) (*relation.Table, *Metadata) {
+	t.Helper()
+	tab := relation.NewTable("quota", relation.Schema{
+		{Name: "player", Kind: relation.KindString},
+		{Name: "day", Kind: relation.KindInt},
+		{Name: "m1", Kind: relation.KindInt},
+		{Name: "m2", Kind: relation.KindInt},
+	})
+	for _, r := range []struct {
+		player string
+		day    int64
+		m1, m2 int64
+	}{
+		{"a", 1, 5, 5},
+		{"a", 2, 5, 5},
+		{"b", 1, 7, 7},
+		{"b", 2, 7, 9},
+	} {
+		tab.MustAppend(relation.Row{
+			relation.String(r.player), relation.Int(r.day),
+			relation.Int(r.m1), relation.Int(r.m2),
+		})
+	}
+	md, err := WithPairs(tab, []model.Pair{{AttrA: "m1", AttrB: "m2", Label: "metric"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.Profile.PrimaryKey) != 2 {
+		t.Fatalf("want composite primary key (player, day), got %v", md.Profile.PrimaryKey)
+	}
+	return tab, md
+}
+
+// TestFullAmbQuotaFillsPastUniformPrefix is the regression for the
+// MaxPerQuery*2 fetch window: with quota 1, the first two joined rows are
+// both uniform, so a 2x window never reaches the contradictory evidence a
+// full scan finds.
+func TestFullAmbQuotaFillsPastUniformPrefix(t *testing.T) {
+	tab, md := quotaTable(t)
+	g := NewGenerator(tab, md)
+	exs, err := g.Generate(Options{
+		Structures:  []Structure{FullAmb},
+		Matches:     []Match{Contradictory},
+		Ops:         []string{"="},
+		MaxPerQuery: 1,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 1 {
+		t.Fatalf("want 1 contradictory full-ambiguity example past the uniform prefix, got %d", len(exs))
+	}
+	ex := exs[0]
+	if ex.Structure != FullAmb || ex.Match != Contradictory {
+		t.Errorf("wrong classification: %v/%v", ex.Structure, ex.Match)
+	}
+	if len(ex.Evidence) != 5 || ex.Evidence[0].Value != "b" {
+		t.Errorf("evidence should come from player b: %v", ex.Evidence)
+	}
+}
+
+// TestFullAmbQuotaStillCaps checks MaxPerQuery stays the emit cap: the
+// uniform kind has two qualifying rows but quota 1 keeps only the first.
+func TestFullAmbQuotaStillCaps(t *testing.T) {
+	tab, md := quotaTable(t)
+	g := NewGenerator(tab, md)
+	exs, err := g.Generate(Options{
+		Structures:  []Structure{FullAmb},
+		Matches:     []Match{Uniform},
+		Ops:         []string{"="},
+		MaxPerQuery: 1,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unit (one composite key x one pair) capped at one example.
+	if len(exs) != 1 {
+		t.Fatalf("want quota-capped single uniform example, got %d", len(exs))
+	}
+}
+
+// notAmbTable is a 6-row table with a single-column key and one
+// unambiguous measure.
+func notAmbTable(t *testing.T) (*relation.Table, *Metadata) {
+	t.Helper()
+	tab := relation.NewTable("plain", relation.Schema{
+		{Name: "name", Kind: relation.KindString},
+		{Name: "score", Kind: relation.KindInt},
+	})
+	scores := []int64{10, 20, 30, 40, 50, 10}
+	for i, s := range scores {
+		tab.MustAppend(relation.Row{relation.String(string(rune('p' + i))), relation.Int(s)})
+	}
+	md, err := WithPairs(tab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, md
+}
+
+// TestNotAmbiguousTemplateModeUnlimited is the regression for the control
+// path ignoring the template-mode default: MaxPerQuery 0 means unlimited
+// for templates per Options.defaults(), but the old code re-capped it at
+// 4 rows per attribute.
+func TestNotAmbiguousTemplateModeUnlimited(t *testing.T) {
+	tab, md := notAmbTable(t)
+	g := NewGenerator(tab, md)
+	exs, err := g.NotAmbiguous(Options{Mode: Templates, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 rows x 3 ops, every text distinct (the subject names differ).
+	if len(exs) != 18 {
+		t.Fatalf("template mode should cover all 6 rows (18 examples), got %d", len(exs))
+	}
+}
+
+// TestNotAmbiguousTextGenDefaultCap pins the text-generation default: 4
+// evidence rows per attribute.
+func TestNotAmbiguousTextGenDefaultCap(t *testing.T) {
+	tab, md := notAmbTable(t)
+	g := NewGenerator(tab, md)
+	exs, err := g.NotAmbiguous(Options{Mode: TextGeneration, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 12 {
+		t.Fatalf("text-generation mode should cap at 4 rows (12 examples), got %d", len(exs))
+	}
+}
