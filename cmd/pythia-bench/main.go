@@ -4,14 +4,17 @@
 // Usage:
 //
 //	pythia-bench [-scale 1.0] [-seed 7] [-workers 0] [-run tableiii,tableiv,...|all]
-//	             [-json report.json] [-quiet]
+//	             [-json report.json] [-metrics metrics.json] [-pprof addr] [-quiet]
 //
 // At -scale 1.0 the metadata models train on 20k synthetic web tables
 // (minutes of CPU); tests and smoke runs use smaller scales. -workers
 // shards the parallel stages (0 = GOMAXPROCS); results are byte-identical
 // at every worker count. -json additionally writes a machine-readable
-// report ("-" for stdout) with per-experiment wall-clock and the
-// FigScalability throughput points.
+// report ("-" for stdout) with per-experiment wall-clock, the
+// FigScalability throughput points and the full telemetry snapshot
+// (per-stage latency histograms, sqlengine row counters, pool
+// utilization). -metrics writes the snapshot alone; -pprof serves
+// net/http/pprof and /debug/vars for live inspection of long runs.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // runner couples an experiment name with its execution.
@@ -82,6 +86,10 @@ type jsonReport struct {
 	Seed        int64            `json:"seed"`
 	Workers     int              `json:"workers"`
 	Experiments []jsonExperiment `json:"experiments"`
+	// Telemetry is the runtime metrics snapshot taken after the selected
+	// experiments ran: per-stage latency histograms, sqlengine row
+	// counters, per-worker pool utilization (see internal/telemetry).
+	Telemetry json.RawMessage `json:"telemetry"`
 }
 
 // writeJSON writes the report to path ("-" for stdout).
@@ -106,8 +114,18 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for parallel stages (0 = GOMAXPROCS)")
 	run := flag.String("run", "all", "comma-separated experiments: tableiii,tableiv,tablev,tablevi,tablevii,tableviii,figrows,figserialization,figcorpus,figscalability,ablation")
 	jsonPath := flag.String("json", "", "write a machine-readable report to this file (\"-\" for stdout)")
+	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := telemetry.Serve(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pythia-bench: pprof and /debug/vars on http://%s/debug/pprof\n", *pprofAddr)
+	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 	if !*quiet {
@@ -158,9 +176,22 @@ func main() {
 		}
 		report.Experiments = append(report.Experiments, entry)
 	}
+	snapshot, err := telemetry.Default().Snapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pythia-bench: telemetry snapshot: %v\n", err)
+		exit = 1
+	} else {
+		report.Telemetry = snapshot
+	}
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, report); err != nil {
 			fmt.Fprintf(os.Stderr, "pythia-bench: write -json: %v\n", err)
+			exit = 1
+		}
+	}
+	if *metricsPath != "" {
+		if err := telemetry.Default().WriteSnapshot(*metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "pythia-bench: %v\n", err)
 			exit = 1
 		}
 	}

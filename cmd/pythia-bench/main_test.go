@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func testRunners() []runner {
@@ -96,5 +97,49 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 	if out.Experiments[0].Scalability != nil {
 		t.Fatalf("non-scalability experiment carries points: %+v", out.Experiments[0])
+	}
+}
+
+// TestReportCarriesTelemetry folds a registry snapshot into the report
+// the way main does and asserts the telemetry object survives the round
+// trip with the documented layout — counters (sqlengine row counters
+// among them once the engine ran) and per-stage latency histograms.
+func TestReportCarriesTelemetry(t *testing.T) {
+	// Touch a couple of default-registry metrics so the snapshot is
+	// structurally representative of a real run.
+	telemetry.Default().Counter("sqlengine.rows_scanned").Add(0)
+	telemetry.Default().LatencyHistogram("sqlengine.exec_ns").Observe(1000)
+
+	snapshot, err := telemetry.Default().Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	report := jsonReport{Scale: 1, Seed: 7, Telemetry: snapshot}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := writeJSON(path, report); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Telemetry struct {
+			Counters   map[string]int64           `json:"counters"`
+			Gauges     map[string]int64           `json:"gauges"`
+			Histograms map[string]json.RawMessage `json:"histograms"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Telemetry.Counters == nil || got.Telemetry.Histograms == nil {
+		t.Fatalf("report telemetry incomplete: %s", raw)
+	}
+	if _, ok := got.Telemetry.Counters["sqlengine.rows_scanned"]; !ok {
+		t.Errorf("telemetry counters missing sqlengine.rows_scanned: %v", got.Telemetry.Counters)
+	}
+	if _, ok := got.Telemetry.Histograms["sqlengine.exec_ns"]; !ok {
+		t.Errorf("telemetry histograms missing sqlengine.exec_ns")
 	}
 }

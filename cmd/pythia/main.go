@@ -35,7 +35,34 @@ import (
 	"repro/internal/pythia"
 	"repro/internal/relation"
 	"repro/internal/sqlengine"
+	"repro/internal/telemetry"
 )
+
+// obsFlags registers the shared observability flags on a subcommand's
+// FlagSet. The returned start function runs after parsing: it brings up
+// the -pprof debug server (if requested) and returns the finish function
+// that writes the -metrics snapshot at command exit.
+func obsFlags(fs *flag.FlagSet) func() (func(), error) {
+	metrics := fs.String("metrics", "", "write a telemetry snapshot (JSON) to this file at exit")
+	pprof := fs.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	return func() (func(), error) {
+		if *pprof != "" {
+			if err := telemetry.Serve(*pprof); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "pythia: pprof and /debug/vars on http://%s/debug/pprof\n", *pprof)
+		}
+		path := *metrics
+		return func() {
+			if path == "" {
+				return
+			}
+			if err := telemetry.Default().WriteSnapshot(path); err != nil {
+				fmt.Fprintln(os.Stderr, "pythia:", err)
+			}
+		}, nil
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -77,7 +104,11 @@ func usage() {
                   [-structures attribute,row,full] [-match both|contradictory|uniform]
                   [-questions] [-max N] [-json] [-tables N] [-workers N]
   pythia sql      (-in table.csv | -dataset NAME) ["QUERY" | -i]
-  pythia datasets`)
+  pythia datasets
+
+profile, metadata, generate and sql also accept:
+  -metrics FILE   write a telemetry snapshot (JSON) at exit
+  -pprof ADDR     serve net/http/pprof and /debug/vars for live inspection`)
 }
 
 // cmdSQL runs SQL against a loaded table: one query from the arguments, or
@@ -86,11 +117,17 @@ func usage() {
 func cmdSQL(args []string) error {
 	fs := flag.NewFlagSet("sql", flag.ExitOnError)
 	load := tableFlags(fs)
+	obs := obsFlags(fs)
 	interactive := fs.Bool("i", false, "interactive prompt (read queries from stdin)")
 	limit := fs.Int("print", 20, "max rows to print per result")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := obs()
+	if err != nil {
+		return err
+	}
+	defer finish()
 	t, err := load()
 	if err != nil {
 		return err
@@ -173,9 +210,15 @@ func tableFlags(fs *flag.FlagSet) func() (*relation.Table, error) {
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	load := tableFlags(fs)
+	obs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := obs()
+	if err != nil {
+		return err
+	}
+	defer finish()
 	t, err := load()
 	if err != nil {
 		return err
@@ -224,12 +267,18 @@ func buildPredictor(method string, tables, workers int) (model.Predictor, error)
 func cmdMetadata(args []string) error {
 	fs := flag.NewFlagSet("metadata", flag.ExitOnError)
 	load := tableFlags(fs)
+	obs := obsFlags(fs)
 	method := fs.String("method", "ulabel", "metadata method: ulabel, schema or data")
 	tables := fs.Int("tables", 0, "training corpus size for schema/data (0 = default)")
 	workers := fs.Int("workers", 0, "worker pool size for training (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := obs()
+	if err != nil {
+		return err
+	}
+	defer finish()
 	t, err := load()
 	if err != nil {
 		return err
@@ -268,9 +317,15 @@ func cmdGenerate(args []string) error {
 	asJSON := fs.Bool("json", false, "emit JSON lines instead of text")
 	seed := fs.Int64("seed", 1, "phrasing seed")
 	workers := fs.Int("workers", 0, "worker pool size for generation and training (0 = GOMAXPROCS)")
+	obs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := obs()
+	if err != nil {
+		return err
+	}
+	defer finish()
 
 	t, err := load()
 	if err != nil {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	webtables -n 500000 [-stats] [-dump 5] [-labels] [-workers 0]
+//	          [-metrics metrics.json] [-pprof addr]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/internal/annotate"
 	"repro/internal/corpus"
 	"repro/internal/kb"
+	"repro/internal/telemetry"
 	"repro/internal/vocab"
 )
 
@@ -28,7 +30,25 @@ func main() {
 	labels := flag.Bool("labels", false, "run the annotator functions and print weak-label statistics")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	workers := flag.Int("workers", 0, "worker pool size for generation and labelling (0 = GOMAXPROCS)")
+	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := telemetry.Serve(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "webtables:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "webtables: pprof and /debug/vars on http://%s/debug/pprof\n", *pprofAddr)
+	}
+	defer func() {
+		if *metricsPath == "" {
+			return
+		}
+		if err := telemetry.Default().WriteSnapshot(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "webtables:", err)
+		}
+	}()
 
 	opts := corpus.DefaultOptions()
 	opts.Seed = *seed

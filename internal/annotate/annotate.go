@@ -17,8 +17,20 @@ import (
 
 	"repro/internal/kb"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/vocab"
 )
+
+// annMet holds the weak-supervision stage's metric handles.
+var annMet = struct {
+	tables  *telemetry.Counter
+	pairs   *telemetry.Counter
+	labelNS *telemetry.Histogram
+}{
+	tables:  telemetry.Default().Counter("annotate.tables_labelled"),
+	pairs:   telemetry.Default().Counter("annotate.pairs_labelled"),
+	labelNS: telemetry.Default().LatencyHistogram("annotate.label_ns"),
+}
 
 // Annotator produces candidate ambiguity labels for a pair of attribute
 // names, or nothing when it abstains.
@@ -226,10 +238,19 @@ type TableSource func(i int) (name string, header []string, rows [][]string)
 // annotators is immutable after construction, so the annotator functions
 // are safe to share across workers.
 func LabelTables(annotators []Annotator, n, workers int, src TableSource) [][]PairExample {
-	return parallel.Map(parallel.Workers(workers), n, func(i int) []PairExample {
+	tm := annMet.labelNS.Time()
+	defer tm.Stop()
+	out := parallel.Map(parallel.Workers(workers), n, func(i int) []PairExample {
 		name, header, rows := src(i)
 		return LabelTable(annotators, name, header, rows)
 	})
+	annMet.tables.Add(int64(n))
+	pairs := 0
+	for _, pes := range out {
+		pairs += len(pes)
+	}
+	annMet.pairs.Add(int64(pairs))
+	return out
 }
 
 // LabelTable runs the annotators over every attribute pair of a header and

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/detrand"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/vocab"
 )
 
@@ -162,8 +163,20 @@ func (g *Generator) Table(i int) Table {
 	return t
 }
 
+// corpusMet holds the corpus stage's metric handles.
+var corpusMet = struct {
+	tables   *telemetry.Counter
+	tablesNS *telemetry.Histogram
+}{
+	tables:   telemetry.Default().Counter("corpus.tables_generated"),
+	tablesNS: telemetry.Default().LatencyHistogram("corpus.tables_ns"),
+}
+
 // Tables generates tables [0, n), sharded across Options.Workers workers.
 func (g *Generator) Tables(n int) []Table {
+	tm := corpusMet.tablesNS.Time()
+	defer tm.Stop()
+	corpusMet.tables.Add(int64(n))
 	return parallel.Map(parallel.Workers(g.opts.Workers), n, g.Table)
 }
 

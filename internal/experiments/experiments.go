@@ -11,7 +11,18 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/telemetry"
 )
+
+// stage starts a per-experiment stage timer recording into the
+// "experiments.<name>_ns" latency histogram; runners call
+// `defer stage("tableiii")()` so the bench report can break wall-clock
+// down by experiment from the telemetry snapshot alone.
+func stage(name string) func() {
+	tm := telemetry.Default().StartTimer("experiments." + name + "_ns")
+	return tm.Stop
+}
 
 // Config is shared by all experiment runners.
 type Config struct {

@@ -50,6 +50,7 @@ func (r FigResult) String() string {
 // FigRows sweeps the number of serialized sample rows in the data-task
 // prompt. The paper finds five to be the sweet spot.
 func FigRows(cfg Config) (FigResult, error) {
+	defer stage("figrows")()
 	res := FigResult{Title: "Figure — Data-model quality vs serialized sample rows", XLabel: "rows", Series: map[string][]FigPoint{}}
 	knowledge := kb.BuildDefault()
 	gen := corpus.NewDefaultGenerator()
@@ -77,6 +78,7 @@ func FigRows(cfg Config) (FigResult, error) {
 // FigSerialization compares row against column serialization for the data
 // task. The paper finds row serialization ahead.
 func FigSerialization(cfg Config) (FigResult, error) {
+	defer stage("figserialization")()
 	res := FigResult{Title: "Figure — row vs column serialization", XLabel: "variant", Series: map[string][]FigPoint{}}
 	knowledge := kb.BuildDefault()
 	gen := corpus.NewDefaultGenerator()
@@ -105,6 +107,7 @@ func FigSerialization(cfg Config) (FigResult, error) {
 // FigCorpusSize sweeps the weak-supervision corpus size for the Schema
 // model (the ablation DESIGN.md calls out).
 func FigCorpusSize(cfg Config) (FigResult, error) {
+	defer stage("figcorpus")()
 	res := FigResult{Title: "Figure — Schema-model quality vs corpus size", XLabel: "tables", Series: map[string][]FigPoint{}}
 	knowledge := kb.BuildDefault()
 	gen := corpus.NewDefaultGenerator()
@@ -195,6 +198,7 @@ var scalabilityWorkerSweep = []int{1, 2, 4, 8}
 // Covid-like tables of growing size, sweeping the worker count per mode so
 // the sharding speedup is a reported number rather than a claim.
 func FigScalability(cfg Config) (FigScalabilityResult, error) {
+	defer stage("figscalability")()
 	res := FigScalabilityResult{}
 	sizes := []int{500, 1000, 2000}
 	for _, rows := range sizes {
@@ -313,6 +317,7 @@ func (r AnnotatorAblationResult) String() string {
 // AnnotatorAblation measures raw weak-label quality with each annotator
 // removed in turn ("(none)" = all six).
 func AnnotatorAblation(cfg Config) AnnotatorAblationResult {
+	defer stage("ablation")()
 	res := AnnotatorAblationResult{}
 	all := annotate.All(kb.BuildDefault())
 	test := userstudy.AnnotatedCorpus()

@@ -55,6 +55,7 @@ func (r TableIIIResult) Get(method string) (MethodScores, bool) {
 // TableIII trains the four methods and evaluates them on the Section V
 // annotated corpus.
 func TableIII(cfg Config) (TableIIIResult, error) {
+	defer stage("tableiii")()
 	gen := corpus.NewDefaultGenerator()
 	knowledge := kb.BuildDefault()
 	annotators := annotate.All(knowledge)

@@ -51,6 +51,7 @@ func (r TableIVResult) String() string {
 // TableIV generates examples for every evaluation dataset with its
 // ground-truth metadata, in both modes, and reports counts and wall-clock.
 func TableIV(cfg Config) (TableIVResult, error) {
+	defer stage("tableiv")()
 	var res TableIVResult
 	for _, name := range data.EvaluationNames() {
 		d := data.MustLoad(name)

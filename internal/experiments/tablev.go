@@ -35,6 +35,7 @@ func (r TableVResult) String() string {
 // Supports / 489 Refutes, no ambiguous NEI), F_test = 276 claims (57/98/121,
 // half of NEI ambiguous), P_t = 1240 PYTHIA ambiguous examples; 5 epochs.
 func TableV(cfg Config) (TableVResult, error) {
+	defer stage("tablev")()
 	res := TableVResult{}
 
 	train, err := factcheck.GenerateCorpus(factcheck.CorpusOptions{

@@ -52,6 +52,7 @@ func (r TableVIResult) Totals() (int, int, int) {
 
 // TableVI runs the CoronaCheck experiment.
 func TableVI(cfg Config) (TableVIResult, error) {
+	defer stage("tablevi")()
 	res := TableVIResult{
 		Correct: map[pythia.Structure][2]int{},
 		Total:   map[pythia.Structure]int{},

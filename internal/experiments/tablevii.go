@@ -53,6 +53,7 @@ var TableVIISizes = []int{200, 481, 2207, 6227, 10219}
 // TableVII runs the text-to-SQL experiment: a baseline that never abstains
 // and fine-tuned systems over growing samples of the PYTHIA corpus.
 func TableVII(cfg Config) (TableVIIResult, error) {
+	defer stage("tablevii")()
 	res := TableVIIResult{}
 	rawTrain, err := texttosql.GenerateCorpus(TableVIITrainNames, cfg.Seed)
 	if err != nil {

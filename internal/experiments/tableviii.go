@@ -44,6 +44,7 @@ func (r TableVIIIResult) String() string {
 // generation, half via templates) and two non-ambiguous texts per dataset,
 // then has three simulated judges per dataset annotate them.
 func TableVIII(cfg Config) (TableVIIIResult, error) {
+	defer stage("tableviii")()
 	res := TableVIIIResult{}
 	panel := userstudy.DefaultPanel(cfg.Seed)
 	names := data.EvaluationNames()

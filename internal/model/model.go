@@ -21,8 +21,22 @@ import (
 	"repro/internal/nn"
 	"repro/internal/relation"
 	"repro/internal/serialize"
+	"repro/internal/telemetry"
 	"repro/internal/vocab"
 )
+
+// modelMet holds the training stage's metric handles.
+var modelMet = struct {
+	trainNS   *telemetry.Histogram
+	positives *telemetry.Counter
+	negatives *telemetry.Counter
+	examples  *telemetry.Counter
+}{
+	trainNS:   telemetry.Default().LatencyHistogram("model.train_ns"),
+	positives: telemetry.Default().Counter("model.train_positives"),
+	negatives: telemetry.Default().Counter("model.train_negatives"),
+	examples:  telemetry.Default().Counter("model.train_examples"),
+}
 
 // Pair is one discovered unit of ambiguity metadata: two attributes and the
 // label describing both (the paper's {FG%, 3FG%} -> "shooting").
@@ -338,6 +352,8 @@ func (m *MetadataModel) PredictPair(header []string, rows [][]string, attrA, att
 // accept) a corpus, annotate attribute pairs, serialize prompts, and
 // fine-tune the classifier.
 func Train(name string, gen *corpus.Generator, annotators []annotate.Annotator, cfg TrainConfig) (*MetadataModel, error) {
+	tm := modelMet.trainNS.Time()
+	defer tm.Stop()
 	if cfg.Tables <= 0 {
 		return nil, fmt.Errorf("model: TrainConfig.Tables must be positive")
 	}
@@ -419,7 +435,10 @@ func Train(name string, gen *corpus.Generator, annotators []annotate.Annotator, 
 	if cfg.MinTokenCount <= 0 {
 		cfg.MinTokenCount = 3
 	}
+	modelMet.positives.Add(int64(len(positives)))
+	modelMet.negatives.Add(int64(len(negatives)))
 	raw := append(positives, negatives...)
+	modelMet.examples.Add(int64(len(raw)))
 	counts := map[string]int{}
 	for _, ex := range raw {
 		for _, t := range serialize.Prompt(cfg.Serialization, ex.in) {

@@ -13,10 +13,34 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
+
+// poolMetrics tracks pool-wide and per-worker utilization. Worker metrics
+// are keyed by zero-padded worker index ("parallel.worker.03.units"), so
+// the snapshot sorts workers numerically; which worker claims which unit
+// is scheduler-dependent, so per-worker values vary across runs while
+// their totals stay exact.
+var poolMetrics = struct {
+	units *telemetry.Counter
+	size  *telemetry.Gauge
+}{
+	units: telemetry.Default().Counter("parallel.units_total"),
+	size:  telemetry.Default().Gauge("parallel.pool_workers"),
+}
+
+// workerMetrics resolves one worker's utilization handles.
+func workerMetrics(worker int) (units, busyNS *telemetry.Counter) {
+	r := telemetry.Default()
+	return r.Counter(fmt.Sprintf("parallel.worker.%02d.units", worker)),
+		r.Counter(fmt.Sprintf("parallel.worker.%02d.busy_ns", worker))
+}
 
 // Workers resolves a worker-count option: n when positive, otherwise
 // runtime.GOMAXPROCS(0). This is the shared meaning of a zero Workers
@@ -64,11 +88,17 @@ func MapShards[S, T any](workers, n int, newShard func(worker int) S, fn func(sh
 	if workers > n {
 		workers = n
 	}
+	poolMetrics.size.Set(int64(workers))
+	poolMetrics.units.Add(int64(n))
 	if workers <= 1 {
+		units, busyNS := workerMetrics(0)
+		start := time.Now()
 		s := newShard(0)
 		for i := 0; i < n; i++ {
 			out[i], errs[i] = fn(s, i)
 		}
+		units.Add(int64(n))
+		busyNS.Add(time.Since(start).Nanoseconds())
 		return collect(out, errs)
 	}
 
@@ -78,12 +108,18 @@ func MapShards[S, T any](workers, n int, newShard func(worker int) S, fn func(sh
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			units, busyNS := workerMetrics(worker)
+			start := time.Now()
+			claimed := 0
 			s := newShard(worker)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					units.Add(int64(claimed))
+					busyNS.Add(time.Since(start).Nanoseconds())
 					return
 				}
+				claimed++
 				out[i], errs[i] = fn(s, i)
 			}
 		}(w)

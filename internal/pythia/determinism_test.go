@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // marshalExamples serializes generated examples to the byte form the
@@ -60,6 +61,31 @@ func TestGenerateByteIdenticalAcrossRuns(t *testing.T) {
 		b := generateOnce(t, opts)
 		if !bytes.Equal(a, b) {
 			t.Errorf("mode %v: two runs with seed %d differ (%d vs %d bytes)", mode, opts.Seed, len(a), len(b))
+		}
+	}
+}
+
+// TestGenerateByteIdenticalWithTelemetryToggled is the observability
+// contract of internal/telemetry: metrics observe the pipeline, they
+// never steer it. Generation with the default registry disabled must be
+// byte-identical to generation with it enabled, across modes and worker
+// counts.
+func TestGenerateByteIdenticalWithTelemetryToggled(t *testing.T) {
+	reg := telemetry.Default()
+	was := reg.Enabled()
+	defer reg.SetEnabled(was)
+
+	for _, mode := range []Mode{TextGeneration, Templates} {
+		for _, workers := range []int{1, 4} {
+			opts := Options{Mode: mode, Seed: 97, MaxPerQuery: 8, Questions: true, Workers: workers}
+			reg.SetEnabled(true)
+			on := generateOnce(t, opts)
+			reg.SetEnabled(false)
+			off := generateOnce(t, opts)
+			if !bytes.Equal(on, off) {
+				t.Errorf("mode %v, %d workers: output differs with telemetry on vs off (%d vs %d bytes)",
+					mode, workers, len(on), len(off))
+			}
 		}
 	}
 }

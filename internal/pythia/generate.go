@@ -8,8 +8,37 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/sqlengine"
+	"repro/internal/telemetry"
 	"repro/internal/textgen"
 )
+
+// pyMet holds the generation pipeline's metric handles. Telemetry only
+// observes Algorithm 1 — counters are updated in the deterministic merge
+// step or with unit-local tallies, and never influence what is generated
+// (the determinism tests run with telemetry on and off).
+var pyMet = newPyMet()
+
+type pyMetrics struct {
+	units      *telemetry.Counter
+	dedupDrops *telemetry.Counter
+	quotaDrops *telemetry.Counter
+	generateNS *telemetry.Histogram
+	examples   [NoAmb + 1]*telemetry.Counter // indexed by Structure
+}
+
+func newPyMet() pyMetrics {
+	r := telemetry.Default()
+	m := pyMetrics{
+		units:      r.Counter("pythia.units"),
+		dedupDrops: r.Counter("pythia.dedup_drops"),
+		quotaDrops: r.Counter("pythia.quota_drops"),
+		generateNS: r.LatencyHistogram("pythia.generate_ns"),
+	}
+	for s := AttributeAmb; s <= NoAmb; s++ {
+		m.examples[s] = r.Counter("pythia.examples." + s.String())
+	}
+	return m
+}
 
 // Mode selects the text production path of Section IV.
 type Mode uint8
@@ -118,8 +147,11 @@ type unit func(sh *shard, emit func(Example)) error
 // Work is sharded across opts.Workers workers; see Options.Workers for the
 // determinism contract.
 func (g *Generator) Generate(opts Options) ([]Example, error) {
+	tm := pyMet.generateNS.Time()
+	defer tm.Stop()
 	opts = opts.defaults()
 	units := g.units(opts)
+	pyMet.units.Add(int64(len(units)))
 	perUnit, err := parallel.MapShards(parallel.Workers(opts.Workers), len(units),
 		func(int) *shard { return g.newShard(opts) },
 		func(sh *shard, i int) ([]Example, error) {
@@ -139,16 +171,20 @@ func (g *Generator) Generate(opts Options) ([]Example, error) {
 	// here is equivalent to filtering during generation.
 	var out []Example
 	seen := map[string]bool{}
+	dedupDrops := 0
 	for _, exs := range perUnit {
 		for _, ex := range exs {
 			if ex.Text == "" || seen[ex.Text] {
+				dedupDrops++
 				continue
 			}
 			seen[ex.Text] = true
 			ex.Dataset = g.table.Name
+			pyMet.examples[ex.Structure].Inc()
 			out = append(out, ex)
 		}
 	}
+	pyMet.dedupDrops.Add(int64(dedupDrops))
 	return out, nil
 }
 
@@ -403,6 +439,7 @@ func (g *Generator) fullKeyPair(sh *shard, ck []string, pair model.Pair, op stri
 	emitted := 0
 	for i, row := range res.Rows {
 		if opts.MaxPerQuery > 0 && emitted >= opts.MaxPerQuery {
+			pyMet.quotaDrops.Add(int64(len(res.Rows) - i))
 			break
 		}
 		n := len(subset)
@@ -517,9 +554,11 @@ func (g *Generator) NotAmbiguous(opts Options) ([]Example, error) {
 					text = g.gen.RowStatement(keys, measure, op)
 				}
 				if text == "" || seen[text] {
+					pyMet.dedupDrops.Inc()
 					continue
 				}
 				seen[text] = true
+				pyMet.examples[NoAmb].Inc()
 				// Evidence carries the true table cell; the text may cite a
 				// bound derived from it.
 				evidence := append(append([]textgen.Cell{}, keys...), textgen.Cell{Attr: att, Value: v.Format()})

@@ -276,6 +276,7 @@ func (e *Engine) executeAggregate(stmt *SelectStmt, b *binding, sources []*relat
 		}
 		schema[i] = relation.Column{Name: p.name, Kind: k}
 	}
+	met.rowsEmitted.Add(int64(len(out)))
 	res := relation.NewTable("result", schema)
 	res.Rows = out
 	return res, nil

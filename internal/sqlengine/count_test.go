@@ -1,0 +1,192 @@
+package sqlengine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/telemetry"
+)
+
+// wideTable builds a rows×cols table whose values repeat with small
+// periods, so DISTINCT and WHERE both have real work to do.
+func wideTable(name string, rows, cols int) *relation.Table {
+	schema := make(relation.Schema, cols)
+	for c := 0; c < cols; c++ {
+		schema[c] = relation.Column{Name: fmt.Sprintf("c%d", c), Kind: relation.KindInt}
+	}
+	t := relation.NewTable(name, schema)
+	for r := 0; r < rows; r++ {
+		row := make(relation.Row, cols)
+		for c := 0; c < cols; c++ {
+			row[c] = relation.Int(int64(r % (7 + c)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// TestQueryCountMatchesQuery is the regression for the counting path: on
+// a wide table, QueryCount must agree with Query(...).NumRows() across
+// WHERE / DISTINCT / LIMIT / ORDER BY / aggregate / join variants.
+func TestQueryCountMatchesQuery(t *testing.T) {
+	e := NewEngine()
+	e.Register(wideTable("W", 500, 12))
+	queries := []string{
+		`SELECT * FROM W`,
+		`SELECT c0, c1 FROM W`,
+		`SELECT c0 FROM W WHERE c1 > 3`,
+		`SELECT DISTINCT c0 FROM W`,
+		`SELECT DISTINCT c0, c1 FROM W`,
+		`SELECT DISTINCT c0 FROM W WHERE c2 > 1`,
+		`SELECT c0 FROM W LIMIT 17`,
+		`SELECT c0 FROM W LIMIT 0`,
+		`SELECT c0 FROM W LIMIT 100000`,
+		`SELECT DISTINCT c1 FROM W LIMIT 3`,
+		`SELECT c0, c3 FROM W ORDER BY c3 DESC`,
+		`SELECT c0 FROM W ORDER BY c1 LIMIT 25`,
+		`SELECT DISTINCT c2 FROM W ORDER BY c2 LIMIT 4`,
+		`SELECT c1 + c2 FROM W WHERE c0 = 2 ORDER BY c1 DESC LIMIT 9`,
+		`SELECT COUNT(*) FROM W`,
+		`SELECT c0, COUNT(*) FROM W GROUP BY c0`,
+		`SELECT c1, MAX(c2) FROM W WHERE c0 > 1 GROUP BY c1 ORDER BY c1 LIMIT 5`,
+		`SELECT a.c0 FROM W a, W b WHERE a.c0 = b.c1 AND a.c2 > 5 LIMIT 40`,
+	}
+	for _, q := range queries {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%s): %v", q, err)
+		}
+		n, err := e.QueryCount(q)
+		if err != nil {
+			t.Fatalf("QueryCount(%s): %v", q, err)
+		}
+		if n != res.NumRows() {
+			t.Errorf("QueryCount(%s) = %d, Query().NumRows() = %d", q, n, res.NumRows())
+		}
+	}
+}
+
+// TestQueryCountErrorParity: the counting path must reject what the
+// materializing path rejects, even though it skips projection evaluation.
+func TestQueryCountErrorParity(t *testing.T) {
+	e := NewEngine()
+	e.Register(wideTable("W", 10, 3))
+	for _, q := range []string{
+		`SELECT nope FROM W`,
+		`SELECT c0 FROM Missing`,
+		`SELECT c0 FROM W ORDER BY nope`,
+		`SELECT c0 FROM W WHERE nope = 1`,
+	} {
+		if _, err := e.QueryCount(q); err == nil {
+			t.Errorf("QueryCount(%s) succeeded, want error", q)
+		}
+	}
+}
+
+// TestQueryCountLimitShortCircuits proves the errLimitReached early exit
+// works through the counting path: counting a LIMIT-k query over a large
+// table must stop scanning after k rows, observed through the
+// sqlengine.rows_scanned telemetry counter.
+func TestQueryCountLimitShortCircuits(t *testing.T) {
+	const total, limit = 100000, 10
+	e := NewEngine()
+	e.Register(wideTable("Big", total, 3))
+
+	scanned := telemetry.Default().Counter("sqlengine.rows_scanned")
+	before := scanned.Value()
+	n, err := e.QueryCount(fmt.Sprintf(`SELECT c0 FROM Big LIMIT %d`, limit))
+	if err != nil {
+		t.Fatalf("QueryCount: %v", err)
+	}
+	if n != limit {
+		t.Fatalf("count = %d, want %d", n, limit)
+	}
+	delta := scanned.Value() - before
+	if delta != limit {
+		t.Errorf("scanned %d rows for an unfiltered LIMIT %d count, want exactly %d", delta, limit, limit)
+	}
+
+	// With a WHERE filter the scan may pass over non-qualifying rows, but
+	// must still stop as soon as the limit fills.
+	before = scanned.Value()
+	n, err = e.QueryCount(fmt.Sprintf(`SELECT c0 FROM Big WHERE c0 > 0 LIMIT %d`, limit))
+	if err != nil {
+		t.Fatalf("QueryCount: %v", err)
+	}
+	if n != limit {
+		t.Fatalf("count = %d, want %d", n, limit)
+	}
+	if delta := scanned.Value() - before; delta >= total/2 {
+		t.Errorf("scanned %d of %d rows for a filtered LIMIT %d count; limit did not short-circuit", delta, total, limit)
+	}
+}
+
+// TestExecuteCountDistinctDropsCounter checks the DISTINCT counting sink
+// reports its dedup drops to telemetry.
+func TestExecuteCountDistinctDropsCounter(t *testing.T) {
+	e := NewEngine()
+	e.Register(wideTable("W", 70, 2)) // c0 cycles 0..6 -> 7 distinct, 63 drops
+	drops := telemetry.Default().Counter("sqlengine.distinct_drops")
+	before := drops.Value()
+	n, err := e.QueryCount(`SELECT DISTINCT c0 FROM W`)
+	if err != nil {
+		t.Fatalf("QueryCount: %v", err)
+	}
+	if n != 7 {
+		t.Fatalf("count = %d, want 7", n)
+	}
+	if delta := drops.Value() - before; delta != 63 {
+		t.Errorf("distinct_drops delta = %d, want 63", delta)
+	}
+}
+
+// benchEngine registers one wide table for the allocation benchmarks.
+func benchEngine(rows, cols int) *Engine {
+	e := NewEngine()
+	e.Register(wideTable("W", rows, cols))
+	return e
+}
+
+// BenchmarkQueryNumRows is the old QueryCount implementation: materialize
+// the full projection, then read its length. Compare allocs/op with
+// BenchmarkQueryCount.
+func BenchmarkQueryNumRows(b *testing.B) {
+	e := benchEngine(5000, 24)
+	stmt, err := Parse(`SELECT * FROM W WHERE c1 > 1`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Execute(stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumRows() == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkQueryCount is the counting path over the same statement: no
+// projection rows are built.
+func BenchmarkQueryCount(b *testing.B) {
+	e := benchEngine(5000, 24)
+	stmt, err := Parse(`SELECT * FROM W WHERE c1 > 1`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := e.ExecuteCount(stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}

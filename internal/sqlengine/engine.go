@@ -6,7 +6,31 @@ import (
 	"strings"
 
 	"repro/internal/relation"
+	"repro/internal/telemetry"
 )
+
+// met holds the package's metric handles, resolved once against the
+// default registry so per-query updates are single atomic adds. Hot loops
+// accumulate locally and flush one Add per query (see planScan).
+var met = struct {
+	queriesParsed   *telemetry.Counter
+	queriesExecuted *telemetry.Counter
+	countQueries    *telemetry.Counter
+	rowsScanned     *telemetry.Counter
+	rowsEmitted     *telemetry.Counter
+	distinctDrops   *telemetry.Counter
+	parseNS         *telemetry.Histogram
+	execNS          *telemetry.Histogram
+}{
+	queriesParsed:   telemetry.Default().Counter("sqlengine.queries_parsed"),
+	queriesExecuted: telemetry.Default().Counter("sqlengine.queries_executed"),
+	countQueries:    telemetry.Default().Counter("sqlengine.count_queries"),
+	rowsScanned:     telemetry.Default().Counter("sqlengine.rows_scanned"),
+	rowsEmitted:     telemetry.Default().Counter("sqlengine.rows_emitted"),
+	distinctDrops:   telemetry.Default().Counter("sqlengine.distinct_drops"),
+	parseNS:         telemetry.Default().LatencyHistogram("sqlengine.parse_ns"),
+	execNS:          telemetry.Default().LatencyHistogram("sqlengine.exec_ns"),
+}
 
 // Engine is an in-memory SQL engine over registered relation.Tables. It is
 // safe for concurrent queries once all tables are registered; registration
@@ -31,36 +55,46 @@ func (e *Engine) Table(name string) (*relation.Table, bool) {
 	return t, ok
 }
 
+// timedParse parses a SELECT statement under the parse metrics.
+func timedParse(sql string) (*SelectStmt, error) {
+	tm := met.parseNS.Time()
+	stmt, err := Parse(sql)
+	tm.Stop()
+	met.queriesParsed.Inc()
+	return stmt, err
+}
+
 // Query parses and executes a SELECT statement, returning the result as a
 // fresh table named "result".
 func (e *Engine) Query(sql string) (*relation.Table, error) {
-	stmt, err := Parse(sql)
+	stmt, err := timedParse(sql)
 	if err != nil {
 		return nil, err
 	}
 	return e.Execute(stmt)
 }
 
-// QueryCount executes the statement and returns only the row count. It
-// avoids materializing projection output for counting workloads.
+// QueryCount parses and executes the statement through the counting path:
+// only the result cardinality is computed, no projection rows are
+// materialized. See ExecuteCount for the exact semantics.
 func (e *Engine) QueryCount(sql string) (int, error) {
-	t, err := e.Query(sql)
+	stmt, err := timedParse(sql)
 	if err != nil {
 		return 0, err
 	}
-	return t.NumRows(), nil
+	return e.ExecuteCount(stmt)
 }
 
-// Execute runs an already-parsed statement.
-func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
-	// Resolve FROM tables and build the binding.
+// bind resolves the FROM tables into the expression binding shared by the
+// materializing, counting and aggregate paths.
+func (e *Engine) bind(stmt *SelectStmt) (*binding, []*relation.Table, error) {
 	b := &binding{}
 	var sources []*relation.Table
 	offset := 0
 	for _, tr := range stmt.From {
 		t, ok := e.Table(tr.Table)
 		if !ok {
-			return nil, fmt.Errorf("sqlengine: unknown table %q", tr.Table)
+			return nil, nil, fmt.Errorf("sqlengine: unknown table %q", tr.Table)
 		}
 		sources = append(sources, t)
 		b.aliases = append(b.aliases, strings.ToLower(tr.Alias))
@@ -69,7 +103,103 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 		offset += t.NumCols()
 	}
 	if len(b.aliases) == 2 && b.aliases[0] == b.aliases[1] {
-		return nil, fmt.Errorf("sqlengine: duplicate table alias %q", b.aliases[0])
+		return nil, nil, fmt.Errorf("sqlengine: duplicate table alias %q", b.aliases[0])
+	}
+	return b, sources, nil
+}
+
+// ExecuteCount returns the number of rows Execute would produce, without
+// building them: WHERE, DISTINCT and LIMIT are honored through a counting
+// row sink, aggregates count their (small) group output, and ORDER BY is
+// compiled for error parity but never evaluated — ordering cannot change
+// a cardinality. LIMIT short-circuits the scan through errLimitReached,
+// so counting a `LIMIT k` query stops after k qualifying rows.
+//
+// The counting sink evaluates projections only when DISTINCT needs dedup
+// keys; either way no projection row is allocated or retained.
+func (e *Engine) ExecuteCount(stmt *SelectStmt) (int, error) {
+	met.countQueries.Inc()
+	tm := met.execNS.Time()
+	defer tm.Stop()
+
+	b, sources, err := e.bind(stmt)
+	if err != nil {
+		return 0, err
+	}
+	if isAggregateQuery(stmt) {
+		res, err := e.executeAggregate(stmt, b, sources)
+		if err != nil {
+			return 0, err
+		}
+		return res.NumRows(), nil
+	}
+
+	projs, _, err := compileProjections(stmt, b)
+	if err != nil {
+		return 0, err
+	}
+	for _, o := range stmt.OrderBy {
+		if _, err := compile(o.Expr, b); err != nil {
+			return 0, err
+		}
+	}
+
+	count, drops := 0, 0
+	var sink rowSink
+	if stmt.Distinct {
+		seen := map[string]struct{}{}
+		var kb strings.Builder
+		sink = func(combined []relation.Value) error {
+			kb.Reset()
+			for _, ev := range projs {
+				v, err := ev.eval(combined)
+				if err != nil {
+					return err
+				}
+				kb.WriteString(v.HashKey())
+				kb.WriteByte(0x1f)
+			}
+			if _, dup := seen[kb.String()]; dup {
+				drops++
+				return nil
+			}
+			seen[kb.String()] = struct{}{}
+			count++
+			if stmt.Limit >= 0 && count >= stmt.Limit {
+				return errLimitReached
+			}
+			return nil
+		}
+	} else {
+		sink = func([]relation.Value) error {
+			count++
+			if stmt.Limit >= 0 && count >= stmt.Limit {
+				return errLimitReached
+			}
+			return nil
+		}
+	}
+	if err := e.planRows(stmt, b, sources, sink); err != nil {
+		return 0, err
+	}
+	met.distinctDrops.Add(int64(drops))
+	// LIMIT 0: the sink admits the row that trips the limit, exactly like
+	// the materializing path, so clamp the same way it truncates.
+	if stmt.Limit >= 0 && count > stmt.Limit {
+		count = stmt.Limit
+	}
+	return count, nil
+}
+
+// Execute runs an already-parsed statement.
+func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
+	met.queriesExecuted.Inc()
+	tm := met.execNS.Time()
+	defer tm.Stop()
+
+	b, sources, err := e.bind(stmt)
+	if err != nil {
+		return nil, err
 	}
 
 	// Aggregate queries (GROUP BY or aggregate functions) take the
@@ -113,6 +243,7 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 	var out []relation.Row
 	var rows [][]relation.Value // combined source rows (ORDER BY path only)
 
+	distinctDrops := 0
 	if len(orderEvals) == 0 {
 		var seen map[string]struct{}
 		if stmt.Distinct {
@@ -135,6 +266,7 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 					kb.WriteByte(0x1f)
 				}
 				if _, dup := seen[kb.String()]; dup {
+					distinctDrops++
 					return nil
 				}
 				seen[kb.String()] = struct{}{}
@@ -192,6 +324,7 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 				}
 				k := kb.String()
 				if _, ok := seen[k]; ok {
+					distinctDrops++
 					continue
 				}
 				seen[k] = struct{}{}
@@ -200,6 +333,7 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 			out = dedup
 		}
 	}
+	met.distinctDrops.Add(int64(distinctDrops))
 
 	// ORDER BY: evaluated over the *source* rows is not possible after
 	// projection, so we sort (projected, source) pairs together when
@@ -269,6 +403,7 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 		}
 		schema[i] = relation.Column{Name: names[i], Kind: k}
 	}
+	met.rowsEmitted.Add(int64(len(out)))
 	res := relation.NewTable("result", schema)
 	res.Rows = out
 	return res, nil
@@ -360,8 +495,12 @@ func (e *Engine) planRows(stmt *SelectStmt, b *binding, sources []*relation.Tabl
 	return err
 }
 
-// planScan filters a single table.
+// planScan filters a single table. Scanned rows are accumulated locally
+// and flushed in one counter add — also on the early-exit paths, so a
+// LIMIT short-circuit is visible in sqlengine.rows_scanned.
 func (e *Engine) planScan(stmt *SelectStmt, b *binding, t *relation.Table, sink rowSink) error {
+	scanned := 0
+	defer func() { met.rowsScanned.Add(int64(scanned)) }()
 	var filter *evaluator
 	if stmt.Where != nil {
 		ev, err := compile(stmt.Where, b)
@@ -371,6 +510,7 @@ func (e *Engine) planScan(stmt *SelectStmt, b *binding, t *relation.Table, sink 
 		filter = ev
 	}
 	for _, row := range t.Rows {
+		scanned++
 		if filter != nil {
 			v, err := filter.eval(row)
 			if err != nil {
@@ -471,6 +611,9 @@ var errLimitReached = fmt.Errorf("sqlengine: limit reached")
 func (e *Engine) planJoin(stmt *SelectStmt, b *binding, sources []*relation.Table, sink rowSink) error {
 	left, right := sources[0], sources[1]
 	nL, nR := left.NumCols(), right.NumCols()
+	// Both join inputs are read in full (side filters and the hash build
+	// consume their tables up front), so account them at entry.
+	met.rowsScanned.Add(int64(len(left.Rows) + len(right.Rows)))
 
 	var leftPred, rightPred, crossPred []Expr
 	var hashL, hashR []int

@@ -1,0 +1,337 @@
+// Package telemetry is the runtime metrics layer of the pipeline: a
+// stdlib-only, race-safe registry of atomic counters, gauges and
+// fixed-bucket latency histograms, with per-stage timers built on top.
+//
+// Two contracts shape the design:
+//
+//  1. Determinism. Telemetry observes the pipeline, it never steers it —
+//     generation output is byte-identical with telemetry enabled or
+//     disabled (a regression in internal/pythia asserts this). Snapshot
+//     output is itself deterministic: metric names are sorted and no
+//     wall-clock value ever appears in a key, so two registries that
+//     recorded the same operations serialize to identical bytes.
+//
+//  2. Hot-path cost. Metric handles are resolved once (a mutex-guarded
+//     map lookup) and then updated with single atomic adds. Per-row hot
+//     loops accumulate locally and flush one Add per query. A disabled
+//     registry reduces every update to one atomic load.
+//
+// Metric naming scheme: "<package>.<metric>" in lower snake case
+// ("sqlengine.rows_scanned"). Duration histograms carry a "_ns" suffix
+// and record nanoseconds into the shared 1-2-5 bucket ladder.
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is not
+// usable; obtain counters from a Registry.
+type Counter struct {
+	enabled *atomic.Bool
+	v       atomic.Int64
+}
+
+// Add increments the counter by n (no-op while the registry is disabled).
+func (c *Counter) Add(n int64) {
+	if c.enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can move both ways (pool sizes, queue depths).
+type Gauge struct {
+	enabled *atomic.Bool
+	v       atomic.Int64
+}
+
+// Set stores the gauge value (no-op while the registry is disabled).
+func (g *Gauge) Set(n int64) {
+	if g.enabled.Load() {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g.enabled.Load() {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bucket edges in observation units; values above the last bound land in
+// an overflow bucket. Count and sum are tracked exactly.
+type Histogram struct {
+	enabled *atomic.Bool
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value (no-op while the registry is disabled).
+func (h *Histogram) Observe(v int64) {
+	if !h.enabled.Load() {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// LatencyBuckets is the shared 1-2-5 ladder for duration histograms, in
+// nanoseconds from 1µs to 10s. Durations above 10s overflow.
+var LatencyBuckets = []int64{
+	1e3, 2e3, 5e3, // 1µs 2µs 5µs
+	1e4, 2e4, 5e4, // 10µs 20µs 50µs
+	1e5, 2e5, 5e5, // 100µs 200µs 500µs
+	1e6, 2e6, 5e6, // 1ms 2ms 5ms
+	1e7, 2e7, 5e7, // 10ms 20ms 50ms
+	1e8, 2e8, 5e8, // 100ms 200ms 500ms
+	1e9, 2e9, 5e9, // 1s 2s 5s
+	1e10, // 10s
+}
+
+// Timer records one stage duration into a latency histogram when stopped.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Stop records the elapsed time since the timer started. Safe to call on
+// a timer from a disabled registry (records nothing).
+func (t Timer) Stop() {
+	if t.h != nil && !t.start.IsZero() {
+		t.h.Observe(time.Since(t.start).Nanoseconds())
+	}
+}
+
+// Time starts a timer recording into h on Stop. Resolving the histogram
+// handle once and calling Time per operation keeps hot paths off the
+// registry mutex; while the registry is disabled no clock is read.
+func (h *Histogram) Time() Timer {
+	if !h.enabled.Load() {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Registry owns a namespace of metrics. All methods are safe for
+// concurrent use; handle lookups take a mutex, metric updates are atomic.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// defaultRegistry is the process-wide registry the pipeline records into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// SetEnabled turns recording on or off. Disabling does not clear values;
+// it freezes them.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry records updates.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// Counter returns the named counter, creating it on first use. Callers on
+// hot paths should resolve the handle once and reuse it.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{enabled: &r.enabled}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{enabled: &r.enabled}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the given bucket bounds
+// (ascending), creating it on first use. Bounds are fixed at creation;
+// later calls reuse the existing buckets and ignore the argument.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{
+			enabled: &r.enabled,
+			bounds:  append([]int64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// LatencyHistogram returns the named duration histogram over the shared
+// nanosecond bucket ladder.
+func (r *Registry) LatencyHistogram(name string) *Histogram {
+	return r.Histogram(name, LatencyBuckets)
+}
+
+// StartTimer starts a stage timer recording into the named latency
+// histogram. While the registry is disabled the timer skips the clock
+// read entirely.
+func (r *Registry) StartTimer(name string) Timer {
+	if !r.enabled.Load() {
+		return Timer{}
+	}
+	return Timer{h: r.LatencyHistogram(name), start: time.Now()}
+}
+
+// histogramSnapshot is the serialized form of one histogram. Bucket edges
+// are structural (fixed at creation), never wall-clock readings.
+type histogramSnapshot struct {
+	Count    int64          `json:"count"`
+	Sum      int64          `json:"sum"`
+	Buckets  []bucketExport `json:"buckets"`
+	Overflow int64          `json:"overflow"`
+}
+
+// bucketExport is one bucket edge with its cumulative-free count.
+type bucketExport struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// snapshotValue builds the snapshot as plain maps. encoding/json sorts
+// map keys, so serialization is deterministic for deterministic values.
+func (r *Registry) snapshotValue() map[string]any {
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g.Value()
+	}
+	hists := make(map[string]histogramSnapshot, len(r.histograms))
+	for n, h := range r.histograms {
+		hs := histogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		for i := range h.bounds {
+			if c := h.buckets[i].Load(); c > 0 {
+				hs.Buckets = append(hs.Buckets, bucketExport{LE: h.bounds[i], Count: c})
+			}
+		}
+		hs.Overflow = h.buckets[len(h.bounds)].Load()
+		hists[n] = hs
+	}
+	r.mu.Unlock()
+	return map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	}
+}
+
+// Snapshot serializes every metric as indented JSON. Names sort
+// lexicographically and keys carry no wall-clock readings, so registries
+// that recorded the same operations snapshot to identical bytes.
+func (r *Registry) Snapshot() ([]byte, error) {
+	return json.MarshalIndent(r.snapshotValue(), "", "  ")
+}
+
+// WriteSnapshot writes the registry snapshot to path, creating or
+// truncating the file.
+func (r *Registry) WriteSnapshot(path string) error {
+	b, err := r.Snapshot()
+	if err != nil {
+		return fmt.Errorf("telemetry: snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("telemetry: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// publishOnce guards the expvar registration (expvar panics on duplicate
+// names).
+var publishOnce sync.Once
+
+// publishExpvar exposes the default registry under the "telemetry" expvar
+// so /debug/vars carries a live snapshot.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return Default().snapshotValue()
+		}))
+	})
+}
+
+// Serve starts an HTTP server on addr exposing net/http/pprof under
+// /debug/pprof and the default-registry snapshot under /debug/vars
+// (expvar key "telemetry"), for live inspection of long corpus runs. The
+// listener is bound synchronously so address errors surface immediately;
+// serving then continues in a background goroutine for the life of the
+// process.
+func Serve(addr string) error {
+	publishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: pprof listen: %w", err)
+	}
+	go func() {
+		//lint:ignore err-ignored the debug server lives until process exit; its terminal error has nowhere to go
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCountersSumExactly drives N goroutines through the
+// registry's lookup path and the counter's add path simultaneously; the
+// total must be exact (this is the test `go test -race` leans on).
+func TestConcurrentCountersSumExactly(t *testing.T) {
+	const goroutines, perG = 16, 1000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Resolve the handle inside the loop on purpose: the map
+				// lookup must be as race-safe as the add.
+				r.Counter("test.hits").Inc()
+				r.Gauge("test.level").Set(int64(i))
+				r.Histogram("test.sizes", []int64{10, 100}).Observe(int64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("test.hits").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	h := r.Histogram("test.sizes", nil)
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	var inBuckets int64
+	for i := range h.buckets {
+		inBuckets += h.buckets[i].Load()
+	}
+	if inBuckets != h.Count() {
+		t.Errorf("bucket sum = %d, want %d", inBuckets, h.Count())
+	}
+}
+
+// TestHistogramBucketing pins the edge semantics: values land in the
+// first bucket whose upper bound is >= the value, above-last overflows.
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.h", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 101} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1} // (≤10)=2, (≤100)=2, overflow=1
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Sum() != 1+10+11+100+101 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+}
+
+// sampleOps records a fixed set of operations into a registry.
+func sampleOps(r *Registry) {
+	r.Counter("a.rows").Add(42)
+	r.Counter("b.rows").Add(7)
+	r.Gauge("pool.size").Set(4)
+	h := r.Histogram("a.lat_ns", LatencyBuckets)
+	for _, v := range []int64{1500, 2500, 3_000_000} {
+		h.Observe(v)
+	}
+}
+
+// TestSnapshotDeterministic asserts the byte-stability contract: the same
+// recorded operations serialize to identical bytes, across registries and
+// across repeated snapshots of one registry.
+func TestSnapshotDeterministic(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	sampleOps(r1)
+	sampleOps(r2)
+	s1a, err := r1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1b, err := r1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1a, s1b) {
+		t.Error("repeated snapshots of one registry differ")
+	}
+	if !bytes.Equal(s1a, s2) {
+		t.Errorf("registries with identical operations snapshot differently:\n%s\nvs\n%s", s1a, s2)
+	}
+}
+
+// TestSnapshotShape parses the snapshot and checks the documented layout.
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	sampleOps(r)
+	b, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64 `json:"count"`
+			Sum     int64 `json:"sum"`
+			Buckets []struct {
+				LE    int64 `json:"le"`
+				Count int64 `json:"count"`
+			} `json:"buckets"`
+			Overflow int64 `json:"overflow"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if got.Counters["a.rows"] != 42 || got.Counters["b.rows"] != 7 {
+		t.Errorf("counters = %v", got.Counters)
+	}
+	if got.Gauges["pool.size"] != 4 {
+		t.Errorf("gauges = %v", got.Gauges)
+	}
+	h := got.Histograms["a.lat_ns"]
+	if h.Count != 3 || h.Sum != 1500+2500+3_000_000 {
+		t.Errorf("histogram = %+v", h)
+	}
+	// Zero-count buckets are elided, so exactly the populated edges appear.
+	if len(h.Buckets) != 3 {
+		t.Errorf("buckets = %+v, want 3 populated edges", h.Buckets)
+	}
+}
+
+// TestDisabledRegistryRecordsNothing covers the enable/disable switch the
+// determinism regression in internal/pythia relies on.
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	r.Counter("x").Inc()
+	r.Gauge("g").Set(5)
+	r.LatencyHistogram("h_ns").Observe(100)
+	r.StartTimer("t_ns").Stop()
+	if v := r.Counter("x").Value(); v != 0 {
+		t.Errorf("disabled counter = %d", v)
+	}
+	if v := r.Gauge("g").Value(); v != 0 {
+		t.Errorf("disabled gauge = %d", v)
+	}
+	if c := r.LatencyHistogram("h_ns").Count(); c != 0 {
+		t.Errorf("disabled histogram count = %d", c)
+	}
+	if c := r.LatencyHistogram("t_ns").Count(); c != 0 {
+		t.Errorf("disabled timer recorded %d observations", c)
+	}
+	// Re-enabling resumes recording on already-resolved handles.
+	r.SetEnabled(true)
+	r.Counter("x").Inc()
+	if v := r.Counter("x").Value(); v != 1 {
+		t.Errorf("re-enabled counter = %d", v)
+	}
+}
+
+// TestTimerRecords covers the stage-timer path end to end.
+func TestTimerRecords(t *testing.T) {
+	r := NewRegistry()
+	tm := r.StartTimer("stage.x_ns")
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	h := r.LatencyHistogram("stage.x_ns")
+	if h.Count() != 1 {
+		t.Fatalf("timer observations = %d, want 1", h.Count())
+	}
+	if h.Sum() < int64(time.Millisecond) {
+		t.Errorf("timer sum = %dns, want >= 1ms", h.Sum())
+	}
+}
+
+// TestWriteSnapshot writes and re-parses a snapshot file.
+func TestWriteSnapshot(t *testing.T) {
+	r := NewRegistry()
+	sampleOps(r)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := r.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("snapshot file is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := v[key]; !ok {
+			t.Errorf("snapshot missing %q", key)
+		}
+	}
+}
