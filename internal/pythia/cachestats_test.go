@@ -1,0 +1,50 @@
+package pythia
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+)
+
+// TestRepeatedGenerationPlanCacheHitRate is the reuse contract of the
+// shared query engine: a generator's a-query stream repeats a bounded set
+// of SQL texts, so regenerating from the same generator must be served
+// almost entirely from the prepared-plan cache. The first Generate pays
+// the misses; every subsequent run should be all hits, putting the overall
+// hit rate well above the 90% acceptance floor.
+func TestRepeatedGenerationPlanCacheHitRate(t *testing.T) {
+	d, err := data.Load("Basket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []model.Pair
+	for _, gt := range d.GroundTruthPairs() {
+		pairs = append(pairs, model.Pair{AttrA: gt.AttrA, AttrB: gt.AttrB, Label: gt.Labels[0]})
+	}
+	md, err := WithPairs(d.Table, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(d.Table, md)
+	opts := Options{Mode: Templates, Seed: 97, MaxPerQuery: 8, Questions: true, Workers: 4}
+
+	hits := telemetry.Default().Counter("sqlengine.plan_cache_hits")
+	misses := telemetry.Default().Counter("sqlengine.plan_cache_misses")
+	h0, m0 := hits.Value(), misses.Value()
+	const runs = 20
+	for i := 0; i < runs; i++ {
+		if _, err := g.Generate(opts); err != nil {
+			t.Fatalf("Generate run %d: %v", i, err)
+		}
+	}
+	dh, dm := hits.Value()-h0, misses.Value()-m0
+	if dh+dm == 0 {
+		t.Fatal("no plan cache activity recorded across generation runs")
+	}
+	rate := float64(dh) / float64(dh+dm)
+	if rate <= 0.90 {
+		t.Errorf("plan cache hit rate = %.3f (hits %d, misses %d), want > 0.90", rate, dh, dm)
+	}
+}

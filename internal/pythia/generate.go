@@ -119,22 +119,22 @@ func NewGenerator(t *relation.Table, md *Metadata) *Generator {
 	return &Generator{table: t, md: md, engine: e}
 }
 
-// shard is one worker's private execution state: its own engine
-// registration over the shared read-only table and its own text
-// generator. textgen.Generator chooses phrasings by hashing
-// (seed, content) — it carries no mutable stream state — so per-shard
-// generators with the sequential seed realize exactly the text the
-// sequential path would, no matter which worker claims which unit.
+// shard is one worker's execution handle: the generator's shared engine
+// plus its own text generator. The engine is safe for concurrent queries
+// and caches prepared plans and join indexes internally, so all workers
+// draw from one cache instead of re-parsing and re-indexing per shard.
+// textgen.Generator chooses phrasings by hashing (seed, content) — it
+// carries no mutable stream state — so per-shard generators with the
+// sequential seed realize exactly the text the sequential path would,
+// no matter which worker claims which unit.
 type shard struct {
 	engine *sqlengine.Engine
 	gen    *textgen.Generator
 }
 
-// newShard builds a worker's private state.
+// newShard builds a worker's state over the shared engine.
 func (g *Generator) newShard(opts Options) *shard {
-	e := sqlengine.NewEngine()
-	e.Register(g.table)
-	return &shard{engine: e, gen: textgen.NewGenerator(opts.Seed)}
+	return &shard{engine: g.engine, gen: textgen.NewGenerator(opts.Seed)}
 }
 
 // unit is one shardable a-query instance of Algorithm 1: a (structure,

@@ -109,7 +109,8 @@ type aggGroup struct {
 // a single aggregate call or an expression over the grouping columns (the
 // usual SQL restriction, checked loosely by evaluating group expressions
 // on the group's first row).
-func (e *Engine) executeAggregate(stmt *SelectStmt, b *binding, sources []*relation.Table) (*relation.Table, error) {
+func (e *Engine) executeAggregate(p *plan) (*relation.Table, error) {
+	stmt, b := p.stmt, p.b
 	// Compile projections.
 	var projs []aggProjection
 	for i, item := range stmt.Items {
@@ -195,7 +196,7 @@ func (e *Engine) executeAggregate(stmt *SelectStmt, b *binding, sources []*relat
 		}
 		return nil
 	}
-	if err := e.planRows(stmt, b, sources, sink); err != nil {
+	if err := e.planRows(p, sink); err != nil {
 		return nil, err
 	}
 	// A global aggregate over zero rows still yields one row (SQL

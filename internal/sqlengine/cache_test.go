@@ -1,0 +1,236 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/telemetry"
+)
+
+// counterDelta samples a telemetry counter around fn.
+func counterDelta(name string, fn func()) int64 {
+	c := telemetry.Default().Counter(name)
+	before := c.Value()
+	fn()
+	return c.Value() - before
+}
+
+// TestPlanCacheHitOnRepeatedQuery checks the second execution of identical
+// SQL text is served from the plan cache: one miss, then hits, with the
+// cache holding a single plan.
+func TestPlanCacheHitOnRepeatedQuery(t *testing.T) {
+	e := testEngine(t)
+	const q = `SELECT Player FROM D WHERE fouls = 4`
+
+	misses := counterDelta("sqlengine.plan_cache_misses", func() {
+		if _, err := e.Query(q); err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+	})
+	if misses != 1 {
+		t.Errorf("first run misses = %d, want 1", misses)
+	}
+	hits := counterDelta("sqlengine.plan_cache_hits", func() {
+		for i := 0; i < 5; i++ {
+			if _, err := e.Query(q); err != nil {
+				t.Fatalf("Query: %v", err)
+			}
+		}
+	})
+	if hits != 5 {
+		t.Errorf("repeat hits = %d, want 5", hits)
+	}
+	if n := e.plans.size(); n != 1 {
+		t.Errorf("plan cache size = %d, want 1", n)
+	}
+}
+
+// TestRegisterEvictsPlansForReplacedTable proves a cached plan never
+// serves rows of a table registration it was compiled against: replacing
+// the registration must evict the plan, and the same SQL text must see
+// the new rows.
+func TestRegisterEvictsPlansForReplacedTable(t *testing.T) {
+	mk := func(vals ...int) *relation.Table {
+		tab := relation.NewTable("T", relation.Schema{{Name: "v", Kind: relation.KindInt}})
+		for _, v := range vals {
+			tab.Rows = append(tab.Rows, relation.Row{relation.Int(int64(v))})
+		}
+		return tab
+	}
+	e := NewEngine()
+	e.Register(mk(1, 2, 3))
+	const q = `SELECT v FROM T`
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("first registration rows = %d, want 3", res.NumRows())
+	}
+
+	e.Register(mk(7))
+	if n := e.plans.size(); n != 0 {
+		t.Errorf("plan cache size after Register = %d, want 0 (plans over T evicted)", n)
+	}
+	res, err = e.Query(q)
+	if err != nil {
+		t.Fatalf("Query after re-register: %v", err)
+	}
+	if res.NumRows() != 1 || res.Cell(0, 0).AsInt() != 7 {
+		t.Errorf("stale plan served old table: got %d rows, first = %v", res.NumRows(), res.Cell(0, 0))
+	}
+
+	// Plans over other tables survive the eviction.
+	other := relation.NewTable("U", relation.Schema{{Name: "v", Kind: relation.KindInt}})
+	other.Rows = append(other.Rows, relation.Row{relation.Int(9)})
+	e.Register(other)
+	if _, err := e.Query(`SELECT v FROM U`); err != nil {
+		t.Fatalf("Query U: %v", err)
+	}
+	e.Register(mk(5))
+	if n := e.plans.size(); n != 1 {
+		t.Errorf("plan cache size = %d, want 1 (U's plan must survive T's eviction)", n)
+	}
+}
+
+// TestRegisterInvalidatesSharedIndexes proves an equi-join after
+// re-registration is answered from the new table, not a stale shared hash
+// index built over the old one.
+func TestRegisterInvalidatesSharedIndexes(t *testing.T) {
+	mk := func(csv string) *relation.Table {
+		tab, err := relation.ReadCSVString("J", csv)
+		if err != nil {
+			t.Fatalf("csv: %v", err)
+		}
+		return tab
+	}
+	e := NewEngine()
+	e.Register(mk("k,v\n1,10\n1,20\n"))
+	const q = `SELECT b1.v, b2.v FROM J b1, J b2 WHERE b1.k = b2.k`
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", res.NumRows())
+	}
+
+	e.Register(mk("k,v\n1,10\n2,20\n"))
+	res, err = e.Query(q)
+	if err != nil {
+		t.Fatalf("Query after re-register: %v", err)
+	}
+	if res.NumRows() != 2 {
+		t.Errorf("rows after re-register = %d, want 2 (stale index served old buckets)", res.NumRows())
+	}
+}
+
+// TestNullKeyEquiJoinThroughCachedIndex re-runs a NULL-keyed equi-join so
+// the second execution probes the shared cached index, and checks NULL
+// keys still never join through it.
+func TestNullKeyEquiJoinThroughCachedIndex(t *testing.T) {
+	tab, err := relation.ReadCSVString("n", "k,v\n,1\n,2\nx,3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine()
+	e.Register(tab)
+	const q = `SELECT b1.v, b2.v FROM n b1, n b2 WHERE b1.k = b2.k`
+	for run := 0; run < 2; run++ {
+		hits := counterDelta("sqlengine.index_hits", func() {
+			res, err := e.Query(q)
+			if err != nil {
+				t.Fatalf("run %d: %v", run, err)
+			}
+			if res.NumRows() != 1 {
+				t.Errorf("run %d: rows = %d, want 1 (NULL keys must not join)", run, res.NumRows())
+			}
+		})
+		if run == 1 && hits != 1 {
+			t.Errorf("second run index hits = %d, want 1 (index not reused)", hits)
+		}
+	}
+}
+
+// TestPlanCacheLRUEviction pins the LRU policy with a tiny cap: the least
+// recently used plan is the one evicted.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	e := testEngine(t)
+	e.plans = newPlanCache(2)
+	q := func(i int) string { return fmt.Sprintf(`SELECT Player FROM D LIMIT %d`, i) }
+	for i := 1; i <= 2; i++ {
+		if _, err := e.Query(q(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch q(1) so q(2) becomes least recently used, then insert q(3).
+	if _, err := e.Query(q(1)); err != nil {
+		t.Fatal(err)
+	}
+	evictions := counterDelta("sqlengine.plan_cache_evictions", func() {
+		if _, err := e.Query(q(3)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if _, ok := e.plans.get(q(2)); ok {
+		t.Errorf("q(2) still cached, want it evicted as least recently used")
+	}
+	for _, i := range []int{1, 3} {
+		if _, ok := e.plans.get(q(i)); !ok {
+			t.Errorf("q(%d) evicted, want it retained", i)
+		}
+	}
+}
+
+// TestConcurrentCachedQueries hammers one engine with an identical query
+// mix from many goroutines so plan-cache lookups, shared index builds and
+// executions overlap; run under -race in CI. Every goroutine must see the
+// same result cardinalities.
+func TestConcurrentCachedQueries(t *testing.T) {
+	e := testEngine(t)
+	queries := []string{
+		`SELECT Player FROM D WHERE fouls = 4`,
+		`SELECT b1.Player FROM D b1, D b2 WHERE b1.Player = b2.Player AND b1.Team <> b2.Team`,
+		`SELECT b1.Player, b2.Player FROM D b1, D b2 WHERE b1.fouls > b2.fouls`,
+		`SELECT DISTINCT Team FROM D ORDER BY Team`,
+	}
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("seed query %d: %v", i, err)
+		}
+		want[i] = res.NumRows()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				qi := (g + i) % len(queries)
+				res, err := e.Query(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.NumRows() != want[qi] {
+					errs <- fmt.Errorf("query %d: rows = %d, want %d", qi, res.NumRows(), want[qi])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

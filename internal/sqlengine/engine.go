@@ -11,42 +11,70 @@ import (
 
 // met holds the package's metric handles, resolved once against the
 // default registry so per-query updates are single atomic adds. Hot loops
-// accumulate locally and flush one Add per query (see planScan).
+// accumulate locally and flush one Add per query (see runScan).
 var met = struct {
-	queriesParsed   *telemetry.Counter
-	queriesExecuted *telemetry.Counter
-	countQueries    *telemetry.Counter
-	rowsScanned     *telemetry.Counter
-	rowsEmitted     *telemetry.Counter
-	distinctDrops   *telemetry.Counter
-	parseNS         *telemetry.Histogram
-	execNS          *telemetry.Histogram
+	queriesParsed      *telemetry.Counter
+	queriesExecuted    *telemetry.Counter
+	countQueries       *telemetry.Counter
+	rowsScanned        *telemetry.Counter
+	rowsEmitted        *telemetry.Counter
+	distinctDrops      *telemetry.Counter
+	planCacheHits      *telemetry.Counter
+	planCacheMisses    *telemetry.Counter
+	planCacheEvictions *telemetry.Counter
+	indexBuilds        *telemetry.Counter
+	indexHits          *telemetry.Counter
+	rangeJoins         *telemetry.Counter
+	parseNS            *telemetry.Histogram
+	execNS             *telemetry.Histogram
 }{
-	queriesParsed:   telemetry.Default().Counter("sqlengine.queries_parsed"),
-	queriesExecuted: telemetry.Default().Counter("sqlengine.queries_executed"),
-	countQueries:    telemetry.Default().Counter("sqlengine.count_queries"),
-	rowsScanned:     telemetry.Default().Counter("sqlengine.rows_scanned"),
-	rowsEmitted:     telemetry.Default().Counter("sqlengine.rows_emitted"),
-	distinctDrops:   telemetry.Default().Counter("sqlengine.distinct_drops"),
-	parseNS:         telemetry.Default().LatencyHistogram("sqlengine.parse_ns"),
-	execNS:          telemetry.Default().LatencyHistogram("sqlengine.exec_ns"),
+	queriesParsed:      telemetry.Default().Counter("sqlengine.queries_parsed"),
+	queriesExecuted:    telemetry.Default().Counter("sqlengine.queries_executed"),
+	countQueries:       telemetry.Default().Counter("sqlengine.count_queries"),
+	rowsScanned:        telemetry.Default().Counter("sqlengine.rows_scanned"),
+	rowsEmitted:        telemetry.Default().Counter("sqlengine.rows_emitted"),
+	distinctDrops:      telemetry.Default().Counter("sqlengine.distinct_drops"),
+	planCacheHits:      telemetry.Default().Counter("sqlengine.plan_cache_hits"),
+	planCacheMisses:    telemetry.Default().Counter("sqlengine.plan_cache_misses"),
+	planCacheEvictions: telemetry.Default().Counter("sqlengine.plan_cache_evictions"),
+	indexBuilds:        telemetry.Default().Counter("sqlengine.index_builds"),
+	indexHits:          telemetry.Default().Counter("sqlengine.index_hits"),
+	rangeJoins:         telemetry.Default().Counter("sqlengine.range_joins"),
+	parseNS:            telemetry.Default().LatencyHistogram("sqlengine.parse_ns"),
+	execNS:             telemetry.Default().LatencyHistogram("sqlengine.exec_ns"),
 }
 
 // Engine is an in-memory SQL engine over registered relation.Tables. It is
-// safe for concurrent queries once all tables are registered; registration
-// itself is not synchronized.
+// safe for concurrent queries once all tables are registered: the prepared
+// plans and shared table indexes that queries reuse are built under
+// internal synchronization and immutable afterwards, so one engine can be
+// shared across worker shards. Registration itself must not run
+// concurrently with queries — Register replaces the table and invalidates
+// the caches, and a query already in flight may still read the previous
+// registration.
 type Engine struct {
-	tables map[string]*relation.Table
+	tables  map[string]*relation.Table
+	plans   *planCache
+	indexes *indexCache
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{tables: make(map[string]*relation.Table)}
+	return &Engine{
+		tables:  make(map[string]*relation.Table),
+		plans:   newPlanCache(defaultPlanCacheCap),
+		indexes: newIndexCache(),
+	}
 }
 
-// Register adds (or replaces) a table under its own name.
+// Register adds (or replaces) a table under its own name. Cached plans
+// compiled against the previous registration and its shared join indexes
+// are evicted, so later queries bind and index against the new rows.
 func (e *Engine) Register(t *relation.Table) {
-	e.tables[strings.ToLower(t.Name)] = t
+	name := strings.ToLower(t.Name)
+	e.tables[name] = t
+	e.plans.invalidate(name)
+	e.indexes.invalidate(name)
 }
 
 // Table returns a registered table by name.
@@ -64,25 +92,51 @@ func timedParse(sql string) (*SelectStmt, error) {
 	return stmt, err
 }
 
-// Query parses and executes a SELECT statement, returning the result as a
-// fresh table named "result".
+// Query executes a SELECT statement, returning the result as a fresh table
+// named "result". Statements are resolved through the plan cache: repeated
+// SQL texts skip parsing and predicate compilation entirely.
 func (e *Engine) Query(sql string) (*relation.Table, error) {
-	stmt, err := timedParse(sql)
+	p, err := e.prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(stmt)
+	return e.run(p)
 }
 
-// QueryCount parses and executes the statement through the counting path:
-// only the result cardinality is computed, no projection rows are
-// materialized. See ExecuteCount for the exact semantics.
+// QueryCount executes the statement through the counting path: only the
+// result cardinality is computed, no projection rows are materialized.
+// Like Query it consults the plan cache first. See ExecuteCount for the
+// exact counting semantics.
 func (e *Engine) QueryCount(sql string) (int, error) {
-	stmt, err := timedParse(sql)
+	p, err := e.prepare(sql)
 	if err != nil {
 		return 0, err
 	}
-	return e.ExecuteCount(stmt)
+	return e.runCount(p)
+}
+
+// Execute runs an already-parsed statement. The plan is compiled fresh —
+// callers holding SQL text should prefer Query, which caches plans.
+func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
+	p, err := e.buildPlan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(p)
+}
+
+// ExecuteCount returns the number of rows Execute would produce, without
+// building them: WHERE, DISTINCT and LIMIT are honored through a counting
+// row sink, aggregates count their (small) group output, and ORDER BY is
+// compiled for error parity but never evaluated — ordering cannot change
+// a cardinality. LIMIT short-circuits the scan through errLimitReached,
+// so counting a `LIMIT k` query stops after k qualifying rows.
+func (e *Engine) ExecuteCount(stmt *SelectStmt) (int, error) {
+	p, err := e.buildPlan(stmt)
+	if err != nil {
+		return 0, err
+	}
+	return e.runCount(p)
 }
 
 // bind resolves the FROM tables into the expression binding shared by the
@@ -108,40 +162,22 @@ func (e *Engine) bind(stmt *SelectStmt) (*binding, []*relation.Table, error) {
 	return b, sources, nil
 }
 
-// ExecuteCount returns the number of rows Execute would produce, without
-// building them: WHERE, DISTINCT and LIMIT are honored through a counting
-// row sink, aggregates count their (small) group output, and ORDER BY is
-// compiled for error parity but never evaluated — ordering cannot change
-// a cardinality. LIMIT short-circuits the scan through errLimitReached,
-// so counting a `LIMIT k` query stops after k qualifying rows.
+// runCount executes a prepared plan through the counting path.
 //
 // The counting sink evaluates projections only when DISTINCT needs dedup
 // keys; either way no projection row is allocated or retained.
-func (e *Engine) ExecuteCount(stmt *SelectStmt) (int, error) {
+func (e *Engine) runCount(p *plan) (int, error) {
 	met.countQueries.Inc()
 	tm := met.execNS.Time()
 	defer tm.Stop()
 
-	b, sources, err := e.bind(stmt)
-	if err != nil {
-		return 0, err
-	}
-	if isAggregateQuery(stmt) {
-		res, err := e.executeAggregate(stmt, b, sources)
+	stmt := p.stmt
+	if p.agg {
+		res, err := e.executeAggregate(p)
 		if err != nil {
 			return 0, err
 		}
 		return res.NumRows(), nil
-	}
-
-	projs, _, err := compileProjections(stmt, b)
-	if err != nil {
-		return 0, err
-	}
-	for _, o := range stmt.OrderBy {
-		if _, err := compile(o.Expr, b); err != nil {
-			return 0, err
-		}
 	}
 
 	count, drops := 0, 0
@@ -151,7 +187,7 @@ func (e *Engine) ExecuteCount(stmt *SelectStmt) (int, error) {
 		var kb strings.Builder
 		sink = func(combined []relation.Value) error {
 			kb.Reset()
-			for _, ev := range projs {
+			for _, ev := range p.projs {
 				v, err := ev.eval(combined)
 				if err != nil {
 					return err
@@ -159,11 +195,12 @@ func (e *Engine) ExecuteCount(stmt *SelectStmt) (int, error) {
 				kb.WriteString(v.HashKey())
 				kb.WriteByte(0x1f)
 			}
-			if _, dup := seen[kb.String()]; dup {
+			k := kb.String()
+			if _, dup := seen[k]; dup {
 				drops++
 				return nil
 			}
-			seen[kb.String()] = struct{}{}
+			seen[k] = struct{}{}
 			count++
 			if stmt.Limit >= 0 && count >= stmt.Limit {
 				return errLimitReached
@@ -179,7 +216,7 @@ func (e *Engine) ExecuteCount(stmt *SelectStmt) (int, error) {
 			return nil
 		}
 	}
-	if err := e.planRows(stmt, b, sources, sink); err != nil {
+	if err := e.planRows(p, sink); err != nil {
 		return 0, err
 	}
 	met.distinctDrops.Add(int64(drops))
@@ -191,38 +228,19 @@ func (e *Engine) ExecuteCount(stmt *SelectStmt) (int, error) {
 	return count, nil
 }
 
-// Execute runs an already-parsed statement.
-func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
+// run executes a prepared plan through the materializing path.
+func (e *Engine) run(p *plan) (*relation.Table, error) {
 	met.queriesExecuted.Inc()
 	tm := met.execNS.Time()
 	defer tm.Stop()
 
-	b, sources, err := e.bind(stmt)
-	if err != nil {
-		return nil, err
-	}
-
 	// Aggregate queries (GROUP BY or aggregate functions) take the
 	// grouping path.
-	if isAggregateQuery(stmt) {
-		return e.executeAggregate(stmt, b, sources)
+	if p.agg {
+		return e.executeAggregate(p)
 	}
 
-	// Compile projections, expanding stars.
-	projs, names, err := compileProjections(stmt, b)
-	if err != nil {
-		return nil, err
-	}
-
-	// Compile ORDER BY.
-	var orderEvals []*evaluator
-	for _, o := range stmt.OrderBy {
-		ev, err := compile(o.Expr, b)
-		if err != nil {
-			return nil, err
-		}
-		orderEvals = append(orderEvals, ev)
-	}
+	stmt, projs, names, orderEvals := p.stmt, p.projs, p.names, p.orderEvals
 
 	// Plan and consume the row stream. Without ORDER BY the projection
 	// (plus DISTINCT and LIMIT) streams directly out of the join — the
@@ -265,11 +283,12 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 					kb.WriteString(v.HashKey())
 					kb.WriteByte(0x1f)
 				}
-				if _, dup := seen[kb.String()]; dup {
+				k := kb.String()
+				if _, dup := seen[k]; dup {
 					distinctDrops++
 					return nil
 				}
-				seen[kb.String()] = struct{}{}
+				seen[k] = struct{}{}
 			}
 			out = append(out, pr)
 			if stmt.Limit >= 0 && len(out) >= stmt.Limit {
@@ -277,16 +296,13 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 			}
 			return nil
 		}
-		if err := e.planRows(stmt, b, sources, sink); err != nil {
+		if err := e.planRows(p, sink); err != nil {
 			return nil, err
 		}
 	} else {
 		// Collect combined rows, then project.
 		var srcArena []relation.Value
-		total := 0
-		for i := range b.schemas {
-			total += len(b.schemas[i])
-		}
+		total := totalWidth(p.b)
 		sink := func(combined []relation.Value) error {
 			if len(srcArena) < total {
 				srcArena = make([]relation.Value, chunkRows*total)
@@ -297,7 +313,7 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 			rows = append(rows, row)
 			return nil
 		}
-		if err := e.planRows(stmt, b, sources, sink); err != nil {
+		if err := e.planRows(p, sink); err != nil {
 			return nil, err
 		}
 		out = make([]relation.Row, 0, len(rows))
@@ -479,15 +495,15 @@ func projectionName(item SelectItem, pos int) string {
 type rowSink func(combined []relation.Value) error
 
 // planRows streams the combined rows of the FROM/WHERE part into sink.
-func (e *Engine) planRows(stmt *SelectStmt, b *binding, sources []*relation.Table, sink rowSink) error {
+func (e *Engine) planRows(p *plan, sink rowSink) error {
 	var err error
-	switch len(sources) {
+	switch len(p.sources) {
 	case 1:
-		err = e.planScan(stmt, b, sources[0], sink)
+		err = e.runScan(p, sink)
 	case 2:
-		err = e.planJoin(stmt, b, sources, sink)
+		err = e.runJoin(p, sink)
 	default:
-		err = fmt.Errorf("sqlengine: unsupported FROM arity %d", len(sources))
+		err = fmt.Errorf("sqlengine: unsupported FROM arity %d", len(p.sources))
 	}
 	if err == errLimitReached {
 		return nil
@@ -495,21 +511,14 @@ func (e *Engine) planRows(stmt *SelectStmt, b *binding, sources []*relation.Tabl
 	return err
 }
 
-// planScan filters a single table. Scanned rows are accumulated locally
+// runScan filters a single table. Scanned rows are accumulated locally
 // and flushed in one counter add — also on the early-exit paths, so a
 // LIMIT short-circuit is visible in sqlengine.rows_scanned.
-func (e *Engine) planScan(stmt *SelectStmt, b *binding, t *relation.Table, sink rowSink) error {
+func (e *Engine) runScan(p *plan, sink rowSink) error {
 	scanned := 0
 	defer func() { met.rowsScanned.Add(int64(scanned)) }()
-	var filter *evaluator
-	if stmt.Where != nil {
-		ev, err := compile(stmt.Where, b)
-		if err != nil {
-			return err
-		}
-		filter = ev
-	}
-	for _, row := range t.Rows {
+	filter := p.scanFilter
+	for _, row := range p.sources[0].Rows {
 		scanned++
 		if filter != nil {
 			v, err := filter.eval(row)
@@ -605,149 +614,19 @@ func equiJoinCols(e Expr, b *binding) (int, int, bool) {
 // errLimitReached signals early termination from the join emit path.
 var errLimitReached = fmt.Errorf("sqlengine: limit reached")
 
-// planJoin executes a binary join: single-side conjuncts are pushed below
-// the join, equality conjuncts across sides drive a hash join, and the
-// remaining conjuncts filter joined rows before streaming into sink.
-func (e *Engine) planJoin(stmt *SelectStmt, b *binding, sources []*relation.Table, sink rowSink) error {
-	left, right := sources[0], sources[1]
-	nL, nR := left.NumCols(), right.NumCols()
-	// Both join inputs are read in full (side filters and the hash build
-	// consume their tables up front), so account them at entry.
-	met.rowsScanned.Add(int64(len(left.Rows) + len(right.Rows)))
-
-	var leftPred, rightPred, crossPred []Expr
-	var hashL, hashR []int
-	for _, c := range conjuncts(stmt.Where) {
-		if li, ri, ok := equiJoinCols(c, b); ok {
-			hashL = append(hashL, li)
-			hashR = append(hashR, ri)
-			continue
-		}
-		mask, ok := sideOf(c, b)
-		if !ok {
-			// Let compilation produce the real error.
-			if _, err := compile(c, b); err != nil {
-				return err
-			}
-			crossPred = append(crossPred, c)
-			continue
-		}
-		switch mask {
-		case 0, 1:
-			leftPred = append(leftPred, c)
-		case 2:
-			rightPred = append(rightPred, c)
-		default:
-			crossPred = append(crossPred, c)
-		}
-	}
-
-	leftRows, err := filterSide(left.Rows, leftPred, b, 0, nL)
-	if err != nil {
-		return err
-	}
-	rightRows, err := filterSide(right.Rows, rightPred, b, nL, nR)
-	if err != nil {
-		return err
-	}
-
-	var residual *evaluator
-	if len(crossPred) > 0 {
-		residual, err = compile(conjoin(crossPred), b)
-		if err != nil {
-			return err
-		}
-	}
-
-	// The combined buffer is reused across emits; the sink copies if it
-	// retains rows.
-	combined := make([]relation.Value, nL+nR)
-	emit := func(l, r relation.Row) error {
-		copy(combined, l)
-		copy(combined[nL:], r)
-		if residual != nil {
-			v, err := residual.eval(combined)
-			if err != nil {
-				return err
-			}
-			ok, err := truthy(v)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		return sink(combined)
-	}
-
-	if len(hashL) > 0 {
-		// Hash join: build on the right side.
-		index := make(map[string][]relation.Row, len(rightRows))
-		var kb strings.Builder
-		for _, r := range rightRows {
-			kb.Reset()
-			skip := false
-			for _, ci := range hashR {
-				if r[ci].IsNull() {
-					skip = true // NULL never equi-joins
-					break
-				}
-				kb.WriteString(r[ci].HashKey())
-				kb.WriteByte(0x1f)
-			}
-			if skip {
-				continue
-			}
-			index[kb.String()] = append(index[kb.String()], r)
-		}
-		for _, l := range leftRows {
-			kb.Reset()
-			skip := false
-			for _, ci := range hashL {
-				if l[ci].IsNull() {
-					skip = true
-					break
-				}
-				kb.WriteString(l[ci].HashKey())
-				kb.WriteByte(0x1f)
-			}
-			if skip {
-				continue
-			}
-			for _, r := range index[kb.String()] {
-				if err := emit(l, r); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-
-	// Nested loop.
-	for _, l := range leftRows {
-		for _, r := range rightRows {
-			if err := emit(l, r); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// filterSide applies single-side conjuncts to one input. The predicate is
-// compiled against the full binding, so rows are padded into the combined
-// layout at the side's offset.
-func filterSide(rows []relation.Row, preds []Expr, b *binding, offset, width int) ([]relation.Row, error) {
-	if len(preds) == 0 {
+// filterSide applies one side's precompiled pushed-down predicate. The
+// predicate is compiled against the full binding, so each row is padded
+// into the combined layout at the side's offset; the off-side cells are
+// explicitly NULL so a predicate that (mis)reads across the boundary sees
+// SQL NULL semantics rather than arbitrary cell values.
+func filterSide(rows []relation.Row, ev *evaluator, total, offset, width int) ([]relation.Row, error) {
+	if ev == nil {
 		return rows, nil
 	}
-	ev, err := compile(conjoin(preds), b)
-	if err != nil {
-		return nil, err
-	}
-	total := b.offsets[len(b.offsets)-1] + len(b.schemas[len(b.schemas)-1])
 	combined := make([]relation.Value, total)
+	for i := range combined {
+		combined[i] = relation.Null
+	}
 	var out []relation.Row
 	for _, r := range rows {
 		copy(combined[offset:offset+width], r)

@@ -1,0 +1,180 @@
+package sqlengine
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// indexCache shares join indexes across the query stream: the hash build
+// of an equi-join and the sorted order of a range join depend only on the
+// immutable registered table, so thousands of structurally identical
+// a-queries reuse one build instead of paying it per statement.
+type indexCache struct {
+	mu      sync.Mutex
+	byTable map[string]*tableIndexes
+}
+
+// newIndexCache returns an empty cache.
+func newIndexCache() *indexCache {
+	return &indexCache{byTable: map[string]*tableIndexes{}}
+}
+
+// forTable returns the index set for the named registration. A stale
+// entry — the registered table changed identity since it was created — is
+// replaced, so the cache self-heals even without an explicit invalidate.
+func (c *indexCache) forTable(name string, t *relation.Table) *tableIndexes {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ti := c.byTable[name]
+	if ti == nil || ti.table != t {
+		ti = &tableIndexes{
+			table:  t,
+			hash:   map[string]*hashIndexEntry{},
+			sorted: map[int]*sortedIndexEntry{},
+		}
+		c.byTable[name] = ti
+	}
+	return ti
+}
+
+// invalidate drops the cached indexes for one registration name.
+func (c *indexCache) invalidate(name string) {
+	c.mu.Lock()
+	delete(c.byTable, name)
+	c.mu.Unlock()
+}
+
+// tableIndexes lazily materializes the indexes of one registered table.
+// Each index builds exactly once under its sync.Once — concurrent queries
+// needing the same (table, column set) share a single build and read the
+// result without locks, since it is immutable afterwards.
+type tableIndexes struct {
+	table  *relation.Table
+	mu     sync.Mutex
+	hash   map[string]*hashIndexEntry // keyed by colsKey of the column subset
+	sorted map[int]*sortedIndexEntry  // keyed by column index
+}
+
+// hashIndexEntry is one lazily-built equi-join hash index.
+type hashIndexEntry struct {
+	once sync.Once
+	rows map[string][]relation.Row
+}
+
+// sortedIndexEntry is one lazily-built per-column sorted index.
+type sortedIndexEntry struct {
+	once sync.Once
+	pos  []int
+}
+
+// colsKey renders a column subset as a cache key.
+func colsKey(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// hashIndex returns the equi-join hash index over the column subset,
+// building it on first use.
+func (ti *tableIndexes) hashIndex(cols []int) map[string][]relation.Row {
+	key := colsKey(cols)
+	ti.mu.Lock()
+	entry := ti.hash[key]
+	if entry == nil {
+		entry = &hashIndexEntry{}
+		ti.hash[key] = entry
+	}
+	ti.mu.Unlock()
+	built := false
+	entry.once.Do(func() {
+		built = true
+		met.indexBuilds.Inc()
+		entry.rows = buildHashIndex(ti.table.Rows, cols)
+	})
+	if !built {
+		met.indexHits.Inc()
+	}
+	return entry.rows
+}
+
+// buildHashIndex groups rows by the HashKey tuple of the given columns,
+// preserving row order within each bucket. Rows with a NULL key cell are
+// left out: NULL never equi-joins.
+func buildHashIndex(rows []relation.Row, cols []int) map[string][]relation.Row {
+	index := make(map[string][]relation.Row, len(rows))
+	var kb strings.Builder
+	for _, r := range rows {
+		kb.Reset()
+		skip := false
+		for _, ci := range cols {
+			if r[ci].IsNull() {
+				skip = true
+				break
+			}
+			kb.WriteString(r[ci].HashKey())
+			kb.WriteByte(0x1f)
+		}
+		if skip {
+			continue
+		}
+		k := kb.String() // materialize the key once for lookup and insert
+		index[k] = append(index[k], r)
+	}
+	return index
+}
+
+// sortedIndex returns the table's row positions ordered ascending by the
+// column — ties break by position, NULL cells are excluded (they compare
+// false against everything) — building on first use.
+func (ti *tableIndexes) sortedIndex(col int) []int {
+	ti.mu.Lock()
+	entry := ti.sorted[col]
+	if entry == nil {
+		entry = &sortedIndexEntry{}
+		ti.sorted[col] = entry
+	}
+	ti.mu.Unlock()
+	built := false
+	entry.once.Do(func() {
+		built = true
+		met.indexBuilds.Inc()
+		rows := ti.table.Rows
+		pos := make([]int, 0, len(rows))
+		for i, r := range rows {
+			if !r[col].IsNull() {
+				pos = append(pos, i)
+			}
+		}
+		sort.Slice(pos, func(a, b int) bool {
+			if c := orderCmp(rows[pos[a]][col], rows[pos[b]][col]); c != 0 {
+				return c < 0
+			}
+			return pos[a] < pos[b]
+		})
+		entry.pos = pos
+	})
+	if !built {
+		met.indexHits.Inc()
+	}
+	return entry.pos
+}
+
+// orderCmp is the sorted index's total order: Value.Compare with a
+// formatted-string fallback for the (schema-violating) mismatched-kind
+// edge, mirroring relation.Table.SortBy.
+func orderCmp(a, b relation.Value) int {
+	c, err := a.Compare(b)
+	if err != nil {
+		return strings.Compare(a.Format(), b.Format())
+	}
+	return c
+}

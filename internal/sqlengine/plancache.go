@@ -1,0 +1,97 @@
+package sqlengine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultPlanCacheCap bounds the prepared plans held per engine. An
+// a-query stream repeats a bounded statement set per table (operators ×
+// match types × attribute pairs), comfortably below this; overflow evicts
+// least-recently-used plans rather than failing.
+const defaultPlanCacheCap = 512
+
+// planCache is a concurrency-safe LRU of prepared plans keyed by SQL
+// text. Cached plans are immutable, so a hit can be executed by any
+// number of goroutines; the cache itself serializes only the (cheap)
+// lookup and recency bookkeeping.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // of *planEntry; front is most recently used
+	entries map[string]*list.Element
+}
+
+// planEntry is one cached plan with its key, stored in the LRU list.
+type planEntry struct {
+	sql string
+	p   *plan
+}
+
+// newPlanCache returns an empty cache holding at most capacity plans.
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+// get returns the cached plan for sql, marking it most recently used.
+func (c *planCache) get(sql string) (*plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[sql]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry).p, true
+}
+
+// put stores a plan under its SQL text, evicting the least recently used
+// entries beyond capacity. Concurrent builders of the same text may both
+// put; the later write wins, which is safe because plan compilation is
+// deterministic for a fixed registration.
+func (c *planCache) put(sql string, p *plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[sql]; ok {
+		el.Value.(*planEntry).p = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[sql] = c.lru.PushFront(&planEntry{sql: sql, p: p})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*planEntry).sql)
+		met.planCacheEvictions.Inc()
+	}
+}
+
+// invalidate evicts every plan that reads the named (lowercased) table —
+// the Register hook that keeps replaced registrations from serving stale
+// bindings. The walk is over the LRU list, never the map, so eviction
+// order is deterministic.
+func (c *planCache) invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		pe := el.Value.(*planEntry)
+		if pe.p.references(name) {
+			c.lru.Remove(el)
+			delete(c.entries, pe.sql)
+			met.planCacheEvictions.Inc()
+		}
+		el = next
+	}
+}
+
+// size returns the number of cached plans (for tests).
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

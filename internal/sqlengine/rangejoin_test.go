@@ -1,0 +1,173 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// rangeTable builds a self-join target with deliberate duplicates,
+// contradictions and a NULL cell in every comparable column.
+func rangeTable(t *testing.T, name string) *relation.Table {
+	t.Helper()
+	csv := "pk,a1,a2\n" +
+		"1,5,50\n" +
+		"2,3,30\n" +
+		"3,5,10\n" +
+		"4,,40\n" + // NULL a1: never matches an order predicate on a1
+		"5,8,\n" + // NULL a2
+		"6,1,60\n" +
+		"7,3,35\n"
+	tab, err := relation.ReadCSVString(name, csv)
+	if err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	return tab
+}
+
+// bruteSelfJoin computes the nested-loop reference result for the
+// attribute-ambiguity shape `b1.pk <> b2.pk AND b1.a1 OP b2.a1 AND
+// b1.a2 OP2 b2.a2`, in exact nested-loop emission order.
+func bruteSelfJoin(tab *relation.Table, op1, op2 string) []string {
+	var out []string
+	for _, r1 := range tab.Rows {
+		for _, r2 := range tab.Rows {
+			ne, _ := compareValues("<>", r1[0], r2[0])
+			c1, _ := compareValues(op1, r1[1], r2[1])
+			c2, _ := compareValues(op2, r1[2], r2[2])
+			if ne && c1 && c2 {
+				out = append(out, r1[0].Format()+"|"+r2[0].Format())
+			}
+		}
+	}
+	return out
+}
+
+// resultPairs renders a two-column result for order-sensitive comparison.
+func resultPairs(res *relation.Table) []string {
+	var out []string
+	for i := 0; i < res.NumRows(); i++ {
+		out = append(out, res.Cell(i, 0).Format()+"|"+res.Cell(i, 1).Format())
+	}
+	return out
+}
+
+// TestRangeJoinMatchesNestedLoopOrder checks the sort-based range join is
+// byte-compatible with the nested loop it replaces: same rows, same
+// emission order, for every order operator, with NULLs never matching —
+// and that the range path actually engages.
+func TestRangeJoinMatchesNestedLoopOrder(t *testing.T) {
+	for _, ops := range [][2]string{{">", "<"}, {"<", ">"}, {">=", "<="}, {"<=", ">="}} {
+		tab := rangeTable(t, "R")
+		e := NewEngine()
+		e.Register(tab)
+		q := fmt.Sprintf(`SELECT b1.pk, b2.pk FROM R b1, R b2 WHERE b1.pk <> b2.pk AND b1.a1 %s b2.a1 AND b1.a2 %s b2.a2`, ops[0], ops[1])
+
+		ranged := counterDelta("sqlengine.range_joins", func() {
+			res, err := e.Query(q)
+			if err != nil {
+				t.Fatalf("ops %v: %v", ops, err)
+			}
+			got := resultPairs(res)
+			want := bruteSelfJoin(tab, ops[0], ops[1])
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Errorf("ops %v:\n got  %v\n want %v", ops, got, want)
+			}
+		})
+		if ranged != 1 {
+			t.Errorf("ops %v: range_joins delta = %d, want 1 (range path not taken)", ops, ranged)
+		}
+	}
+}
+
+// TestRangeJoinLimitShortCircuits checks errLimitReached propagates out of
+// the range-join emit path: a LIMIT k query returns exactly the first k
+// rows the nested loop would have emitted.
+func TestRangeJoinLimitShortCircuits(t *testing.T) {
+	tab := rangeTable(t, "R")
+	e := NewEngine()
+	e.Register(tab)
+	want := bruteSelfJoin(tab, ">", "<")
+	if len(want) < 3 {
+		t.Fatalf("fixture too small: %d reference rows", len(want))
+	}
+	const limit = 2
+	res, err := e.Query(fmt.Sprintf(`SELECT b1.pk, b2.pk FROM R b1, R b2 WHERE b1.pk <> b2.pk AND b1.a1 > b2.a1 AND b1.a2 < b2.a2 LIMIT %d`, limit))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	got := resultPairs(res)
+	if strings.Join(got, ",") != strings.Join(want[:limit], ",") {
+		t.Errorf("LIMIT %d:\n got  %v\n want %v", limit, got, want[:limit])
+	}
+}
+
+// TestRangeJoinReusesSortedIndex checks the second identical range query
+// hits the shared sorted index instead of rebuilding it.
+func TestRangeJoinReusesSortedIndex(t *testing.T) {
+	e := NewEngine()
+	e.Register(rangeTable(t, "R"))
+	const q = `SELECT b1.pk, b2.pk FROM R b1, R b2 WHERE b1.pk <> b2.pk AND b1.a1 > b2.a1`
+	run := func() {
+		if _, err := e.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds := counterDelta("sqlengine.index_builds", run); builds != 1 {
+		t.Errorf("first run index builds = %d, want 1", builds)
+	}
+	if hits := counterDelta("sqlengine.index_hits", run); hits != 1 {
+		t.Errorf("second run index hits = %d, want 1", hits)
+	}
+}
+
+// TestRangeJoinSkippedWithEquiConjunct checks the planner prefers the hash
+// join when an equality conjunct exists: the order conjunct is then a
+// post-filter, not a range driver.
+func TestRangeJoinSkippedWithEquiConjunct(t *testing.T) {
+	e := NewEngine()
+	e.Register(rangeTable(t, "R"))
+	ranged := counterDelta("sqlengine.range_joins", func() {
+		if _, err := e.Query(`SELECT b1.pk FROM R b1, R b2 WHERE b1.a1 = b2.a1 AND b1.a2 > b2.a2`); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ranged != 0 {
+		t.Errorf("range_joins delta = %d, want 0 (hash join must win)", ranged)
+	}
+}
+
+// TestFilterSideNullPadding is the regression test for the pushed-down
+// side filter's combined buffer: cells of the other side must read as SQL
+// NULL (relation.Null), not arbitrary garbage, while the filter runs. The
+// probe evaluator stands in for a compiled predicate and inspects the
+// whole buffer.
+func TestFilterSideNullPadding(t *testing.T) {
+	rows := []relation.Row{
+		{relation.Int(1), relation.Int(10)},
+		{relation.Int(2), relation.Int(20)},
+	}
+	const total, offset, width = 5, 3, 2 // right side of a 3+2 join
+	probe := &evaluator{
+		eval: func(combined []relation.Value) (relation.Value, error) {
+			if len(combined) != total {
+				return relation.Null, fmt.Errorf("combined width = %d, want %d", len(combined), total)
+			}
+			for i := 0; i < offset; i++ {
+				if !combined[i].IsNull() {
+					return relation.Null, fmt.Errorf("off-side cell %d = %v, want NULL", i, combined[i])
+				}
+			}
+			return relation.Bool(combined[offset+1].AsInt() > 10), nil
+		},
+	}
+	got, err := filterSide(rows, probe, total, offset, width)
+	if err != nil {
+		t.Fatalf("filterSide: %v", err)
+	}
+	if len(got) != 1 || got[0][1].AsInt() != 20 {
+		t.Errorf("filtered rows = %v, want just the v=20 row", got)
+	}
+}
