@@ -1,7 +1,7 @@
 // Command pythia-lint runs the repo's static-analysis pass (internal/lint)
 // over one or more package directories and reports violations of the
-// determinism, error-hygiene and concurrency invariants that keep PYTHIA's
-// example generation reproducible.
+// determinism, error-hygiene, concurrency and telemetry invariants that
+// keep PYTHIA's example generation reproducible.
 //
 // Usage:
 //
@@ -9,33 +9,72 @@
 //
 // Patterns are directories or recursive dir/... forms; the default is
 // ./... from the current directory. testdata, vendor and hidden
-// directories are skipped, matching the go tool's conventions.
+// directories are skipped, matching the go tool's conventions. A pattern
+// matching no packages is an error, not a silent pass.
 //
-// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
-// load errors — so CI can gate on it directly.
+// Modes beyond plain reporting:
+//
+//	-json                 machine-readable report on stdout
+//	-baseline file        suppress findings recorded in a committed baseline;
+//	                      only new findings fail the run
+//	-write-baseline file  snapshot current findings as the new baseline
+//	-fix                  rewrite the fixable subset in place and report
+//	                      what remains
+//
+// Exit status: 0 when clean (or all findings baselined), 1 when new
+// findings were reported, 2 on usage or load errors — so CI can gate on
+// it directly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+// jsonFinding is one diagnostic in the -json report.
+type jsonFinding struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Rule      string `json:"rule"`
+	Message   string `json:"message"`
+	Fixable   bool   `json:"fixable"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Module    string        `json:"module,omitempty"`
+	Packages  int           `json:"packages"`
+	Findings  []jsonFinding `json:"findings"`
+	Baselined int           `json:"baselined"`
+	Fixed     int           `json:"fixed,omitempty"`
+}
+
+func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("pythia-lint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	includeTests := fs.Bool("tests", false, "also lint _test.go files")
 	listRules := fs.Bool("list", false, "list rule IDs and exit")
 	only := fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit a JSON report on stdout")
+	doFix := fs.Bool("fix", false, "rewrite fixable findings in place")
+	baselinePath := fs.String("baseline", "", "baseline file; recorded findings do not fail the run")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pythia-lint [-tests] [-rules id,id] [-list] [pattern ...]")
+		fmt.Fprintln(os.Stderr, "usage: pythia-lint [-tests] [-rules id,id] [-json] [-fix] [-baseline file] [-write-baseline file] [-list] [pattern ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -44,7 +83,8 @@ func run(args []string) int {
 
 	if *listRules {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-18s %s\n", a.ID, a.Doc)
+			//lint:ignore err-ignored best-effort CLI output; a failed stdout write has nowhere to report
+			fmt.Fprintf(stdout, "%-22s %s\n", a.ID, a.Doc)
 		}
 		return 0
 	}
@@ -79,17 +119,146 @@ func run(args []string) int {
 		return 2
 	}
 	if len(pkgs) == 0 {
-		fmt.Fprintln(os.Stderr, "pythia-lint: no packages matched")
+		fmt.Fprintf(os.Stderr, "pythia-lint: no packages matched %s\n", strings.Join(patterns, " "))
 		return 2
+	}
+	root := loader.ModuleRoot()
+	if root == "" {
+		//lint:ignore err-ignored Abs(".") fails only when getwd fails; "" falls back to absolute paths
+		root, _ = filepath.Abs(".")
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	fixed := 0
+	if *doFix {
+		res, err := lint.ApplyFixes(pkgs, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-lint:", err)
+			return 2
+		}
+		if err := res.WriteFixes(); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-lint:", err)
+			return 2
+		}
+		var files []string
+		for f := range res.Files {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			fixed += res.Applied[f]
+			fmt.Fprintf(os.Stderr, "pythia-lint: fixed %d finding(s) in %s\n", res.Applied[f], f)
+		}
+		// Re-lint the rewritten tree so the report reflects what remains.
+		if len(res.Files) > 0 {
+			reloader, err := lint.NewLoader(".")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pythia-lint:", err)
+				return 2
+			}
+			reloader.IncludeTests = *includeTests
+			pkgs, err = reloader.Load(patterns...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pythia-lint:", err)
+				return 2
+			}
+			diags = lint.Run(pkgs, analyzers)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "pythia-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	if *writeBaseline != "" {
+		if err := lint.NewBaseline(diags, root).Write(*writeBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "pythia-lint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	fresh, baselined := diags, []lint.Diagnostic(nil)
+	if *baselinePath != "" {
+		base, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-lint:", err)
+			return 2
+		}
+		fresh, baselined = base.Filter(diags, root)
+	}
+
+	if *asJSON {
+		report := jsonReport{Packages: len(pkgs), Findings: []jsonFinding{}, Baselined: len(baselined), Fixed: fixed}
+		if len(pkgs) > 0 {
+			report.Module = modulePathOf(pkgs)
+		}
+		for _, d := range fresh {
+			report.Findings = append(report.Findings, finding(d, root, false))
+		}
+		for _, d := range baselined {
+			report.Findings = append(report.Findings, finding(d, root, true))
+		}
+		sort.Slice(report.Findings, func(i, j int) bool {
+			a, b := report.Findings[i], report.Findings[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Col != b.Col {
+				return a.Col < b.Col
+			}
+			return a.Rule < b.Rule
+		})
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range fresh {
+			//lint:ignore err-ignored best-effort CLI output; a failed stdout write has nowhere to report
+			fmt.Fprintln(stdout, d)
+		}
+	}
+
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "pythia-lint: %d new finding(s) in %d package(s)", len(fresh), len(pkgs))
+		if len(baselined) > 0 {
+			fmt.Fprintf(os.Stderr, " (%d baselined)", len(baselined))
+		}
+		fmt.Fprintln(os.Stderr)
 		return 1
 	}
 	return 0
+}
+
+// finding converts a diagnostic for the JSON report.
+func finding(d lint.Diagnostic, root string, baselined bool) jsonFinding {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return jsonFinding{
+		File:      filepath.ToSlash(file),
+		Line:      d.Pos.Line,
+		Col:       d.Pos.Column,
+		Rule:      d.RuleID,
+		Message:   d.Message,
+		Fixable:   d.Fix != nil,
+		Baselined: baselined,
+	}
+}
+
+// modulePathOf reports the shared module path prefix of the loaded
+// packages, e.g. "repro" for repro/internal/lint.
+func modulePathOf(pkgs []*lint.Package) string {
+	p := pkgs[0].Path
+	if i := strings.Index(p, "/"); i > 0 {
+		return p[:i]
+	}
+	return p
 }

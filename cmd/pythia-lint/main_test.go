@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const fixtures = "../../internal/lint/testdata/src"
+
+func TestRunExitCodes(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"."}, &buf); code != 0 {
+		t.Errorf("clean package: exit %d, want 0 (output: %s)", code, buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{filepath.Join(fixtures, "errignored")}, &buf); code != 1 {
+		t.Errorf("fixture with findings: exit %d, want 1", code)
+	}
+	if buf.Len() == 0 {
+		t.Error("findings run produced no output")
+	}
+	if code := run([]string{"-rules", "no-such-rule", "."}, &buf); code != 2 {
+		t.Errorf("unknown rule: exit %d, want 2", code)
+	}
+}
+
+// TestRunNoMatchPattern pins the satellite contract: a pattern matching
+// no packages exits 2 and names the pattern.
+func TestRunNoMatchPattern(t *testing.T) {
+	var buf bytes.Buffer
+	empty := t.TempDir()
+	if code := run([]string{empty + "/..."}, &buf); code != 2 {
+		t.Errorf("zero-match pattern: exit %d, want 2", code)
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	var buf bytes.Buffer
+	code := run([]string{"-json", filepath.Join(fixtures, "errignored")}, &buf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var report struct {
+		Packages int `json:"packages"`
+		Findings []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Baselined int `json:"baselined"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if report.Packages == 0 || len(report.Findings) == 0 {
+		t.Errorf("report = %+v, want packages and findings", report)
+	}
+	for _, f := range report.Findings {
+		if f.File == "" || f.Line == 0 || f.Rule == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path %q should be module-relative", f.File)
+		}
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from a findings-heavy fixture,
+// then re-runs against it: every finding is absorbed and the run passes.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := filepath.Join(fixtures, "errignored")
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	var buf bytes.Buffer
+	if code := run([]string{"-write-baseline", baseline, dir}, &buf); code != 0 {
+		t.Fatalf("write-baseline: exit %d, want 0", code)
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if code := run([]string{"-baseline", baseline, dir}, &buf); code != 0 {
+		t.Errorf("baselined run: exit %d, want 0 (output: %s)", code, buf.String())
+	}
+	// The baseline must not leak across fixtures: a different package's
+	// findings are still new.
+	if code := run([]string{"-baseline", baseline, filepath.Join(fixtures, "detmapiter")}, &buf); code != 1 {
+		t.Errorf("unbaselined findings: exit %d, want 1", code)
+	}
+}
+
+// TestFixWritesInPlace copies a fixable file into a scratch dir, runs
+// -fix on it, and checks the rewrite landed and the re-run is clean.
+func TestFixWritesInPlace(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+import "os"
+
+func clean(p string) error {
+	os.Remove(p)
+	return nil
+}
+`
+	path := filepath.Join(dir, "scratch.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if code := run([]string{"-fix", dir}, &buf); code != 0 {
+		t.Fatalf("-fix run: exit %d, want 0 after rewriting (output: %s)", code, buf.String())
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(fixed, []byte("if err := os.Remove(p); err != nil {")) {
+		t.Errorf("fix not applied:\n%s", fixed)
+	}
+	buf.Reset()
+	if code := run([]string{dir}, &buf); code != 0 {
+		t.Errorf("re-lint of fixed dir: exit %d, want 0 (output: %s)", code, buf.String())
+	}
+}

@@ -19,6 +19,7 @@ package detrand
 import (
 	"hash/fnv"
 	"math/rand"
+	"sync"
 )
 
 // New returns a generator seeded with seed.
@@ -43,6 +44,44 @@ func Or(rng *rand.Rand, seed int64) *rand.Rand {
 	}
 	return New(seed)
 }
+
+// lockedSource serializes access to a rand source so the shared Global
+// generator is safe for concurrent use (matching the math/rand global it
+// replaces, which is also internally locked).
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}
+
+// global is seeded with a fixed constant so every run draws the same
+// stream — the defining difference from math/rand's auto-seeded global.
+var global = rand.New(&lockedSource{src: rand.NewSource(1).(rand.Source64)})
+
+// Global returns the process-wide deterministic generator: seeded with a
+// fixed constant and safe for concurrent use. It is the mechanical
+// replacement pythia-lint -fix substitutes for package-global math/rand
+// calls; prefer an injected per-stream generator (New, Derive) wherever
+// the call site can reach one, because a shared stream makes draw order
+// depend on goroutine interleaving under concurrency.
+func Global() *rand.Rand { return global }
 
 // hashSeed feeds the seed into h as eight little-endian bytes.
 func hashSeed(h interface{ Write([]byte) (int, error) }, seed int64) {

@@ -1,0 +1,133 @@
+// Baseline support: a committed JSON snapshot of accepted findings so CI
+// fails only on NEW findings. The classic ratchet: adopting a stricter
+// rule on a tree with existing debt would otherwise force fixing every
+// instance in the adopting PR; with a baseline the debt is frozen,
+// visible and counted, and the build breaks the moment anyone adds to it.
+//
+// Matching is by (file, rule, message) with per-key multiplicity, never
+// by line number — unrelated edits move lines, and a baseline that
+// decays on every edit is worse than none. Fixing a baselined finding
+// leaves a stale entry behind; -write-baseline regenerates the file.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineFinding is one accepted finding.
+type BaselineFinding struct {
+	File    string `json:"file"` // module-root-relative, slash-separated
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// Baseline is the decoded baseline file.
+type Baseline struct {
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// baselineKey identifies a finding for matching purposes.
+type baselineKey struct {
+	file, rule, message string
+}
+
+// NewBaseline snapshots diags relative to root, sorted for stable diffs.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	b := &Baseline{Findings: []BaselineFinding{}}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineFinding{
+			File:    relPath(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.RuleID,
+			Message: d.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Line != c.Line {
+			return a.Line < c.Line
+		}
+		if a.Col != c.Col {
+			return a.Col < c.Col
+		}
+		return a.Rule < c.Rule
+	})
+	return b
+}
+
+// ReadBaseline loads a baseline file. A missing file is not an error: it
+// decodes as an empty baseline, so a repo without one gates on every
+// finding.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write saves the baseline as indented JSON with a trailing newline.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diags into findings not covered by the baseline (fresh)
+// and those it absorbs (baselined). Each baseline entry absorbs exactly
+// one occurrence of its (file, rule, message) key, so a second identical
+// finding in the same file still fails the build.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (fresh, baselined []Diagnostic) {
+	budget := make(map[baselineKey]int)
+	for _, f := range b.Findings {
+		budget[baselineKey{f.File, f.Rule, f.Message}]++
+	}
+	for _, d := range diags {
+		k := baselineKey{relPath(root, d.Pos.Filename), d.RuleID, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			baselined = append(baselined, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, baselined
+}
+
+// relPath renders file relative to root with forward slashes; files
+// outside root keep their cleaned absolute form.
+func relPath(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	abs, err := filepath.Abs(file)
+	if err == nil {
+		if rel, err := filepath.Rel(root, abs); err == nil && !startsWithDotDot(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filepath.Clean(file))
+}
+
+func startsWithDotDot(p string) bool {
+	return p == ".." || len(p) > 2 && p[:3] == ".."+string(filepath.Separator)
+}

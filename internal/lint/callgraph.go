@@ -1,0 +1,138 @@
+// Module-wide call graph. The whole-program rules (det-flow,
+// err-limit-propagate) reason across package boundaries, so they need to
+// know, for every function with a body in the loaded set, which functions
+// it statically calls.
+//
+// Packages are type-checked independently (each top-level check may
+// re-resolve shared imports), so *types.Func object identity does not hold
+// across packages. Functions are therefore keyed by a stable textual ID —
+// "pkgpath.Name" for functions, "pkgpath.(Recv).Name" for methods — which
+// is identical no matter which package's type info produced it.
+//
+// The graph is a static under-approximation: calls through function
+// values, interface methods and reflection are not resolved. For the
+// invariants checked here that is the safe direction — an unresolved call
+// cannot manufacture a false finding, and the repo's generation paths call
+// concrete functions.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FuncID is the stable cross-package identifier of a function or method.
+type FuncID string
+
+// funcID derives the stable ID for fn. Functions outside any package
+// (builtins) return "".
+func funcID(fn *types.Func) FuncID {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		name := recv.String()
+		if named, ok := types.Unalias(recv).(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+		return FuncID(fn.Pkg().Path() + ".(" + name + ")." + fn.Name())
+	}
+	return FuncID(fn.Pkg().Path() + "." + fn.Name())
+}
+
+// pkgPathOf returns the package path component of id.
+func (id FuncID) pkgPath() string {
+	s := string(id)
+	if i := strings.LastIndex(s, ".("); i >= 0 {
+		return s[:i]
+	}
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// shortName renders id without the package directory prefix, for messages:
+// "pkg.Func" or "pkg.(Recv).Method".
+func (id FuncID) shortName() string {
+	path := id.pkgPath()
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	return base + strings.TrimPrefix(string(id), path)
+}
+
+// callSite is one resolved static call inside a function body.
+type callSite struct {
+	callee FuncID
+	pos    token.Pos
+	call   *ast.CallExpr
+}
+
+// funcNode is one function with a body in the loaded package set.
+type funcNode struct {
+	id    FuncID
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkg   *Package
+	calls []callSite
+}
+
+// CallGraph indexes every function body in the loaded packages and its
+// resolved static call sites.
+type CallGraph struct {
+	funcs map[FuncID]*funcNode
+	ids   []FuncID // sorted, for deterministic iteration
+}
+
+// buildCallGraph constructs the graph over pkgs. When two loaded packages
+// declare the same ID (an in-package test variant re-checking the same
+// files), the first in package-sorted order wins; bodies are identical.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{funcs: make(map[FuncID]*funcNode)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				id := funcID(fn)
+				if id == "" {
+					continue
+				}
+				if _, dup := g.funcs[id]; dup {
+					continue
+				}
+				node := &funcNode{id: id, fn: fn, decl: fd, pkg: p}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := pkgFunc(p.Info, call)
+					if cid := funcID(callee); cid != "" {
+						node.calls = append(node.calls, callSite{callee: cid, pos: call.Pos(), call: call})
+					}
+					return true
+				})
+				g.funcs[id] = node
+			}
+		}
+	}
+	for id := range g.funcs {
+		g.ids = append(g.ids, id)
+	}
+	sort.Slice(g.ids, func(i, j int) bool { return g.ids[i] < g.ids[j] })
+	return g
+}

@@ -68,6 +68,7 @@ func mapIterInFunc(p *Package, body *ast.BlockStmt) []Diagnostic {
 	}
 	var pending []pendingAppend
 	var out []Diagnostic
+	fixedLoops := map[*ast.RangeStmt]bool{}
 
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, isLit := n.(*ast.FuncLit); isLit && n != nil {
@@ -83,15 +84,18 @@ func mapIterInFunc(p *Package, body *ast.BlockStmt) []Diagnostic {
 			case *ast.AssignStmt:
 				obj, pos := appendTarget(p, stmt, rs)
 				if obj != nil {
-					pending = append(pending, pendingAppend{
-						obj:  obj,
-						loop: rs,
-						diag: Diagnostic{
-							Pos:     p.Fset.Position(pos),
-							RuleID:  "det-map-iter",
-							Message: fmt.Sprintf("append to %q inside map iteration: order is nondeterministic; sort %q after the loop or iterate sorted keys", obj.Name(), obj.Name()),
-						},
-					})
+					d := Diagnostic{
+						Pos:     p.Fset.Position(pos),
+						RuleID:  "det-map-iter",
+						Message: fmt.Sprintf("append to %q inside map iteration: order is nondeterministic; sort %q after the loop or iterate sorted keys", obj.Name(), obj.Name()),
+					}
+					// One sorted-keys rewrite covers every append in the
+					// loop; attach it to the first.
+					if !fixedLoops[rs] {
+						fixedLoops[rs] = true
+						d.Fix = mapIterFix(p, body, rs)
+					}
+					pending = append(pending, pendingAppend{obj: obj, loop: rs, diag: d})
 				}
 			case *ast.SendStmt:
 				out = append(out, Diagnostic{
@@ -315,6 +319,7 @@ func runGlobalRand(p *Package) []Diagnostic {
 				Pos:     p.Fset.Position(sel.Pos()),
 				RuleID:  "det-global-rand",
 				Message: fmt.Sprintf("use of global %s.%s: output cannot be pinned to a seed; inject a *rand.Rand (see internal/detrand)", path, fn.Name()),
+				Fix:     globalRandFix(p, sel, path),
 			})
 			return true
 		})

@@ -54,7 +54,32 @@ var fprintFuncs = map[string]bool{
 func runIgnoredError(p *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range p.Files {
+		// A node stack mirrors the traversal so each finding knows its
+		// innermost enclosing function — the -fix rewrite only applies
+		// when that function returns exactly error.
+		var nodes []ast.Node
+		var encl []*ast.FuncType
 		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := nodes[len(nodes)-1]
+				nodes = nodes[:len(nodes)-1]
+				switch top.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					encl = encl[:len(encl)-1]
+				}
+				return true
+			}
+			nodes = append(nodes, n)
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				encl = append(encl, fn.Type)
+			case *ast.FuncLit:
+				encl = append(encl, fn.Type)
+			}
+			var enclosing *ast.FuncType
+			if len(encl) > 0 {
+				enclosing = encl[len(encl)-1]
+			}
 			switch stmt := n.(type) {
 			case *ast.ExprStmt:
 				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
@@ -66,10 +91,11 @@ func runIgnoredError(p *Package) []Diagnostic {
 						Pos:     p.Fset.Position(call.Pos()),
 						RuleID:  "err-ignored",
 						Message: fmt.Sprintf("result of %s contains an error that is silently dropped; handle it or assign and check it", calleeName(p, call)),
+						Fix:     ignoredErrFix(p, enclosing, stmt.Pos(), call.Pos(), call),
 					})
 				}
 			case *ast.AssignStmt:
-				out = append(out, blankErrAssigns(p, stmt)...)
+				out = append(out, blankErrAssigns(p, stmt, enclosing)...)
 			}
 			return true
 		})
@@ -79,13 +105,14 @@ func runIgnoredError(p *Package) []Diagnostic {
 
 // blankErrAssigns flags `_`-discarded error values in an assignment, both
 // the multi-result form `v, _ := f()` and the direct form `_ = err`.
-func blankErrAssigns(p *Package, as *ast.AssignStmt) []Diagnostic {
+func blankErrAssigns(p *Package, as *ast.AssignStmt, enclosing *ast.FuncType) []Diagnostic {
 	var out []Diagnostic
-	flag := func(pos ast.Node, what string) {
+	flag := func(pos ast.Node, what string, fix *Fix) {
 		out = append(out, Diagnostic{
 			Pos:     p.Fset.Position(pos.Pos()),
 			RuleID:  "err-ignored",
 			Message: fmt.Sprintf("error from %s discarded with _; handle it or suppress with a reason", what),
+			Fix:     fix,
 		})
 	}
 	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
@@ -95,7 +122,7 @@ func blankErrAssigns(p *Package, as *ast.AssignStmt) []Diagnostic {
 		}
 		for _, i := range resultErrIndexes(p.Info, call) {
 			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
-				flag(as.Lhs[i], calleeName(p, call))
+				flag(as.Lhs[i], calleeName(p, call), nil)
 			}
 		}
 		return out
@@ -112,7 +139,13 @@ func blankErrAssigns(p *Package, as *ast.AssignStmt) []Diagnostic {
 		if call, isCall := rhs.(*ast.CallExpr); isCall && allowlisted(p, call) {
 			continue
 		}
-		flag(lhs, "expression")
+		var fix *Fix
+		// `_ = f()` with a lone assignment rewrites to an if-check when
+		// f returns exactly one error and the function can propagate it.
+		if call, isCall := rhs.(*ast.CallExpr); isCall && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			fix = ignoredErrFix(p, enclosing, as.Pos(), as.Rhs[i].Pos(), call)
+		}
+		flag(lhs, "expression", fix)
 	}
 	return out
 }

@@ -1,0 +1,420 @@
+// The -fix engine. A subset of findings carry a mechanical rewrite:
+//
+//	det-global-rand  rand.Intn(n)  →  detrand.Global().Intn(n)
+//	                 (math/rand import dropped when it falls unused)
+//	err-ignored      bare call / `_ = call` with a lone error result, in a
+//	                 function returning exactly error  →
+//	                 if err := call; err != nil { return err }
+//	det-map-iter     append inside a map range with an ordered basic key →
+//	                 collect keys, sort, range over the sorted keys
+//
+// Fixes are expressed as byte-offset edits against the original source —
+// never as a reprinted AST — so comments, spacing and everything outside
+// the edit survive byte-for-byte. The patched file then goes through
+// format.Source, which normalizes only the layout the edits introduced.
+// Fixes that cannot be proven safe (multi-result calls, non-basic map
+// keys, side-effecting range expressions) are simply not offered; -fix
+// fixes the fixable subset and leaves honest findings for the rest.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// detrandImport is the module path of the blessed deterministic-rand
+// package inserted by the det-global-rand fix.
+const detrandImport = "repro/internal/detrand"
+
+// Edit replaces original bytes [Start, End) of File with New. Start==End
+// is a pure insertion.
+type Edit struct {
+	File  string
+	Start int
+	End   int
+	New   string
+}
+
+// Fix is the mechanical resolution attached to a Diagnostic.
+type Fix struct {
+	// Edits to apply, all within one file.
+	Edits []Edit
+	// AddImports are import paths the patched file must import.
+	AddImports []string
+	// DropImportIfUnused names an import path to delete when, after all
+	// fixes in the file, no reference to it remains.
+	DropImportIfUnused string
+}
+
+// FixResult is the outcome of applying fixes to one loaded package set.
+type FixResult struct {
+	// Files maps filename to its new, formatted content. Only files with
+	// at least one applied fix appear.
+	Files map[string][]byte
+	// Applied counts the fixes applied per file.
+	Applied map[string]int
+	// Skipped counts fixes dropped because their edits overlapped an
+	// already-applied fix.
+	Skipped int
+}
+
+// ApplyFixes computes the fixed content for every file with fixable
+// findings. It reads originals from disk; nothing is written — callers
+// decide (the CLI writes in place, tests compare against goldens).
+func ApplyFixes(pkgs []*Package, diags []Diagnostic) (*FixResult, error) {
+	type fileFixes struct {
+		edits   []Edit
+		add     map[string]bool
+		drop    map[string]bool
+		applied int
+	}
+	byFile := make(map[string]*fileFixes)
+	res := &FixResult{Files: map[string][]byte{}, Applied: map[string]int{}}
+
+	// Collect edits per file, dropping any fix whose edits overlap an
+	// already-accepted one (first in diagnostic order wins).
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		file := d.Fix.Edits[0].File
+		ff := byFile[file]
+		if ff == nil {
+			ff = &fileFixes{add: map[string]bool{}, drop: map[string]bool{}}
+			byFile[file] = ff
+		}
+		overlap := false
+		for _, e := range d.Fix.Edits {
+			for _, prev := range ff.edits {
+				if e.Start < prev.End && prev.Start < e.End {
+					overlap = true
+				}
+			}
+		}
+		if overlap {
+			res.Skipped++
+			continue
+		}
+		ff.edits = append(ff.edits, d.Fix.Edits...)
+		for _, path := range d.Fix.AddImports {
+			ff.add[path] = true
+		}
+		if d.Fix.DropImportIfUnused != "" {
+			ff.drop[d.Fix.DropImportIfUnused] = true
+		}
+		ff.applied++
+	}
+
+	for file, ff := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fix: %w", err)
+		}
+		astFile, p := findFile(pkgs, file)
+		if astFile == nil {
+			return nil, fmt.Errorf("lint: fix: %s not in loaded packages", file)
+		}
+		edits := ff.edits
+		for _, path := range sortedKeys(ff.drop) {
+			if e, ok := dropImportEdit(p, astFile, file, path, ff.edits); ok {
+				edits = append(edits, e)
+			}
+		}
+		for _, path := range sortedKeys(ff.add) {
+			edits = append(edits, addImportEdit(p, astFile, file, path))
+		}
+		patched, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fix %s: %w", file, err)
+		}
+		formatted, err := format.Source(patched)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fix %s produced invalid Go: %w", file, err)
+		}
+		res.Files[file] = formatted
+		res.Applied[file] = ff.applied
+	}
+	return res, nil
+}
+
+// WriteFixes writes every fixed file back in place.
+func (r *FixResult) WriteFixes() error {
+	var files []string
+	for f := range r.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		if err := os.WriteFile(f, r.Files[f], 0o644); err != nil {
+			return fmt.Errorf("lint: fix: %w", err)
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// findFile locates the parsed file and its package by filename.
+func findFile(pkgs []*Package, file string) (*ast.File, *Package) {
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if p.Fset.Position(f.Pos()).Filename == file {
+				return f, p
+			}
+		}
+	}
+	return nil, nil
+}
+
+// applyEdits patches src, validating that edits do not overlap.
+func applyEdits(src []byte, edits []Edit) ([]byte, error) {
+	sorted := append([]Edit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	var out []byte
+	last := 0
+	for _, e := range sorted {
+		if e.Start < last || e.End > len(src) {
+			return nil, fmt.Errorf("conflicting edits at byte %d", e.Start)
+		}
+		out = append(out, src[last:e.Start]...)
+		out = append(out, e.New...)
+		last = e.End
+	}
+	out = append(out, src[last:]...)
+	return out, nil
+}
+
+// offsetOf converts a token.Pos to a byte offset in its file.
+func offsetOf(p *Package, pos token.Pos) int {
+	return p.Fset.Position(pos).Offset
+}
+
+// addImportEdit builds the insertion that makes file import path. With an
+// existing parenthesized import block the spec lands inside it; otherwise
+// a new import declaration follows the package clause. format.Source
+// settles ordering and spacing afterwards.
+func addImportEdit(p *Package, f *ast.File, file, path string) Edit {
+	for _, imp := range f.Imports {
+		if v, err := strconv.Unquote(imp.Path.Value); err == nil && v == path {
+			return Edit{File: file, Start: 0, End: 0, New: ""} // already imported
+		}
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Rparen.IsValid() {
+			continue
+		}
+		at := offsetOf(p, gd.Rparen)
+		return Edit{File: file, Start: at, End: at, New: "\t" + strconv.Quote(path) + "\n"}
+	}
+	// No parenthesized block: insert a fresh declaration after the
+	// package clause line.
+	at := offsetOf(p, f.Name.End())
+	return Edit{File: file, Start: at, End: at, New: "\n\nimport " + strconv.Quote(path)}
+}
+
+// dropImportEdit removes the import spec for path when the applied edits
+// eliminate every reference to it. Each det-global-rand edit removes
+// exactly one selector through the package name; the import goes when the
+// file had no other uses.
+func dropImportEdit(p *Package, f *ast.File, file, path string, applied []Edit) (Edit, bool) {
+	uses := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == path {
+			uses++
+		}
+		return true
+	})
+	rewritten := 0
+	for _, e := range applied {
+		if strings.HasPrefix(e.New, "detrand.Global()") {
+			rewritten++
+		}
+	}
+	if uses > rewritten {
+		return Edit{}, false
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			is, ok := spec.(*ast.ImportSpec)
+			if !ok {
+				continue
+			}
+			if v, err := strconv.Unquote(is.Path.Value); err != nil || v != path {
+				continue
+			}
+			if len(gd.Specs) == 1 && !gd.Rparen.IsValid() {
+				// Sole unparenthesized import: drop the whole declaration.
+				return Edit{File: file, Start: offsetOf(p, gd.Pos()), End: offsetOf(p, gd.End()), New: ""}, true
+			}
+			return Edit{File: file, Start: offsetOf(p, is.Pos()), End: offsetOf(p, is.End()), New: ""}, true
+		}
+	}
+	return Edit{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule fix builders, called from the analyzers.
+
+// globalRandFix rewrites a package-global rand selector to draw from
+// detrand.Global(). Only math/rand qualifies: every one of its package
+// functions exists as a *rand.Rand method, which does not hold for
+// math/rand/v2 (Intn vs IntN, and so on).
+func globalRandFix(p *Package, sel *ast.SelectorExpr, randPath string) *Fix {
+	if randPath != "math/rand" {
+		return nil
+	}
+	file := p.Fset.Position(sel.Pos()).Filename
+	return &Fix{
+		Edits: []Edit{{
+			File:  file,
+			Start: offsetOf(p, sel.X.Pos()),
+			End:   offsetOf(p, sel.X.End()),
+			New:   "detrand.Global()",
+		}},
+		AddImports:         []string{detrandImport},
+		DropImportIfUnused: randPath,
+	}
+}
+
+// ignoredErrFix wraps a discarded single-error call in an
+// `if err := …; err != nil { return err }` when the enclosing function
+// returns exactly one value of type error. stmtStart..callStart covers
+// the discarded prefix (`_ = ` or nothing for a bare call).
+func ignoredErrFix(p *Package, enclosing *ast.FuncType, stmtStart, callStart token.Pos, call *ast.CallExpr) *Fix {
+	if !returnsExactlyError(p, enclosing) {
+		return nil
+	}
+	if idx := resultErrIndexes(p.Info, call); len(idx) != 1 {
+		return nil
+	}
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil || !types.Identical(tv.Type, errorType) {
+		return nil // multi-result call: wrapping would not compile
+	}
+	file := p.Fset.Position(call.Pos()).Filename
+	return &Fix{
+		Edits: []Edit{
+			{File: file, Start: offsetOf(p, stmtStart), End: offsetOf(p, callStart), New: "if err := "},
+			{File: file, Start: offsetOf(p, call.End()), End: offsetOf(p, call.End()), New: "; err != nil { return err }"},
+		},
+	}
+}
+
+// returnsExactlyError reports whether ft declares exactly one result of
+// type error.
+func returnsExactlyError(p *Package, ft *ast.FuncType) bool {
+	if ft == nil || ft.Results == nil || len(ft.Results.List) != 1 {
+		return false
+	}
+	field := ft.Results.List[0]
+	if len(field.Names) > 1 {
+		return false
+	}
+	tv, ok := p.Info.Types[field.Type]
+	return ok && tv.Type != nil && types.Identical(tv.Type, errorType)
+}
+
+// mapIterFix rewrites `for k[, v] := range m { … append … }` to iterate
+// sorted keys. Offered only when the key is an ordered basic type, both
+// range variables are plain identifiers (or the value is omitted), and
+// the range expression is a pure identifier/selector chain (evaluated
+// twice after the rewrite).
+func mapIterFix(p *Package, body *ast.BlockStmt, rs *ast.RangeStmt) *Fix {
+	mt, ok := p.Info.Types[rs.X]
+	if !ok || mt.Type == nil {
+		return nil
+	}
+	mapType, ok := mt.Type.Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	// The key type is spelled verbatim in the rewrite, so it must be an
+	// unnamed basic type (a named key would need qualification).
+	basic, ok := mapType.Key().(*types.Basic)
+	if !ok || basic.Info()&(types.IsOrdered) == 0 {
+		return nil
+	}
+	keyID := identOf(rs.Key)
+	if keyID == nil || keyID.Name == "_" || rs.Tok != token.DEFINE {
+		return nil
+	}
+	var valID *ast.Ident
+	if rs.Value != nil {
+		valID = identOf(rs.Value)
+		if valID == nil {
+			return nil
+		}
+	}
+	if _, ok := rootIdent(rs.X); !ok {
+		return nil // side-effecting range expression: would evaluate twice
+	}
+	keysName := "sortedKeys"
+	if usesName(body, keysName) {
+		return nil // collision: leave the finding for a human
+	}
+	mapExpr := types.ExprString(rs.X)
+	keyType := basic.Name()
+	file := p.Fset.Position(rs.Pos()).Filename
+
+	prelude := fmt.Sprintf(
+		"%s := make([]%s, 0, len(%s))\nfor %s := range %s {\n%s = append(%s, %s)\n}\nsort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })\n",
+		keysName, keyType, mapExpr,
+		keyID.Name, mapExpr,
+		keysName, keysName, keyID.Name,
+		keysName, keysName, keysName,
+	)
+	header := fmt.Sprintf("for _, %s := range %s ", keyID.Name, keysName)
+	edits := []Edit{
+		{File: file, Start: offsetOf(p, rs.Pos()), End: offsetOf(p, rs.Pos()), New: prelude},
+		{File: file, Start: offsetOf(p, rs.Pos()), End: offsetOf(p, rs.Body.Lbrace), New: header},
+	}
+	if valID != nil && valID.Name != "_" {
+		at := offsetOf(p, rs.Body.Lbrace) + 1
+		edits = append(edits, Edit{
+			File: file, Start: at, End: at,
+			New: fmt.Sprintf("\n%s := %s[%s]", valID.Name, mapExpr, keyID.Name),
+		})
+	}
+	return &Fix{Edits: edits, AddImports: []string{"sort"}}
+}
+
+// usesName reports whether any identifier under n is spelled name.
+func usesName(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,154 @@
+package lint_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite .golden files from current -fix output")
+
+// fixCases are the before/after fixture packages under testdata/fix. Each
+// .go file with an applied fix must match its .golden byte-for-byte.
+var fixCases = []string{"globalrand", "errwrap", "mapiter"}
+
+// applyCaseFixes loads one fix fixture and computes its fixed content.
+func applyCaseFixes(t *testing.T, name string) (*lint.FixResult, []lint.Diagnostic) {
+	t.Helper()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(filepath.Join("testdata", "fix", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	res, err := lint.ApplyFixes(pkgs, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, diags
+}
+
+func TestFixGolden(t *testing.T) {
+	for _, name := range fixCases {
+		t.Run(name, func(t *testing.T) {
+			res, _ := applyCaseFixes(t, name)
+			if len(res.Files) == 0 {
+				t.Fatal("no fixes applied; fixture should contain fixable findings")
+			}
+			for file, got := range res.Files {
+				golden := strings.TrimSuffix(file, ".go") + ".golden"
+				if *updateGolden {
+					if err := os.WriteFile(golden, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("fixed %s differs from %s:\n--- got ---\n%s\n--- want ---\n%s", file, golden, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFixUnfixableKeepsFinding pins the boundary of the fix engine: a
+// dropped error in a function that cannot propagate it is reported
+// without a mechanical fix.
+func TestFixUnfixableKeepsFinding(t *testing.T) {
+	_, diags := applyCaseFixes(t, "errwrap")
+	found := false
+	for _, d := range diags {
+		if d.RuleID != "err-ignored" {
+			continue
+		}
+		if strings.Contains(d.Message, "os.Remove") && d.Fix == nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected an unfixable err-ignored finding (enclosing function returns nothing)")
+	}
+}
+
+// TestFixFixpoint re-lints each fixture's fixed output: the rewrite must
+// remove every finding it claims to fix, and introduce none. Output is
+// staged inside testdata so module-local imports still resolve.
+func TestFixFixpoint(t *testing.T) {
+	for _, name := range fixCases {
+		t.Run(name, func(t *testing.T) {
+			res, _ := applyCaseFixes(t, name)
+			tmp, err := os.MkdirTemp("testdata", "fixout-*")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			for file, content := range res.Files {
+				out := filepath.Join(tmp, filepath.Base(file))
+				if err := os.WriteFile(out, content, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The unfixable errwrap finding survives by design; everything
+			// with a fix must be gone.
+			loader, err := lint.NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkgs, err := loader.Load(tmp)
+			if err != nil {
+				t.Fatalf("fixed output does not load: %v", err)
+			}
+			for _, d := range lint.Run(pkgs, lint.Analyzers()) {
+				if d.Fix != nil {
+					t.Errorf("fixed output still contains a fixable finding: %s", d)
+				} else if name != "errwrap" {
+					t.Errorf("fixed output contains unexpected finding: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyFixesSkipsOverlaps feeds two fixes editing the same bytes and
+// checks the second is counted as skipped rather than corrupting output.
+func TestApplyFixesSkipsOverlaps(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "fix", "globalrand")
+	pkgs, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	var fixable []lint.Diagnostic
+	for _, d := range diags {
+		if d.Fix != nil {
+			fixable = append(fixable, d)
+			fixable = append(fixable, d) // duplicate: identical edit range
+		}
+	}
+	if len(fixable) == 0 {
+		t.Fatal("fixture produced no fixable findings")
+	}
+	res, err := lint.ApplyFixes(pkgs, fixable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != len(fixable)/2 {
+		t.Errorf("Skipped = %d, want %d (one per duplicated fix)", res.Skipped, len(fixable)/2)
+	}
+}

@@ -5,8 +5,8 @@
 // PYTHIA's contract is reproducibility: Algorithm 1 must emit the same
 // (a-query, evidence, text) triples for the same table and seed, or every
 // downstream corpus silently drifts. The analyzers here machine-check the
-// invariants that protect that contract before the pipeline is sharded and
-// parallelized:
+// invariants that protect that contract. The original five are syntactic,
+// per-file passes:
 //
 //	det-map-iter      map iteration feeding ordered output without a sort
 //	det-global-rand   package-global math/rand calls (unseeded randomness)
@@ -14,13 +14,25 @@
 //	conc-loop-capture goroutines capturing loop variables by reference
 //	conc-lock-copy    sync locks passed or returned by value
 //
+// On top of them sits a whole-program layer built on a module-wide call
+// graph over every loaded package (callgraph.go):
+//
+//	det-flow              interprocedural taint from nondeterminism
+//	                      sources to generation/serialization sinks
+//	tel-metric-registry   telemetry metric names must match the declared
+//	                      registry and naming convention
+//	conc-lock-across-call mutex held across potentially blocking ops
+//	err-limit-propagate   errLimitReached must propagate, not be absorbed
+//
 // Findings print as "file:line:col: [rule-id] message". A finding can be
 // suppressed with a comment on the same line or the line directly above:
 //
 //	//lint:ignore rule-id reason
 //
 // The reason is mandatory; an ignore comment without one does not
-// suppress.
+// suppress. A subset of findings carry mechanical fixes applied by
+// pythia-lint -fix (see fix.go); known findings can be waived en masse
+// through a committed baseline file (see baseline.go).
 package lint
 
 import (
@@ -37,6 +49,22 @@ type Diagnostic struct {
 	Pos     token.Position
 	RuleID  string
 	Message string
+
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// finding. Applied by pythia-lint -fix; see fix.go.
+	Fix *Fix
+}
+
+// key identifies a finding for dedup and suppression independent of any
+// attached fix.
+type diagKey struct {
+	pos     token.Position
+	ruleID  string
+	message string
+}
+
+func (d Diagnostic) key() diagKey {
+	return diagKey{pos: d.Pos, ruleID: d.RuleID, message: d.Message}
 }
 
 // String renders the canonical "file:line:col: [rule-id] message" form.
@@ -53,11 +81,15 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one named rule.
+// Analyzer is one named rule. Per-file rules set Run; whole-program rules
+// set RunModule instead and receive every loaded package at once (they see
+// exactly the packages the invocation loaded — running them on a subtree
+// analyzes that subtree's bodies only).
 type Analyzer struct {
-	ID  string // stable rule ID used in reports and ignore comments
-	Doc string // one-line description
-	Run func(p *Package) []Diagnostic
+	ID        string // stable rule ID used in reports and ignore comments
+	Doc       string // one-line description
+	Run       func(p *Package) []Diagnostic
+	RunModule func(pkgs []*Package) []Diagnostic
 }
 
 // Analyzers returns every rule in the fixed, documented order.
@@ -68,6 +100,10 @@ func Analyzers() []*Analyzer {
 		IgnoredErrorAnalyzer(),
 		LoopCaptureAnalyzer(),
 		LockCopyAnalyzer(),
+		DetFlowAnalyzer(),
+		MetricRegistryAnalyzer(),
+		LockAcrossCallAnalyzer(),
+		LimitPropagateAnalyzer(),
 	}
 }
 
@@ -81,25 +117,45 @@ func AnalyzerByID(id string) *Analyzer {
 	return nil
 }
 
-// Run applies the analyzers to each package, drops suppressed findings and
-// returns the remainder sorted by position then rule ID, so output is
-// stable across runs (the linter holds itself to its own determinism bar).
+// Run applies the analyzers to each package (and the module-wide ones to
+// the package set as a whole), drops suppressed findings and returns the
+// remainder sorted by position then rule ID, so output is stable across
+// runs (the linter holds itself to its own determinism bar).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
-	seen := make(map[Diagnostic]bool)
+	seen := make(map[diagKey]bool)
+	// One merged suppression set: module-wide rules report positions in
+	// any loaded package, so waivers must resolve across the whole set.
+	sup := make(suppressionSet)
 	for _, p := range pkgs {
-		sup := suppressions(p)
-		for _, a := range analyzers {
-			for _, d := range a.Run(p) {
-				// Nested constructs can attribute one defect to several
-				// enclosing nodes; report each finding once.
-				if !sup.covers(d) && !seen[d] {
-					seen[d] = true
-					out = append(out, d)
-				}
+		sup.collect(p)
+	}
+	add := func(diags []Diagnostic) {
+		for _, d := range diags {
+			// Nested constructs can attribute one defect to several
+			// enclosing nodes; report each finding once.
+			if k := d.key(); !sup.covers(d) && !seen[k] {
+				seen[k] = true
+				out = append(out, d)
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			add(a.RunModule(pkgs))
+			continue
+		}
+		for _, p := range pkgs {
+			add(a.Run(p))
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, then rule ID —
+// the canonical report order.
+func SortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -113,7 +169,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.RuleID < b.RuleID
 	})
-	return out
 }
 
 // isTestFile reports whether the file containing pos is a _test.go file.

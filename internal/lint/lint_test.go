@@ -22,25 +22,25 @@ var fixtureDirs = []string{
 	"concloopcapture",
 	"conclockcopy",
 	"suppressed",
+	"detflow",
+	"telregistry",
+	"conclockacross",
+	"errlimit",
 }
 
-// wantMarkers scans fixture sources for `// want rule-id` markers and
-// returns "file:line:rule" keys.
+// wantMarkers walks fixture sources (recursively, for multi-package
+// fixtures like detflow) for `// want rule-id` markers and returns
+// "file:line:rule" keys.
 func wantMarkers(t *testing.T, dir string) map[string]int {
 	t.Helper()
 	want := map[string]int{}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return err
 		}
-		path := filepath.Join(dir, e.Name())
 		data, err := os.ReadFile(path)
 		if err != nil {
-			t.Fatal(err)
+			return err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			_, mark, ok := strings.Cut(line, "// want ")
@@ -51,6 +51,10 @@ func wantMarkers(t *testing.T, dir string) map[string]int {
 				want[fmt.Sprintf("%s:%d:%s", path, i+1, id)]++
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	return want
 }
@@ -64,7 +68,7 @@ func TestFixtures(t *testing.T) {
 				t.Fatal(err)
 			}
 			loader.IncludeTests = true
-			pkgs, err := loader.Load(dir)
+			pkgs, err := loader.Load(dir + "/...")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -98,6 +102,10 @@ func TestFixtureRuleCoverage(t *testing.T) {
 		"concloopcapture": "conc-loop-capture",
 		"conclockcopy":    "conc-lock-copy",
 		"suppressed":      "det-global-rand",
+		"detflow":         "det-flow",
+		"telregistry":     "tel-metric-registry",
+		"conclockacross":  "conc-lock-across-call",
+		"errlimit":        "err-limit-propagate",
 	}
 	for name, rule := range byFixture {
 		want := wantMarkers(t, filepath.Join("testdata", "src", name))
@@ -170,6 +178,62 @@ func TestLoaderModuleResolution(t *testing.T) {
 	want := []string{"example.com/scratch/a", "example.com/scratch/b"}
 	if len(paths) != len(want) || paths[0] != want[0] || paths[1] != want[1] {
 		t.Errorf("loaded %v, want %v (testdata must be skipped, module imports resolved)", paths, want)
+	}
+}
+
+// TestParallelLoadDeterministicOrder loads the full fixture tree at two
+// worker counts: package order and every diagnostic must be identical,
+// proving the concurrent loader changes only wall-clock time.
+func TestParallelLoadDeterministicOrder(t *testing.T) {
+	run := func(workers int) (paths, diags []string) {
+		loader, err := lint.NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		loader.Workers = workers
+		loader.IncludeTests = true
+		pkgs, err := loader.Load("testdata/src/...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkgs {
+			paths = append(paths, p.Path)
+		}
+		for _, d := range lint.Run(pkgs, lint.Analyzers()) {
+			diags = append(diags, d.String())
+		}
+		return paths, diags
+	}
+	seqPaths, seqDiags := run(1)
+	parPaths, parDiags := run(8)
+	if !sort.StringsAreSorted(seqPaths) {
+		t.Errorf("package order is not sorted: %v", seqPaths)
+	}
+	if strings.Join(seqPaths, "\n") != strings.Join(parPaths, "\n") {
+		t.Errorf("package order differs between 1 and 8 workers:\n%v\nvs\n%v", seqPaths, parPaths)
+	}
+	if strings.Join(seqDiags, "\n") != strings.Join(parDiags, "\n") {
+		t.Errorf("diagnostics differ between 1 and 8 workers:\n%s\nvs\n%s",
+			strings.Join(seqDiags, "\n"), strings.Join(parDiags, "\n"))
+	}
+	if len(seqDiags) == 0 {
+		t.Error("fixture tree produced no diagnostics; determinism check is vacuous")
+	}
+}
+
+// TestPatternNoMatchErrors pins the CLI contract that a pattern matching
+// no packages is a load error naming the pattern, not a silent pass.
+func TestPatternNoMatchErrors(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("testdata"); err == nil || !strings.Contains(err.Error(), `pattern "testdata" matched no packages`) {
+		t.Errorf("plain no-Go-files dir: got %v, want matched-no-packages error", err)
+	}
+	empty := t.TempDir()
+	if _, err := loader.Load(empty + "/..."); err == nil || !strings.Contains(err.Error(), "matched no packages") {
+		t.Errorf("empty recursive pattern: got %v, want matched-no-packages error", err)
 	}
 }
 

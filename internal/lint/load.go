@@ -3,6 +3,14 @@
 // resolved recursively from source; standard-library imports go through
 // go/importer's source mode, which type-checks GOROOT packages directly
 // and therefore needs no pre-compiled export data.
+//
+// Directories load concurrently on internal/parallel's index-ordered
+// pool, so diagnostics stay in the same deterministic path order the
+// sequential loader produced. Three pieces make the concurrency sound:
+// token.FileSet is internally locked; module-local imports go through a
+// once-guarded cache so each package type-checks exactly once and every
+// checker sees the same *types.Package identity; and the source importer
+// for GOROOT (which is not concurrency-safe) sits behind its own mutex.
 package lint
 
 import (
@@ -16,6 +24,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"repro/internal/parallel"
 )
 
 // Loader discovers, parses and type-checks packages for analysis.
@@ -24,12 +35,27 @@ type Loader struct {
 	// packages (package foo_test) are loaded as their own package.
 	IncludeTests bool
 
+	// Workers caps the loading pool; 0 means GOMAXPROCS.
+	Workers int
+
 	fset       *token.FileSet
 	moduleRoot string // directory containing go.mod ("" outside a module)
 	modulePath string // module path from go.mod ("" outside a module)
-	stdlib     types.Importer
-	cache      map[string]*types.Package // module-local import cache
-	loading    map[string]bool           // import-cycle guard
+
+	stdlibMu sync.Mutex // go/internal/srcimporter is not concurrency-safe
+	stdlib   types.Importer
+
+	cacheMu sync.Mutex
+	cache   map[string]*cacheEntry // module-local import cache
+}
+
+// cacheEntry is one module-local package, loaded at most once. Concurrent
+// importers of the same path block on the once; the first in does the
+// work and everyone shares the identical *types.Package.
+type cacheEntry struct {
+	once sync.Once
+	pkg  *types.Package
+	err  error
 }
 
 // NewLoader creates a loader rooted at dir. If dir (or a parent) holds a
@@ -41,9 +67,8 @@ func NewLoader(dir string) (*Loader, error) {
 		return nil, fmt.Errorf("lint: %w", err)
 	}
 	l := &Loader{
-		fset:    token.NewFileSet(),
-		cache:   make(map[string]*types.Package),
-		loading: make(map[string]bool),
+		fset:  token.NewFileSet(),
+		cache: make(map[string]*cacheEntry),
 	}
 	l.stdlib = importer.ForCompiler(l.fset, "source", nil)
 	if root, path, ok := findModule(abs); ok {
@@ -52,6 +77,9 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	return l, nil
 }
+
+// ModuleRoot exposes the discovered module root ("" outside a module).
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
 
 // Fset exposes the loader's file set for position lookup.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
@@ -75,19 +103,23 @@ func findModule(dir string) (root, path string, ok bool) {
 }
 
 // Load expands the patterns (directories, or dir/... recursive forms) and
-// returns one analysis Package per Go package found, in sorted path order.
+// returns one analysis Package per Go package found, in sorted path
+// order. Directories are type-checked concurrently; results collect in
+// index order, so the returned slice — and therefore diagnostic order —
+// is identical at every worker count.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	dirs, err := l.expand(patterns)
 	if err != nil {
 		return nil, err
 	}
+	got, err := parallel.MapErr(parallel.Workers(l.Workers), len(dirs),
+		func(i int) ([]*Package, error) { return l.loadDir(dirs[i]) })
+	if err != nil {
+		return nil, err
+	}
 	var pkgs []*Package
-	for _, dir := range dirs {
-		got, err := l.loadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, got...)
+	for _, g := range got {
+		pkgs = append(pkgs, g...)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
@@ -95,7 +127,9 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 
 // expand resolves patterns to package directories. "dir/..." walks
 // recursively, skipping testdata, vendor, and hidden or underscore
-// directories — the same conventions the go tool applies.
+// directories — the same conventions the go tool applies. A pattern
+// matching no package directory is an error naming that pattern: a typo
+// in a CI invocation must fail loudly, not gate on nothing.
 func (l *Loader) expand(patterns []string) ([]string, error) {
 	seen := make(map[string]bool)
 	var dirs []string
@@ -111,6 +145,7 @@ func (l *Loader) expand(patterns []string) ([]string, error) {
 			if root == "" {
 				root = "."
 			}
+			matched := 0
 			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 				if err != nil {
 					return err
@@ -125,11 +160,15 @@ func (l *Loader) expand(patterns []string) ([]string, error) {
 				}
 				if hasGoFiles(path) {
 					add(path)
+					matched++
 				}
 				return nil
 			})
 			if err != nil {
 				return nil, fmt.Errorf("lint: expanding %s: %w", pat, err)
+			}
+			if matched == 0 {
+				return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
 			}
 			continue
 		}
@@ -140,7 +179,11 @@ func (l *Loader) expand(patterns []string) ([]string, error) {
 		if !info.IsDir() {
 			return nil, fmt.Errorf("lint: %s is not a directory", pat)
 		}
-		add(filepath.Clean(pat))
+		dir := filepath.Clean(pat)
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+		add(dir)
 	}
 	sort.Strings(dirs)
 	return dirs, nil
@@ -228,6 +271,8 @@ func (l *Loader) importPath(dir string) string {
 }
 
 // check type-checks one file group and wraps it as an analysis Package.
+// Each top-level check gets its own importer instance so the cycle-guard
+// chain is confined to this goroutine's import stack.
 func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -235,7 +280,7 @@ func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: (*loaderImporter)(l)}
+	conf := types.Config{Importer: l.newImporter()}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
@@ -245,23 +290,47 @@ func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
 
 // loaderImporter resolves imports during type checking: module-local paths
 // load recursively from source, everything else falls through to the
-// standard-library source importer.
-type loaderImporter Loader
+// standard-library source importer. The loading map records this
+// goroutine's in-progress import chain; it must be checked before
+// entering a cache entry's once, or a cycle would re-enter the once from
+// inside itself and deadlock instead of erroring.
+type loaderImporter struct {
+	l       *Loader
+	loading map[string]bool
+}
+
+func (l *Loader) newImporter() *loaderImporter {
+	return &loaderImporter{l: l, loading: make(map[string]bool)}
+}
 
 func (li *loaderImporter) Import(path string) (*types.Package, error) {
-	l := (*Loader)(li)
+	l := li.l
 	if l.modulePath == "" || (path != l.modulePath && !strings.HasPrefix(path, l.modulePath+"/")) {
+		l.stdlibMu.Lock()
+		defer l.stdlibMu.Unlock()
 		return l.stdlib.Import(path)
 	}
-	if pkg, ok := l.cache[path]; ok {
-		return pkg, nil
-	}
-	if l.loading[path] {
+	if li.loading[path] {
 		return nil, fmt.Errorf("import cycle through %s", path)
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	l.cacheMu.Lock()
+	entry := l.cache[path]
+	if entry == nil {
+		entry = &cacheEntry{}
+		l.cache[path] = entry
+	}
+	l.cacheMu.Unlock()
+	entry.once.Do(func() {
+		li.loading[path] = true
+		defer delete(li.loading, path)
+		entry.pkg, entry.err = li.load(path)
+	})
+	return entry.pkg, entry.err
+}
 
+// load parses and type-checks one module-local import from source.
+func (li *loaderImporter) load(path string) (*types.Package, error) {
+	l := li.l
 	dir := filepath.Join(l.moduleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath)))
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -284,10 +353,5 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 		return nil, fmt.Errorf("no Go files for import %s in %s", path, dir)
 	}
 	conf := types.Config{Importer: li}
-	pkg, err := conf.Check(path, l.fset, files, nil)
-	if err != nil {
-		return nil, err
-	}
-	l.cache[path] = pkg
-	return pkg, nil
+	return conf.Check(path, l.fset, files, nil)
 }

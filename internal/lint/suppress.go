@@ -39,9 +39,8 @@ func (s suppressionSet) covers(d Diagnostic) bool {
 	return false
 }
 
-// suppressions collects every well-formed ignore comment in the package.
-func suppressions(p *Package) suppressionSet {
-	set := make(suppressionSet)
+// collect adds every well-formed ignore comment in the package to the set.
+func (set suppressionSet) collect(p *Package) {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -59,7 +58,6 @@ func suppressions(p *Package) suppressionSet {
 			}
 		}
 	}
-	return set
 }
 
 // parseIgnore recognizes "//lint:ignore rule-id reason". The directive is

@@ -1,0 +1,538 @@
+// det-flow: interprocedural determinism-taint analysis.
+//
+// The five syntactic rules see one function at a time; after the pipeline
+// grew worker pools, shared caches and telemetry, the dangerous flows are
+// cross-package — a time.Now three calls deep can poison generated output
+// while every individual function looks innocent. det-flow tracks
+// nondeterminism from its sources to the generation/serialization sinks
+// along the module call graph:
+//
+// Sources (function-local, with a containment check):
+//   - time.Now / time.Since (wall clock)
+//   - package-global math/rand calls (process-global source)
+//   - map-range order leaking into data that outlives the function
+//   - goroutine-completion order (range over a channel fed by goroutines)
+//   - select with two or more ready communication cases
+//   - %p pointer formatting (addresses differ per run)
+//
+// Sanitizers:
+//   - internal/detrand and internal/telemetry: calls into these packages
+//     absorb taint — detrand pins values to the experiment seed, telemetry
+//     is observability-only and feeds nothing back into generation.
+//   - sort-before-emit: order taints excused by a later sort.* /
+//     slices.Sort* call on the collected data (same logic as det-map-iter).
+//
+// Sinks: functions in generation/serialization packages (pythia, corpus,
+// annotate, textgen, serialize) and example-writer functions by name
+// (Serialize*, Emit*, WriteExample*, WriteCorpus*, MarshalExample*).
+//
+// A source only taints its function when its value escapes — reaches a
+// return, an outer variable, a channel, or a module function call — rather
+// than flowing exclusively into sanitizer calls. That distinction is what
+// keeps the worker pool's time.Now-for-telemetry bookkeeping clean while
+// still catching a wall-clock value laundered through three helpers into
+// an emitted example.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// taintKind classifies a nondeterminism source.
+type taintKind string
+
+const (
+	taintTime           taintKind = "wall-clock"
+	taintRand           taintKind = "global-rand"
+	taintMapOrder       taintKind = "map-order"
+	taintGoroutineOrder taintKind = "goroutine-order"
+	taintSelectOrder    taintKind = "select-order"
+	taintPointerFmt     taintKind = "pointer-format"
+)
+
+// taintOrigin is the root source of one taint chain.
+type taintOrigin struct {
+	kind taintKind
+	pos  token.Position // where the source call/statement is
+	desc string         // e.g. "time.Now", "math/rand.Intn"
+}
+
+// funcTaint records why a function's output is nondeterministic: the root
+// origin, the call chain from this function down to the origin's function,
+// and the position inside this function where the taint enters.
+type funcTaint struct {
+	origin taintOrigin
+	via    []FuncID
+	pos    token.Pos
+}
+
+// sinkPackages are package-path last segments whose functions emit or
+// serialize generated examples.
+var sinkPackages = map[string]bool{
+	"pythia": true, "corpus": true, "annotate": true,
+	"textgen": true, "serialize": true,
+}
+
+// sinkFuncPrefixes mark example-writer functions in any package.
+var sinkFuncPrefixes = []string{
+	"Serialize", "Emit", "WriteExample", "WriteCorpus", "MarshalExample",
+}
+
+// sanitizerPackages absorb taint: values handed to them never feed back
+// into generated output.
+var sanitizerPackages = map[string]bool{"detrand": true, "telemetry": true}
+
+// lastSegment returns the final path element of a package path.
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isSanitizerPkg reports whether the package at path absorbs taint.
+func isSanitizerPkg(path string) bool { return sanitizerPackages[lastSegment(path)] }
+
+// isSinkNode reports whether node is a generation/serialization sink.
+func isSinkNode(node *funcNode) bool {
+	if isTestFile(node.pkg.Fset, node.decl.Pos()) {
+		return false
+	}
+	if sinkPackages[lastSegment(node.id.pkgPath())] {
+		return true
+	}
+	for _, prefix := range sinkFuncPrefixes {
+		if strings.HasPrefix(node.fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// DetFlowAnalyzer is the whole-program determinism-taint rule.
+func DetFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		ID:        "det-flow",
+		Doc:       "nondeterminism source reaches a generation/serialization sink (interprocedural)",
+		RunModule: runDetFlow,
+	}
+}
+
+func runDetFlow(pkgs []*Package) []Diagnostic {
+	g := buildCallGraph(pkgs)
+	parents := make(map[FuncID]parentMap, len(g.funcs))
+	pm := func(node *funcNode) parentMap {
+		if m, ok := parents[node.id]; ok {
+			return m
+		}
+		m := buildParents(node.decl.Body)
+		parents[node.id] = m
+		return m
+	}
+
+	// Seed: direct, escaping sources per function.
+	tainted := make(map[FuncID]funcTaint)
+	for _, id := range g.ids {
+		node := g.funcs[id]
+		if src, ok := directSource(node, pm(node), g); ok {
+			tainted[id] = src
+		}
+	}
+
+	// Fixpoint: a function becomes tainted when it calls a tainted,
+	// non-sanitizer function and lets the result escape. Iteration order
+	// is the sorted ID list and source-ordered call sites, so the first
+	// chain found is deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, id := range g.ids {
+			if _, done := tainted[id]; done {
+				continue
+			}
+			node := g.funcs[id]
+			for _, site := range node.calls {
+				ct, ok := tainted[site.callee]
+				if !ok || isSanitizerPkg(site.callee.pkgPath()) {
+					continue
+				}
+				if !escapes(node.pkg, pm(node), site.call, g, nil) {
+					continue
+				}
+				tainted[id] = funcTaint{
+					origin: ct.origin,
+					via:    append([]FuncID{site.callee}, ct.via...),
+					pos:    site.pos,
+				}
+				changed = true
+				break
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, id := range g.ids {
+		node := g.funcs[id]
+		t, ok := tainted[id]
+		if !ok || !isSinkNode(node) {
+			continue
+		}
+		if len(t.via) == 0 {
+			// Direct source inside the sink function. The syntactic rules
+			// already own the rand and map-order shapes there; reporting
+			// them again would double every intra-package finding.
+			if t.origin.kind == taintRand || t.origin.kind == taintMapOrder {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:    node.pkg.Fset.Position(t.pos),
+				RuleID: "det-flow",
+				Message: fmt.Sprintf("%s (%s) in generation sink %s: output cannot be regenerated from the seed; use internal/detrand or emit in sorted order",
+					t.origin.desc, t.origin.kind, id.shortName()),
+			})
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:    node.pkg.Fset.Position(t.pos),
+			RuleID: "det-flow",
+			Message: fmt.Sprintf("call to %s carries nondeterminism (%s: %s at %s:%d) into generation sink %s; pin it to the seed via internal/detrand or sort before emitting",
+				t.via[0].shortName(), t.origin.kind, t.origin.desc,
+				t.origin.pos.Filename, t.origin.pos.Line, id.shortName()),
+		})
+	}
+	return out
+}
+
+// directSource finds the earliest escaping nondeterminism source in node's
+// body, if any. Test files are exempt, matching det-global-rand.
+func directSource(node *funcNode, pm parentMap, g *CallGraph) (funcTaint, bool) {
+	p := node.pkg
+	if isTestFile(p.Fset, node.decl.Pos()) {
+		return funcTaint{}, false
+	}
+	var best funcTaint
+	found := false
+	record := func(pos token.Pos, kind taintKind, desc string) {
+		if found && best.pos <= pos {
+			return
+		}
+		best = funcTaint{
+			origin: taintOrigin{kind: kind, pos: p.Fset.Position(pos), desc: desc},
+			pos:    pos,
+		}
+		found = true
+	}
+
+	hasGo := false
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			hasGo = true
+		}
+		return true
+	})
+
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := pkgFunc(p.Info, x)
+			if fn != nil && fn.Pkg() != nil {
+				switch fn.FullName() {
+				case "time.Now", "time.Since":
+					if escapes(p, pm, x, g, nil) {
+						record(x.Pos(), taintTime, fn.FullName())
+					}
+				}
+				if fn.Pkg().Path() == "fmt" {
+					if lit := pointerVerbLit(x); lit != nil {
+						// Print/Fprint emit directly; Sprint-style results
+						// get the containment check.
+						if strings.HasPrefix(fn.Name(), "S") || fn.Name() == "Errorf" {
+							if escapes(p, pm, x, g, nil) {
+								record(lit.Pos(), taintPointerFmt, "fmt."+fn.Name()+" with %p")
+							}
+						} else {
+							record(lit.Pos(), taintPointerFmt, "fmt."+fn.Name()+" with %p")
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			pkgName, ok := p.Info.Uses[identOf(x.X)].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			fn, ok := p.Info.Uses[x.Sel].(*types.Func)
+			if !ok || randConstructors[fn.Name()] {
+				return true
+			}
+			src := ast.Node(x)
+			if call, isCall := pm[x].(*ast.CallExpr); isCall && call.Fun == ast.Node(x) {
+				src = call
+			}
+			if escapes(p, pm, src, g, nil) {
+				record(x.Pos(), taintRand, path+"."+fn.Name())
+			}
+		case *ast.RangeStmt:
+			if obj, pos, ok := orderLeak(p, node.decl.Body, x); ok {
+				kind := taintKind("")
+				if isMapRange(p, x) {
+					kind = taintMapOrder
+				} else if hasGo && isChanRange(p, x) {
+					kind = taintGoroutineOrder
+				}
+				if kind != "" && varEscapes(p, pm, node.decl.Body, obj, g, nil) {
+					desc := "map iteration order"
+					if kind == taintGoroutineOrder {
+						desc = "goroutine completion order (channel fan-in)"
+					}
+					record(pos, kind, desc)
+				}
+			}
+		case *ast.SelectStmt:
+			ready := 0
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					ready++
+				}
+			}
+			if ready >= 2 {
+				record(x.Pos(), taintSelectOrder, "select over multiple channels")
+			}
+		}
+		return true
+	})
+	return best, found
+}
+
+// pointerVerbLit returns the first string-literal argument of call
+// containing a %p verb, or nil.
+func pointerVerbLit(call *ast.CallExpr) *ast.BasicLit {
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+		if ok && lit.Kind == token.STRING && strings.Contains(lit.Value, "%p") {
+			return lit
+		}
+	}
+	return nil
+}
+
+// isChanRange reports whether rs ranges over a channel.
+func isChanRange(p *Package, rs *ast.RangeStmt) bool {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// orderLeak reports whether rs's body appends iteration-ordered data to a
+// variable declared before the loop that is not sorted afterwards,
+// returning that variable.
+func orderLeak(p *Package, body *ast.BlockStmt, rs *ast.RangeStmt) (types.Object, token.Pos, bool) {
+	var obj types.Object
+	var pos token.Pos
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if o, pp := appendTarget(p, as, rs); o != nil {
+			obj, pos = o, pp
+		}
+		return true
+	})
+	if obj == nil || sortedAfter(p, body, obj, rs.End()) {
+		return nil, token.NoPos, false
+	}
+	return obj, pos, true
+}
+
+// parentMap maps every node in a body to its syntactic parent.
+type parentMap map[ast.Node]ast.Node
+
+// buildParents records the parent of each node under root.
+func buildParents(root ast.Node) parentMap {
+	pm := make(parentMap)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// escapes reports whether the value produced at n flows anywhere beyond
+// sanitizer calls: a return, an outer structure, a channel, control flow,
+// or an argument to a module function. Stdlib calls pass the value through
+// (their result is checked instead); telemetry/detrand calls contain it.
+// visited guards against assignment cycles; pass nil at entry points.
+func escapes(p *Package, pm parentMap, n ast.Node, g *CallGraph, visited map[types.Object]bool) bool {
+	if visited == nil {
+		visited = make(map[types.Object]bool)
+	}
+	cur := n
+	for depth := 0; depth < 64; depth++ {
+		par := pm[cur]
+		switch pp := par.(type) {
+		case nil:
+			return true // top of body with the value still live: be safe
+		case *ast.CallExpr:
+			if pp.Fun == cur {
+				// Method call on the tainted value: result carries it.
+				cur = pp
+				continue
+			}
+			callee := pkgFunc(p.Info, pp)
+			if callee == nil || callee.Pkg() == nil {
+				// Builtin (append, len) or call through a value: the
+				// result derives from the argument.
+				cur = pp
+				continue
+			}
+			if isSanitizerPkg(callee.Pkg().Path()) {
+				return false
+			}
+			if _, inModule := g.funcs[funcID(callee)]; inModule {
+				// Handed to a module function whose parameter flow we do
+				// not track: conservatively an escape.
+				return true
+			}
+			// Writer-shaped stdlib calls (Fprintf, Builder.WriteString,
+			// Encoder.Encode, …) push the argument into a stream even
+			// though the call's own result is discarded.
+			if fprintFuncs[callee.FullName()] {
+				return true
+			}
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil && emitWriters[callee.Name()] {
+				return true
+			}
+			// Stdlib pass-through: taint rides the result.
+			cur = pp
+		case *ast.SelectorExpr, *ast.ParenExpr, *ast.UnaryExpr, *ast.BinaryExpr,
+			*ast.StarExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.TypeAssertExpr,
+			*ast.KeyValueExpr, *ast.CompositeLit:
+			cur = par
+		case *ast.AssignStmt:
+			return assignEscapes(p, pm, pp, cur, g, visited)
+		case *ast.ValueSpec:
+			for _, name := range pp.Names {
+				if name.Name == "_" {
+					continue
+				}
+				if obj := p.Info.Defs[name]; obj != nil {
+					if varEscapes(p, pm, topBlock(pm, pp), obj, g, visited) {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.ReturnStmt, *ast.SendStmt:
+			return true
+		case *ast.ExprStmt:
+			return false // value discarded
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false // the inner CallExpr case already classified args
+		default:
+			// Conditions, range sources, switch tags, index positions …
+			// the value steers execution: treat as escaping.
+			return true
+		}
+	}
+	return true
+}
+
+// assignEscapes resolves an assignment whose right side carries taint.
+func assignEscapes(p *Package, pm parentMap, as *ast.AssignStmt, from ast.Node, g *CallGraph, visited map[types.Object]bool) bool {
+	targets := as.Lhs
+	if len(as.Lhs) == len(as.Rhs) {
+		// Match the Rhs operand that contains the tainted node.
+		for i, rhs := range as.Rhs {
+			if rhs.Pos() <= from.Pos() && from.Pos() < rhs.End() {
+				targets = as.Lhs[i : i+1]
+				break
+			}
+		}
+	}
+	for _, lhs := range targets {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return true // field, index or deref target: leaves the function's hands
+		}
+		if id.Name == "_" {
+			continue
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if varEscapes(p, pm, topBlock(pm, as), obj, g, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// topBlock walks up to the outermost body block containing n.
+func topBlock(pm parentMap, n ast.Node) ast.Node {
+	top := n
+	for cur := n; cur != nil; cur = pm[cur] {
+		top = cur
+	}
+	return top
+}
+
+// varEscapes reports whether any read of obj escapes. Assignment targets
+// are skipped (writing back into the variable is not a read), and the
+// shared visited set breaks self-feeding cycles like x = append(x, …).
+func varEscapes(p *Package, pm parentMap, body ast.Node, obj types.Object, g *CallGraph, visited map[types.Object]bool) bool {
+	if visited == nil {
+		visited = make(map[types.Object]bool)
+	}
+	if visited[obj] {
+		return false
+	}
+	visited[obj] = true
+	leak := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if leak {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != obj {
+			return true
+		}
+		if as, ok := pm[id].(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if lhs == ast.Node(id) {
+					return true // write target, not a read
+				}
+			}
+		}
+		if escapes(p, pm, id, g, visited) {
+			leak = true
+		}
+		return !leak
+	})
+	return leak
+}

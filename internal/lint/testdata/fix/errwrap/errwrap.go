@@ -1,0 +1,18 @@
+// Package errwrap drops errors; -fix must wrap the fixable subset in
+// `if err := …; err != nil { return err }` and leave the rest flagged.
+package errwrap
+
+import "os"
+
+// clean removes two scratch files, dropping both errors; the enclosing
+// function returns exactly error, so both drops are mechanically fixable.
+func clean(dir string) error {
+	os.Remove(dir + "/a")
+	_ = os.Remove(dir + "/b")
+	return nil
+}
+
+// report returns nothing, so its drop is a finding but not fixable.
+func report(dir string) {
+	os.Remove(dir)
+}

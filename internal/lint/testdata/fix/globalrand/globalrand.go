@@ -1,0 +1,15 @@
+// Package globalrand draws from the process-global source; -fix must
+// route every draw through detrand.Global() and drop the stale import.
+package globalrand
+
+import "math/rand"
+
+// pick selects an index with the global source.
+func pick(n int) int {
+	return rand.Intn(n)
+}
+
+// shuffle permutes xs in place with the global source.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

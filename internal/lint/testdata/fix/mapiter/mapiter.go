@@ -1,0 +1,21 @@
+// Package mapiter appends under map iteration; -fix must rewrite each
+// loop to iterate sorted keys.
+package mapiter
+
+// names collects labels in map order.
+func names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// pairs uses both the key and the value.
+func pairs(m map[string]int) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, len(k)+v)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package conclockacross exercises conc-lock-across-call: blocking
+// operations between a lock and its release stall every other user of
+// the lock, and under contention deadlock the pipeline's worker pools.
+package conclockacross
+
+import (
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu    sync.Mutex
+	items []int
+	ch    chan int
+}
+
+// pushNotify sends on a channel while holding the lock.
+func (q *queue) pushNotify(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.ch <- v // want conc-lock-across-call
+	q.mu.Unlock()
+}
+
+// drain holds a deferred unlock across a channel range: the window runs
+// to the end of the function.
+func (q *queue) drain() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for v := range q.ch { // want conc-lock-across-call
+		n += v
+	}
+	return n
+}
+
+// slowAppend sleeps under the lock.
+func (q *queue) slowAppend(v int) {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want conc-lock-across-call
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+}
+
+type stats struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// snapshot blocks on a receive while holding the read lock.
+func (s *stats) snapshot(done chan struct{}) map[string]int {
+	s.mu.RLock()
+	<-done // want conc-lock-across-call
+	out := make(map[string]int, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	s.mu.RUnlock()
+	return out
+}
+
+// push releases the lock before the send: clean.
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// async spawns a goroutine under the lock: the literal's body does not
+// run while the lock is held, so it is clean.
+func (q *queue) async(v int) {
+	q.mu.Lock()
+	go func() {
+		q.ch <- v
+	}()
+	q.mu.Unlock()
+}
+
+// pushBuffered is waived: the send is into guaranteed spare capacity.
+func (q *queue) pushBuffered(v int) {
+	q.mu.Lock()
+	//lint:ignore conc-lock-across-call channel is sized to capacity; the send cannot block
+	q.ch <- v
+	q.mu.Unlock()
+}

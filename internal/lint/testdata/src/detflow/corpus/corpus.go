@@ -1,0 +1,76 @@
+// Package corpus is a det-flow sink fixture: its name marks it as a
+// generation package, so nondeterminism arriving here must be reported —
+// and sanitized or sorted flows must stay quiet.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/lint/testdata/src/detflow/lib"
+)
+
+// WriteCorpus emits one line per example with a wall-clock id imported
+// from lib: the taint crosses the package boundary.
+func WriteCorpus(sb *strings.Builder, texts []string) {
+	for _, t := range texts {
+		id := lib.Stamp() // want det-flow
+		sb.WriteString(strconv.FormatInt(id, 10) + "\t" + t + "\n")
+	}
+}
+
+// SerializeTagged routes the two-hop chain (Tag -> Stamp -> time.Now)
+// into the output.
+func SerializeTagged(sb *strings.Builder, text string) {
+	sb.WriteString(lib.Tag() + "\t" + text + "\n") // want det-flow
+}
+
+// MarshalExampleHeader is a direct wall-clock source inside a sink: not a
+// shape the syntactic rules cover, so det-flow owns it.
+func MarshalExampleHeader() string {
+	return fmt.Sprintf("# generated %d\n", time.Now().Unix()) // want det-flow
+}
+
+// EmitParallel collects worker results in completion order and writes
+// them out: goroutine scheduling decides the corpus order.
+func EmitParallel(sb *strings.Builder, texts []string) {
+	ch := make(chan string, len(texts))
+	for _, t := range texts {
+		go func(s string) { ch <- s }(t)
+	}
+	var out []string
+	for s := range ch {
+		out = append(out, s) // want det-flow
+	}
+	for _, s := range out {
+		sb.WriteString(s + "\n")
+	}
+}
+
+// SerializeSeeded is clean: ids come from the seed-pinned generator.
+func SerializeSeeded(sb *strings.Builder, texts []string) {
+	for _, t := range texts {
+		sb.WriteString(strconv.FormatInt(lib.Seeded(), 10) + "\t" + t + "\n")
+	}
+}
+
+// EmitSorted is clean: map order is sanitized by the sort before writing.
+func EmitSorted(sb *strings.Builder, counts map[string]int) {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteString(k + "\n")
+	}
+}
+
+// EmitDebug carries wall-clock taint but is waived with a reason.
+func EmitDebug(sb *strings.Builder) {
+	//lint:ignore det-flow debug stream is not part of the regenerable corpus
+	sb.WriteString(strconv.FormatInt(lib.Stamp(), 10))
+}

@@ -1,0 +1,20 @@
+// Package lib hides nondeterminism sources behind innocent-looking
+// accessors, one call removed from the sink package — the cross-package
+// shape the per-function syntactic rules cannot see.
+package lib
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/detrand"
+)
+
+// Stamp leaks the wall clock through its return value.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Tag leaks the wall clock two hops deep: Tag -> Stamp -> time.Now.
+func Tag() string { return fmt.Sprintf("t%d", Stamp()) }
+
+// Seeded draws from the seed-pinned generator: sanitized at the source.
+func Seeded() int64 { return detrand.Global().Int63() }

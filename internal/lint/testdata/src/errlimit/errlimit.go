@@ -1,0 +1,104 @@
+// Package errlimit exercises err-limit-propagate: a package declaring an
+// errLimit* sentinel must let it propagate out of scan paths; absorbing
+// comparisons and dropped maybe-sentinel errors need explicit waivers.
+package errlimit
+
+import "errors"
+
+var errLimitReached = errors.New("limit reached")
+
+type row struct{ id int }
+
+// take returns the sentinel when the quota is exhausted.
+func take(quota *int) error {
+	*quota--
+	if *quota <= 0 {
+		return errLimitReached
+	}
+	return nil
+}
+
+// relay propagates transitively: returning take's result makes relay a
+// may-return-sentinel function too.
+func relay(quota *int) error {
+	return take(quota)
+}
+
+// collect absorbs the sentinel outside the blessed conversion point.
+func collect(rows []row, quota int) []row {
+	var out []row
+	for _, r := range rows {
+		err := relay(&quota)
+		if err == errLimitReached { // want err-limit-propagate
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// drain drops an error that may carry the sentinel (and err-ignored
+// flags the bare call on its own grounds).
+func drain(rows []row, quota int) {
+	for range rows {
+		take(&quota) // want err-limit-propagate err-ignored
+	}
+}
+
+// drop blank-discards the maybe-sentinel error.
+func drop(quota int) {
+	_ = take(&quota) // want err-limit-propagate err-ignored
+}
+
+type sink func(row) error
+
+// newSink builds a sentinel-returning literal behind the named func type.
+func newSink(quota *int) sink {
+	return func(r row) error {
+		*quota--
+		if *quota <= 0 {
+			return errLimitReached
+		}
+		return nil
+	}
+}
+
+// feed drops errors from a call through the named func type whose
+// literals may return the sentinel.
+func feed(rows []row, s sink) {
+	for _, r := range rows {
+		s(r) // want err-limit-propagate err-ignored
+	}
+}
+
+// pump propagates correctly: clean.
+func pump(rows []row, quota int) error {
+	for range rows {
+		if err := take(&quota); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planTop is this fixture's blessed conversion point, with a waiver.
+func planTop(rows []row, quota int) ([]row, error) {
+	var out []row
+	err := scanInto(rows, &quota, &out)
+	//lint:ignore err-limit-propagate planTop is the fixture's blessed limit-to-success conversion point
+	if err == errLimitReached {
+		return out, nil
+	}
+	return out, err
+}
+
+// scanInto pushes rows until take stops it, propagating the sentinel.
+func scanInto(rows []row, quota *int, out *[]row) error {
+	for _, r := range rows {
+		if err := take(quota); err != nil {
+			return err
+		}
+		*out = append(*out, r)
+	}
+	return nil
+}

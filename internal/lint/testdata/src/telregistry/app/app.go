@@ -1,0 +1,46 @@
+// Package app exercises tel-metric-registry against the fixture registry:
+// declared names pass, unknown names, kind mismatches, convention
+// violations and missing _ns suffixes fail.
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/lint/testdata/src/telregistry/telemetry"
+)
+
+// declared uses only registered names with their declared kinds.
+func declared(stage string) {
+	telemetry.Default().Counter("app.items_done").Add(1)
+	telemetry.Default().Gauge("app.queue_depth").Set(3)
+	telemetry.Default().LatencyHistogram("app.step_ns").Observe(7)
+	// A dynamic name resolves to the pattern "app.step.*_ns", which is
+	// declared verbatim in the registry.
+	telemetry.Default().Histogram(fmt.Sprintf("app.step.%s_ns", stage)).Observe(9)
+}
+
+// undeclared uses a name missing from KnownMetrics.
+func undeclared() {
+	telemetry.Default().Counter("app.missing_total").Add(1) // want tel-metric-registry
+}
+
+// wrongKind reads a declared counter through a gauge accessor.
+func wrongKind() {
+	telemetry.Default().Gauge("app.items_done").Set(2) // want tel-metric-registry
+}
+
+// badConvention violates the lower-snake dotted naming scheme.
+func badConvention() {
+	telemetry.Default().Counter("AppItemsDone").Add(1) // want tel-metric-registry
+}
+
+// missingSuffix records a duration without the _ns suffix.
+func missingSuffix() {
+	telemetry.Default().LatencyHistogram("app.step_time").Observe(1) // want tel-metric-registry
+}
+
+// waived carries an explicit suppression with a reason.
+func waived() {
+	//lint:ignore tel-metric-registry migration counter pending a registry entry
+	telemetry.Default().Counter("app.legacy_total").Add(1)
+}

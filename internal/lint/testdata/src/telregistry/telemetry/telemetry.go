@@ -1,0 +1,54 @@
+// Package telemetry is a miniature registry fixture: the rule keys on the
+// package name and the declared KnownMetrics literal, exactly as it does
+// for the real internal/telemetry.
+package telemetry
+
+// Registry hands out metric handles.
+type Registry struct{}
+
+// Default returns the shared registry.
+func Default() *Registry { return &Registry{} }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{}
+
+// Add increments the counter.
+func (*Counter) Add(int64) {}
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct{}
+
+// Set records the current value.
+func (*Gauge) Set(int64) {}
+
+// Histogram records a value distribution.
+type Histogram struct{}
+
+// Observe records one sample.
+func (*Histogram) Observe(int64) {}
+
+// Counter resolves a counter handle by name.
+func (*Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge resolves a gauge handle by name.
+func (*Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram resolves a histogram handle by name.
+func (*Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+// LatencyHistogram resolves a duration histogram; names must end in _ns.
+func (*Registry) LatencyHistogram(name string) *Histogram { return &Histogram{} }
+
+// MetricName is one declared registry entry.
+type MetricName struct {
+	Name string
+	Kind string
+}
+
+// KnownMetrics is this fixture module's declared metric table.
+var KnownMetrics = []MetricName{
+	{Name: "app.items_done", Kind: "counter"},
+	{Name: "app.queue_depth", Kind: "gauge"},
+	{Name: "app.step.*_ns", Kind: "histogram"},
+	{Name: "app.step_ns", Kind: "histogram"},
+}

@@ -505,6 +505,7 @@ func (e *Engine) planRows(p *plan, sink rowSink) error {
 	default:
 		err = fmt.Errorf("sqlengine: unsupported FROM arity %d", len(p.sources))
 	}
+	//lint:ignore err-limit-propagate planRows is the blessed conversion point: the limit sentinel stops scan/join early and is success here
 	if err == errLimitReached {
 		return nil
 	}
