@@ -78,6 +78,9 @@ type jsonExperiment struct {
 	// Scalability carries the FigScalability throughput points (including
 	// the worker sweep); empty for every other experiment.
 	Scalability []experiments.ScalabilityPoint `json:"scalability,omitempty"`
+	// Streaming carries the FigStreaming memory points (materializing vs
+	// streaming generation); empty for every other experiment.
+	Streaming []experiments.StreamingPoint `json:"streaming,omitempty"`
 }
 
 // jsonReport is the machine-readable -json output.
@@ -112,7 +115,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "training-volume multiplier (1.0 = paper scale)")
 	seed := flag.Int64("seed", 7, "global seed")
 	workers := flag.Int("workers", 0, "worker pool size for parallel stages (0 = GOMAXPROCS)")
-	run := flag.String("run", "all", "comma-separated experiments: tableiii,tableiv,tablev,tablevi,tablevii,tableviii,figrows,figserialization,figcorpus,figscalability,ablation")
+	run := flag.String("run", "all", "comma-separated experiments: tableiii,tableiv,tablev,tablevi,tablevii,tableviii,figrows,figserialization,figcorpus,figscalability,figstreaming,ablation")
 	jsonPath := flag.String("json", "", "write a machine-readable report to this file (\"-\" for stdout)")
 	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
@@ -143,6 +146,7 @@ func main() {
 		{"figserialization", wrap(experiments.FigSerialization)},
 		{"figcorpus", wrap(experiments.FigCorpusSize)},
 		{"figscalability", wrap(experiments.FigScalability)},
+		{"figstreaming", wrap(experiments.FigStreaming)},
 		{"ablation", func(cfg experiments.Config) (fmt.Stringer, error) {
 			return experiments.AnnotatorAblation(cfg), nil
 		}},
@@ -173,6 +177,9 @@ func main() {
 		entry := jsonExperiment{Name: r.name, Seconds: elapsed.Seconds()}
 		if sc, ok := res.(experiments.FigScalabilityResult); ok {
 			entry.Scalability = sc.Points
+		}
+		if st, ok := res.(experiments.FigStreamingResult); ok {
+			entry.Streaming = st.Points
 		}
 		report.Experiments = append(report.Experiments, entry)
 	}

@@ -9,6 +9,7 @@
 //	pythia generate (-in table.csv | -dataset Basket) [-method ...] [-mode textgen|templates]
 //	                [-structures attribute,row,full] [-match both|contradictory|uniform]
 //	                [-questions] [-max N] [-json] [-workers N]
+//	                [-out DIR [-checkpoint-every N] [-shard-size N] [-resume]]
 //	pythia datasets
 //
 // The ulabel method needs no training and is the default; schema/data
@@ -16,14 +17,22 @@
 // first (-tables controls its size). -workers shards generation and model
 // training across a worker pool (0 = GOMAXPROCS) with byte-identical
 // output at every worker count.
+//
+// Generation streams: examples are printed (or written to -out shards) as
+// they clear the deterministic merge, so memory stays flat at any output
+// size. With -out, a manifest checkpoint every -checkpoint-every examples
+// makes the run resumable — re-invoke with the same arguments plus -resume
+// to skip completed work and finish to byte-identical total output.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/annotate"
@@ -35,6 +44,7 @@ import (
 	"repro/internal/pythia"
 	"repro/internal/relation"
 	"repro/internal/sqlengine"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
 
@@ -103,6 +113,7 @@ func usage() {
   pythia generate (-in table.csv | -dataset NAME) [-method ulabel|schema|data] [-mode textgen|templates]
                   [-structures attribute,row,full] [-match both|contradictory|uniform]
                   [-questions] [-max N] [-json] [-tables N] [-workers N]
+                  [-out DIR [-checkpoint-every N] [-shard-size N] [-resume]]
   pythia sql      (-in table.csv | -dataset NAME) ["QUERY" | -i]
   pythia datasets
 
@@ -163,10 +174,20 @@ func cmdSQL(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "table %s registered; enter SQL, empty line to quit\n", t.Name)
 	sc := bufio.NewScanner(os.Stdin)
+	// The default 64KB token limit kills the REPL on one long generated
+	// query; give it room and name the limit if it is still exceeded.
+	const maxQueryLine = 4 << 20
+	sc.Buffer(make([]byte, 0, 64*1024), maxQueryLine)
 	for {
 		fmt.Fprint(os.Stderr, "pythia> ")
 		if !sc.Scan() {
-			return sc.Err()
+			if err := sc.Err(); err != nil {
+				if errors.Is(err, bufio.ErrTooLong) {
+					return fmt.Errorf("query line exceeds the %d-byte limit: %w", maxQueryLine, err)
+				}
+				return fmt.Errorf("reading query: %w", err)
+			}
+			return nil
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.EqualFold(line, "exit") || strings.EqualFold(line, "quit") {
@@ -190,11 +211,7 @@ func tableFlags(fs *flag.FlagSet) func() (*relation.Table, error) {
 				return nil, err
 			}
 			defer f.Close()
-			name := strings.TrimSuffix(strings.TrimSuffix(*in, ".csv"), ".CSV")
-			if i := strings.LastIndexByte(name, '/'); i >= 0 {
-				name = name[i+1:]
-			}
-			return relation.ReadCSV(name, f)
+			return relation.ReadCSV(tableNameFromPath(*in), f)
 		case *dataset != "":
 			d, err := data.Load(*dataset)
 			if err != nil {
@@ -205,6 +222,19 @@ func tableFlags(fs *flag.FlagSet) func() (*relation.Table, error) {
 			return nil, fmt.Errorf("missing -in or -dataset")
 		}
 	}
+}
+
+// tableNameFromPath derives a table name from a CSV path: the base file
+// name with a case-insensitive .csv extension stripped. filepath.Base
+// handles the platform's separators, so "data\Table.Csv" on Windows and
+// "data/table.csv" on Unix both yield a clean name instead of a
+// hand-rolled '/'-split leaving separators or extensions behind.
+func tableNameFromPath(path string) string {
+	name := filepath.Base(path)
+	if ext := filepath.Ext(name); strings.EqualFold(ext, ".csv") {
+		name = name[:len(name)-len(ext)]
+	}
+	return name
 }
 
 func cmdProfile(args []string) error {
@@ -317,6 +347,11 @@ func cmdGenerate(args []string) error {
 	asJSON := fs.Bool("json", false, "emit JSON lines instead of text")
 	seed := fs.Int64("seed", 1, "phrasing seed")
 	workers := fs.Int("workers", 0, "worker pool size for generation and training (0 = GOMAXPROCS)")
+	out := fs.String("out", "", "stream sharded NDJSON into this directory instead of stdout")
+	checkpointEvery := fs.Int("checkpoint-every", stream.DefaultCheckpointEvery,
+		"examples between resume checkpoints with -out (negative = only at completion)")
+	shardSize := fs.Int("shard-size", stream.DefaultShardSize, "examples per -out shard file")
+	resume := fs.Bool("resume", false, "continue an interrupted -out run from its last checkpoint (same arguments required)")
 	obs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -373,17 +408,48 @@ func cmdGenerate(args []string) error {
 	}
 
 	g := pythia.NewGenerator(t, md)
-	exs, err := g.Generate(opts)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(os.Stdout)
-	for _, ex := range exs {
-		if *asJSON {
-			if err := enc.Encode(ex); err != nil {
-				return err
+
+	// File streaming: sharded NDJSON with checkpoint/resume. The manifest
+	// fingerprint covers the generation options plus the metadata method
+	// and corpus size, so a resume with different arguments is refused.
+	if *out != "" {
+		sink, res, err := stream.Open(stream.Config{
+			Dir:             *out,
+			Fingerprint:     opts.Fingerprint(t.Name, "method="+*method, fmt.Sprintf("tables=%d", *tables)),
+			Seed:            *seed,
+			CheckpointEvery: *checkpointEvery,
+			ShardSize:       *shardSize,
+		}, *resume)
+		if err != nil {
+			return err
+		}
+		if res.NextUnit > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d examples already flushed, continuing from unit %d\n",
+				len(res.Seen), res.NextUnit)
+		}
+		if err := g.GenerateStreamFrom(opts, res, sink); err != nil {
+			// Keep the last checkpoint as the resume point: close the
+			// shard without finalizing the manifest.
+			if cerr := sink.Close(); cerr != nil {
+				return errors.Join(err, cerr)
 			}
-			continue
+			return err
+		}
+		if err := sink.Finish(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%d examples in %d shards -> %s\n", sink.Examples(), sink.Shards(), *out)
+		return nil
+	}
+
+	// Stdout streaming: examples print as they clear the merge frontier,
+	// so memory stays flat no matter how many are generated.
+	enc := json.NewEncoder(os.Stdout)
+	count := 0
+	err = g.GenerateStream(opts, pythia.SinkFunc(func(ex pythia.Example) error {
+		count++
+		if *asJSON {
+			return enc.Encode(ex)
 		}
 		fmt.Printf("[%s/%s] %s\n", ex.Structure, ex.Match, ex.Text)
 		if len(ex.Evidence) > 0 {
@@ -394,7 +460,11 @@ func cmdGenerate(args []string) error {
 			fmt.Printf("    evidence: %s\n", strings.Join(parts, " — "))
 		}
 		fmt.Printf("    query: %s\n", ex.Query)
+		return nil
+	}))
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "%d examples\n", len(exs))
+	fmt.Fprintf(os.Stderr, "%d examples\n", count)
 	return nil
 }

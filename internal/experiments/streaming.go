@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/pythia"
+)
+
+// StreamingPoint is one memory measurement of the streaming figure: the
+// same template-mode generation run through the materializing Generate
+// path and the GenerateStream discard-sink path, at one output size.
+type StreamingPoint struct {
+	TableRows        int           `json:"table_rows"`
+	Path             string        `json:"path"` // "materialize" or "stream"
+	Examples         int           `json:"examples"`
+	Elapsed          time.Duration `json:"elapsed_ns"`
+	AllocsPerExample float64       `json:"allocs_per_example"`
+	BytesPerExample  float64       `json:"bytes_per_example"`
+	// HeapLiveMB is HeapAlloc right after the run, before collection — the
+	// materializing path holds the full []Example here, the streaming path
+	// only the dedup set and the reorder window.
+	HeapLiveMB float64 `json:"heap_live_mb"`
+}
+
+// FigStreamingResult is the constant-memory streaming comparison behind
+// BENCH_7.json: allocations per example must stay flat as output grows,
+// and live heap must not scale with the full materialized slice.
+type FigStreamingResult struct {
+	Points []StreamingPoint
+}
+
+// String renders the measurements.
+func (r FigStreamingResult) String() string {
+	header := []string{"TableRows", "Path", "Examples", "Elapsed", "Allocs/ex", "Bytes/ex", "HeapLiveMB"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.TableRows), p.Path, fmt.Sprint(p.Examples),
+			p.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", p.AllocsPerExample),
+			fmt.Sprintf("%.0f", p.BytesPerExample),
+			fmt.Sprintf("%.1f", p.HeapLiveMB),
+		})
+	}
+	return "Figure — streaming vs materializing generation memory\n" + renderTable(header, rows)
+}
+
+// AllocsFlatness returns the ratio of streaming allocs/example at the
+// largest output size over the smallest (1.0 = perfectly flat), or 0 when
+// the points are missing.
+func (r FigStreamingResult) AllocsFlatness() float64 {
+	var first, last float64
+	for _, p := range r.Points {
+		if p.Path != "stream" {
+			continue
+		}
+		if first == 0 {
+			first = p.AllocsPerExample
+		}
+		last = p.AllocsPerExample
+	}
+	if first == 0 {
+		return 0
+	}
+	return last / first
+}
+
+// FigStreaming measures the generation pipeline's memory behaviour on
+// growing template-mode outputs (the paper's millions-of-examples mode):
+// exact allocation counts and bytes per example plus post-run live heap,
+// for the materializing Generate path versus GenerateStream into a
+// discarding sink. Runs are sequential (Workers=1) so the counts are
+// stable, and each point uses a fresh generator so no path inherits the
+// other's warm caches.
+func FigStreaming(cfg Config) (FigStreamingResult, error) {
+	defer stage("figstreaming")()
+	res := FigStreamingResult{}
+	// Attribute templates grow quadratically in table rows: these sizes
+	// land near 10k and 110k examples at full scale — the 10× span the
+	// allocs-flatness acceptance is checked over.
+	sizes := []int{cfg.scaled(110, 60), cfg.scaled(350, 120)}
+	opts := pythia.Options{
+		Mode:       pythia.Templates,
+		Structures: []pythia.Structure{pythia.AttributeAmb, pythia.RowAmb},
+		Seed:       cfg.Seed,
+		Workers:    1,
+	}
+	for _, rows := range sizes {
+		newGen := func() (*pythia.Generator, error) {
+			t := scalabilityTable(rows)
+			md, err := pythia.WithPairs(t, []model.Pair{
+				{AttrA: "total_cases", AttrB: "new_cases", Label: "cases"},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig streaming: %w", err)
+			}
+			return pythia.NewGenerator(t, md), nil
+		}
+
+		measure := func(path string, run func(g *pythia.Generator) (int, error)) error {
+			g, err := newGen()
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			n, err := run(g)
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				return fmt.Errorf("experiments: fig streaming %s: %w", path, err)
+			}
+			if n == 0 {
+				return fmt.Errorf("experiments: fig streaming %s: no examples at %d rows", path, rows)
+			}
+			res.Points = append(res.Points, StreamingPoint{
+				TableRows: rows, Path: path, Examples: n, Elapsed: elapsed,
+				AllocsPerExample: float64(after.Mallocs-before.Mallocs) / float64(n),
+				BytesPerExample:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+				HeapLiveMB:       float64(after.HeapAlloc) / (1 << 20),
+			})
+			return nil
+		}
+
+		if err := measure("materialize", func(g *pythia.Generator) (int, error) {
+			exs, err := g.Generate(opts)
+			return len(exs), err
+		}); err != nil {
+			return res, err
+		}
+		if err := measure("stream", func(g *pythia.Generator) (int, error) {
+			n := 0
+			err := g.GenerateStream(opts, pythia.SinkFunc(func(pythia.Example) error {
+				n++
+				return nil
+			}))
+			return n, err
+		}); err != nil {
+			return res, err
+		}
+		cfg.logf("FigStreaming: %d rows done", rows)
+	}
+	return res, nil
+}

@@ -137,3 +137,136 @@ func collect[T any](out []T, errs []error) ([]T, error) {
 	}
 	return out, nil
 }
+
+// streamWindowPerWorker sizes the reorder window of StreamShards: at most
+// workers*streamWindowPerWorker units may be claimed but not yet consumed.
+// The window is what bounds memory — completed out-of-order results wait in
+// it, so a bigger window hides more scheduling skew at the cost of holding
+// more finished units; 4 per worker keeps every worker busy through a
+// typical skewed unit without letting fast workers run away from the merge
+// frontier.
+const streamWindowPerWorker = 4
+
+// indexed is one completed unit in flight between a worker and the merge
+// loop of StreamShards.
+type indexed[T any] struct {
+	i   int
+	v   T
+	err error
+}
+
+// StreamShards is MapShards without materialization: results are handed to
+// consume in canonical index order as soon as the frontier reaches them,
+// instead of being collected into a slice. Workers claim indices from an
+// atomic counter and emit completed units through a bounded channel; the
+// merge loop (running on the caller's goroutine) holds out-of-order units
+// in a reorder window and flushes the contiguous prefix. Memory is bounded
+// by the window — at most workers*streamWindowPerWorker units are claimed
+// but unconsumed at any moment — so an n-unit stream never holds more than
+// O(workers) unit results regardless of n.
+//
+// Unlike MapShards, which runs every index to completion, StreamShards
+// stops at the first failure in canonical order: the error returned is the
+// one at the lowest index the frontier reached (or the consume error that
+// aborted the flush), and workers are cancelled. consume is never called
+// concurrently and never out of order, so callers may fold, dedup and
+// checkpoint in it exactly as a sequential loop would.
+func StreamShards[S, T any](workers, n int, newShard func(worker int) S, fn func(shard S, i int) (T, error), consume func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	poolMetrics.size.Set(int64(workers))
+	poolMetrics.units.Add(int64(n))
+	if workers <= 1 {
+		units, busyNS := workerMetrics(0)
+		start := time.Now()
+		s := newShard(0)
+		var err error
+		done := 0
+		for ; done < n; done++ {
+			var v T
+			if v, err = fn(s, done); err != nil {
+				break
+			}
+			if err = consume(done, v); err != nil {
+				break
+			}
+		}
+		units.Add(int64(done))
+		busyNS.Add(time.Since(start).Nanoseconds())
+		return err
+	}
+
+	window := workers * streamWindowPerWorker
+	if window > n {
+		window = n
+	}
+	// tokens is the claim budget: a worker takes one token per claim, the
+	// merge loop returns one per flushed unit, so claimed-but-unconsumed
+	// units never exceed the window. Two invariants keep the channels
+	// select-free: every results send is covered by a token the worker
+	// still holds, and results has window capacity — so sends never block
+	// even if the merge loop has stopped receiving. Cancellation is just
+	// closing tokens; workers drain out at their next claim.
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	results := make(chan indexed[T], window)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			units, busyNS := workerMetrics(worker)
+			start := time.Now()
+			claimed := 0
+			s := newShard(worker)
+			defer func() {
+				units.Add(int64(claimed))
+				busyNS.Add(time.Since(start).Nanoseconds())
+			}()
+			for range tokens {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				claimed++
+				v, err := fn(s, i)
+				results <- indexed[T]{i: i, v: v, err: err}
+			}
+		}(w)
+	}
+
+	pending := make(map[int]indexed[T], window)
+	var retErr error
+	frontier := 0
+	for frontier < n && retErr == nil {
+		r := <-results
+		pending[r.i] = r
+		for retErr == nil {
+			cur, ok := pending[frontier]
+			if !ok {
+				break
+			}
+			delete(pending, frontier)
+			if cur.err != nil {
+				retErr = cur.err
+				break
+			}
+			if err := consume(frontier, cur.v); err != nil {
+				retErr = err
+				break
+			}
+			frontier++
+			tokens <- struct{}{}
+		}
+	}
+	close(tokens)
+	wg.Wait()
+	return retErr
+}

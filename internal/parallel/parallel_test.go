@@ -119,3 +119,145 @@ func TestMapShardsSequentialFallback(t *testing.T) {
 		t.Errorf("sequential order = %v", order)
 	}
 }
+
+// TestStreamShardsOrderedConsume pins the merge contract: consume sees every
+// index exactly once, strictly ascending, with the value fn produced for it —
+// at every worker count.
+func TestStreamShardsOrderedConsume(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		next := 0
+		err := StreamShards(workers, 200,
+			func(int) struct{} { return struct{}{} },
+			func(_ struct{}, i int) (int, error) { return i * i, nil },
+			func(i, v int) error {
+				if i != next {
+					t.Fatalf("workers=%d: consume(%d) out of order, want %d", workers, i, next)
+				}
+				if v != i*i {
+					t.Fatalf("workers=%d: consume(%d) = %d, want %d", workers, i, v, i*i)
+				}
+				next++
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if next != 200 {
+			t.Fatalf("workers=%d: consumed %d of 200 units", workers, next)
+		}
+	}
+}
+
+// TestStreamShardsEmpty: zero units is a no-op, not a deadlock.
+func TestStreamShardsEmpty(t *testing.T) {
+	called := false
+	err := StreamShards(8, 0,
+		func(int) struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) { return i, nil },
+		func(int, int) error { called = true; return nil })
+	if err != nil || called {
+		t.Fatalf("n=0: err=%v called=%v", err, called)
+	}
+}
+
+// TestStreamShardsLowestIndexError: with several failing units, the error
+// surfaced is the one at the lowest index the frontier reaches, and consume
+// never sees that index or anything after it.
+func TestStreamShardsLowestIndexError(t *testing.T) {
+	fail := map[int]bool{7: true, 12: true, 63: true}
+	for _, workers := range []int{1, 4, 8} {
+		last := -1
+		err := StreamShards(workers, 64,
+			func(int) struct{} { return struct{}{} },
+			func(_ struct{}, i int) (int, error) {
+				if fail[i] {
+					return 0, fmt.Errorf("unit %d failed", i)
+				}
+				return i, nil
+			},
+			func(i, _ int) error { last = i; return nil })
+		if err == nil || err.Error() != "unit 7 failed" {
+			t.Fatalf("workers=%d: want 'unit 7 failed', got %v", workers, err)
+		}
+		if last != 6 {
+			t.Fatalf("workers=%d: consumed through %d, want 6", workers, last)
+		}
+	}
+}
+
+// TestStreamShardsConsumeErrorAborts: a failing consume stops the stream at
+// that unit and its error is what StreamShards returns.
+func TestStreamShardsConsumeErrorAborts(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		seen := 0
+		err := StreamShards(workers, 100,
+			func(int) struct{} { return struct{}{} },
+			func(_ struct{}, i int) (int, error) { return i, nil },
+			func(i, _ int) error {
+				if i == 10 {
+					return fmt.Errorf("sink full at %d", i)
+				}
+				seen++
+				return nil
+			})
+		if err == nil || err.Error() != "sink full at 10" {
+			t.Fatalf("workers=%d: want consume error, got %v", workers, err)
+		}
+		if seen != 10 {
+			t.Fatalf("workers=%d: consumed %d units before abort, want 10", workers, seen)
+		}
+	}
+}
+
+// TestStreamShardsBoundedWindow proves the memory bound: claimed-but-unconsumed
+// units never exceed workers*streamWindowPerWorker even when the stream is
+// 100x longer than the window, and even when consume is slower than fn.
+func TestStreamShardsBoundedWindow(t *testing.T) {
+	const workers = 4
+	window := workers * streamWindowPerWorker
+	var inFlight, maxInFlight atomic.Int64
+	err := StreamShards(workers, window*100,
+		func(int) struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				m := maxInFlight.Load()
+				if cur <= m || maxInFlight.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(int, int) error {
+			inFlight.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxInFlight.Load(); m > int64(window) {
+		t.Errorf("window breached: %d units in flight, budget %d", m, window)
+	}
+}
+
+// TestStreamShardsMatchesSequential: the consumed stream at any worker count
+// is exactly the sequential stream.
+func TestStreamShardsMatchesSequential(t *testing.T) {
+	run := func(workers int) []int {
+		var out []int
+		err := StreamShards(workers, 257,
+			func(int) struct{} { return struct{}{} },
+			func(_ struct{}, i int) (int, error) { return i*3 + 1, nil },
+			func(_, v int) error { out = append(out, v); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := fmt.Sprint(run(1))
+	for _, workers := range []int{2, 4, 8} {
+		if got := fmt.Sprint(run(workers)); got != want {
+			t.Errorf("workers=%d stream diverges from sequential", workers)
+		}
+	}
+}

@@ -26,9 +26,15 @@ type AggregateSpec struct {
 // compares every group pair. An example is contradictory when the two
 // interpretations (SUM over attr A vs SUM over attr B) order the groups
 // differently.
+//
+// The method mutates no Generator state: the dimension table is registered
+// with the shared engine only when it is absent or has changed, so repeat
+// invocations with the same spec neither evict the engine's cached plans
+// and join indexes for the dimension nor race with concurrent Generate
+// calls. (The first registration of a new dimension still invalidates and
+// must not run concurrently with queries — register once, then fan out.)
 func (g *Generator) AggregateComparisons(spec AggregateSpec, opts Options) ([]Example, error) {
 	opts = opts.defaults()
-	g.gen = textgen.NewGenerator(opts.Seed)
 	if spec.Dimension == nil {
 		return nil, fmt.Errorf("pythia: aggregate spec needs a dimension table")
 	}
@@ -38,7 +44,9 @@ func (g *Generator) AggregateComparisons(spec AggregateSpec, opts Options) ([]Ex
 	if spec.Dimension.Schema.Index(spec.GroupAttr) < 0 {
 		return nil, fmt.Errorf("pythia: group attribute %q missing from dimension", spec.GroupAttr)
 	}
-	g.engine.Register(spec.Dimension)
+	if cur, ok := g.engine.Table(spec.Dimension.Name); !ok || cur != spec.Dimension {
+		g.engine.Register(spec.Dimension)
+	}
 
 	wantMatch := map[Match]bool{}
 	for _, m := range opts.Matches {

@@ -1,7 +1,10 @@
 package pythia
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/data"
@@ -123,5 +126,62 @@ func TestAggregateSpecValidation(t *testing.T) {
 	bad.GroupAttr = "nope"
 	if _, err := g.AggregateComparisons(bad, Options{}); err == nil {
 		t.Error("expected error for bad group attribute")
+	}
+}
+
+// TestAggregateConcurrentWithGenerate pins the shared-state fix: after a
+// warm-up call has registered the dimension table, AggregateComparisons
+// holds no Generator-wide mutable state (no g.gen overwrite, no repeat
+// engine.Register), so it may run concurrently with Generate on the same
+// Generator. The race detector guards the access pattern; the byte
+// comparison guards determinism under interleaving.
+func TestAggregateConcurrentWithGenerate(t *testing.T) {
+	g := covidGenerator(t)
+	spec := covidSpec()
+	opts := Options{Seed: 1, Workers: 2}
+
+	// Warm-up: first call registers the dimension with the engine — the
+	// one mutating step, done before any concurrency.
+	wantAgg, err := g.AggregateComparisons(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGen, err := g.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			exs, err := g.Generate(opts)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(exs, wantGen) {
+				errs <- fmt.Errorf("concurrent Generate diverged: %d vs %d examples", len(exs), len(wantGen))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			exs, err := g.AggregateComparisons(spec, opts)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(exs, wantAgg) {
+				errs <- fmt.Errorf("concurrent AggregateComparisons diverged: %d vs %d examples", len(exs), len(wantAgg))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,159 @@
+package pythia
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/relation"
+)
+
+// streamBenchTable builds the Covid-like scalability table used by the
+// streaming memory benchmarks: country x day composite key plus two
+// ambiguous measures, so attribute templates grow quadratically in rows.
+func streamBenchTable(n int) *relation.Table {
+	t := relation.NewTable("covid_large", relation.Schema{
+		{Name: "country", Kind: relation.KindString},
+		{Name: "day", Kind: relation.KindInt},
+		{Name: "total_cases", Kind: relation.KindInt},
+		{Name: "new_cases", Kind: relation.KindInt},
+	})
+	countries := 40
+	days := (n + countries - 1) / countries
+	row := 0
+	for c := 0; c < countries && row < n; c++ {
+		name := fmt.Sprintf("Country%02d", c)
+		total := int64(1000 + c*37)
+		for d := 0; d < days && row < n; d++ {
+			nc := int64(c*1_000_000 + d*37)
+			total += nc
+			t.MustAppend(relation.Row{
+				relation.String(name), relation.Int(int64(d)),
+				relation.Int(total), relation.Int(nc),
+			})
+			row++
+		}
+	}
+	return t
+}
+
+func streamBenchGenerator(tb testing.TB, rows int) *Generator {
+	tb.Helper()
+	t := streamBenchTable(rows)
+	md, err := WithPairs(t, []model.Pair{
+		{AttrA: "total_cases", AttrB: "new_cases", Label: "cases"},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return NewGenerator(t, md)
+}
+
+// streamBenchOpts is the template-mode workload of the memory benchmarks —
+// the paper's millions-of-examples path, sequential so allocation counts
+// are exact.
+func streamBenchOpts() Options {
+	return Options{
+		Mode:       Templates,
+		Structures: []Structure{AttributeAmb, RowAmb},
+		Seed:       7,
+		Workers:    1,
+	}
+}
+
+// countStream runs the streaming path into a discarding sink and returns
+// the example count.
+func countStream(tb testing.TB, g *Generator) int {
+	tb.Helper()
+	n := 0
+	if err := g.GenerateStream(streamBenchOpts(), SinkFunc(func(Example) error {
+		n++
+		return nil
+	})); err != nil {
+		tb.Fatal(err)
+	}
+	return n
+}
+
+// allocsPerExample measures exact mallocs per streamed example at the
+// given table size on a fresh generator.
+func allocsPerExample(tb testing.TB, rows int) float64 {
+	tb.Helper()
+	g := streamBenchGenerator(tb, rows)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	n := countStream(tb, g)
+	runtime.ReadMemStats(&after)
+	if n == 0 {
+		tb.Fatalf("no examples at %d rows", rows)
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+// streamAllocFloor is the recorded allocs/example of the streaming
+// template path at the ~10k-example point (BENCH_7.json: 4.4). The gate
+// fails once a regression pushes past the floor with headroom for
+// runtime-version drift — tighten it when the path gets cheaper.
+const streamAllocFloor = 4.4 * 1.25
+
+// TestStreamAllocsPerExampleFlat is the constant-memory acceptance gate:
+// streaming allocs/example must stay flat (within 10%) as output grows
+// ~13x from the ~10k point to the ~100k point, and must not regress past
+// the recorded floor.
+func TestStreamAllocsPerExampleFlat(t *testing.T) {
+	if raceEnabled {
+		t.Skip("exact allocation counts are only meaningful without the race runtime")
+	}
+	if testing.Short() {
+		t.Skip("generates ~120k examples")
+	}
+	small := allocsPerExample(t, 110)
+	large := allocsPerExample(t, 350)
+	t.Logf("allocs/example: %.2f at 110 rows, %.2f at 350 rows", small, large)
+	if large > small*1.10 {
+		t.Errorf("streaming allocs/example grew with output size: %.2f -> %.2f (>10%%)", small, large)
+	}
+	if small > streamAllocFloor {
+		t.Errorf("streaming allocs/example %.2f regressed past the recorded floor %.2f", small, streamAllocFloor)
+	}
+}
+
+// BenchmarkGenerateStreamTemplates measures the streaming generation path
+// end to end (discarding sink); b.N iterations regenerate from a fresh
+// generator so plan caches do not accumulate across runs.
+func BenchmarkGenerateStreamTemplates(b *testing.B) {
+	for _, rows := range []int{110, 350} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := streamBenchGenerator(b, rows)
+				b.StartTimer()
+				n := countStream(b, g)
+				b.ReportMetric(float64(n), "examples")
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateMaterializeTemplates is the slice-collecting baseline
+// the streaming path is compared against in BENCH_7.json.
+func BenchmarkGenerateMaterializeTemplates(b *testing.B) {
+	for _, rows := range []int{110, 350} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := streamBenchGenerator(b, rows)
+				b.StartTimer()
+				exs, err := g.Generate(streamBenchOpts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(exs)), "examples")
+			}
+		})
+	}
+}

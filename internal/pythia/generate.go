@@ -19,20 +19,22 @@ import (
 var pyMet = newPyMet()
 
 type pyMetrics struct {
-	units      *telemetry.Counter
-	dedupDrops *telemetry.Counter
-	quotaDrops *telemetry.Counter
-	generateNS *telemetry.Histogram
-	examples   [NoAmb + 1]*telemetry.Counter // indexed by Structure
+	units          *telemetry.Counter
+	dedupDrops     *telemetry.Counter
+	emptyTextDrops *telemetry.Counter
+	quotaDrops     *telemetry.Counter
+	generateNS     *telemetry.Histogram
+	examples       [NoAmb + 1]*telemetry.Counter // indexed by Structure
 }
 
 func newPyMet() pyMetrics {
 	r := telemetry.Default()
 	m := pyMetrics{
-		units:      r.Counter("pythia.units"),
-		dedupDrops: r.Counter("pythia.dedup_drops"),
-		quotaDrops: r.Counter("pythia.quota_drops"),
-		generateNS: r.LatencyHistogram("pythia.generate_ns"),
+		units:          r.Counter("pythia.units"),
+		dedupDrops:     r.Counter("pythia.dedup_drops"),
+		emptyTextDrops: r.Counter("pythia.empty_text_drops"),
+		quotaDrops:     r.Counter("pythia.quota_drops"),
+		generateNS:     r.LatencyHistogram("pythia.generate_ns"),
 	}
 	for s := AttributeAmb; s <= NoAmb; s++ {
 		m.examples[s] = r.Counter("pythia.examples." + s.String())
@@ -103,12 +105,16 @@ func (o Options) defaults() Options {
 	return o
 }
 
-// Generator generates examples for one table given its metadata.
+// Generator generates examples for one table given its metadata. It holds
+// no per-run mutable state — the table, metadata and engine are fixed at
+// construction and text generators are created per run or per shard — so
+// one Generator serves concurrent Generate/GenerateStream/NotAmbiguous/
+// AggregateComparisons calls (AggregateComparisons must have its dimension
+// table registered before running concurrently; see its doc).
 type Generator struct {
 	table  *relation.Table
 	md     *Metadata
 	engine *sqlengine.Engine
-	gen    *textgen.Generator
 }
 
 // NewGenerator prepares a generator: registers the table with a fresh
@@ -143,49 +149,128 @@ func (g *Generator) newShard(opts Options) *shard {
 // would.
 type unit func(sh *shard, emit func(Example)) error
 
+// ExampleSink consumes the deduplicated example stream of GenerateStream
+// in canonical order. Emit is never called concurrently; an Emit error
+// aborts the stream and is returned from GenerateStream.
+type ExampleSink interface {
+	Emit(ex Example) error
+}
+
+// SinkFunc adapts a function to an ExampleSink.
+type SinkFunc func(Example) error
+
+// Emit calls f.
+func (f SinkFunc) Emit(ex Example) error { return f(ex) }
+
+// UnitSink is optionally implemented by sinks that need unit boundaries —
+// checkpointing sinks above all. EndUnit(u) is called after the last
+// example of absolute unit u has been emitted; at that point every example
+// of every unit <= u has reached the sink, which is exactly the guarantee
+// a resume manifest records.
+type UnitSink interface {
+	EndUnit(unit int) error
+}
+
+// Resume positions a streaming run after an already-flushed prefix: units
+// below NextUnit are skipped entirely and Seen carries the text-dedup set
+// replayed from the flushed output, so the continued stream is
+// byte-identical to the suffix an uninterrupted run would have produced.
+// The zero value means "start from the beginning".
+type Resume struct {
+	NextUnit int
+	Seen     map[string]bool
+}
+
 // Generate runs Algorithm 1 and returns the examples, deduplicated by text.
 // Work is sharded across opts.Workers workers; see Options.Workers for the
-// determinism contract.
+// determinism contract. It is a thin slice-collecting wrapper over
+// GenerateStream — callers producing large outputs should stream into a
+// sink instead of materializing.
 func (g *Generator) Generate(opts Options) ([]Example, error) {
+	var out []Example
+	err := g.GenerateStream(opts, SinkFunc(func(ex Example) error {
+		out = append(out, ex)
+		return nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GenerateStream runs Algorithm 1 and pushes each example to sink as soon
+// as its unit's canonical position is reached, without materializing the
+// stream: per-unit workers emit through a bounded channel into an ordered
+// merge loop (parallel.StreamShards), which applies the text dedup exactly
+// where the sequential emit loop would and forwards survivors to the sink.
+// Memory is bounded by the reorder window — O(workers) buffered units —
+// plus the dedup set, regardless of output size. The byte stream is
+// identical to Generate's at every worker count.
+func (g *Generator) GenerateStream(opts Options, sink ExampleSink) error {
+	return g.GenerateStreamFrom(opts, Resume{}, sink)
+}
+
+// GenerateStreamFrom is GenerateStream continuing from a resume position:
+// units below res.NextUnit are skipped (their output is assumed already
+// flushed by a previous run) and res.Seen seeds the dedup set. If sink
+// implements UnitSink, EndUnit is invoked with absolute unit indices, so a
+// checkpoint written at unit u on the first run and a resume at NextUnit
+// u+1 compose into one byte-identical total stream.
+func (g *Generator) GenerateStreamFrom(opts Options, res Resume, sink ExampleSink) error {
 	tm := pyMet.generateNS.Time()
 	defer tm.Stop()
 	opts = opts.defaults()
 	units := g.units(opts)
-	pyMet.units.Add(int64(len(units)))
-	perUnit, err := parallel.MapShards(parallel.Workers(opts.Workers), len(units),
+	if res.NextUnit < 0 || res.NextUnit > len(units) {
+		return fmt.Errorf("pythia: resume unit %d out of range [0, %d]", res.NextUnit, len(units))
+	}
+	active := units[res.NextUnit:]
+	pyMet.units.Add(int64(len(active)))
+	seen := res.Seen
+	if seen == nil {
+		seen = map[string]bool{}
+	}
+	boundary, _ := sink.(UnitSink)
+
+	// The merge loop below runs on this goroutine only, so the dedup set
+	// and drop tallies need no locking. Generation never feeds back into
+	// later units (quota counting is per-unit and pre-dedup), so filtering
+	// at the merge is equivalent to filtering during generation.
+	dedupDrops, emptyDrops := 0, 0
+	err := parallel.StreamShards(parallel.Workers(opts.Workers), len(active),
 		func(int) *shard { return g.newShard(opts) },
 		func(sh *shard, i int) ([]Example, error) {
 			var exs []Example
-			if err := units[i](sh, func(ex Example) { exs = append(exs, ex) }); err != nil {
+			if err := active[i](sh, func(ex Example) { exs = append(exs, ex) }); err != nil {
 				return nil, err
 			}
 			return exs, nil
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	// Merge in canonical unit order, applying the text dedup exactly where
-	// the sequential emit loop applied it. Generation never feeds back into
-	// later units (quota counting is per-unit and pre-dedup), so filtering
-	// here is equivalent to filtering during generation.
-	var out []Example
-	seen := map[string]bool{}
-	dedupDrops := 0
-	for _, exs := range perUnit {
-		for _, ex := range exs {
-			if ex.Text == "" || seen[ex.Text] {
-				dedupDrops++
-				continue
+		},
+		func(i int, exs []Example) error {
+			for _, ex := range exs {
+				if ex.Text == "" {
+					emptyDrops++
+					continue
+				}
+				if seen[ex.Text] {
+					dedupDrops++
+					continue
+				}
+				seen[ex.Text] = true
+				ex.Dataset = g.table.Name
+				pyMet.examples[ex.Structure].Inc()
+				if err := sink.Emit(ex); err != nil {
+					return err
+				}
 			}
-			seen[ex.Text] = true
-			ex.Dataset = g.table.Name
-			pyMet.examples[ex.Structure].Inc()
-			out = append(out, ex)
-		}
-	}
+			if boundary != nil {
+				return boundary.EndUnit(res.NextUnit + i)
+			}
+			return nil
+		})
 	pyMet.dedupDrops.Add(int64(dedupDrops))
-	return out, nil
+	pyMet.emptyTextDrops.Add(int64(emptyDrops))
+	return err
 }
 
 // units enumerates the work units in the canonical order of Algorithm 1's
@@ -490,7 +575,10 @@ func (g *Generator) fullKeyPair(sh *shard, ck []string, pair model.Pair, op stri
 // attribute. Target applications need them to balance training data.
 func (g *Generator) NotAmbiguous(opts Options) ([]Example, error) {
 	opts = opts.defaults()
-	g.gen = textgen.NewGenerator(opts.Seed)
+	// A run-local text generator: writing it into the Generator would race
+	// with concurrent Generate/AggregateComparisons calls, and textgen
+	// phrasing is a pure function of (seed, content) anyway.
+	gen := textgen.NewGenerator(opts.Seed)
 	pk := g.md.Profile.PrimaryKey
 	if len(pk) == 0 {
 		return nil, nil
@@ -545,15 +633,19 @@ func (g *Generator) NotAmbiguous(opts Options) ([]Example, error) {
 				question := opts.Questions && i%2 == 1
 				switch {
 				case op == "=" && question:
-					text = g.gen.Question(keys, measure)
+					text = gen.Question(keys, measure)
 				case op == "=":
-					text = g.gen.Statement(keys, measure)
+					text = gen.Statement(keys, measure)
 				case question:
-					text = g.gen.RowQuestion(keys, measure, op)
+					text = gen.RowQuestion(keys, measure, op)
 				default:
-					text = g.gen.RowStatement(keys, measure, op)
+					text = gen.RowStatement(keys, measure, op)
 				}
-				if text == "" || seen[text] {
+				if text == "" {
+					pyMet.emptyTextDrops.Inc()
+					continue
+				}
+				if seen[text] {
 					pyMet.dedupDrops.Inc()
 					continue
 				}

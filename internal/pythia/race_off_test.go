@@ -1,0 +1,5 @@
+//go:build !race
+
+package pythia
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package pythia
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-floor gate skips under instrumentation: the race runtime adds
+// its own allocations, so exact malloc counts are only meaningful in a
+// plain build.
+const raceEnabled = true

@@ -1,0 +1,65 @@
+package pythia
+
+import (
+	"reflect"
+	"testing"
+)
+
+// unitRecorder collects the stream alongside its unit boundaries: cut[u] is
+// the number of examples emitted once unit u was complete.
+type unitRecorder struct {
+	exs []Example
+	cut map[int]int
+}
+
+func (r *unitRecorder) Emit(ex Example) error {
+	r.exs = append(r.exs, ex)
+	return nil
+}
+
+func (r *unitRecorder) EndUnit(unit int) error {
+	r.cut[unit] = len(r.exs)
+	return nil
+}
+
+// TestGenerateStreamFromResumesAtAnyBoundary is the resume semantics
+// independent of any file sink: for every unit boundary, the stream
+// restarted there with the prefix's dedup set must produce exactly the
+// suffix of the uninterrupted stream — the invariant the checkpoint
+// manifest relies on.
+func TestGenerateStreamFromResumesAtAnyBoundary(t *testing.T) {
+	g := covidGenerator(t)
+	opts := Options{Seed: 3, MaxPerQuery: 4, Workers: 2}
+	full := &unitRecorder{cut: map[int]int{}}
+	if err := g.GenerateStream(opts, full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.exs) == 0 || len(full.cut) < 4 {
+		t.Fatalf("fixture too small: %d examples over %d units", len(full.exs), len(full.cut))
+	}
+
+	for unit, n := range full.cut {
+		seen := make(map[string]bool, n)
+		for _, ex := range full.exs[:n] {
+			seen[ex.Text] = true
+		}
+		rest := &unitRecorder{cut: map[int]int{}}
+		if err := g.GenerateStreamFrom(opts, Resume{NextUnit: unit + 1, Seen: seen}, rest); err != nil {
+			t.Fatalf("resume at unit %d: %v", unit+1, err)
+		}
+		want := full.exs[n:]
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(rest.exs, want) {
+			t.Errorf("resume at unit %d: suffix diverges (%d vs %d examples)", unit+1, len(rest.exs), len(want))
+		}
+	}
+
+	if err := g.GenerateStreamFrom(opts, Resume{NextUnit: -1}, &unitRecorder{cut: map[int]int{}}); err == nil {
+		t.Error("negative resume unit accepted")
+	}
+	if err := g.GenerateStreamFrom(opts, Resume{NextUnit: 1 << 20}, &unitRecorder{cut: map[int]int{}}); err == nil {
+		t.Error("out-of-range resume unit accepted")
+	}
+}

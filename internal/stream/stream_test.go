@@ -1,0 +1,307 @@
+package stream_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/pythia"
+	"repro/internal/stream"
+)
+
+// newGenerator builds a fresh Basket-dataset generator — fresh per run so no
+// test inherits another's warm engine caches.
+func newGenerator(t *testing.T) *pythia.Generator {
+	t.Helper()
+	d, err := data.Load("Basket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []model.Pair
+	for _, gt := range d.GroundTruthPairs() {
+		pairs = append(pairs, model.Pair{AttrA: gt.AttrA, AttrB: gt.AttrB, Label: gt.Labels[0]})
+	}
+	md, err := pythia.WithPairs(d.Table, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pythia.NewGenerator(d.Table, md)
+}
+
+func testOpts(workers int) pythia.Options {
+	return pythia.Options{
+		Mode:        pythia.Templates,
+		Seed:        97,
+		MaxPerQuery: 8,
+		Questions:   true,
+		Workers:     workers,
+	}
+}
+
+func testConfig(dir string, opts pythia.Options) stream.Config {
+	return stream.Config{
+		Dir:         dir,
+		Fingerprint: opts.Fingerprint("Basket"),
+		Seed:        opts.Seed,
+		// Small intervals so a ~100-example run exercises rotation and
+		// several checkpoints.
+		CheckpointEvery: 10,
+		ShardSize:       25,
+	}
+}
+
+// wantNDJSON renders the reference byte stream: Generate's examples through
+// json.Encoder, which is the byte-identity target of the shard files.
+func wantNDJSON(t *testing.T, opts pythia.Options) []byte {
+	t.Helper()
+	exs, err := newGenerator(t).Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ex := range exs {
+		if err := enc.Encode(ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// concatShards concatenates the run directory's shard files in manifest
+// order.
+func concatShards(t *testing.T, dir string) []byte {
+	t.Helper()
+	m, err := stream.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for _, sh := range m.Shards {
+		b, err := os.ReadFile(filepath.Join(dir, sh.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TestFileSinkRoundTrip: a complete streamed run concatenates to exactly the
+// NDJSON Generate would have encoded, across shard rotations, and the final
+// manifest is marked complete with matching counts.
+func TestFileSinkRoundTrip(t *testing.T) {
+	opts := testOpts(1)
+	want := wantNDJSON(t, opts)
+
+	dir := t.TempDir()
+	sink, res, err := stream.Open(testConfig(dir, opts), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NextUnit != 0 || res.Seen != nil {
+		t.Fatalf("fresh open returned a resume position: %+v", res)
+	}
+	if err := newGenerator(t).GenerateStream(opts, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := stream.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Complete {
+		t.Error("finished run's manifest not marked complete")
+	}
+	if m.Examples != sink.Examples() {
+		t.Errorf("manifest examples %d, sink wrote %d", m.Examples, sink.Examples())
+	}
+	if len(m.Shards) < 2 {
+		t.Errorf("shard size 25 over %d examples produced %d shards, want rotation", m.Examples, len(m.Shards))
+	}
+	if got := concatShards(t, dir); !bytes.Equal(got, want) {
+		t.Errorf("concatenated shards differ from Generate NDJSON (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// abortSink forwards to a FileSink and fails after a fixed number of emits —
+// the test's stand-in for a process killed mid-run.
+type abortSink struct {
+	sink *stream.FileSink
+	left int
+}
+
+var errKilled = errors.New("killed")
+
+func (a *abortSink) Emit(ex pythia.Example) error {
+	if a.left <= 0 {
+		return errKilled
+	}
+	a.left--
+	return a.sink.Emit(ex)
+}
+
+func (a *abortSink) EndUnit(unit int) error { return a.sink.EndUnit(unit) }
+
+// TestKillAndResumeByteIdentical is the resume acceptance: kill a streaming
+// run mid-shard (after several checkpoints, with a torn half-line at the
+// kill point), resume with the same arguments, and require the completed
+// directory to concatenate byte-identically to an uninterrupted run — at
+// every worker count.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	want := wantNDJSON(t, testOpts(1))
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := testOpts(workers)
+		dir := t.TempDir()
+		cfg := testConfig(dir, opts)
+
+		sink, _, err := stream.Open(cfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab := &abortSink{sink: sink, left: 42}
+		err = newGenerator(t).GenerateStream(opts, ab)
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("workers=%d: aborted run returned %v, want errKilled", workers, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Simulate a torn write past the last durable checkpoint: garbage
+		// appended to the newest shard file. Resume must truncate it away.
+		shards, err := filepath.Glob(filepath.Join(dir, "shard-*.ndjson"))
+		if err != nil || len(shards) == 0 {
+			t.Fatalf("workers=%d: no shards after abort (err=%v)", workers, err)
+		}
+		sort.Strings(shards)
+		f, err := os.OpenFile(shards[len(shards)-1], os.O_WRONLY|os.O_APPEND, 0o666)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(`{"text":"torn half li`); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		resumed, res, err := stream.Open(cfg, true)
+		if err != nil {
+			t.Fatalf("workers=%d: resume open: %v", workers, err)
+		}
+		if res.NextUnit == 0 {
+			t.Fatalf("workers=%d: no checkpoint recorded before the kill; abort point too early", workers)
+		}
+		if err := newGenerator(t).GenerateStreamFrom(opts, res, resumed); err != nil {
+			t.Fatalf("workers=%d: resumed run: %v", workers, err)
+		}
+		if err := resumed.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if got := concatShards(t, dir); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: resumed output differs from uninterrupted run (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestResumeCompletedRunIsNoOp: resuming a finished directory skips every
+// unit and leaves the bytes untouched.
+func TestResumeCompletedRunIsNoOp(t *testing.T) {
+	opts := testOpts(4)
+	dir := t.TempDir()
+	cfg := testConfig(dir, opts)
+	sink, _, err := stream.Open(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newGenerator(t).GenerateStream(opts, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	before := concatShards(t, dir)
+
+	resumed, res, err := stream.Open(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := sink.Examples()
+	if err := newGenerator(t).GenerateStreamFrom(opts, res, resumed); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Examples() != emitted {
+		t.Errorf("no-op resume grew the run: %d -> %d examples", emitted, resumed.Examples())
+	}
+	if after := concatShards(t, dir); !bytes.Equal(before, after) {
+		t.Error("no-op resume changed the output bytes")
+	}
+}
+
+// TestOpenRefusals: a populated directory must not be silently overwritten,
+// and resume must refuse mismatched arguments instead of mixing streams.
+func TestOpenRefusals(t *testing.T) {
+	opts := testOpts(1)
+	dir := t.TempDir()
+	cfg := testConfig(dir, opts)
+	sink, _, err := stream.Open(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newGenerator(t).GenerateStream(opts, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := stream.Open(cfg, false); err == nil {
+		t.Error("Open without resume accepted a directory holding a manifest")
+	}
+	badFP := cfg
+	badFP.Fingerprint = "deadbeef"
+	if _, _, err := stream.Open(badFP, true); err == nil {
+		t.Error("resume accepted a mismatched fingerprint")
+	}
+	badSeed := cfg
+	badSeed.Seed++
+	if _, _, err := stream.Open(badSeed, true); err == nil {
+		t.Error("resume accepted a mismatched seed")
+	}
+	badShard := cfg
+	badShard.ShardSize++
+	if _, _, err := stream.Open(badShard, true); err == nil {
+		t.Error("resume accepted a mismatched shard size")
+	}
+}
+
+// TestFreshStartClearsStaleShards: a run killed before its first checkpoint
+// leaves shard files but no manifest; a fresh Open must clear them so the
+// directory holds exactly the new run's output.
+func TestFreshStartClearsStaleShards(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "shard-00099.ndjson")
+	if err := os.WriteFile(stale, []byte("{}\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts(1)
+	if _, _, err := stream.Open(testConfig(dir, opts), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale shard survived a fresh Open (stat err: %v)", err)
+	}
+}

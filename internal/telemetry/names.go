@@ -36,6 +36,7 @@ var KnownMetrics = []MetricName{
 	{Name: "parallel.worker.*.busy_ns", Kind: "counter"},
 	{Name: "parallel.worker.*.units", Kind: "counter"},
 	{Name: "pythia.dedup_drops", Kind: "counter"},
+	{Name: "pythia.empty_text_drops", Kind: "counter"},
 	{Name: "pythia.examples.*", Kind: "counter"},
 	{Name: "pythia.generate_ns", Kind: "histogram"},
 	{Name: "pythia.quota_drops", Kind: "counter"},
@@ -54,6 +55,9 @@ var KnownMetrics = []MetricName{
 	{Name: "sqlengine.range_joins", Kind: "counter"},
 	{Name: "sqlengine.rows_emitted", Kind: "counter"},
 	{Name: "sqlengine.rows_scanned", Kind: "counter"},
+	{Name: "stream.checkpoints_written", Kind: "counter"},
+	{Name: "stream.examples_flushed", Kind: "counter"},
+	{Name: "stream.units_skipped", Kind: "counter"},
 }
 
 // KnownMetric reports whether name matches a registry entry of the given
