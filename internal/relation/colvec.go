@@ -1,0 +1,140 @@
+package relation
+
+// Columnar companion representation of a Table, used by sqlengine's batch
+// execution path. A ColVec stores one column's payloads in a typed slice
+// (no Value boxing) plus a null bitmap; a ColumnSet is the full table
+// transposed. The columnar form is derived from — never replaces — the
+// row-major Table: tables stay row-major because most consumers walk whole
+// rows, and the engine builds vectors lazily only for tables the batch
+// path actually scans.
+
+// Bitmap is a fixed-size bit set over row indices. The zero value of each
+// word is all-clear, so NewBitmap(n) starts with every bit unset.
+type Bitmap []uint64
+
+// NewBitmap returns a bitmap able to hold n bits, all clear.
+func NewBitmap(n int) Bitmap {
+	return make(Bitmap, (n+63)/64)
+}
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) {
+	b[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is set.
+func (b Bitmap) Get(i int) bool {
+	return b[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// ColVec is one table column in columnar form. Exactly one payload slice
+// is populated, chosen by Kind: I for int, bool (0/1) and date (days since
+// epoch), F for float, S for string. Null cells have their bit set in
+// Nulls and an arbitrary (zero) payload; readers must consult Nulls before
+// the payload. A KindNull column (every cell NULL) has no payload slice.
+type ColVec struct {
+	Kind     Kind
+	Nulls    Bitmap
+	HasNulls bool // false lets readers skip the bitmap probe entirely
+	I        []int64
+	F        []float64
+	S        []string
+}
+
+// Value reconstructs the boxed cell value at row i. The result is
+// bit-identical to the Value stored in the source table: constructors are
+// the only way to build a Value, so round-tripping through the vector
+// cannot change payload bytes.
+func (v *ColVec) Value(i int) Value {
+	if v.Nulls.Get(i) {
+		return Null
+	}
+	switch v.Kind {
+	case KindInt:
+		return Int(v.I[i])
+	case KindFloat:
+		return Float(v.F[i])
+	case KindString:
+		return String(v.S[i])
+	case KindBool:
+		return Bool(v.I[i] != 0)
+	case KindDate:
+		return DateFromDays(v.I[i])
+	default:
+		return Null
+	}
+}
+
+// AppendFormat appends the Format() rendering of cell i to buf. It is the
+// allocation-free equivalent of Value(i).Format() for vectorized CONCAT.
+func (v *ColVec) AppendFormat(buf []byte, i int) []byte {
+	if v.Nulls.Get(i) {
+		return buf
+	}
+	switch v.Kind {
+	case KindInt:
+		return appendInt(buf, v.I[i])
+	case KindFloat:
+		return appendFloat(buf, v.F[i])
+	case KindString:
+		return append(buf, v.S[i]...)
+	case KindBool:
+		return appendBool(buf, v.I[i] != 0)
+	case KindDate:
+		return appendDate(buf, v.I[i])
+	default:
+		return buf
+	}
+}
+
+// ColumnSet is a whole table transposed into column vectors.
+type ColumnSet struct {
+	Len  int // number of rows
+	Cols []ColVec
+}
+
+// BuildColumns transposes t into typed column vectors. It returns nil when
+// the table is not vectorizable: a cell whose dynamic kind is neither NULL
+// nor the schema kind of its column (possible for rows spliced in without
+// Append validation) would make the typed payloads lie, so such tables
+// stay on the row-at-a-time path.
+func BuildColumns(t *Table) *ColumnSet {
+	n := len(t.Rows)
+	cs := &ColumnSet{Len: n, Cols: make([]ColVec, len(t.Schema))}
+	for j, col := range t.Schema {
+		v := ColVec{Kind: col.Kind, Nulls: NewBitmap(n)}
+		switch col.Kind {
+		case KindInt, KindBool, KindDate:
+			v.I = make([]int64, n)
+		case KindFloat:
+			v.F = make([]float64, n)
+		case KindString:
+			v.S = make([]string, n)
+		case KindNull:
+			// All-NULL column: bitmap only.
+		default:
+			return nil
+		}
+		for i, row := range t.Rows {
+			c := row[j]
+			if c.IsNull() {
+				v.Nulls.Set(i)
+				v.HasNulls = true
+				continue
+			}
+			if c.kind != col.Kind {
+				return nil
+			}
+			switch col.Kind {
+			case KindInt, KindBool, KindDate:
+				v.I[i] = c.i
+			case KindFloat:
+				v.F[i] = c.f
+			case KindString:
+				v.S[i] = c.s
+			}
+		}
+		cs.Cols[j] = v
+	}
+	return cs
+}

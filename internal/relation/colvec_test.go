@@ -1,0 +1,108 @@
+package relation
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBitmapSetGet(t *testing.T) {
+	b := NewBitmap(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	for _, i := range []int{1, 62, 65, 128} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set but never Set", i)
+		}
+	}
+}
+
+// allKindsTable covers every value kind plus NULLs in every column.
+func allKindsTable() *Table {
+	tb := NewTable("k", Schema{
+		{Name: "i", Kind: KindInt},
+		{Name: "f", Kind: KindFloat},
+		{Name: "s", Kind: KindString},
+		{Name: "b", Kind: KindBool},
+		{Name: "d", Kind: KindDate},
+	})
+	day := Date(2021, time.March, 14)
+	tb.Rows = append(tb.Rows,
+		Row{Int(-7), Float(2.5), String("x y"), Bool(true), day},
+		Row{Null, Null, Null, Null, Null},
+		Row{Int(0), Float(-0.125), String(""), Bool(false), DateFromDays(0)},
+	)
+	return tb
+}
+
+func TestBuildColumnsRoundTrip(t *testing.T) {
+	tb := allKindsTable()
+	cs := BuildColumns(tb)
+	if cs == nil {
+		t.Fatal("BuildColumns returned nil for a schema-conforming table")
+	}
+	if cs.Len != len(tb.Rows) {
+		t.Fatalf("Len = %d, want %d", cs.Len, len(tb.Rows))
+	}
+	for j := range tb.Schema {
+		v := &cs.Cols[j]
+		if !v.HasNulls {
+			t.Errorf("col %d: HasNulls = false, table has a NULL row", j)
+		}
+		for i, row := range tb.Rows {
+			got, want := v.Value(i), row[j]
+			if got.Kind() != want.Kind() || got.Format() != want.Format() ||
+				got.HashKey() != want.HashKey() {
+				t.Errorf("col %d row %d: round-trip %v != %v", j, i, got, want)
+			}
+			if s := string(v.AppendFormat(nil, i)); s != want.Format() {
+				t.Errorf("col %d row %d: AppendFormat %q != Format %q", j, i, s, want.Format())
+			}
+		}
+	}
+}
+
+func TestBuildColumnsHasNullsClear(t *testing.T) {
+	tb := NewTable("n", Schema{{Name: "a", Kind: KindInt}})
+	tb.Rows = append(tb.Rows, Row{Int(1)}, Row{Int(2)})
+	cs := BuildColumns(tb)
+	if cs == nil {
+		t.Fatal("BuildColumns returned nil")
+	}
+	if cs.Cols[0].HasNulls {
+		t.Fatal("HasNulls = true for a column without NULLs")
+	}
+}
+
+func TestBuildColumnsRejectsMismatchedKind(t *testing.T) {
+	tb := NewTable("bad", Schema{{Name: "a", Kind: KindInt}})
+	// Splice a string cell into an int column, bypassing Append validation.
+	tb.Rows = append(tb.Rows, Row{Int(1)}, Row{String("oops")})
+	if cs := BuildColumns(tb); cs != nil {
+		t.Fatal("BuildColumns accepted a table whose cell kind violates the schema")
+	}
+}
+
+func TestBuildColumnsAllNullColumn(t *testing.T) {
+	tb := NewTable("nn", Schema{{Name: "a", Kind: KindNull}})
+	tb.Rows = append(tb.Rows, Row{Null}, Row{Null})
+	cs := BuildColumns(tb)
+	if cs == nil {
+		t.Fatal("BuildColumns returned nil for an all-NULL column")
+	}
+	for i := range tb.Rows {
+		if !cs.Cols[0].Value(i).IsNull() {
+			t.Fatalf("row %d: want NULL", i)
+		}
+	}
+}

@@ -186,6 +186,46 @@ func (v Value) Format() string {
 	}
 }
 
+// AppendTo appends the Format() rendering of v to buf without allocating
+// an intermediate string. The bytes are identical to Format() for every
+// kind — vectorized CONCAT and the row-at-a-time evaluator must emit the
+// same sentences — which TestAppendToMatchesFormat pins.
+func (v Value) AppendTo(buf []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return buf
+	case KindInt:
+		return appendInt(buf, v.i)
+	case KindFloat:
+		return appendFloat(buf, v.f)
+	case KindString:
+		return append(buf, v.s...)
+	case KindBool:
+		return appendBool(buf, v.i != 0)
+	case KindDate:
+		return appendDate(buf, v.i)
+	default:
+		return append(buf, v.Format()...)
+	}
+}
+
+func appendInt(buf []byte, i int64) []byte { return strconv.AppendInt(buf, i, 10) }
+
+func appendFloat(buf []byte, f float64) []byte {
+	return strconv.AppendFloat(buf, f, 'g', -1, 64)
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, "true"...)
+	}
+	return append(buf, "false"...)
+}
+
+func appendDate(buf []byte, days int64) []byte {
+	return dateEpoch.AddDate(0, 0, int(days)).AppendFormat(buf, "2006-01-02")
+}
+
 // GoString implements fmt.GoStringer for readable test failures.
 func (v Value) GoString() string {
 	if v.kind == KindNull {
@@ -293,6 +333,36 @@ func (v Value) HashKey() string {
 		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
 	default:
 		return "?"
+	}
+}
+
+// AppendHashKey appends the HashKey() bytes of v to buf without
+// allocating the key string. Join probes and DISTINCT sinks build
+// composite keys in a reused scratch buffer and look maps up through the
+// compiler-optimized string([]byte) conversion, so steady-state key
+// construction is allocation-free. The bytes are identical to HashKey()
+// for every kind (pinned by TestAppendHashKeyMatchesHashKey).
+func (v Value) AppendHashKey(buf []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(buf, 0x00)
+	case KindString:
+		buf = append(buf, 's')
+		return append(buf, v.s...)
+	case KindBool:
+		buf = append(buf, 'b')
+		return strconv.AppendInt(buf, v.i, 10)
+	case KindDate:
+		buf = append(buf, 'd')
+		return strconv.AppendInt(buf, v.i, 10)
+	case KindInt:
+		buf = append(buf, 'n')
+		return strconv.AppendFloat(buf, float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		buf = append(buf, 'n')
+		return strconv.AppendFloat(buf, v.f, 'g', -1, 64)
+	default:
+		return append(buf, '?')
 	}
 }
 

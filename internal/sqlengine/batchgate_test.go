@@ -1,0 +1,55 @@
+package sqlengine
+
+import "testing"
+
+// TestTemplateConcatBatchFloor is the columnar-execution acceptance gate
+// (BENCH_8.json): the batch path must run the template-mode a-query —
+// equi self-join plus CONCAT projection — at least 3x faster than the
+// row-at-a-time fallback in the same process, within a hard allocation
+// budget. Measuring both paths side by side makes the floor
+// machine-independent; note the fallback itself got faster in this PR
+// (scratch-key probes), so the floor is conservative against the recorded
+// BENCH_5 baseline.
+func TestTemplateConcatBatchFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing floor skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing floor is meaningless under the race detector")
+	}
+
+	const (
+		speedupFloor = 3.0
+		allocCeiling = 20_000
+		reps         = 3
+	)
+	// Best-of-reps: load inflates a measurement but never deflates it, so
+	// the minimum of several runs is the stable comparison point for both
+	// sides.
+	measure := func(bench func(*testing.B)) (ns float64, allocs int64) {
+		for i := 0; i < reps; i++ {
+			r := testing.Benchmark(bench)
+			if perOp := float64(r.NsPerOp()); i == 0 || perOp < ns {
+				ns = perOp
+			}
+			if perOp := r.AllocsPerOp(); i == 0 || perOp < allocs {
+				allocs = perOp
+			}
+		}
+		return ns, allocs
+	}
+
+	batchNs, batchAllocs := measure(BenchmarkAQueryTemplateConcat)
+	fallbackNs, _ := measure(BenchmarkAQueryTemplateConcatFallback)
+
+	ratio := fallbackNs / batchNs
+	t.Logf("TemplateConcat: batch %.0f ns/op (%d allocs/op), fallback %.0f ns/op, speedup %.2fx",
+		batchNs, batchAllocs, fallbackNs, ratio)
+	if ratio < speedupFloor {
+		t.Fatalf("batch TemplateConcat speedup %.2fx below the %.1fx floor (batch %.0f ns/op, fallback %.0f ns/op)",
+			ratio, speedupFloor, batchNs, fallbackNs)
+	}
+	if batchAllocs > allocCeiling {
+		t.Fatalf("batch TemplateConcat allocs/op = %d, budget %d", batchAllocs, allocCeiling)
+	}
+}

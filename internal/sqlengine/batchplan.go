@@ -1,0 +1,391 @@
+package sqlengine
+
+import (
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// The batch compiler decides, once per plan, whether a statement can run
+// on the columnar path, and if so compiles it into typed per-column
+// programs. The gate is conservative: every shape it admits is proven to
+// produce byte-identical results to the row-at-a-time executor (the
+// differential suite in batchdiff_test.go executes both), and everything
+// else — aggregates, ORDER BY, arithmetic projections, multi-column or
+// float join keys, predicates the vectorizer cannot type — falls back to
+// planRows.
+
+// cmpMode selects the typed comparison loop for one compiled comparison.
+type cmpMode uint8
+
+const (
+	cmpInt    cmpMode = iota // both operands int64 payloads of the same kind (int, bool, date)
+	cmpFloat                 // numeric operands, at least one float (or mixed int/float)
+	cmpStr                   // both strings
+	cmpNever                 // can never match: NULL operand kind, or `=` across incomparable kinds
+	cmpAlways                // matches whenever both operands are non-NULL: `<>` across incomparable kinds
+)
+
+// predMode selects the vecPred evaluation form.
+type predMode uint8
+
+const (
+	predLit    predMode = iota // column OP literal
+	predCol                    // column OP column (same side)
+	predIsNull                 // column IS [NOT] NULL
+)
+
+// vecPred is one vectorized WHERE conjunct over a single table side. It
+// narrows a selection vector in place with a tight typed loop.
+type vecPred struct {
+	mode   predMode
+	cmp    cmpMode
+	col    int  // left operand column (side-local)
+	col2   int  // predCol: right operand column
+	negate bool // predIsNull: IS NOT NULL
+	// Comparison result mask: match when (cmp<0 && lt) || (cmp==0 && eq)
+	// || (cmp>0 && gt). Covers all six operators with one classification.
+	lt, eq, gt bool
+	// predLit payloads, pre-extracted from the literal.
+	litI int64
+	litF float64
+	litS string
+}
+
+// vecCmp is one cross-side column comparison, checked per candidate join
+// pair directly on the typed vectors.
+type vecCmp struct {
+	cmp        cmpMode
+	li, ri     int // left-local / right-local column indices
+	lt, eq, gt bool
+}
+
+// projMode selects the batch projection form.
+type projMode uint8
+
+const (
+	projCol    projMode = iota // plain column copy
+	projLit                    // constant literal
+	projConcat                 // CONCAT over columns and literals
+)
+
+// concatPart is one CONCAT argument: a pre-formatted literal or a column
+// reference formatted per row.
+type concatPart struct {
+	lit       []byte // non-nil for literal parts (pre-rendered once)
+	isLit     bool
+	side, col int
+}
+
+// batchProj is one compiled batch projection.
+type batchProj struct {
+	mode      projMode
+	side, col int
+	lit       relation.Value
+	parts     []concatPart
+}
+
+// batchPlan is the columnar execution program for a supported statement.
+type batchPlan struct {
+	join bool
+
+	// Scan form (single table).
+	scanPreds []vecPred
+
+	// Join form: single-column equi key plus pushed-down side predicate
+	// programs and typed cross-side comparisons. The residual predicate
+	// must be empty — anything the classifier could not type bails to the
+	// fallback at compile time.
+	keyL, keyR int // side-local key column indices
+	keyKind    relation.Kind
+	leftPreds  []vecPred
+	rightPreds []vecPred
+	cmps       []vecCmp
+	projs      []batchProj
+}
+
+// opParts splits a comparison operator into its result mask. ok is false
+// for non-comparison operators.
+func opParts(op string) (lt, eq, gt, ok bool) {
+	switch op {
+	case "=":
+		return false, true, false, true
+	case "<>":
+		return true, false, true, true
+	case "<":
+		return true, false, false, true
+	case "<=":
+		return true, true, false, true
+	case ">":
+		return false, false, true, true
+	case ">=":
+		return false, true, true, true
+	default:
+		return false, false, false, false
+	}
+}
+
+// classifyCmp types one comparison between column kinds lk and rk. ok is
+// false when the row path could error on the comparison (ordering across
+// incomparable kinds), which must stay on the fallback for error parity.
+func classifyCmp(op string, lk, rk relation.Kind) (cmpMode, bool) {
+	// A KindNull column is all-NULL, and compareValues is false whenever
+	// an operand is NULL — no row can match, no error can surface.
+	if lk == relation.KindNull || rk == relation.KindNull {
+		return cmpNever, true
+	}
+	if lk == rk {
+		switch lk {
+		case relation.KindInt, relation.KindBool, relation.KindDate:
+			return cmpInt, true
+		case relation.KindFloat:
+			return cmpFloat, true
+		case relation.KindString:
+			return cmpStr, true
+		}
+	}
+	if lk.Numeric() && rk.Numeric() {
+		return cmpFloat, true
+	}
+	// Incomparable kinds: Equal-based operators never error — `=` is
+	// always false, `<>` is true for non-NULL pairs. Ordering errors.
+	switch op {
+	case "=":
+		return cmpNever, true
+	case "<>":
+		return cmpAlways, true
+	default:
+		return 0, false
+	}
+}
+
+// sideLocal converts a combined-row column index into (side, local) under
+// the binding.
+func sideLocal(idx int, b *binding) (int, int) {
+	if len(b.offsets) == 2 && idx >= b.offsets[1] {
+		return 1, idx - b.offsets[1]
+	}
+	return 0, idx
+}
+
+// kindAt returns the schema kind of a combined-row column index.
+func kindAt(idx int, b *binding) relation.Kind {
+	side, local := sideLocal(idx, b)
+	return b.schemas[side][local].Kind
+}
+
+// vecPredOf compiles one conjunct into a vecPred whose column indices are
+// local to the side spanning combined columns [lo, hi). ok is false when
+// the conjunct is not vectorizable (then the whole plan falls back).
+func vecPredOf(c Expr, b *binding, lo, hi int) (vecPred, bool) {
+	switch n := c.(type) {
+	case *IsNullExpr:
+		cr, isCol := n.Expr.(*ColumnRef)
+		if !isCol {
+			return vecPred{}, false
+		}
+		idx, _, err := b.resolve(cr)
+		if err != nil || idx < lo || idx >= hi {
+			return vecPred{}, false
+		}
+		return vecPred{mode: predIsNull, col: idx - lo, negate: n.Negate}, true
+	case *BinaryExpr:
+		lt, eq, gt, ok := opParts(n.Op)
+		if !ok {
+			return vecPred{}, false
+		}
+		op, left, right := n.Op, n.Left, n.Right
+		if _, isLit := left.(*Literal); isLit {
+			// Normalize `lit OP col` to `col mirror(OP) lit`.
+			op = mirrorOp(op)
+			lt, eq, gt, _ = opParts(op)
+			left, right = right, left
+		}
+		lc, isCol := left.(*ColumnRef)
+		if !isCol {
+			return vecPred{}, false
+		}
+		li, lk, err := b.resolve(lc)
+		if err != nil || li < lo || li >= hi {
+			return vecPred{}, false
+		}
+		switch rn := right.(type) {
+		case *Literal:
+			v := rn.Value
+			if v.IsNull() {
+				// Any comparison against NULL is false before kinds are
+				// even considered, so it cannot error.
+				return vecPred{mode: predLit, cmp: cmpNever}, true
+			}
+			mode, ok := classifyCmp(op, lk, v.Kind())
+			if !ok {
+				return vecPred{}, false
+			}
+			pr := vecPred{mode: predLit, cmp: mode, col: li - lo, lt: lt, eq: eq, gt: gt}
+			switch v.Kind() {
+			case relation.KindInt:
+				pr.litI, pr.litF = v.AsInt(), v.AsFloat()
+			case relation.KindFloat:
+				pr.litF = v.AsFloat()
+			case relation.KindString:
+				pr.litS = v.AsString()
+			case relation.KindBool:
+				if v.AsBool() {
+					pr.litI = 1
+				}
+			case relation.KindDate:
+				pr.litI = v.AsDays()
+			}
+			return pr, true
+		case *ColumnRef:
+			ri, rk, err := b.resolve(rn)
+			if err != nil || ri < lo || ri >= hi {
+				return vecPred{}, false
+			}
+			mode, ok := classifyCmp(op, lk, rk)
+			if !ok {
+				return vecPred{}, false
+			}
+			return vecPred{mode: predCol, cmp: mode, col: li - lo, col2: ri - lo, lt: lt, eq: eq, gt: gt}, true
+		default:
+			return vecPred{}, false
+		}
+	default:
+		return vecPred{}, false
+	}
+}
+
+// vecPreds compiles a conjunct list, failing as a whole if any conjunct is
+// not vectorizable.
+func vecPreds(cs []Expr, b *binding, lo, hi int) ([]vecPred, bool) {
+	var out []vecPred
+	for _, c := range cs {
+		pr, ok := vecPredOf(c, b, lo, hi)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, pr)
+	}
+	return out, true
+}
+
+// batchProjOf compiles one projection expression.
+func batchProjOf(e Expr, b *binding) (batchProj, bool) {
+	switch n := e.(type) {
+	case *ColumnRef:
+		idx, _, err := b.resolve(n)
+		if err != nil {
+			return batchProj{}, false
+		}
+		side, local := sideLocal(idx, b)
+		return batchProj{mode: projCol, side: side, col: local}, true
+	case *Literal:
+		return batchProj{mode: projLit, lit: n.Value}, true
+	case *FuncCall:
+		if !strings.EqualFold(n.Name, "CONCAT") {
+			return batchProj{}, false
+		}
+		parts := make([]concatPart, 0, len(n.Args))
+		for _, a := range n.Args {
+			switch an := a.(type) {
+			case *Literal:
+				// Pre-render once; the row path formats the same constant
+				// value per row, so the bytes are identical.
+				parts = append(parts, concatPart{isLit: true, lit: []byte(an.Value.Format())})
+			case *ColumnRef:
+				idx, _, err := b.resolve(an)
+				if err != nil {
+					return batchProj{}, false
+				}
+				side, local := sideLocal(idx, b)
+				parts = append(parts, concatPart{side: side, col: local})
+			default:
+				return batchProj{}, false
+			}
+		}
+		return batchProj{mode: projConcat, parts: parts}, true
+	default:
+		return batchProj{}, false
+	}
+}
+
+// batchKeyKind reports whether k can key a typed equi-join index. Floats
+// are excluded (map[float64] diverges from HashKey on NaN); multi-column
+// keys fall back to the string-keyed row path.
+func batchKeyKind(k relation.Kind) bool {
+	switch k {
+	case relation.KindInt, relation.KindBool, relation.KindDate, relation.KindString:
+		return true
+	default:
+		return false
+	}
+}
+
+// compileBatch builds the columnar program for a plan, or nil when any
+// part of the statement is outside the batch path's proven-identical
+// subset.
+func compileBatch(stmt *SelectStmt, b *binding, sources []*relation.Table, p *plan) *batchPlan {
+	if p.agg || len(stmt.OrderBy) > 0 {
+		return nil
+	}
+	bp := &batchPlan{}
+
+	// Projections: expand * exactly like compileProjections, then require
+	// every item to be a column, literal or CONCAT of those.
+	for _, item := range stmt.Items {
+		if item.Star {
+			for ti := range b.schemas {
+				for ci := range b.schemas[ti] {
+					bp.projs = append(bp.projs, batchProj{mode: projCol, side: ti, col: ci})
+				}
+			}
+			continue
+		}
+		pj, ok := batchProjOf(item.Expr, b)
+		if !ok {
+			return nil
+		}
+		bp.projs = append(bp.projs, pj)
+	}
+
+	switch len(sources) {
+	case 1:
+		n := sources[0].NumCols()
+		preds, ok := vecPreds(conjuncts(stmt.Where), b, 0, n)
+		if !ok {
+			return nil
+		}
+		bp.scanPreds = preds
+		return bp
+	case 2:
+		jp := p.join
+		if jp == nil || len(jp.hashL) != 1 || len(jp.residualExprs) > 0 {
+			return nil
+		}
+		lk := sources[0].Schema[jp.hashL[0]].Kind
+		rk := sources[1].Schema[jp.hashR[0]].Kind
+		if lk != rk || !batchKeyKind(lk) {
+			return nil
+		}
+		bp.join = true
+		bp.keyL, bp.keyR, bp.keyKind = jp.hashL[0], jp.hashR[0], lk
+		var ok bool
+		if bp.leftPreds, ok = vecPreds(jp.leftExprs, b, 0, jp.nL); !ok {
+			return nil
+		}
+		if bp.rightPreds, ok = vecPreds(jp.rightExprs, b, jp.nL, jp.nL+jp.nR); !ok {
+			return nil
+		}
+		for _, cc := range jp.cmps {
+			mode, ok := classifyCmp(cc.op, sources[0].Schema[cc.li].Kind, sources[1].Schema[cc.ri].Kind)
+			if !ok {
+				return nil
+			}
+			lt, eq, gt, _ := opParts(cc.op)
+			bp.cmps = append(bp.cmps, vecCmp{cmp: mode, li: cc.li, ri: cc.ri, lt: lt, eq: eq, gt: gt})
+		}
+		return bp
+	default:
+		return nil
+	}
+}

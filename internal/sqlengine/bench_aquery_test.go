@@ -71,7 +71,21 @@ func templateSQL(table string) string {
 // the standard a-query table.
 func benchQuery(b *testing.B, rows int, sql string, wantRows bool) {
 	b.Helper()
+	benchQueryEngine(b, NewEngine(), rows, sql, wantRows)
+}
+
+// benchQueryFallback is benchQuery with the columnar path disabled, so the
+// batch speedup is measurable on one machine (the CI floor gate compares
+// the two).
+func benchQueryFallback(b *testing.B, rows int, sql string, wantRows bool) {
+	b.Helper()
 	e := NewEngine()
+	e.batchOff = true
+	benchQueryEngine(b, e, rows, sql, wantRows)
+}
+
+func benchQueryEngine(b *testing.B, e *Engine, rows int, sql string, wantRows bool) {
+	b.Helper()
 	e.Register(aqueryTable("T", rows))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -101,6 +115,18 @@ func BenchmarkAQueryRowAmbiguity(b *testing.B) {
 // projection per emitted row.
 func BenchmarkAQueryTemplateConcat(b *testing.B) {
 	benchQuery(b, 5000, templateSQL("T"), true)
+}
+
+// BenchmarkAQueryRowAmbiguityFallback is the equi-join shape forced onto
+// the row-at-a-time path.
+func BenchmarkAQueryRowAmbiguityFallback(b *testing.B) {
+	benchQueryFallback(b, 5000, rowAmbSQL("T"), true)
+}
+
+// BenchmarkAQueryTemplateConcatFallback is template mode forced onto the
+// row-at-a-time path.
+func BenchmarkAQueryTemplateConcatFallback(b *testing.B) {
+	benchQueryFallback(b, 5000, templateSQL("T"), true)
 }
 
 // BenchmarkAQueryRepeatedCount replays one counting a-query over and over

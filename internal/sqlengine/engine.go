@@ -25,8 +25,12 @@ var met = struct {
 	indexBuilds        *telemetry.Counter
 	indexHits          *telemetry.Counter
 	rangeJoins         *telemetry.Counter
+	batchScans         *telemetry.Counter
+	batchRows          *telemetry.Counter
+	vectorBuilds       *telemetry.Counter
 	parseNS            *telemetry.Histogram
 	execNS             *telemetry.Histogram
+	batchSelectivity   *telemetry.Histogram
 }{
 	queriesParsed:      telemetry.Default().Counter("sqlengine.queries_parsed"),
 	queriesExecuted:    telemetry.Default().Counter("sqlengine.queries_executed"),
@@ -40,9 +44,17 @@ var met = struct {
 	indexBuilds:        telemetry.Default().Counter("sqlengine.index_builds"),
 	indexHits:          telemetry.Default().Counter("sqlengine.index_hits"),
 	rangeJoins:         telemetry.Default().Counter("sqlengine.range_joins"),
+	batchScans:         telemetry.Default().Counter("sqlengine.batch_scans"),
+	batchRows:          telemetry.Default().Counter("sqlengine.batch_rows"),
+	vectorBuilds:       telemetry.Default().Counter("sqlengine.vector_builds"),
 	parseNS:            telemetry.Default().LatencyHistogram("sqlengine.parse_ns"),
 	execNS:             telemetry.Default().LatencyHistogram("sqlengine.exec_ns"),
+	batchSelectivity:   telemetry.Default().Histogram("sqlengine.batch_selectivity", selectivityBuckets),
 }
+
+// selectivityBuckets are the percent buckets of the batch selectivity
+// histogram: the share of a side's rows surviving its selection program.
+var selectivityBuckets = []int64{0, 1, 2, 5, 10, 25, 50, 75, 90, 100}
 
 // Engine is an in-memory SQL engine over registered relation.Tables. It is
 // safe for concurrent queries once all tables are registered: the prepared
@@ -56,6 +68,12 @@ type Engine struct {
 	tables  map[string]*relation.Table
 	plans   *planCache
 	indexes *indexCache
+	vectors *vecCache
+
+	// batchOff forces every query onto the row-at-a-time path. It exists
+	// for the batch-vs-fallback differential suite and benchmarks; the
+	// flag must be set before the engine serves queries.
+	batchOff bool
 }
 
 // NewEngine returns an empty engine.
@@ -64,17 +82,20 @@ func NewEngine() *Engine {
 		tables:  make(map[string]*relation.Table),
 		plans:   newPlanCache(defaultPlanCacheCap),
 		indexes: newIndexCache(),
+		vectors: newVecCache(),
 	}
 }
 
 // Register adds (or replaces) a table under its own name. Cached plans
-// compiled against the previous registration and its shared join indexes
-// are evicted, so later queries bind and index against the new rows.
+// compiled against the previous registration, its shared join indexes and
+// its column vectors are evicted, so later queries bind, index and
+// vectorize against the new rows.
 func (e *Engine) Register(t *relation.Table) {
 	name := strings.ToLower(t.Name)
 	e.tables[name] = t
 	e.plans.invalidate(name)
 	e.indexes.invalidate(name)
+	e.vectors.invalidate(name)
 }
 
 // Table returns a registered table by name.
@@ -184,23 +205,22 @@ func (e *Engine) runCount(p *plan) (int, error) {
 	var sink rowSink
 	if stmt.Distinct {
 		seen := map[string]struct{}{}
-		var kb strings.Builder
+		var keyBuf []byte
 		sink = func(combined []relation.Value) error {
-			kb.Reset()
+			keyBuf = keyBuf[:0]
 			for _, ev := range p.projs {
 				v, err := ev.eval(combined)
 				if err != nil {
 					return err
 				}
-				kb.WriteString(v.HashKey())
-				kb.WriteByte(0x1f)
+				keyBuf = v.AppendHashKey(keyBuf)
+				keyBuf = append(keyBuf, 0x1f)
 			}
-			k := kb.String()
-			if _, dup := seen[k]; dup {
+			if _, dup := seen[string(keyBuf)]; dup {
 				drops++
 				return nil
 			}
-			seen[k] = struct{}{}
+			seen[string(keyBuf)] = struct{}{}
 			count++
 			if stmt.Limit >= 0 && count >= stmt.Limit {
 				return errLimitReached
@@ -240,6 +260,15 @@ func (e *Engine) run(p *plan) (*relation.Table, error) {
 		return e.executeAggregate(p)
 	}
 
+	// Supported shapes run on the columnar batch path; runBatch declines
+	// (and the row path below takes over) only when a registered table is
+	// not vectorizable.
+	if p.batch != nil && !e.batchOff {
+		if res, ok := e.runBatch(p); ok {
+			return res, nil
+		}
+	}
+
 	stmt, projs, names, orderEvals := p.stmt, p.projs, p.names, p.orderEvals
 
 	// Plan and consume the row stream. Without ORDER BY the projection
@@ -267,7 +296,7 @@ func (e *Engine) run(p *plan) (*relation.Table, error) {
 		if stmt.Distinct {
 			seen = map[string]struct{}{}
 		}
-		var kb strings.Builder
+		var keyBuf []byte // reused dedup-key scratch; allocation only on insert
 		sink := func(combined []relation.Value) error {
 			pr := newRow()
 			for i, ev := range projs {
@@ -278,17 +307,12 @@ func (e *Engine) run(p *plan) (*relation.Table, error) {
 				pr[i] = v
 			}
 			if seen != nil {
-				kb.Reset()
-				for _, v := range pr {
-					kb.WriteString(v.HashKey())
-					kb.WriteByte(0x1f)
-				}
-				k := kb.String()
-				if _, dup := seen[k]; dup {
+				keyBuf = appendRowKey(keyBuf[:0], pr)
+				if _, dup := seen[string(keyBuf)]; dup {
 					distinctDrops++
 					return nil
 				}
-				seen[k] = struct{}{}
+				seen[string(keyBuf)] = struct{}{}
 			}
 			out = append(out, pr)
 			if stmt.Limit >= 0 && len(out) >= stmt.Limit {
@@ -331,19 +355,14 @@ func (e *Engine) run(p *plan) (*relation.Table, error) {
 		if stmt.Distinct {
 			seen := make(map[string]struct{}, len(out))
 			dedup := out[:0]
-			var kb strings.Builder
+			var keyBuf []byte
 			for _, row := range out {
-				kb.Reset()
-				for _, v := range row {
-					kb.WriteString(v.HashKey())
-					kb.WriteByte(0x1f)
-				}
-				k := kb.String()
-				if _, ok := seen[k]; ok {
+				keyBuf = appendRowKey(keyBuf[:0], row)
+				if _, ok := seen[string(keyBuf)]; ok {
 					distinctDrops++
 					continue
 				}
-				seen[k] = struct{}{}
+				seen[string(keyBuf)] = struct{}{}
 				dedup = append(dedup, row)
 			}
 			out = dedup
@@ -405,7 +424,14 @@ func (e *Engine) run(p *plan) (*relation.Table, error) {
 		out = out[:stmt.Limit]
 	}
 
-	// Result schema: static kind guesses refined by observed values.
+	return finishResult(p, out), nil
+}
+
+// finishResult assembles the output table from projected rows. Both the
+// row path and the batch path finish here, so the result schema — static
+// kind guesses refined by observed values — is derived identically.
+func finishResult(p *plan, out []relation.Row) *relation.Table {
+	projs, names := p.projs, p.names
 	schema := make(relation.Schema, len(projs))
 	for i := range projs {
 		k := projs[i].kind
@@ -422,7 +448,19 @@ func (e *Engine) run(p *plan) (*relation.Table, error) {
 	met.rowsEmitted.Add(int64(len(out)))
 	res := relation.NewTable("result", schema)
 	res.Rows = out
-	return res, nil
+	return res
+}
+
+// appendRowKey appends the DISTINCT dedup key of a projected row: each
+// value's hash key terminated by a 0x1f separator. Every dedup site (row
+// path, counting path, batch path) builds keys through this helper in a
+// reused scratch buffer, so the sets they build are interchangeable.
+func appendRowKey(buf []byte, row []relation.Value) []byte {
+	for _, v := range row {
+		buf = v.AppendHashKey(buf)
+		buf = append(buf, 0x1f)
+	}
+	return buf
 }
 
 // orderKeysFromProjection resolves ORDER BY items against output column

@@ -111,22 +111,22 @@ func (ti *tableIndexes) hashIndex(cols []int) map[string][]relation.Row {
 // left out: NULL never equi-joins.
 func buildHashIndex(rows []relation.Row, cols []int) map[string][]relation.Row {
 	index := make(map[string][]relation.Row, len(rows))
-	var kb strings.Builder
+	var key []byte // reused scratch; the key materializes once on insert
 	for _, r := range rows {
-		kb.Reset()
+		key = key[:0]
 		skip := false
 		for _, ci := range cols {
 			if r[ci].IsNull() {
 				skip = true
 				break
 			}
-			kb.WriteString(r[ci].HashKey())
-			kb.WriteByte(0x1f)
+			key = r[ci].AppendHashKey(key)
+			key = append(key, 0x1f)
 		}
 		if skip {
 			continue
 		}
-		k := kb.String() // materialize the key once for lookup and insert
+		k := string(key)
 		index[k] = append(index[k], r)
 	}
 	return index

@@ -25,6 +25,7 @@ type plan struct {
 
 	scanFilter *evaluator // single-table WHERE (nil when absent)
 	join       *joinPlan  // binary FROM (nil otherwise)
+	batch      *batchPlan // columnar program (nil: row-at-a-time fallback)
 }
 
 // references reports whether the plan reads the named (lowercased) table.
@@ -61,6 +62,13 @@ type joinPlan struct {
 	cmps        []colCmp // cross-side column comparisons, incl. the driver
 	residual    *evaluator
 	driver      int // cmps index driving the range join; -1 when none
+
+	// Raw conjunct classification, kept for the batch compiler: the
+	// vectorizer re-types each side's conjuncts against the column
+	// vectors instead of reusing the compiled evaluators.
+	leftExprs     []Expr
+	rightExprs    []Expr
+	residualExprs []Expr
 }
 
 // prepare resolves SQL text through the plan cache: a hit skips parsing
@@ -122,6 +130,7 @@ func (e *Engine) buildPlan(stmt *SelectStmt) (*plan, error) {
 			return nil, err
 		}
 	}
+	p.batch = compileBatch(stmt, b, sources, p)
 	return p, nil
 }
 
@@ -167,6 +176,7 @@ func buildJoinPlan(stmt *SelectStmt, b *binding, sources []*relation.Table) (*jo
 		}
 		residual = append(residual, c)
 	}
+	jp.leftExprs, jp.rightExprs, jp.residualExprs = leftPred, rightPred, residual
 
 	var err error
 	if len(leftPred) > 0 {
@@ -338,22 +348,25 @@ func (e *Engine) runJoin(p *plan, sink rowSink) error {
 		} else {
 			index = buildHashIndex(rightRows, jp.hashR)
 		}
-		var kb strings.Builder
+		// Probe keys build in a reused scratch buffer; the string([]byte)
+		// map lookup is allocation-free, so the steady-state probe costs
+		// no allocations at all.
+		var key []byte
 		for _, l := range leftRows {
-			kb.Reset()
+			key = key[:0]
 			skip := false
 			for _, ci := range jp.hashL {
 				if l[ci].IsNull() {
 					skip = true // NULL never equi-joins
 					break
 				}
-				kb.WriteString(l[ci].HashKey())
-				kb.WriteByte(0x1f)
+				key = l[ci].AppendHashKey(key)
+				key = append(key, 0x1f)
 			}
 			if skip {
 				continue
 			}
-			for _, r := range index[kb.String()] {
+			for _, r := range index[string(key)] {
 				if err := pair(l, r); err != nil {
 					return err
 				}

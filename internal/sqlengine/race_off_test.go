@@ -1,0 +1,7 @@
+//go:build !race
+
+package sqlengine
+
+// raceEnabled reports that this test binary was built with the race
+// detector; timing-sensitive gates skip themselves.
+const raceEnabled = false

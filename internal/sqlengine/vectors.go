@@ -1,0 +1,185 @@
+package sqlengine
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// vecCache holds the lazily-built columnar form of each registered table,
+// alongside the typed hash indexes the batched join probe uses. Like the
+// join-index cache it is keyed by registration name, self-heals when the
+// registered table changes identity, and is evicted by Register — a
+// re-registered table never serves stale vectors.
+type vecCache struct {
+	mu      sync.Mutex
+	byTable map[string]*tableVectors
+}
+
+// newVecCache returns an empty cache.
+func newVecCache() *vecCache {
+	return &vecCache{byTable: map[string]*tableVectors{}}
+}
+
+// forTable returns the vector set for the named registration, replacing a
+// stale entry whose table pointer no longer matches.
+func (c *vecCache) forTable(name string, t *relation.Table) *tableVectors {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tv := c.byTable[name]
+	if tv == nil || tv.table != t {
+		tv = &tableVectors{
+			table:  t,
+			intIdx: map[int]*intIndexEntry{},
+			strIdx: map[int]*strIndexEntry{},
+			fmts:   map[int]*fmtEntry{},
+		}
+		c.byTable[name] = tv
+	}
+	return tv
+}
+
+// invalidate drops the cached vectors for one registration name.
+func (c *vecCache) invalidate(name string) {
+	c.mu.Lock()
+	delete(c.byTable, name)
+	c.mu.Unlock()
+}
+
+// tableVectors lazily materializes one registered table's column vectors
+// and typed single-column hash indexes. Each artifact builds exactly once
+// under its sync.Once; concurrent queries share the build and read the
+// immutable result without locks.
+type tableVectors struct {
+	table *relation.Table
+	once  sync.Once
+	cols  *relation.ColumnSet // nil when the table is not vectorizable
+
+	mu     sync.Mutex
+	intIdx map[int]*intIndexEntry // per int/bool/date key column
+	strIdx map[int]*strIndexEntry // per string key column
+	fmts   map[int]*fmtEntry      // per CONCAT-referenced column
+}
+
+// intIndexEntry is one lazily-built int64-keyed equi-join index.
+type intIndexEntry struct {
+	once sync.Once
+	rows map[int64][]int32
+}
+
+// strIndexEntry is one lazily-built string-keyed equi-join index.
+type strIndexEntry struct {
+	once sync.Once
+	rows map[string][]int32
+}
+
+// fmtEntry is one column's lazily-built formatted cache: every cell's
+// Format() bytes rendered once into a shared buffer, addressed by offsets.
+// Vectorized CONCAT copies these slices instead of re-formatting the same
+// cell for every join pair it appears in; NULL cells occupy an empty
+// range, matching Format's empty rendering.
+type fmtEntry struct {
+	once sync.Once
+	buf  []byte
+	offs []int32 // len n+1; cell i spans buf[offs[i]:offs[i+1]]
+}
+
+// slice returns the formatted bytes of cell i.
+func (f *fmtEntry) slice(i int32) []byte { return f.buf[f.offs[i]:f.offs[i+1]] }
+
+// columns returns the columnar form, building it on first use. A nil
+// result means the table holds cells whose dynamic kind violates the
+// schema (rows spliced in without Append validation) and must stay on the
+// row-at-a-time path.
+func (tv *tableVectors) columns() *relation.ColumnSet {
+	tv.once.Do(func() {
+		met.vectorBuilds.Inc()
+		tv.cols = relation.BuildColumns(tv.table)
+	})
+	return tv.cols
+}
+
+// intIndex returns the int64-keyed equi-join index over column col of an
+// int, bool or date column, building it on first use. NULL cells are
+// excluded — NULL never equi-joins — and bucket order is table row order,
+// matching buildHashIndex, so batched probes emit the exact row stream the
+// string-keyed path would.
+func (tv *tableVectors) intIndex(col int, cols *relation.ColumnSet) map[int64][]int32 {
+	tv.mu.Lock()
+	entry := tv.intIdx[col]
+	if entry == nil {
+		entry = &intIndexEntry{}
+		tv.intIdx[col] = entry
+	}
+	tv.mu.Unlock()
+	built := false
+	entry.once.Do(func() {
+		built = true
+		met.indexBuilds.Inc()
+		v := &cols.Cols[col]
+		idx := make(map[int64][]int32, cols.Len)
+		for i := 0; i < cols.Len; i++ {
+			if v.Nulls.Get(i) {
+				continue
+			}
+			idx[v.I[i]] = append(idx[v.I[i]], int32(i))
+		}
+		entry.rows = idx
+	})
+	if !built {
+		met.indexHits.Inc()
+	}
+	return entry.rows
+}
+
+// formatted returns the formatted cache for column col, building it on
+// first use.
+func (tv *tableVectors) formatted(col int, cols *relation.ColumnSet) *fmtEntry {
+	tv.mu.Lock()
+	entry := tv.fmts[col]
+	if entry == nil {
+		entry = &fmtEntry{}
+		tv.fmts[col] = entry
+	}
+	tv.mu.Unlock()
+	entry.once.Do(func() {
+		v := &cols.Cols[col]
+		offs := make([]int32, cols.Len+1)
+		var buf []byte
+		for i := 0; i < cols.Len; i++ {
+			buf = v.AppendFormat(buf, i)
+			offs[i+1] = int32(len(buf))
+		}
+		entry.buf, entry.offs = buf, offs
+	})
+	return entry
+}
+
+// strIndex is intIndex for string key columns.
+func (tv *tableVectors) strIndex(col int, cols *relation.ColumnSet) map[string][]int32 {
+	tv.mu.Lock()
+	entry := tv.strIdx[col]
+	if entry == nil {
+		entry = &strIndexEntry{}
+		tv.strIdx[col] = entry
+	}
+	tv.mu.Unlock()
+	built := false
+	entry.once.Do(func() {
+		built = true
+		met.indexBuilds.Inc()
+		v := &cols.Cols[col]
+		idx := make(map[string][]int32, cols.Len)
+		for i := 0; i < cols.Len; i++ {
+			if v.Nulls.Get(i) {
+				continue
+			}
+			idx[v.S[i]] = append(idx[v.S[i]], int32(i))
+		}
+		entry.rows = idx
+	})
+	if !built {
+		met.indexHits.Inc()
+	}
+	return entry.rows
+}

@@ -41,6 +41,9 @@ var KnownMetrics = []MetricName{
 	{Name: "pythia.generate_ns", Kind: "histogram"},
 	{Name: "pythia.quota_drops", Kind: "counter"},
 	{Name: "pythia.units", Kind: "counter"},
+	{Name: "sqlengine.batch_rows", Kind: "counter"},
+	{Name: "sqlengine.batch_scans", Kind: "counter"},
+	{Name: "sqlengine.batch_selectivity", Kind: "histogram"},
 	{Name: "sqlengine.count_queries", Kind: "counter"},
 	{Name: "sqlengine.distinct_drops", Kind: "counter"},
 	{Name: "sqlengine.exec_ns", Kind: "histogram"},
@@ -55,6 +58,7 @@ var KnownMetrics = []MetricName{
 	{Name: "sqlengine.range_joins", Kind: "counter"},
 	{Name: "sqlengine.rows_emitted", Kind: "counter"},
 	{Name: "sqlengine.rows_scanned", Kind: "counter"},
+	{Name: "sqlengine.vector_builds", Kind: "counter"},
 	{Name: "stream.checkpoints_written", Kind: "counter"},
 	{Name: "stream.examples_flushed", Kind: "counter"},
 	{Name: "stream.units_skipped", Kind: "counter"},
