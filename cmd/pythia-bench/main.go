@@ -123,11 +123,14 @@ func main() {
 	flag.Parse()
 
 	if *pprofAddr != "" {
-		if err := telemetry.Serve(*pprofAddr); err != nil {
+		dbg, err := telemetry.Serve(*pprofAddr)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "pythia-bench: pprof and /debug/vars on http://%s/debug/pprof\n", *pprofAddr)
+		//lint:ignore err-ignored closing the debug listener at process exit; nothing can act on its error
+		defer func() { _ = dbg.Close() }()
+		fmt.Fprintf(os.Stderr, "pythia-bench: pprof and /debug/vars on http://%s/debug/pprof\n", dbg.Addr())
 	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}

@@ -56,14 +56,20 @@ func obsFlags(fs *flag.FlagSet) func() (func(), error) {
 	metrics := fs.String("metrics", "", "write a telemetry snapshot (JSON) to this file at exit")
 	pprof := fs.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	return func() (func(), error) {
+		var dbg *telemetry.DebugServer
 		if *pprof != "" {
-			if err := telemetry.Serve(*pprof); err != nil {
+			var err error
+			if dbg, err = telemetry.Serve(*pprof); err != nil {
 				return nil, err
 			}
-			fmt.Fprintf(os.Stderr, "pythia: pprof and /debug/vars on http://%s/debug/pprof\n", *pprof)
+			fmt.Fprintf(os.Stderr, "pythia: pprof and /debug/vars on http://%s/debug/pprof\n", dbg.Addr())
 		}
 		path := *metrics
 		return func() {
+			if dbg != nil {
+				//lint:ignore err-ignored closing the debug listener at process exit; nothing can act on its error
+				_ = dbg.Close()
+			}
 			if path == "" {
 				return
 			}

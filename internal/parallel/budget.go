@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// budgetMetrics tracks the process-wide budget: slots currently granted
+// and acquisitions that had to settle for fewer workers than requested.
+var budgetMetrics = struct {
+	inUse   *telemetry.Gauge
+	clipped *telemetry.Counter
+}{
+	inUse:   telemetry.Default().Gauge("parallel.budget_in_use"),
+	clipped: telemetry.Default().Counter("parallel.budget_clipped"),
+}
+
+// Budget is a process-wide pool of worker slots shared by concurrent
+// requests. Each request acquires a budget before spinning up its worker
+// pool, so the sum of all live pools never exceeds the slot count no
+// matter how many requests stream at once — the serving layer's guard
+// against oversubscribing the machine.
+//
+// Acquisition is deliberately elastic rather than all-or-nothing: a
+// request blocks only until one slot is free, then greedily takes up to
+// its ask from whatever is left. Under contention everyone runs narrower
+// instead of queueing behind the widest request, which keeps tail latency
+// bounded while idle periods still hand a lone request the whole machine.
+type Budget struct {
+	slots chan struct{} // send = acquire one slot, receive = release
+}
+
+// NewBudget returns a budget of n worker slots (n <= 0 means
+// runtime.GOMAXPROCS, matching the Workers convention).
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Budget{slots: make(chan struct{}, n)}
+}
+
+// Slots returns the total slot count of the budget.
+func (b *Budget) Slots() int { return cap(b.slots) }
+
+// InUse returns the number of slots currently granted. It is a point-in-
+// time reading for tests and metrics, not a synchronization primitive.
+func (b *Budget) InUse() int { return len(b.slots) }
+
+// Acquire blocks until at least one slot is free (or ctx is done), then
+// claims up to want slots without further blocking. want is clamped to
+// [1, Slots]. It returns the number of slots granted — always >= 1 on
+// success — and a release function that must be called exactly once when
+// the request's workers are finished; calling it again is a no-op. On a
+// done context nothing is held and release is nil.
+func (b *Budget) Acquire(ctx context.Context, want int) (int, func(), error) {
+	if want < 1 {
+		want = 1
+	}
+	if want > cap(b.slots) {
+		want = cap(b.slots)
+	}
+	select {
+	case b.slots <- struct{}{}:
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+	granted := 1
+greedy:
+	for granted < want {
+		select {
+		case b.slots <- struct{}{}:
+			granted++
+		default:
+			// Contended: run with what we have rather than queueing.
+			break greedy
+		}
+	}
+	if granted < want {
+		budgetMetrics.clipped.Inc()
+	}
+	budgetMetrics.inUse.Set(int64(len(b.slots)))
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			for i := 0; i < granted; i++ {
+				<-b.slots
+			}
+			budgetMetrics.inUse.Set(int64(len(b.slots)))
+		})
+	}
+	return granted, release, nil
+}

@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBudgetGreedyAcquire(t *testing.T) {
+	b := NewBudget(4)
+	got, release, err := b.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if got != 3 {
+		t.Fatalf("granted %d, want 3", got)
+	}
+	if b.InUse() != 3 {
+		t.Fatalf("InUse %d, want 3", b.InUse())
+	}
+
+	// One slot left: a wide ask settles for it instead of blocking.
+	got2, release2, err := b.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if got2 != 1 {
+		t.Fatalf("contended grant %d, want 1", got2)
+	}
+
+	release2()
+	release()
+	release() // idempotent
+	if b.InUse() != 0 {
+		t.Fatalf("InUse %d after releases, want 0", b.InUse())
+	}
+}
+
+func TestBudgetClampsAsk(t *testing.T) {
+	b := NewBudget(2)
+	got, release, err := b.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer release()
+	if got != 2 {
+		t.Fatalf("granted %d, want the full budget 2", got)
+	}
+	// want <= 0 means 1: with the pool exhausted the minimum slot is not
+	// available, so a deadlined acquire must time out rather than grant 0.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if got0, release0, err := b.Acquire(ctx, 0); err == nil {
+		release0()
+		t.Fatalf("exhausted budget granted %d slots for a zero ask", got0)
+	}
+}
+
+func TestBudgetAcquireRespectsContext(t *testing.T) {
+	b := NewBudget(1)
+	_, release, err := b.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := b.Acquire(ctx, 1); err == nil {
+		t.Fatal("Acquire on an exhausted budget returned without error before release")
+	}
+	release()
+	got, release2, err := b.Acquire(context.Background(), 1)
+	if err != nil || got != 1 {
+		t.Fatalf("Acquire after release: got %d, err %v", got, err)
+	}
+	release2()
+}
+
+func TestBudgetNeverOversubscribes(t *testing.T) {
+	const slots, requests = 3, 50
+	b := NewBudget(slots)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	live, maxLive := 0, 0
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(want int) {
+			defer wg.Done()
+			got, release, err := b.Acquire(context.Background(), want)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			live += got
+			if live > maxLive {
+				maxLive = live
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			live -= got
+			mu.Unlock()
+			release()
+		}(1 + i%slots)
+	}
+	wg.Wait()
+	if maxLive > slots {
+		t.Fatalf("observed %d concurrent slots, budget is %d", maxLive, slots)
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("InUse %d after all releases, want 0", b.InUse())
+	}
+}

@@ -29,10 +29,10 @@ type AggregateSpec struct {
 //
 // The method mutates no Generator state: the dimension table is registered
 // with the shared engine only when it is absent or has changed, so repeat
-// invocations with the same spec neither evict the engine's cached plans
-// and join indexes for the dimension nor race with concurrent Generate
-// calls. (The first registration of a new dimension still invalidates and
-// must not run concurrently with queries — register once, then fan out.)
+// invocations with the same spec keep the engine's cached plans and join
+// indexes for the dimension warm. A first registration of a new dimension
+// is also safe concurrently with queries — the engine publishes it as a
+// new registry snapshot while in-flight queries finish on the old view.
 func (g *Generator) AggregateComparisons(spec AggregateSpec, opts Options) ([]Example, error) {
 	opts = opts.defaults()
 	if spec.Dimension == nil {

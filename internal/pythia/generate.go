@@ -109,8 +109,9 @@ func (o Options) defaults() Options {
 // no per-run mutable state — the table, metadata and engine are fixed at
 // construction and text generators are created per run or per shard — so
 // one Generator serves concurrent Generate/GenerateStream/NotAmbiguous/
-// AggregateComparisons calls (AggregateComparisons must have its dimension
-// table registered before running concurrently; see its doc).
+// AggregateComparisons calls; the engine's snapshot registry even lets
+// AggregateComparisons register a new dimension table while other calls
+// are mid-query.
 type Generator struct {
 	table  *relation.Table
 	md     *Metadata
@@ -120,7 +121,19 @@ type Generator struct {
 // NewGenerator prepares a generator: registers the table with a fresh
 // engine instance.
 func NewGenerator(t *relation.Table, md *Metadata) *Generator {
-	e := sqlengine.NewEngine()
+	return NewGeneratorWith(sqlengine.NewEngine(), t, md)
+}
+
+// NewGeneratorWith prepares a generator over a caller-shared engine,
+// registering the table into it. The engine's snapshot registry makes the
+// registration safe concurrently with queries other generators are running
+// on the same engine, so a multi-tenant process (the serving layer) can
+// ingest a new table while streaming examples for existing ones. Queries
+// bind tables by name: re-registering a name a live generator is streaming
+// from switches that stream's later queries to the new rows (each query
+// individually consistent) — replace the generator together with the
+// registration when that matters.
+func NewGeneratorWith(e *sqlengine.Engine, t *relation.Table, md *Metadata) *Generator {
 	e.Register(t)
 	return &Generator{table: t, md: md, engine: e}
 }

@@ -1,0 +1,11 @@
+package serve
+
+import _ "embed"
+
+// FixtureCSV is the bundled Basket table (30 rows, composite key
+// Player+Team, three percentage columns sharing one ambiguity label) —
+// the upload body used by the hammer's self-hosted mode, the CI smoke
+// test, and the endpoint test suite.
+//
+//go:embed testdata/basket.csv
+var FixtureCSV []byte

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HammerConfig drives the bundled load client against a running server.
+type HammerConfig struct {
+	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Table is the tenant to hammer (must already be uploaded).
+	Table string
+	// Requests is the total number of generate requests to issue.
+	Requests int
+	// Concurrency is the number of in-flight requests the client sustains.
+	Concurrency int
+	// Workers is the per-request worker ask forwarded in the body.
+	Workers int
+	// Body overrides the generate request (zero value = defaults + Workers).
+	Body GenerateRequest
+}
+
+// HammerResult is the measured outcome, shaped for BENCH_9.json.
+type HammerResult struct {
+	Requests       int     `json:"requests"`
+	Concurrency    int     `json:"concurrency"`
+	Failures       int     `json:"failures"`
+	Rejected429    int     `json:"rejected_429"`
+	Examples       int64   `json:"examples"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	ExamplesPerSec float64 `json:"examples_per_sec"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+}
+
+// Hammer runs the load shape in cfg: Concurrency goroutines pull request
+// numbers from a shared counter until Requests have been issued, each
+// streaming a full generate response and counting its NDJSON lines. A
+// request's latency is first byte to last (the stream must drain fully).
+// 429 responses are counted separately from hard failures — under a
+// deliberately tight admission limit they are the backpressure working,
+// not an error.
+func Hammer(ctx context.Context, cfg HammerConfig) (*HammerResult, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 32
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	body := cfg.Body
+	if cfg.Workers > 0 {
+		body.Workers = cfg.Workers
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("hammer: marshal body: %w", err)
+	}
+	url := fmt.Sprintf("%s/tables/%s/generate", cfg.BaseURL, cfg.Table)
+
+	var (
+		next      atomic.Int64
+		examples  atomic.Int64
+		failures  atomic.Int64
+		rejected  atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for g := 0; g < cfg.Concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if n := next.Add(1); n > int64(cfg.Requests) {
+					return
+				}
+				t0 := time.Now()
+				lines, status, err := oneRequest(ctx, url, payload)
+				d := time.Since(t0)
+				switch {
+				case err != nil:
+					failures.Add(1)
+				case status == http.StatusTooManyRequests:
+					rejected.Add(1)
+				case status != http.StatusOK:
+					failures.Add(1)
+				default:
+					examples.Add(lines)
+					mu.Lock()
+					latencies = append(latencies, d)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &HammerResult{
+		Requests:    cfg.Requests,
+		Concurrency: cfg.Concurrency,
+		Failures:    int(failures.Load()),
+		Rejected429: int(rejected.Load()),
+		Examples:    examples.Load(),
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1e3,
+	}
+	if elapsed > 0 {
+		res.ExamplesPerSec = float64(res.Examples) / elapsed.Seconds()
+		res.RequestsPerSec = float64(len(latencies)) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50MS = percentileMS(latencies, 0.50)
+	res.P99MS = percentileMS(latencies, 0.99)
+	if res.Failures > 0 && res.Examples == 0 {
+		return res, fmt.Errorf("hammer: all %d requests failed", res.Failures)
+	}
+	return res, nil
+}
+
+// oneRequest issues one generate call and drains the stream, returning the
+// number of NDJSON lines it carried.
+func oneRequest(ctx context.Context, url string, payload []byte) (lines int64, status int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		//lint:ignore err-ignored the body is fully drained; close errors carry no information here
+		_ = resp.Body.Close()
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			lines++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lines, resp.StatusCode, err
+	}
+	return lines, resp.StatusCode, nil
+}
+
+// percentileMS reads the q-th percentile from sorted latencies, in
+// fractional milliseconds (nearest-rank).
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Microseconds()) / 1e3
+}

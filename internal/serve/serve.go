@@ -1,0 +1,465 @@
+// Package serve is the multi-tenant HTTP serving layer over the pythia
+// pipeline: upload a CSV table once, profile it and discover its ambiguity
+// metadata, then stream generated training examples on demand — the
+// "millions of examples in seconds" template path behind a request/response
+// surface instead of a batch CLI.
+//
+// All tenants share one sqlengine.Engine; its snapshot registry makes a
+// registration (an upload) safe while other tenants' generate streams are
+// mid-query, and one plan/index/vector cache pool serves every request.
+// Generation concurrency is governed twice: an admission limit caps the
+// number of simultaneously streaming requests (excess gets 429), and a
+// process-wide parallel.Budget hands each admitted request a worker grant —
+// at least one slot, at most its ask — so the sum of all streams' worker
+// pools never oversubscribes the machine.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/kb"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/profiling"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+	"repro/internal/sqlengine"
+	"repro/internal/telemetry"
+)
+
+// met holds the serving layer's metric handles, visible in /debug/vars and
+// -metrics snapshots next to the engine and pipeline counters.
+var met = struct {
+	uploads          *telemetry.Counter
+	generateRequests *telemetry.Counter
+	rejected         *telemetry.Counter
+	disconnects      *telemetry.Counter
+	streamErrors     *telemetry.Counter
+	examples         *telemetry.Counter
+	activeStreams    *telemetry.Gauge
+	requestNS        *telemetry.Histogram
+}{
+	uploads:          telemetry.Default().Counter("serve.uploads"),
+	generateRequests: telemetry.Default().Counter("serve.generate_requests"),
+	rejected:         telemetry.Default().Counter("serve.rejected_429"),
+	disconnects:      telemetry.Default().Counter("serve.client_disconnects"),
+	streamErrors:     telemetry.Default().Counter("serve.stream_errors"),
+	examples:         telemetry.Default().Counter("serve.examples_streamed"),
+	activeStreams:    telemetry.Default().Gauge("serve.active_streams"),
+	requestNS:        telemetry.Default().LatencyHistogram("serve.request_ns"),
+}
+
+// Config sizes a Server.
+type Config struct {
+	// MaxInflight caps concurrently streaming generate requests; excess
+	// requests are answered 429 immediately (0 = DefaultMaxInflight).
+	MaxInflight int
+	// BudgetSlots is the process-wide worker budget generate requests draw
+	// from (0 = GOMAXPROCS).
+	BudgetSlots int
+	// MaxUploadBytes bounds a table upload body (0 = DefaultMaxUploadBytes).
+	MaxUploadBytes int64
+	// Predictor discovers ambiguity metadata for uploaded tables
+	// (nil = the training-free ulabel method over the default KB).
+	Predictor model.Predictor
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxInflight    = 64
+	DefaultMaxUploadBytes = 32 << 20
+)
+
+// tenant is one uploaded table with its derived artifacts. Tenants are
+// immutable once built; re-uploading a name swaps the whole tenant.
+type tenant struct {
+	name    string // the registered (original-case) table name
+	table   *relation.Table
+	profile *profiling.Profile
+	md      *pythia.Metadata
+	gen     *pythia.Generator
+}
+
+// Server is the multi-tenant serving state. Create with NewServer, mount
+// via Handler, shut down by draining the enclosing http.Server — handlers
+// hold no state that outlives their request.
+type Server struct {
+	cfg      Config
+	engine   *sqlengine.Engine
+	budget   *parallel.Budget
+	pred     model.Predictor
+	inflight chan struct{} // generate admission tokens
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant // keyed by lowercased name
+
+	// testHold, when non-nil, makes a generate request carrying the
+	// x-test-hold=1 query parameter block after its headers are flushed
+	// until the channel is closed or the client disconnects — leverage for
+	// the backpressure and shutdown-drain test suites only.
+	testHold chan struct{}
+}
+
+// NewServer builds a serving instance: one shared engine, one worker
+// budget, an empty tenant set.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	pred := cfg.Predictor
+	if pred == nil {
+		pred = model.NewULabel(kb.BuildDefault())
+	}
+	return &Server{
+		cfg:      cfg,
+		engine:   sqlengine.NewEngine(),
+		budget:   parallel.NewBudget(cfg.BudgetSlots),
+		pred:     pred,
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		tenants:  map[string]*tenant{},
+	}
+}
+
+// Budget exposes the worker budget (for tests and the hammer harness).
+func (s *Server) Budget() *parallel.Budget { return s.budget }
+
+// Handler returns the route mux:
+//
+//	POST /tables?name=N                CSV body -> profile, discover, register
+//	GET  /tables                       list tenants
+//	GET  /tables/{name}/profile        profiling result
+//	GET  /tables/{name}/metadata       discovered ambiguity metadata
+//	POST /tables/{name}/generate       stream examples as NDJSON
+//	GET  /healthz                      liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tables", s.handleUpload)
+	mux.HandleFunc("GET /tables", s.handleList)
+	mux.HandleFunc("GET /tables/{name}/profile", s.handleProfile)
+	mux.HandleFunc("GET /tables/{name}/metadata", s.handleMetadata)
+	mux.HandleFunc("POST /tables/{name}/generate", s.handleGenerate)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	//lint:ignore err-ignored the response is already committed; an encode error here has no channel back to the client
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// validName gates uploaded table names: they appear verbatim inside
+// generated SQL, so keep them identifier-shaped.
+func validName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup resolves a tenant by case-insensitive name.
+func (s *Server) lookup(name string) (*tenant, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tn, ok := s.tenants[strings.ToLower(name)]
+	return tn, ok
+}
+
+// handleUpload ingests one CSV table: parse, profile, discover metadata,
+// register with the shared engine (safe during live queries — the snapshot
+// registry publishes the new table atomically) and install the tenant.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	tm := met.requestNS.Time()
+	defer tm.Stop()
+	name := r.URL.Query().Get("name")
+	if !validName(name) {
+		writeError(w, http.StatusBadRequest, "missing or invalid ?name= (want 1-64 chars of [A-Za-z0-9_-])")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	t, err := relation.ReadCSV(name, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse csv: %v", err)
+		return
+	}
+	md, err := pythia.Discover(t, s.pred)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "discover metadata: %v", err)
+		return
+	}
+	tn := &tenant{
+		name:    name,
+		table:   t,
+		profile: md.Profile,
+		md:      md,
+		gen:     pythia.NewGeneratorWith(s.engine, t, md),
+	}
+	s.mu.Lock()
+	replaced := s.tenants[strings.ToLower(name)] != nil
+	s.tenants[strings.ToLower(name)] = tn
+	s.mu.Unlock()
+	met.uploads.Inc()
+
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, map[string]any{
+		"name":            name,
+		"rows":            t.NumRows(),
+		"columns":         t.NumCols(),
+		"primary_key":     md.Profile.PrimaryKey,
+		"ambiguous_pairs": len(md.Pairs),
+		"replaced":        replaced,
+	})
+}
+
+// handleList returns the tenant inventory, sorted by name.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]map[string]any, 0, len(s.tenants))
+	for _, tn := range s.tenants {
+		out = append(out, map[string]any{
+			"name":            tn.name,
+			"rows":            tn.table.NumRows(),
+			"columns":         tn.table.NumCols(),
+			"ambiguous_pairs": len(tn.md.Pairs),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i]["name"].(string) < out[j]["name"].(string) })
+	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+}
+
+// handleProfile serves the profiling result of one tenant.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown table %q", r.PathValue("name"))
+		return
+	}
+	cols := make([]map[string]any, len(tn.profile.Columns))
+	for i, st := range tn.profile.Columns {
+		cols[i] = map[string]any{
+			"name":     st.Name,
+			"kind":     st.Kind.String(),
+			"distinct": st.Distinct,
+			"nulls":    st.Nulls,
+			"min":      st.Min.Format(),
+			"max":      st.Max.Format(),
+			"unique":   st.Unique,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":          tn.name,
+		"rows":           tn.table.NumRows(),
+		"primary_key":    tn.profile.PrimaryKey,
+		"candidate_keys": tn.profile.CandidateKeys,
+		"columns":        cols,
+	})
+}
+
+// handleMetadata serves the discovered ambiguity metadata of one tenant.
+func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown table %q", r.PathValue("name"))
+		return
+	}
+	pairs := make([]map[string]any, len(tn.md.Pairs))
+	for i, p := range tn.md.Pairs {
+		pairs[i] = map[string]any{
+			"attr_a":        p.AttrA,
+			"attr_b":        p.AttrB,
+			"label":         p.Label,
+			"score":         p.Score,
+			"correlation":   p.Correlation,
+			"value_overlap": p.ValueOverlap,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":       tn.name,
+		"primary_key": tn.profile.PrimaryKey,
+		"pairs":       pairs,
+	})
+}
+
+// GenerateRequest is the JSON body of POST /tables/{name}/generate. An
+// empty body generates with the defaults (template mode, all structures,
+// both match types, seed 1).
+type GenerateRequest struct {
+	// Mode is "templates" (default — the high-throughput path) or "textgen".
+	Mode string `json:"mode"`
+	// Structures limits generation ("attribute", "row", "full"); empty = all.
+	Structures []string `json:"structures"`
+	// Match is "both" (default), "contradictory" or "uniform".
+	Match string `json:"match"`
+	// Questions interleaves interrogative forms with statements.
+	Questions bool `json:"questions"`
+	// Max caps evidence rows per a-query (0 = mode default: 4 in textgen,
+	// unlimited in templates).
+	Max int `json:"max"`
+	// Seed drives phrasing variety (0 = 1, matching the CLI default).
+	Seed int64 `json:"seed"`
+	// Workers is the requested worker-pool width; the grant is clamped to
+	// what the process-wide budget has free (at least 1) and echoed in the
+	// X-Pythia-Workers response header. 0 asks for one slot.
+	Workers int `json:"workers"`
+}
+
+// options translates the request into pythia.Options (without Workers,
+// which the budget decides).
+func (g GenerateRequest) options() (pythia.Options, error) {
+	opts := pythia.Options{Questions: g.Questions, MaxPerQuery: g.Max, Seed: g.Seed}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	switch g.Mode {
+	case "", "templates":
+		opts.Mode = pythia.Templates
+	case "textgen":
+		opts.Mode = pythia.TextGeneration
+	default:
+		return opts, fmt.Errorf("unknown mode %q (want templates or textgen)", g.Mode)
+	}
+	for _, st := range g.Structures {
+		switch strings.TrimSpace(st) {
+		case "attribute":
+			opts.Structures = append(opts.Structures, pythia.AttributeAmb)
+		case "row":
+			opts.Structures = append(opts.Structures, pythia.RowAmb)
+		case "full":
+			opts.Structures = append(opts.Structures, pythia.FullAmb)
+		case "":
+		default:
+			return opts, fmt.Errorf("unknown structure %q", st)
+		}
+	}
+	switch g.Match {
+	case "", "both":
+	case "contradictory":
+		opts.Matches = []pythia.Match{pythia.Contradictory}
+	case "uniform":
+		opts.Matches = []pythia.Match{pythia.Uniform}
+	default:
+		return opts, fmt.Errorf("unknown match %q (want both, contradictory or uniform)", g.Match)
+	}
+	return opts, nil
+}
+
+// handleGenerate streams examples as NDJSON — one json.Encoder line per
+// example, byte-identical to `pythia generate -json` for the same options —
+// flushing after every line so consumers see examples as the merge frontier
+// releases them. Admission past MaxInflight is refused with 429; the worker
+// pool width is whatever the global budget grants. A client disconnect
+// aborts generation at the next emit and returns the grant to the budget.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	met.generateRequests.Inc()
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		met.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server at its concurrent stream limit (%d)", cap(s.inflight))
+		return
+	}
+	tm := met.requestNS.Time()
+	defer tm.Stop()
+
+	tn, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown table %q", r.PathValue("name"))
+		return
+	}
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx := r.Context()
+	granted, release, err := s.budget.Acquire(ctx, req.Workers)
+	if err != nil {
+		met.disconnects.Inc()
+		return // client gave up while queued for a slot
+	}
+	defer release()
+	opts.Workers = granted
+
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Pythia-Workers", fmt.Sprint(granted))
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if s.testHold != nil && r.URL.Query().Get("x-test-hold") == "1" {
+		select {
+		case <-s.testHold:
+		case <-ctx.Done():
+			met.disconnects.Inc()
+			return
+		}
+	}
+
+	met.activeStreams.Add(1)
+	defer met.activeStreams.Add(-1)
+	enc := json.NewEncoder(w)
+	streamed := 0
+	err = tn.gen.GenerateStream(opts, pythia.SinkFunc(func(ex pythia.Example) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := enc.Encode(ex); err != nil {
+			return err
+		}
+		streamed++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}))
+	met.examples.Add(int64(streamed))
+	if err != nil {
+		// The stream is already committed; all we can do is classify.
+		if ctx.Err() != nil {
+			met.disconnects.Inc()
+		} else {
+			met.streamErrors.Inc()
+		}
+	}
+}

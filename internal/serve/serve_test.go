@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kb"
+	"repro/internal/model"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+)
+
+// newTestServer hosts a Server over httptest with the fixture uploaded.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	uploadFixture(t, ts.URL, "Basket")
+	return s, ts
+}
+
+func uploadFixture(t *testing.T, base, name string) {
+	t.Helper()
+	resp, err := http.Post(base+"/tables?name="+name, "text/csv", bytes.NewReader(FixtureCSV))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestUploadGenerateRoundTrip is the serving-layer determinism contract:
+// the NDJSON a generate request streams is byte-identical to encoding the
+// same generation run directly — the HTTP path adds transport, never
+// content. The direct run uses a fresh single-tenant engine at one worker;
+// the server decides its own worker grant, which must not matter.
+func TestUploadGenerateRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/tables/Basket/generate", "application/json",
+		strings.NewReader(`{"workers":4,"questions":true,"seed":7}`))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	if resp.Header.Get("X-Pythia-Workers") == "" {
+		t.Error("missing X-Pythia-Workers header")
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+
+	tab, err := relation.ReadCSV("Basket", bytes.NewReader(FixtureCSV))
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	md, err := pythia.Discover(tab, model.NewULabel(kb.BuildDefault()))
+	if err != nil {
+		t.Fatalf("discover: %v", err)
+	}
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	err = pythia.NewGenerator(tab, md).GenerateStream(
+		pythia.Options{Mode: pythia.Templates, Questions: true, Seed: 7, Workers: 1},
+		pythia.SinkFunc(func(ex pythia.Example) error { return enc.Encode(ex) }),
+	)
+	if err != nil {
+		t.Fatalf("direct generate: %v", err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("HTTP stream differs from direct generation: %d vs %d bytes", len(got), want.Len())
+	}
+	if bytes.Count(got, []byte("\n")) == 0 {
+		t.Fatal("stream carried no examples")
+	}
+}
+
+// TestGenerateOptionsValidation covers the request surface's error paths.
+func TestGenerateOptionsValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		path, body string
+		status     int
+	}{
+		{"/tables/Basket/generate", `{"mode":"warp"}`, http.StatusBadRequest},
+		{"/tables/Basket/generate", `{"structures":["diagonal"]}`, http.StatusBadRequest},
+		{"/tables/Basket/generate", `{"match":"sideways"}`, http.StatusBadRequest},
+		{"/tables/Nope/generate", `{}`, http.StatusNotFound},
+		{"/tables/Nope/profile", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		var err error
+		if strings.HasSuffix(tc.path, "/generate") {
+			resp, err = http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		} else {
+			resp, err = http.Get(ts.URL + tc.path)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s body=%s: status %d, want %d", tc.path, tc.body, resp.StatusCode, tc.status)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/tables?name=bad name!", "text/csv", bytes.NewReader(FixtureCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid table name accepted: status %d", resp.StatusCode)
+	}
+}
+
+// holdGenerate starts a generate request that parks server-side on the
+// testHold hook right after its headers are flushed, returning once those
+// headers arrive (the request is then provably admitted and holding).
+func holdGenerate(t *testing.T, ctx context.Context, base string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/tables/Basket/generate?x-test-hold=1", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return http.DefaultClient.Do(req)
+}
+
+// TestBackpressure429 pins the admission contract: with MaxInflight=1, a
+// second concurrent generate request is refused immediately with 429 and a
+// Retry-After hint, and admission reopens once the first stream finishes.
+func TestBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 1})
+	s.testHold = make(chan struct{})
+
+	resp1, err := holdGenerate(t, context.Background(), ts.URL)
+	if err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	defer resp1.Body.Close()
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d", resp1.StatusCode)
+	}
+
+	resp2, err := http.Post(ts.URL+"/tables/Basket/generate", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(s.testHold)
+	if _, err := io.Copy(io.Discard, resp1.Body); err != nil {
+		t.Fatalf("drain first stream: %v", err)
+	}
+
+	resp3, err := http.Post(ts.URL+"/tables/Basket/generate", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("third request: %v", err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("admission did not reopen after drain: status %d", resp3.StatusCode)
+	}
+	if _, err := io.Copy(io.Discard, resp3.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisconnectFreesWorkerBudget pins the cleanup contract: when a
+// streaming client goes away, its worker grant returns to the global
+// budget so the capacity is usable by the next request.
+func TestDisconnectFreesWorkerBudget(t *testing.T) {
+	s, ts := newTestServer(t, Config{BudgetSlots: 2})
+	s.testHold = make(chan struct{}) // never closed: the stream only ends by disconnect
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resp, err := holdGenerate(t, ctx, ts.URL)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	defer resp.Body.Close()
+	if got := s.Budget().InUse(); got == 0 {
+		t.Fatal("holding stream shows no budget in use")
+	}
+
+	cancel() // client disconnects mid-stream
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Budget().InUse() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("budget still in use %ds after disconnect: %d slots", 5, s.Budget().InUse())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp2, err := http.Post(ts.URL+"/tables/Basket/generate", "application/json", strings.NewReader(`{"workers":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect request: status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Pythia-Workers"); got != "2" {
+		t.Errorf("post-disconnect grant = %s, want the full budget (2)", got)
+	}
+	if _, err := io.Copy(io.Discard, resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownDrainsActiveStream runs a real http.Server and verifies the
+// graceful path: Shutdown waits for an in-flight NDJSON stream, the client
+// receives the complete stream, and Shutdown then returns cleanly.
+func TestShutdownDrainsActiveStream(t *testing.T) {
+	s := NewServer(Config{})
+	s.testHold = make(chan struct{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	uploadFixture(t, base, "Basket")
+
+	resp, err := holdGenerate(t, context.Background(), base)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	defer resp.Body.Close()
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	select {
+	case err := <-shutdownErr:
+		t.Fatalf("Shutdown returned while a stream was in flight: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(s.testHold) // let the held stream run to completion
+	var lines int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			lines++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream truncated by shutdown: %v", err)
+	}
+	if lines == 0 {
+		t.Fatal("drained stream carried no examples")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestUploadReplaceSwapsTenant re-uploads a name mid-service: the second
+// upload reports replaced=true and subsequent reads see the new table.
+func TestUploadReplaceSwapsTenant(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	small := "A,B\n1,2\n3,4\n"
+	resp, err := http.Post(ts.URL+"/tables?name=Basket", "text/csv", strings.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload: status %d, want 200 (replace)", resp.StatusCode)
+	}
+	var got struct {
+		Rows     int  `json:"rows"`
+		Replaced bool `json:"replaced"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Replaced || got.Rows != 2 {
+		t.Fatalf("re-upload = %+v, want replaced with 2 rows", got)
+	}
+	pr, err := http.Get(ts.URL + "/tables/Basket/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	var prof struct {
+		Rows int `json:"rows"`
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&prof); err != nil {
+		t.Fatal(err)
+	}
+	if prof.Rows != 2 {
+		t.Fatalf("profile after replace shows %d rows, want 2", prof.Rows)
+	}
+}
+
+// TestHammerSmoke runs the bundled load client against an in-process
+// server and sanity-checks the measured report.
+func TestHammerSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	res, err := Hammer(context.Background(), HammerConfig{
+		BaseURL: ts.URL, Table: "Basket", Requests: 6, Concurrency: 3, Workers: 2,
+	})
+	if err != nil {
+		t.Fatalf("Hammer: %v", err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("hammer failures = %d: %+v", res.Failures, res)
+	}
+	if res.Examples == 0 || res.ExamplesPerSec <= 0 {
+		t.Fatalf("hammer measured no throughput: %+v", res)
+	}
+	if res.P50MS <= 0 || res.P99MS < res.P50MS {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v", res.P50MS, res.P99MS)
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("report not serializable: %v", err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 	"repro/internal/telemetry"
@@ -56,16 +58,34 @@ var met = struct {
 // histogram: the share of a side's rows surviving its selection program.
 var selectivityBuckets = []int64{0, 1, 2, 5, 10, 25, 50, 75, 90, 100}
 
+// registry is one immutable published view of the engine's registered
+// tables. Register never mutates a registry in place — it copies, swaps in
+// the new map and publishes the whole view with one atomic store — so any
+// goroutine that loaded a registry can keep reading it for the rest of its
+// query without synchronization.
+type registry struct {
+	tables map[string]*relation.Table
+}
+
+// lookup resolves a (case-insensitive) table name in this view.
+func (r *registry) lookup(name string) (*relation.Table, bool) {
+	t, ok := r.tables[strings.ToLower(name)]
+	return t, ok
+}
+
 // Engine is an in-memory SQL engine over registered relation.Tables. It is
-// safe for concurrent queries once all tables are registered: the prepared
-// plans and shared table indexes that queries reuse are built under
-// internal synchronization and immutable afterwards, so one engine can be
-// shared across worker shards. Registration itself must not run
-// concurrently with queries — Register replaces the table and invalidates
-// the caches, and a query already in flight may still read the previous
-// registration.
+// safe for fully concurrent use, including Register during live query
+// traffic: registrations publish a new immutable snapshot of the table map
+// through an atomic pointer, each query resolves its FROM tables against
+// the single snapshot it loaded at entry, and in-flight queries finish
+// against the view they started with while new queries see the new rows.
+// Cached artifacts can never serve a half-replaced registration — a plan
+// cache hit is revalidated against the query's snapshot (table pointers
+// must match exactly) and the shared join-index and column-vector caches
+// key their entries to the table pointer pinned in the plan.
 type Engine struct {
-	tables  map[string]*relation.Table
+	reg     atomic.Pointer[registry]
+	regMu   sync.Mutex // serializes writers (Register); readers never take it
 	plans   *planCache
 	indexes *indexCache
 	vectors *vecCache
@@ -78,30 +98,62 @@ type Engine struct {
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{
-		tables:  make(map[string]*relation.Table),
+	e := &Engine{
 		plans:   newPlanCache(defaultPlanCacheCap),
 		indexes: newIndexCache(),
 		vectors: newVecCache(),
 	}
+	e.reg.Store(&registry{tables: map[string]*relation.Table{}})
+	return e
 }
 
-// Register adds (or replaces) a table under its own name. Cached plans
-// compiled against the previous registration, its shared join indexes and
-// its column vectors are evicted, so later queries bind, index and
-// vectorize against the new rows.
+// snapshot returns the current published registry view. Every query loads
+// exactly one snapshot at entry and resolves all table reads through it.
+func (e *Engine) snapshot() *registry {
+	return e.reg.Load()
+}
+
+// Register adds (or replaces) a table under its own name, concurrently
+// safe with in-flight queries: it builds a copy of the table map and
+// publishes it as a new immutable snapshot, so a query that already loaded
+// the previous view keeps reading the previous rows and a query that
+// starts afterwards sees only the new ones. The eager cache eviction below
+// reclaims memory held by the replaced registration; correctness does not
+// depend on it — every cache read revalidates against the reader's
+// snapshot (plan cache) or the plan's pinned table pointer (index and
+// vector caches), so a stale entry raced back in after eviction is
+// detected and rebuilt rather than served.
 func (e *Engine) Register(t *relation.Table) {
 	name := strings.ToLower(t.Name)
-	e.tables[name] = t
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	old := e.reg.Load()
+	next := make(map[string]*relation.Table, len(old.tables)+1)
+	for k, v := range old.tables {
+		next[k] = v
+	}
+	next[name] = t
+	e.reg.Store(&registry{tables: next})
 	e.plans.invalidate(name)
 	e.indexes.invalidate(name)
 	e.vectors.invalidate(name)
 }
 
-// Table returns a registered table by name.
+// Table returns a registered table by name, from the current snapshot.
 func (e *Engine) Table(name string) (*relation.Table, bool) {
-	t, ok := e.tables[strings.ToLower(name)]
-	return t, ok
+	return e.snapshot().lookup(name)
+}
+
+// Tables returns the registered table names of the current snapshot in
+// sorted order.
+func (e *Engine) Tables() []string {
+	snap := e.snapshot()
+	names := make([]string, 0, len(snap.tables))
+	for n := range snap.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // timedParse parses a SELECT statement under the parse metrics.
@@ -139,7 +191,7 @@ func (e *Engine) QueryCount(sql string) (int, error) {
 // Execute runs an already-parsed statement. The plan is compiled fresh —
 // callers holding SQL text should prefer Query, which caches plans.
 func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
-	p, err := e.buildPlan(stmt)
+	p, err := e.buildPlan(e.snapshot(), stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -153,21 +205,24 @@ func (e *Engine) Execute(stmt *SelectStmt) (*relation.Table, error) {
 // a cardinality. LIMIT short-circuits the scan through errLimitReached,
 // so counting a `LIMIT k` query stops after k qualifying rows.
 func (e *Engine) ExecuteCount(stmt *SelectStmt) (int, error) {
-	p, err := e.buildPlan(stmt)
+	p, err := e.buildPlan(e.snapshot(), stmt)
 	if err != nil {
 		return 0, err
 	}
 	return e.runCount(p)
 }
 
-// bind resolves the FROM tables into the expression binding shared by the
-// materializing, counting and aggregate paths.
-func (e *Engine) bind(stmt *SelectStmt) (*binding, []*relation.Table, error) {
+// bind resolves the FROM tables against one registry snapshot into the
+// expression binding shared by the materializing, counting and aggregate
+// paths. Taking the snapshot as a parameter (instead of reading the live
+// pointer per table) is what makes a multi-table bind atomic with respect
+// to concurrent Register calls.
+func bind(snap *registry, stmt *SelectStmt) (*binding, []*relation.Table, error) {
 	b := &binding{}
 	var sources []*relation.Table
 	offset := 0
 	for _, tr := range stmt.From {
-		t, ok := e.Table(tr.Table)
+		t, ok := snap.lookup(tr.Table)
 		if !ok {
 			return nil, nil, fmt.Errorf("sqlengine: unknown table %q", tr.Table)
 		}

@@ -38,6 +38,22 @@ func (p *plan) references(name string) bool {
 	return false
 }
 
+// validFor reports whether the plan was compiled against exactly the
+// tables snap registers: every FROM source must still be the same
+// *relation.Table pointer. This is the plan cache's correctness gate under
+// concurrent Register — a cached plan may have been built against a
+// replaced registration (or raced back into the cache after eviction), and
+// revalidating at lookup guarantees a stale plan can never serve rows the
+// reader's snapshot does not contain.
+func (p *plan) validFor(snap *registry) bool {
+	for i, k := range p.tableKeys {
+		if t, ok := snap.tables[k]; !ok || t != p.sources[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // colCmp is one cross-side column comparison `left[li] op right[ri]`,
 // checked directly on the raw side rows — no combined-row copy and no
 // evaluator indirection. compareValues gives it exactly the semantics the
@@ -71,12 +87,16 @@ type joinPlan struct {
 	residualExprs []Expr
 }
 
-// prepare resolves SQL text through the plan cache: a hit skips parsing
-// and compilation entirely, a miss parses, plans and caches. Parse and
-// bind errors are not cached — a table registered later may make the same
-// text valid.
+// prepare resolves SQL text through the plan cache: a hit that survives
+// snapshot revalidation skips parsing and compilation entirely, a miss (or
+// a hit compiled against a replaced registration) parses, plans against
+// the query's snapshot and caches. Parse and bind errors are not cached —
+// a table registered later may make the same text valid. The snapshot is
+// loaded once here and pinned into the plan's sources, so everything the
+// execution reads afterwards is consistent with one registry view.
 func (e *Engine) prepare(sql string) (*plan, error) {
-	if p, ok := e.plans.get(sql); ok {
+	snap := e.snapshot()
+	if p, ok := e.plans.get(sql); ok && p.validFor(snap) {
 		met.planCacheHits.Inc()
 		return p, nil
 	}
@@ -85,7 +105,7 @@ func (e *Engine) prepare(sql string) (*plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := e.buildPlan(stmt)
+	p, err := e.buildPlan(snap, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -93,9 +113,10 @@ func (e *Engine) prepare(sql string) (*plan, error) {
 	return p, nil
 }
 
-// buildPlan binds and compiles a statement into an immutable plan.
-func (e *Engine) buildPlan(stmt *SelectStmt) (*plan, error) {
-	b, sources, err := e.bind(stmt)
+// buildPlan binds and compiles a statement against one registry snapshot
+// into an immutable plan.
+func (e *Engine) buildPlan(snap *registry, stmt *SelectStmt) (*plan, error) {
+	b, sources, err := bind(snap, stmt)
 	if err != nil {
 		return nil, err
 	}

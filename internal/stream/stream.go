@@ -448,7 +448,13 @@ func writeManifest(path string, m Manifest) error {
 	if err := writeFileSync(tmp, append(b, '\n')); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The rename is only durable once the directory entry is: without this
+	// fsync a crash after the rename can resurrect the previous manifest,
+	// orphaning shards the new one had committed.
+	return syncDir(filepath.Dir(path))
 }
 
 // writeFileSync writes b to path and syncs it to stable storage — the
@@ -458,12 +464,30 @@ func writeFileSync(path string, b []byte) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if _, err := f.Write(b); err != nil {
+		//lint:ignore err-ignored the write error is the failure being reported; Close here only releases the fd
+		_ = f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
+		//lint:ignore err-ignored the sync error is the failure being reported; Close here only releases the fd
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// syncDir fsyncs a directory, making its entries (a just-renamed manifest
+// above all) durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		//lint:ignore err-ignored the sync error is the failure being reported; Close here only releases the fd
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
 }

@@ -31,6 +31,8 @@ var KnownMetrics = []MetricName{
 	{Name: "model.train_negatives", Kind: "counter"},
 	{Name: "model.train_ns", Kind: "histogram"},
 	{Name: "model.train_positives", Kind: "counter"},
+	{Name: "parallel.budget_clipped", Kind: "counter"},
+	{Name: "parallel.budget_in_use", Kind: "gauge"},
 	{Name: "parallel.pool_workers", Kind: "gauge"},
 	{Name: "parallel.units_total", Kind: "counter"},
 	{Name: "parallel.worker.*.busy_ns", Kind: "counter"},
@@ -41,6 +43,14 @@ var KnownMetrics = []MetricName{
 	{Name: "pythia.generate_ns", Kind: "histogram"},
 	{Name: "pythia.quota_drops", Kind: "counter"},
 	{Name: "pythia.units", Kind: "counter"},
+	{Name: "serve.active_streams", Kind: "gauge"},
+	{Name: "serve.client_disconnects", Kind: "counter"},
+	{Name: "serve.examples_streamed", Kind: "counter"},
+	{Name: "serve.generate_requests", Kind: "counter"},
+	{Name: "serve.rejected_429", Kind: "counter"},
+	{Name: "serve.request_ns", Kind: "histogram"},
+	{Name: "serve.stream_errors", Kind: "counter"},
+	{Name: "serve.uploads", Kind: "counter"},
 	{Name: "sqlengine.batch_rows", Kind: "counter"},
 	{Name: "sqlengine.batch_scans", Kind: "counter"},
 	{Name: "sqlengine.batch_selectivity", Kind: "histogram"},

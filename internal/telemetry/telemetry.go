@@ -22,12 +22,13 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"net/http/pprof"
 	"os"
 	"sort"
 	"sync"
@@ -317,21 +318,53 @@ func publishExpvar() {
 	})
 }
 
-// Serve starts an HTTP server on addr exposing net/http/pprof under
-// /debug/pprof and the default-registry snapshot under /debug/vars
-// (expvar key "telemetry"), for live inspection of long corpus runs. The
-// listener is bound synchronously so address errors surface immediately;
-// serving then continues in a background goroutine for the life of the
-// process.
-func Serve(addr string) error {
+// Handler returns the debug endpoint mux: net/http/pprof under
+// /debug/pprof and the expvar listing (including the default-registry
+// snapshot under the "telemetry" key) at /debug/vars. The mux is private —
+// handlers third parties hang on http.DefaultServeMux can never leak onto
+// a debug port served from it.
+func Handler() http.Handler {
 	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// DebugServer is a running debug endpoint started by Serve. Unlike the old
+// fire-and-forget listener it is closable, so a host process's graceful
+// shutdown can release the port instead of leaking it for process life.
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.addr }
+
+// Close immediately closes the listener and any active connections.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully drains in-flight debug requests, then closes.
+func (s *DebugServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Serve starts an HTTP server on addr exposing Handler's debug surface,
+// for live inspection of long runs. The listener is bound synchronously so
+// address errors surface immediately; serving then continues in a
+// background goroutine until the returned server is closed.
+func Serve(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("telemetry: pprof listen: %w", err)
+		return nil, fmt.Errorf("telemetry: pprof listen: %w", err)
 	}
+	srv := &http.Server{Handler: Handler()}
 	go func() {
-		//lint:ignore err-ignored the debug server lives until process exit; its terminal error has nowhere to go
-		_ = http.Serve(ln, nil)
+		//lint:ignore err-ignored Serve returns ErrServerClosed on Close/Shutdown; earlier errors have no channel back to the caller
+		_ = srv.Serve(ln)
 	}()
-	return nil
+	return &DebugServer{srv: srv, addr: ln.Addr().String()}, nil
 }

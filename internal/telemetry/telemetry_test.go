@@ -3,6 +3,8 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -208,5 +210,44 @@ func TestWriteSnapshot(t *testing.T) {
 		if _, ok := v[key]; !ok {
 			t.Errorf("snapshot missing %q", key)
 		}
+	}
+}
+
+// TestServeCloseReleasesListener covers the closable debug server: the
+// private mux answers /debug/vars and /debug/pprof, Close releases the
+// port, and a handler registered on http.DefaultServeMux never leaks onto
+// the debug surface.
+func TestServeCloseReleasesListener(t *testing.T) {
+	http.HandleFunc("/leaky-default-mux-route", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(base + "/leaky-default-mux-route")
+	if err != nil {
+		t.Fatalf("GET default-mux route: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("default-mux handler leaked onto the debug port: status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", srv.Addr(), 200*time.Millisecond); err == nil {
+		t.Error("debug port still accepting connections after Close")
 	}
 }
