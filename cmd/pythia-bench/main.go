@@ -81,6 +81,9 @@ type jsonExperiment struct {
 	// Streaming carries the FigStreaming memory points (materializing vs
 	// streaming generation); empty for every other experiment.
 	Streaming []experiments.StreamingPoint `json:"streaming,omitempty"`
+	// ColdStart carries the FigColdStart artifact-store and incremental
+	// ingest speedups; empty for every other experiment.
+	ColdStart *experiments.FigColdStartResult `json:"coldstart,omitempty"`
 }
 
 // jsonReport is the machine-readable -json output.
@@ -115,7 +118,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "training-volume multiplier (1.0 = paper scale)")
 	seed := flag.Int64("seed", 7, "global seed")
 	workers := flag.Int("workers", 0, "worker pool size for parallel stages (0 = GOMAXPROCS)")
-	run := flag.String("run", "all", "comma-separated experiments: tableiii,tableiv,tablev,tablevi,tablevii,tableviii,figrows,figserialization,figcorpus,figscalability,figstreaming,ablation")
+	run := flag.String("run", "all", "comma-separated experiments: tableiii,tableiv,tablev,tablevi,tablevii,tableviii,figrows,figserialization,figcorpus,figscalability,figstreaming,figcoldstart,ablation")
 	jsonPath := flag.String("json", "", "write a machine-readable report to this file (\"-\" for stdout)")
 	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
@@ -150,6 +153,7 @@ func main() {
 		{"figcorpus", wrap(experiments.FigCorpusSize)},
 		{"figscalability", wrap(experiments.FigScalability)},
 		{"figstreaming", wrap(experiments.FigStreaming)},
+		{"figcoldstart", wrap(experiments.FigColdStart)},
 		{"ablation", func(cfg experiments.Config) (fmt.Stringer, error) {
 			return experiments.AnnotatorAblation(cfg), nil
 		}},
@@ -183,6 +187,9 @@ func main() {
 		}
 		if st, ok := res.(experiments.FigStreamingResult); ok {
 			entry.Streaming = st.Points
+		}
+		if cs, ok := res.(experiments.FigColdStartResult); ok {
+			entry.ColdStart = &cs
 		}
 		report.Experiments = append(report.Experiments, entry)
 	}

@@ -5,11 +5,14 @@
 // so uploads never stall or corrupt in-flight generate streams — and every
 // generate request draws its worker pool from one process-wide budget.
 //
-// Serve mode:
+// Serve mode (-model boots the metadata predictor from a pythia train
+// -save artifact instead of the rule-based default; POST .../append
+// ingests a CSV delta incrementally):
 //
-//	pythia-serve -addr :8080 -budget 8 -max-inflight 64
+//	pythia-serve -addr :8080 -budget 8 -max-inflight 64 [-model model.json]
 //	curl -X POST --data-binary @basket.csv 'localhost:8080/tables?name=Basket'
 //	curl localhost:8080/tables/Basket/profile
+//	curl -X POST --data-binary @delta.csv localhost:8080/tables/Basket/append
 //	curl -X POST -d '{"workers":4}' localhost:8080/tables/Basket/generate
 //
 // SIGINT/SIGTERM drain in-flight streams (up to -drain) before exit.
@@ -35,6 +38,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -44,6 +49,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", serve.DefaultMaxInflight, "max concurrently streaming generate requests; excess gets 429")
 	budget := flag.Int("budget", 0, "process-wide generation worker budget (0 = GOMAXPROCS)")
 	maxUpload := flag.Int64("max-upload", serve.DefaultMaxUploadBytes, "max CSV upload size in bytes")
+	modelPath := flag.String("model", "", "load a trained model artifact (pythia train -save) as the metadata predictor")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window for in-flight streams")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	metrics := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at exit")
@@ -59,7 +65,7 @@ func main() {
 
 	if err := run(runConfig{
 		addr: *addr, maxInflight: *maxInflight, budget: *budget,
-		maxUpload: *maxUpload, drain: *drain, pprofAddr: *pprofAddr, metrics: *metrics,
+		maxUpload: *maxUpload, model: *modelPath, drain: *drain, pprofAddr: *pprofAddr, metrics: *metrics,
 		hammer: *hammer, hammerURL: *hammerURL, hammerTable: *hammerTable,
 		hammerN: *hammerN, hammerC: *hammerC, hammerWorkers: *hammerWorkers, hammerOut: *hammerOut,
 	}); err != nil {
@@ -73,6 +79,7 @@ type runConfig struct {
 	maxInflight int
 	budget      int
 	maxUpload   int64
+	model       string
 	drain       time.Duration
 	pprofAddr   string
 	metrics     string
@@ -113,10 +120,20 @@ func run(cfg runConfig) error {
 
 // runServe hosts the service until SIGINT/SIGTERM, then drains.
 func runServe(cfg runConfig) error {
+	var pred model.Predictor
+	if cfg.model != "" {
+		m, err := artifact.LoadModel(cfg.model, "")
+		if err != nil {
+			return fmt.Errorf("load model artifact: %w", err)
+		}
+		pred = m
+		fmt.Fprintf(os.Stderr, "pythia-serve: loaded model artifact from %s\n", cfg.model)
+	}
 	s := serve.NewServer(serve.Config{
 		MaxInflight:    cfg.maxInflight,
 		BudgetSlots:    cfg.budget,
 		MaxUploadBytes: cfg.maxUpload,
+		Predictor:      pred,
 	})
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

@@ -4,19 +4,24 @@
 // Usage:
 //
 //	pythia profile  (-in table.csv | -dataset Basket)
+//	pythia train    -save model.json [-method schema|data] [-tables N] [-workers N]
 //	pythia metadata (-in table.csv | -dataset Basket) [-method ulabel|schema|data] [-tables N]
-//	                [-workers N]
+//	                [-workers N] [-model FILE] [-save FILE]
 //	pythia generate (-in table.csv | -dataset Basket) [-method ...] [-mode textgen|templates]
 //	                [-structures attribute,row,full] [-match both|contradictory|uniform]
-//	                [-questions] [-max N] [-json] [-workers N]
+//	                [-questions] [-max N] [-json] [-workers N] [-model FILE] [-save FILE]
 //	                [-out DIR [-checkpoint-every N] [-shard-size N] [-resume]]
 //	pythia datasets
 //
 // The ulabel method needs no training and is the default; schema/data
 // train the corresponding metadata model on a synthetic web-table corpus
-// first (-tables controls its size). -workers shards generation and model
-// training across a worker pool (0 = GOMAXPROCS) with byte-identical
-// output at every worker count.
+// first (-tables controls its size). `pythia train -save` persists the
+// trained model as a versioned artifact; -model on metadata/generate
+// loads it back instead of retraining (an artifact whose recorded
+// training fingerprint no longer matches the flags is rejected and the
+// command retrains). -workers shards generation and model training
+// across a worker pool (0 = GOMAXPROCS) with byte-identical output at
+// every worker count.
 //
 // Generation streams: examples are printed (or written to -out shards) as
 // they clear the deterministic merge, so memory stays flat at any output
@@ -36,6 +41,7 @@ import (
 	"strings"
 
 	"repro/internal/annotate"
+	"repro/internal/artifact"
 	"repro/internal/corpus"
 	"repro/internal/data"
 	"repro/internal/kb"
@@ -89,6 +95,8 @@ func main() {
 	switch os.Args[1] {
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
 	case "metadata":
 		err = cmdMetadata(os.Args[2:])
 	case "generate":
@@ -115,15 +123,22 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pythia profile  (-in table.csv | -dataset NAME)
+  pythia train    -save model.json [-method schema|data] [-tables N] [-workers N]
   pythia metadata (-in table.csv | -dataset NAME) [-method ulabel|schema|data] [-tables N] [-workers N]
+                  [-model model.json] [-save model.json]
   pythia generate (-in table.csv | -dataset NAME) [-method ulabel|schema|data] [-mode textgen|templates]
                   [-structures attribute,row,full] [-match both|contradictory|uniform]
                   [-questions] [-max N] [-json] [-tables N] [-workers N]
+                  [-model model.json] [-save model.json]
                   [-out DIR [-checkpoint-every N] [-shard-size N] [-resume]]
   pythia sql      (-in table.csv | -dataset NAME) ["QUERY" | -i]
   pythia datasets
 
-profile, metadata, generate and sql also accept:
+-model loads a trained model artifact instead of retraining (a stale or
+version-skewed artifact falls back to training); -save persists the
+trained model for future -model runs.
+
+profile, train, metadata, generate and sql also accept:
   -metrics FILE   write a telemetry snapshot (JSON) at exit
   -pprof ADDR     serve net/http/pprof and /debug/vars for live inspection`)
 }
@@ -277,10 +292,20 @@ func cmdProfile(args []string) error {
 // buildPredictor resolves -method into a Predictor, training if needed.
 // workers sizes the corpus/annotation worker pool for the trained methods
 // (0 = GOMAXPROCS); training output is identical at every worker count.
-func buildPredictor(method string, tables, workers int) (model.Predictor, error) {
+//
+// modelPath, when set, loads a previously saved model artifact instead of
+// retraining — the expected fingerprint is derived from the same training
+// configuration the flags would train with, so an artifact trained under
+// different flags (or a different method) is rejected as stale and the
+// command falls back to training. savePath persists the freshly trained
+// model for future runs.
+func buildPredictor(method string, tables, workers int, modelPath, savePath string) (model.Predictor, error) {
 	knowledge := kb.BuildDefault()
 	switch method {
 	case "ulabel":
+		if modelPath != "" || savePath != "" {
+			return nil, fmt.Errorf("-model/-save need a trained method (schema or data); ulabel trains nothing")
+		}
 		return model.NewULabel(knowledge), nil
 	case "schema", "data":
 		cfg := model.DefaultSchemaConfig()
@@ -293,11 +318,72 @@ func buildPredictor(method string, tables, workers int) (model.Predictor, error)
 			cfg.Tables = tables
 		}
 		cfg.Pretrain = knowledge.DefinitionBags()
+		cfg.Workers = workers
+		fp := artifact.ModelFingerprint(method, cfg)
+		if modelPath != "" {
+			m, err := artifact.LoadModel(modelPath, fp)
+			switch {
+			case err == nil:
+				fmt.Fprintf(os.Stderr, "loaded %s model artifact from %s\n", name, modelPath)
+				return m, nil
+			case artifact.IsMismatch(err):
+				fmt.Fprintf(os.Stderr, "pythia: %v; retraining\n", err)
+			default:
+				return nil, err
+			}
+		}
 		fmt.Fprintf(os.Stderr, "training %s model on %d synthetic web tables…\n", name, cfg.Tables)
-		return model.Train(name, corpus.NewDefaultGenerator(), annotate.All(knowledge), cfg)
+		m, err := model.Train(name, corpus.NewDefaultGenerator(), annotate.All(knowledge), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if savePath != "" {
+			if err := artifact.SaveModel(savePath, m, fp); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "saved %s model artifact -> %s\n", name, savePath)
+		}
+		return m, nil
 	default:
 		return nil, fmt.Errorf("unknown method %q (want ulabel, schema or data)", method)
 	}
+}
+
+// modelFlags adds the artifact load/save flags shared by the commands that
+// build a predictor.
+func modelFlags(fs *flag.FlagSet) (load *string, save *string) {
+	load = fs.String("model", "", "load a trained model artifact instead of retraining (stale artifacts retrain)")
+	save = fs.String("save", "", "write the trained model artifact to this file")
+	return load, save
+}
+
+// cmdTrain trains a metadata model and saves it as an artifact — the
+// cold-start killer: later metadata/generate/serve invocations load the
+// artifact in milliseconds instead of re-deriving the corpus and training
+// from scratch.
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	obs := obsFlags(fs)
+	method := fs.String("method", "schema", "trained metadata method: schema or data")
+	tables := fs.Int("tables", 0, "training corpus size (0 = default)")
+	workers := fs.Int("workers", 0, "worker pool size for training (0 = GOMAXPROCS)")
+	save := fs.String("save", "", "write the trained model artifact to this file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	finish, err := obs()
+	if err != nil {
+		return err
+	}
+	defer finish()
+	if *save == "" {
+		return fmt.Errorf("train: missing -save FILE")
+	}
+	if *method != "schema" && *method != "data" {
+		return fmt.Errorf("train: method %q trains nothing (want schema or data)", *method)
+	}
+	_, err = buildPredictor(*method, *tables, *workers, "", *save)
+	return err
 }
 
 func cmdMetadata(args []string) error {
@@ -307,6 +393,7 @@ func cmdMetadata(args []string) error {
 	method := fs.String("method", "ulabel", "metadata method: ulabel, schema or data")
 	tables := fs.Int("tables", 0, "training corpus size for schema/data (0 = default)")
 	workers := fs.Int("workers", 0, "worker pool size for training (0 = GOMAXPROCS)")
+	modelPath, savePath := modelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -319,7 +406,7 @@ func cmdMetadata(args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := buildPredictor(*method, *tables, *workers)
+	pred, err := buildPredictor(*method, *tables, *workers, *modelPath, *savePath)
 	if err != nil {
 		return err
 	}
@@ -345,6 +432,7 @@ func cmdGenerate(args []string) error {
 	load := tableFlags(fs)
 	method := fs.String("method", "ulabel", "metadata method: ulabel, schema or data")
 	tables := fs.Int("tables", 0, "training corpus size for schema/data (0 = default)")
+	modelPath, savePath := modelFlags(fs)
 	mode := fs.String("mode", "textgen", "generation mode: textgen or templates")
 	structures := fs.String("structures", "attribute,row,full", "comma-separated structures")
 	match := fs.String("match", "both", "match types: both, contradictory or uniform")
@@ -372,7 +460,7 @@ func cmdGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := buildPredictor(*method, *tables, *workers)
+	pred, err := buildPredictor(*method, *tables, *workers, *modelPath, *savePath)
 	if err != nil {
 		return err
 	}

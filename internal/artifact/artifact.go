@@ -1,0 +1,192 @@
+// Package artifact persists trained models, table profiles and discovered
+// ambiguity metadata as versioned JSON envelopes, so a serving process or
+// a repeated CLI run can load a prior result instead of recomputing it —
+// the paper's pipeline retrains the metadata model from a fresh synthetic
+// corpus on every invocation, which dominates cold-start latency.
+//
+// Every artifact is one JSON file: an Envelope carrying the format
+// version, the artifact kind and a content fingerprint of the inputs that
+// produced the payload. Load verifies all three and returns a typed error
+// on any mismatch (version skew, wrong kind, stale fingerprint) so
+// callers can distinguish "recompute and overwrite" from a real I/O
+// failure; IsMismatch folds the three into one test. Writes are atomic —
+// temp file, fsync, rename, directory fsync — following the checkpoint
+// manifest discipline in internal/stream, so a crashed save never leaves
+// a torn artifact behind.
+package artifact
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/telemetry"
+)
+
+// FormatVersion is the on-disk envelope version. Bump it when the payload
+// schema of any artifact kind changes incompatibly; Load rejects files
+// written under a different version.
+const FormatVersion = 1
+
+// Envelope is the on-disk frame around every artifact payload.
+type Envelope struct {
+	Version     int             `json:"version"`
+	Kind        string          `json:"kind"`
+	Fingerprint string          `json:"fingerprint"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// The artifact kinds written by this package.
+const (
+	KindModel    = "model"
+	KindProfile  = "profile"
+	KindMetadata = "metadata"
+)
+
+// VersionError reports an envelope written under a different format
+// version than this build understands.
+type VersionError struct {
+	Path      string
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("artifact %s: format version %d, want %d", e.Path, e.Got, e.Want)
+}
+
+// KindError reports an envelope of the wrong artifact kind (a profile
+// where a model was expected, and so on).
+type KindError struct {
+	Path      string
+	Got, Want string
+}
+
+func (e *KindError) Error() string {
+	return fmt.Sprintf("artifact %s: kind %q, want %q", e.Path, e.Got, e.Want)
+}
+
+// FingerprintError reports an artifact whose recorded input fingerprint
+// differs from the caller's expectation — the inputs that produced it have
+// drifted and the payload is stale.
+type FingerprintError struct {
+	Path      string
+	Got, Want string
+}
+
+func (e *FingerprintError) Error() string {
+	return fmt.Sprintf("artifact %s: fingerprint %.12s…, want %.12s… (inputs changed; recompute)", e.Path, e.Got, e.Want)
+}
+
+// IsMismatch reports whether err is any of the three envelope-verification
+// failures. Callers use it to fall back to recomputing the artifact while
+// still surfacing genuine I/O or decode errors.
+func IsMismatch(err error) bool {
+	var ve *VersionError
+	var ke *KindError
+	var fe *FingerprintError
+	return errors.As(err, &ve) || errors.As(err, &ke) || errors.As(err, &fe)
+}
+
+var met = struct {
+	saves   *telemetry.Counter
+	loads   *telemetry.Counter
+	rejects *telemetry.Counter
+}{
+	saves:   telemetry.Default().Counter("artifact.saves"),
+	loads:   telemetry.Default().Counter("artifact.loads"),
+	rejects: telemetry.Default().Counter("artifact.load_rejects"),
+}
+
+// save marshals payload into a versioned envelope and writes it
+// atomically: the bytes land in path+".tmp", are fsynced, renamed over
+// path, and the parent directory is fsynced so the rename survives a
+// crash. The JSON is indent-stable, so saving the same payload twice
+// yields byte-identical files (golden tests pin this).
+func save(path, kind, fingerprint string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("artifact %s: encode %s payload: %w", path, kind, err)
+	}
+	env := Envelope{Version: FormatVersion, Kind: kind, Fingerprint: fingerprint, Payload: raw}
+	b, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact %s: encode envelope: %w", path, err)
+	}
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, append(b, '\n')); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	met.saves.Inc()
+	return nil
+}
+
+// load reads and verifies an envelope, returning its payload. An empty
+// fingerprint accepts any recorded fingerprint (the caller has no input
+// expectation); otherwise a differing fingerprint is a typed rejection.
+func load(path, kind, fingerprint string) (json.RawMessage, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("artifact %s: decode envelope: %w", path, err)
+	}
+	if env.Version != FormatVersion {
+		met.rejects.Inc()
+		return nil, &VersionError{Path: path, Got: env.Version, Want: FormatVersion}
+	}
+	if env.Kind != kind {
+		met.rejects.Inc()
+		return nil, &KindError{Path: path, Got: env.Kind, Want: kind}
+	}
+	if fingerprint != "" && env.Fingerprint != fingerprint {
+		met.rejects.Inc()
+		return nil, &FingerprintError{Path: path, Got: env.Fingerprint, Want: fingerprint}
+	}
+	met.loads.Inc()
+	return env.Payload, nil
+}
+
+// writeFileSync writes b to path and syncs it to stable storage — the
+// payload must be durable before the rename publishes it.
+func writeFileSync(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		//lint:ignore err-ignored the write error is the failure being reported; Close here only releases the fd
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		//lint:ignore err-ignored the sync error is the failure being reported; Close here only releases the fd
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory, making its entries (a just-renamed artifact
+// above all) durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		//lint:ignore err-ignored the sync error is the failure being reported; Close here only releases the fd
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}

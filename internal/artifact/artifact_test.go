@@ -1,0 +1,319 @@
+package artifact
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/corpus"
+	"repro/internal/kb"
+	"repro/internal/model"
+	"repro/internal/profiling"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+)
+
+// goldenTable is a fixed table exercising every value kind, including the
+// empty string the value codec must not collapse into NULL.
+func goldenTable(t *testing.T) *relation.Table {
+	t.Helper()
+	tab := relation.NewTable("Golden", relation.Schema{
+		{Name: "id", Kind: relation.KindInt},
+		{Name: "name", Kind: relation.KindString},
+		{Name: "score", Kind: relation.KindFloat},
+		{Name: "active", Kind: relation.KindBool},
+		{Name: "joined", Kind: relation.KindDate},
+	})
+	rows := []relation.Row{
+		{relation.Int(1), relation.String("alice"), relation.Float(0.5), relation.Bool(true), relation.Date(2020, 1, 2)},
+		{relation.Int(2), relation.String(""), relation.Float(-1.25), relation.Bool(false), relation.Date(2021, 12, 31)},
+		{relation.Int(3), relation.Null, relation.Null, relation.Bool(true), relation.Null},
+	}
+	for _, r := range rows {
+		tab.MustAppend(r)
+	}
+	return tab
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	tab := goldenTable(t)
+	prof, err := profiling.ProfileTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	fp := TableFingerprint(tab)
+	if err := SaveProfile(path, prof, fp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path, fp, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, prof) {
+		t.Fatalf("profile round trip diverged:\n got %+v\nwant %+v", got, prof)
+	}
+}
+
+// TestProfileGolden pins the on-disk artifact format: the serialized
+// profile of a fixed table must match the committed golden byte for byte.
+// A legitimate format change means bumping FormatVersion and regenerating
+// testdata/profile_golden.json (save the new bytes and review the diff).
+func TestProfileGolden(t *testing.T) {
+	tab := goldenTable(t)
+	prof, err := profiling.ProfileTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := SaveProfile(path, prof, "golden-fingerprint"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "profile_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("profile artifact bytes diverge from testdata/profile_golden.json:\n%s", got)
+	}
+
+	// Saving twice must be byte-stable.
+	path2 := filepath.Join(t.TempDir(), "profile2.json")
+	if err := SaveProfile(path2, prof, "golden-fingerprint"); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(again) {
+		t.Fatal("saving the same profile twice produced different bytes")
+	}
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	// The Covid pair (total_cases, new_cases) is in the default KB, so the
+	// round trip carries real pairs, not just an empty list.
+	tab := relation.MustReadCSVString("Covid", "country,day,total_cases,new_cases\nIT,1,100,10\nIT,2,120,20\nFR,1,80,8\nFR,2,90,10\n")
+	md, err := pythia.Discover(tab, model.NewULabel(kb.BuildDefault()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.Pairs) == 0 {
+		t.Fatal("expected the ulabel predictor to find at least one pair")
+	}
+	path := filepath.Join(t.TempDir(), "metadata.json")
+	fp := TableFingerprint(tab)
+	if err := SaveMetadata(path, md, fp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMetadata(path, fp, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Pairs, md.Pairs) {
+		t.Fatalf("pairs diverged: got %+v want %+v", got.Pairs, md.Pairs)
+	}
+	if !reflect.DeepEqual(got.Kinds, md.Kinds) {
+		t.Fatalf("kinds diverged: got %v want %v", got.Kinds, md.Kinds)
+	}
+	if !reflect.DeepEqual(got.Profile, md.Profile) {
+		t.Fatalf("profile diverged: got %+v want %+v", got.Profile, md.Profile)
+	}
+}
+
+// trainTinyModel trains the smallest useful schema model for round-trip
+// tests; the corpus is tiny, so this stays fast.
+func trainTinyModel(t *testing.T) (*model.MetadataModel, model.TrainConfig) {
+	t.Helper()
+	knowledge := kb.BuildDefault()
+	cfg := model.DefaultSchemaConfig()
+	cfg.Tables = 40
+	cfg.Epochs = 2
+	cfg.Pretrain = knowledge.DefinitionBags()
+	m, err := model.Train("Schema", corpus.NewDefaultGenerator(), annotate.All(knowledge), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, cfg
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	m, cfg := trainTinyModel(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	fp := ModelFingerprint("schema", cfg)
+	if err := SaveModel(path, m, fp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored model must predict identically: compare discovery over
+	// a table neither model has seen.
+	tab := goldenTable(t)
+	mdA, err := pythia.Discover(tab, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdB, err := pythia.Discover(tab, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mdA.Pairs, mdB.Pairs) {
+		t.Fatalf("loaded model predicts differently: got %+v want %+v", mdB.Pairs, mdA.Pairs)
+	}
+	// And its snapshot must round-trip exactly. Compare JSON encodings:
+	// DeepEqual would also compare the classifier's unexported optimizer
+	// state, which is deliberately not part of a snapshot.
+	ja, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(loaded.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatal("loaded model snapshot differs from the saved one")
+	}
+}
+
+func TestLoadRejectsFingerprintMismatch(t *testing.T) {
+	tab := goldenTable(t)
+	prof, err := profiling.ProfileTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := SaveProfile(path, prof, "fp-a"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadProfile(path, "fp-b", tab)
+	var fe *FingerprintError
+	if !errors.As(err, &fe) {
+		t.Fatalf("load with wrong fingerprint: err = %v, want *FingerprintError", err)
+	}
+	if !IsMismatch(err) {
+		t.Fatal("IsMismatch(FingerprintError) = false, want true")
+	}
+	// An empty expected fingerprint accepts anything.
+	if _, err := LoadProfile(path, "", tab); err != nil {
+		t.Fatalf("load with empty fingerprint: %v", err)
+	}
+}
+
+func TestLoadRejectsKindMismatch(t *testing.T) {
+	tab := goldenTable(t)
+	prof, err := profiling.ProfileTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := SaveProfile(path, prof, "fp"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadModel(path, "fp")
+	var ke *KindError
+	if !errors.As(err, &ke) {
+		t.Fatalf("LoadModel over a profile artifact: err = %v, want *KindError", err)
+	}
+	if !IsMismatch(err) {
+		t.Fatal("IsMismatch(KindError) = false, want true")
+	}
+}
+
+func TestLoadRejectsVersionSkew(t *testing.T) {
+	tab := goldenTable(t)
+	prof, err := profiling.ProfileTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := SaveProfile(path, prof, "fp"); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the envelope under a future format version.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Version = FormatVersion + 1
+	b, err = json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadProfile(path, "fp", tab)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("load of future-version artifact: err = %v, want *VersionError", err)
+	}
+	if !IsMismatch(err) {
+		t.Fatal("IsMismatch(VersionError) = false, want true")
+	}
+	// A genuine I/O failure must NOT look like a mismatch.
+	_, err = LoadProfile(filepath.Join(t.TempDir(), "missing.json"), "fp", tab)
+	if err == nil || IsMismatch(err) {
+		t.Fatalf("missing file: err = %v, want a non-mismatch error", err)
+	}
+}
+
+func TestLoadProfileRejectsWrongTable(t *testing.T) {
+	tab := goldenTable(t)
+	prof, err := profiling.ProfileTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := SaveProfile(path, prof, ""); err != nil {
+		t.Fatal(err)
+	}
+	other := relation.NewTable("Golden", relation.Schema{
+		{Name: "id", Kind: relation.KindInt},
+	})
+	other.MustAppend(relation.Row{relation.Int(1)})
+	if _, err := LoadProfile(path, "", other); err == nil {
+		t.Fatal("rebinding a profile to a mismatched table succeeded, want error")
+	}
+}
+
+func TestTableFingerprintSensitivity(t *testing.T) {
+	a := goldenTable(t)
+	b := goldenTable(t)
+	if TableFingerprint(a) != TableFingerprint(b) {
+		t.Fatal("identical tables fingerprint differently")
+	}
+	b.MustAppend(relation.Row{relation.Int(4), relation.String("dora"), relation.Float(2), relation.Bool(false), relation.Null})
+	if TableFingerprint(a) == TableFingerprint(b) {
+		t.Fatal("appending a row left the table fingerprint unchanged")
+	}
+}
+
+func TestModelFingerprintIgnoresWorkers(t *testing.T) {
+	cfg := model.DefaultSchemaConfig()
+	a := ModelFingerprint("schema", cfg)
+	cfg.Workers = 8
+	cfg.Progress = func(string, int, int) {}
+	if got := ModelFingerprint("schema", cfg); got != a {
+		t.Fatal("Workers/Progress changed the model fingerprint; they must not")
+	}
+	cfg.Seed++
+	if got := ModelFingerprint("schema", cfg); got == a {
+		t.Fatal("changing the training seed left the model fingerprint unchanged")
+	}
+}

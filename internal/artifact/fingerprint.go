@@ -1,0 +1,56 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/relation"
+)
+
+// ModelFingerprint hashes everything that determines a trained model's
+// weights: the predictor method plus the training configuration's corpus
+// size, serialization, optimization and architecture knobs. Workers and
+// Progress are deliberately excluded — training is byte-identical at
+// every worker count, and progress reporting never touches the model.
+// Pretrain bags are folded in by count only: they come from the static
+// built-in knowledge base, so the count changing is the signal that the
+// bags did.
+func ModelFingerprint(method string, cfg model.TrainConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1|method=%s|tables=%d|mode=%s|maxrows=%d|maxcell=%d",
+		strings.ToLower(method), cfg.Tables, cfg.Serialization.Mode,
+		cfg.Serialization.MaxRows, cfg.Serialization.MaxCellTokens)
+	fmt.Fprintf(&b, "|epochs=%d|lr=%g|seed=%d|negperpos=%g|negweight=%g|mintok=%d|augment=%g|threshold=%g",
+		cfg.Epochs, cfg.LR, cfg.Seed, cfg.NegPerPos, cfg.NegWeight,
+		cfg.MinTokenCount, cfg.AugmentOOV, cfg.Threshold)
+	fmt.Fprintf(&b, "|embed=%d|hidden=%d|pretrain=%d|pretrainepochs=%d",
+		cfg.EmbedDim, cfg.Hidden, len(cfg.Pretrain), cfg.PretrainEpochs)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TableFingerprint hashes a table's name, schema and full cell contents.
+// Profile and metadata artifacts record it so a load against a table with
+// different rows (or a reordered schema) is rejected as stale instead of
+// silently describing data it never saw.
+func TableFingerprint(t *relation.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1|table=%s|cols=%d|rows=%d", strings.ToLower(t.Name), t.NumCols(), t.NumRows())
+	for _, c := range t.Schema {
+		fmt.Fprintf(&b, "|%s:%s", strings.ToLower(c.Name), c.Kind)
+	}
+	// Cells hash through the same collision-free HashKey encoding the
+	// profiler's projections use; 0x1f/0x1e separate cells and rows.
+	for _, row := range t.Rows {
+		for _, v := range row {
+			b.WriteString(v.HashKey())
+			b.WriteByte(0x1f)
+		}
+		b.WriteByte(0x1e)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,40 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// SaveModel persists a trained metadata model — tokenizer vocabulary,
+// label vocabulary, classifier weights and inference configuration — under
+// the given input fingerprint (ModelFingerprint of the training
+// configuration that produced it).
+func SaveModel(path string, m *model.MetadataModel, fingerprint string) error {
+	if m == nil {
+		return fmt.Errorf("artifact %s: nil model", path)
+	}
+	return save(path, KindModel, fingerprint, m.Snapshot())
+}
+
+// LoadModel restores a model saved with SaveModel. fingerprint is the
+// caller's expected input fingerprint ("" accepts any); a mismatch returns
+// a typed error (IsMismatch) so the caller can retrain instead. The
+// restored model predicts byte-identically to the one that was saved but
+// cannot resume training (optimizer state is not persisted).
+func LoadModel(path, fingerprint string) (*model.MetadataModel, error) {
+	raw, err := load(path, KindModel, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	var snap model.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("artifact %s: decode model payload: %w", path, err)
+	}
+	m, err := model.FromSnapshot(&snap)
+	if err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,270 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/profiling"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+)
+
+// valueJSON carries one relation.Value as its kind name plus formatted
+// text. Decoding needs the explicit string branch below: ParseValue maps
+// "" to NULL for every kind, which would silently turn a stored empty
+// string back into a NULL.
+type valueJSON struct {
+	Kind  string `json:"kind"`
+	Value string `json:"value"`
+}
+
+func encodeValue(v relation.Value) valueJSON {
+	return valueJSON{Kind: v.Kind().String(), Value: v.Format()}
+}
+
+func decodeValue(j valueJSON) (relation.Value, error) {
+	k, err := kindFromString(j.Kind)
+	if err != nil {
+		return relation.Null, err
+	}
+	switch k {
+	case relation.KindNull:
+		return relation.Null, nil
+	case relation.KindString:
+		return relation.String(j.Value), nil
+	default:
+		return relation.ParseValue(j.Value, k)
+	}
+}
+
+var kindNames = map[string]relation.Kind{
+	relation.KindNull.String():   relation.KindNull,
+	relation.KindInt.String():    relation.KindInt,
+	relation.KindFloat.String():  relation.KindFloat,
+	relation.KindString.String(): relation.KindString,
+	relation.KindBool.String():   relation.KindBool,
+	relation.KindDate.String():   relation.KindDate,
+}
+
+func kindFromString(s string) (relation.Kind, error) {
+	k, ok := kindNames[s]
+	if !ok {
+		return relation.KindNull, fmt.Errorf("unknown value kind %q", s)
+	}
+	return k, nil
+}
+
+type columnJSON struct {
+	Name     string    `json:"name"`
+	Kind     string    `json:"kind"`
+	Distinct int       `json:"distinct"`
+	Nulls    int       `json:"nulls"`
+	Min      valueJSON `json:"min"`
+	Max      valueJSON `json:"max"`
+	MeanLen  float64   `json:"mean_len"`
+	Unique   bool      `json:"unique"`
+}
+
+// profileJSON is the persisted shape of a profiling.Profile. The rows are
+// not stored — a profile artifact is rebound to the caller's table at
+// load, and the recorded row count plus schema guard against rebinding to
+// a table the statistics do not describe.
+type profileJSON struct {
+	Table         string       `json:"table"`
+	Rows          int          `json:"rows"`
+	Columns       []columnJSON `json:"columns"`
+	PrimaryKey    []string     `json:"primary_key,omitempty"`
+	CandidateKeys [][]string   `json:"candidate_keys,omitempty"`
+}
+
+func encodeProfile(p *profiling.Profile) profileJSON {
+	cols := make([]columnJSON, len(p.Columns))
+	for i, c := range p.Columns {
+		cols[i] = columnJSON{
+			Name:     c.Name,
+			Kind:     c.Kind.String(),
+			Distinct: c.Distinct,
+			Nulls:    c.Nulls,
+			Min:      encodeValue(c.Min),
+			Max:      encodeValue(c.Max),
+			MeanLen:  c.MeanLen,
+			Unique:   c.Unique,
+		}
+	}
+	return profileJSON{
+		Table:         p.Table.Name,
+		Rows:          p.Table.NumRows(),
+		Columns:       cols,
+		PrimaryKey:    p.PrimaryKey,
+		CandidateKeys: p.CandidateKeys,
+	}
+}
+
+func decodeProfile(path string, j profileJSON, t *relation.Table) (*profiling.Profile, error) {
+	if !strings.EqualFold(j.Table, t.Name) {
+		return nil, fmt.Errorf("artifact %s: profile of table %q, rebinding to %q", path, j.Table, t.Name)
+	}
+	if j.Rows != t.NumRows() {
+		return nil, fmt.Errorf("artifact %s: profile covers %d rows, table has %d", path, j.Rows, t.NumRows())
+	}
+	if len(j.Columns) != t.NumCols() {
+		return nil, fmt.Errorf("artifact %s: profile has %d columns, table has %d", path, len(j.Columns), t.NumCols())
+	}
+	cols := make([]profiling.ColumnStats, len(j.Columns))
+	for i, c := range j.Columns {
+		col := t.Schema[i]
+		if !strings.EqualFold(c.Name, col.Name) {
+			return nil, fmt.Errorf("artifact %s: profile column %d is %q, table has %q", path, i, c.Name, col.Name)
+		}
+		k, err := kindFromString(c.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("artifact %s: profile column %q: %w", path, c.Name, err)
+		}
+		if k != col.Kind {
+			return nil, fmt.Errorf("artifact %s: profile column %q is %s, table has %s", path, c.Name, k, col.Kind)
+		}
+		min, err := decodeValue(c.Min)
+		if err != nil {
+			return nil, fmt.Errorf("artifact %s: profile column %q min: %w", path, c.Name, err)
+		}
+		max, err := decodeValue(c.Max)
+		if err != nil {
+			return nil, fmt.Errorf("artifact %s: profile column %q max: %w", path, c.Name, err)
+		}
+		cols[i] = profiling.ColumnStats{
+			Name:     c.Name,
+			Kind:     k,
+			Distinct: c.Distinct,
+			Nulls:    c.Nulls,
+			Min:      min,
+			Max:      max,
+			MeanLen:  c.MeanLen,
+			Unique:   c.Unique,
+		}
+	}
+	return &profiling.Profile{
+		Table:         t,
+		Columns:       cols,
+		PrimaryKey:    j.PrimaryKey,
+		CandidateKeys: j.CandidateKeys,
+	}, nil
+}
+
+// SaveProfile persists a table profile under the given input fingerprint
+// (typically TableFingerprint of the profiled table).
+func SaveProfile(path string, p *profiling.Profile, fingerprint string) error {
+	if p == nil || p.Table == nil {
+		return fmt.Errorf("artifact %s: nil profile", path)
+	}
+	return save(path, KindProfile, fingerprint, encodeProfile(p))
+}
+
+// LoadProfile restores a profile saved with SaveProfile and rebinds it to
+// t, which must match the recorded table name, schema and row count.
+// fingerprint is the caller's expectation ("" accepts any); a mismatch
+// returns a typed error (IsMismatch) so the caller can re-profile.
+func LoadProfile(path, fingerprint string, t *relation.Table) (*profiling.Profile, error) {
+	raw, err := load(path, KindProfile, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	var j profileJSON
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return nil, fmt.Errorf("artifact %s: decode profile payload: %w", path, err)
+	}
+	return decodeProfile(path, j, t)
+}
+
+type pairJSON struct {
+	AttrA        string  `json:"attr_a"`
+	AttrB        string  `json:"attr_b"`
+	Label        string  `json:"label"`
+	Score        float64 `json:"score"`
+	Correlation  float64 `json:"correlation"`
+	ValueOverlap float64 `json:"value_overlap"`
+}
+
+type metadataJSON struct {
+	Profile profileJSON `json:"profile"`
+	Pairs   []pairJSON  `json:"pairs"`
+	Kinds   []string    `json:"kinds,omitempty"`
+}
+
+// SaveMetadata persists discovered ambiguity metadata — the profile, the
+// predicted pairs and the per-column kinds the incremental update path
+// folds forward — under the given input fingerprint.
+func SaveMetadata(path string, md *pythia.Metadata, fingerprint string) error {
+	if md == nil || md.Profile == nil || md.Profile.Table == nil {
+		return fmt.Errorf("artifact %s: nil metadata", path)
+	}
+	pairs := make([]pairJSON, len(md.Pairs))
+	for i, p := range md.Pairs {
+		pairs[i] = pairJSON{
+			AttrA:        p.AttrA,
+			AttrB:        p.AttrB,
+			Label:        p.Label,
+			Score:        p.Score,
+			Correlation:  p.Correlation,
+			ValueOverlap: p.ValueOverlap,
+		}
+	}
+	var kinds []string
+	if md.Kinds != nil {
+		kinds = make([]string, len(md.Kinds))
+		for i, k := range md.Kinds {
+			kinds[i] = k.String()
+		}
+	}
+	payload := metadataJSON{Profile: encodeProfile(md.Profile), Pairs: pairs, Kinds: kinds}
+	return save(path, KindMetadata, fingerprint, payload)
+}
+
+// LoadMetadata restores metadata saved with SaveMetadata and rebinds its
+// profile to t (same validation as LoadProfile). fingerprint is the
+// caller's expectation ("" accepts any); a mismatch returns a typed error
+// (IsMismatch) so the caller can re-discover.
+func LoadMetadata(path, fingerprint string, t *relation.Table) (*pythia.Metadata, error) {
+	raw, err := load(path, KindMetadata, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	var j metadataJSON
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return nil, fmt.Errorf("artifact %s: decode metadata payload: %w", path, err)
+	}
+	prof, err := decodeProfile(path, j.Profile, t)
+	if err != nil {
+		return nil, err
+	}
+	var pairs []model.Pair
+	if len(j.Pairs) > 0 {
+		pairs = make([]model.Pair, len(j.Pairs))
+	}
+	for i, p := range j.Pairs {
+		pairs[i] = model.Pair{
+			AttrA:        p.AttrA,
+			AttrB:        p.AttrB,
+			Label:        p.Label,
+			Score:        p.Score,
+			Correlation:  p.Correlation,
+			ValueOverlap: p.ValueOverlap,
+		}
+	}
+	var kinds []relation.Kind
+	if j.Kinds != nil {
+		if len(j.Kinds) != t.NumCols() {
+			return nil, fmt.Errorf("artifact %s: metadata has %d kinds, table has %d columns", path, len(j.Kinds), t.NumCols())
+		}
+		kinds = make([]relation.Kind, len(j.Kinds))
+		for i, s := range j.Kinds {
+			k, err := kindFromString(s)
+			if err != nil {
+				return nil, fmt.Errorf("artifact %s: metadata kinds: %w", path, err)
+			}
+			kinds[i] = k
+		}
+	}
+	return &pythia.Metadata{Profile: prof, Pairs: pairs, Kinds: kinds}, nil
+}

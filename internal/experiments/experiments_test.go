@@ -258,3 +258,24 @@ func TestScalabilitySpeedup(t *testing.T) {
 		t.Errorf("empty Speedup(4) = %v, want 0", got)
 	}
 }
+
+func TestFigColdStart(t *testing.T) {
+	// Tiny scale: the identity checks (trained vs loaded model, full vs
+	// incremental ingest, the worker sweep) are what the test pins — the
+	// experiment fails itself on any divergence. Timing floors are CI's
+	// job at a scale where they have margin.
+	res, err := FigColdStart(Config{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatalf("FigColdStart: %v", err)
+	}
+	t.Logf("\n%s", res.String())
+	if len(res.IdenticalWorkers) != len(coldStartWorkerSweep) {
+		t.Fatalf("identity sweep covered workers %v, want %v", res.IdenticalWorkers, coldStartWorkerSweep)
+	}
+	if res.ColdStartSpeedup <= 0 || res.AppendSpeedup <= 0 {
+		t.Fatalf("speedups not measured: coldstart %.2f, append %.2f", res.ColdStartSpeedup, res.AppendSpeedup)
+	}
+	if res.DeltaRows <= 0 || res.BaseRows <= 0 {
+		t.Fatalf("ingest sizing empty: base %d delta %d", res.BaseRows, res.DeltaRows)
+	}
+}

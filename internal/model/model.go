@@ -65,7 +65,13 @@ type Predictor interface {
 // of a table (Algorithm 1 only pairs numerical with numerical and
 // categorical with categorical).
 func PredictTable(p Predictor, header []string, rows [][]string) []Pair {
-	kinds := columnKinds(header, rows)
+	return PredictTableWithKinds(p, header, rows, ColumnKinds(header, rows))
+}
+
+// PredictTableWithKinds is PredictTable with pre-computed column kinds, so
+// callers that already inferred them (the incremental discovery path) do
+// not pay a second pass over every cell.
+func PredictTableWithKinds(p Predictor, header []string, rows [][]string, kinds []relation.Kind) []Pair {
 	var out []Pair
 	for i := 0; i < len(header); i++ {
 		for j := i + 1; j < len(header); j++ {
@@ -79,6 +85,19 @@ func PredictTable(p Predictor, header []string, rows [][]string) []Pair {
 	}
 	return out
 }
+
+// ColumnKinds infers a kind per column from the string cells by unifying
+// per-cell inferred kinds. UnifyKind is a semilattice join, so kinds can be
+// maintained incrementally: unifying the kinds of a row prefix with the
+// kinds of the appended delta equals re-inferring over all rows.
+func ColumnKinds(header []string, rows [][]string) []relation.Kind {
+	return columnKinds(header, rows)
+}
+
+// SameClass reports whether two kinds fall into the same ambiguity type
+// class (numeric with numeric, categorical with categorical; KindNull
+// pairs with anything).
+func SameClass(a, b relation.Kind) bool { return sameClass(a, b) }
 
 // columnKinds infers a kind per column from the string cells.
 func columnKinds(header []string, rows [][]string) []relation.Kind {
@@ -207,6 +226,35 @@ func (lv *LabelVocab) Label(class int) string {
 
 // Size returns the number of classes including none.
 func (lv *LabelVocab) Size() int { return len(lv.labels) }
+
+// Labels returns the label strings in class order (index == class; class 0
+// is the reserved none label ""). The slice is a copy; it is the
+// serializable form of the vocabulary for artifacts.
+func (lv *LabelVocab) Labels() []string {
+	out := make([]string, len(lv.labels))
+	copy(out, lv.labels)
+	return out
+}
+
+// LabelVocabFromLabels rebuilds a vocabulary from a Labels() snapshot: the
+// list must start with the reserved none label "" and contain no
+// duplicates afterwards.
+func LabelVocabFromLabels(labels []string) (*LabelVocab, error) {
+	if len(labels) == 0 || labels[0] != "" {
+		return nil, fmt.Errorf("model: label vocabulary snapshot must start with the reserved none class")
+	}
+	lv := NewLabelVocab()
+	for _, l := range labels[1:] {
+		if l == "" {
+			return nil, fmt.Errorf("model: label vocabulary snapshot has an empty label outside class 0")
+		}
+		if _, ok := lv.idx[l]; ok {
+			return nil, fmt.Errorf("model: label vocabulary snapshot has duplicate label %q", l)
+		}
+		lv.Add(l)
+	}
+	return lv, nil
+}
 
 // encodePrompt serializes, encodes and segments one prompt. Segment 1 marks
 // everything after [SEP] (the candidate pair).

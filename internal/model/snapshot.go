@@ -1,0 +1,70 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/serialize"
+)
+
+// Snapshot is the serializable state of a trained MetadataModel: the
+// tokenizer vocabulary, the label vocabulary, the classifier weights and
+// the inference configuration. Field order is fixed so JSON encodings are
+// byte-stable across runs; internal/artifact wraps it in a versioned
+// envelope for on-disk persistence.
+type Snapshot struct {
+	Name          string             `json:"name"`
+	Serialization serialize.Config   `json:"serialization"`
+	Threshold     float64            `json:"threshold"`
+	Tokens        []string           `json:"tokens"` // tokenizer words in ID order
+	Labels        []string           `json:"labels"` // label vocabulary in class order
+	Classifier    *nn.TextClassifier `json:"classifier"`
+}
+
+// Snapshot extracts the serializable state of the model. The classifier is
+// shared (weights are not copied): callers persisting the snapshot must
+// not train the model concurrently.
+func (m *MetadataModel) Snapshot() *Snapshot {
+	return &Snapshot{
+		Name:          m.name,
+		Serialization: m.serial,
+		Threshold:     m.threshold,
+		Tokens:        m.tok.Words(),
+		Labels:        m.labels.Labels(),
+		Classifier:    m.clf,
+	}
+}
+
+// FromSnapshot rebuilds an inference-ready MetadataModel. The classifier's
+// optimizer state is not part of a snapshot, so a restored model predicts
+// byte-identically but cannot resume training.
+func FromSnapshot(s *Snapshot) (*MetadataModel, error) {
+	if s == nil {
+		return nil, fmt.Errorf("model: nil snapshot")
+	}
+	if s.Classifier == nil {
+		return nil, fmt.Errorf("model: snapshot %q has no classifier", s.Name)
+	}
+	tok, err := serialize.TokenizerFromWords(s.Tokens)
+	if err != nil {
+		return nil, fmt.Errorf("model: snapshot %q: %w", s.Name, err)
+	}
+	labels, err := LabelVocabFromLabels(s.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("model: snapshot %q: %w", s.Name, err)
+	}
+	if got, want := s.Classifier.Cfg.VocabSize, tok.Size(); got != want {
+		return nil, fmt.Errorf("model: snapshot %q: classifier vocab size %d != tokenizer size %d", s.Name, got, want)
+	}
+	if got, want := s.Classifier.Cfg.Classes, labels.Size(); got != want {
+		return nil, fmt.Errorf("model: snapshot %q: classifier classes %d != label vocab size %d", s.Name, got, want)
+	}
+	return &MetadataModel{
+		name:      s.Name,
+		tok:       tok,
+		labels:    labels,
+		clf:       s.Classifier,
+		serial:    s.Serialization,
+		threshold: s.Threshold,
+	}, nil
+}

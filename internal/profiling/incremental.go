@@ -1,0 +1,227 @@
+package profiling
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Incremental maintains a Profile across table appends without rescanning
+// the rows already profiled. It retains what a from-scratch profile throws
+// away — the per-column distinct-value sets, the per-column formatted
+// lengths and the projection sets of every candidate key — so an append of
+// d rows costs O(d) instead of O(n):
+//
+//   - column statistics (distinct, nulls, min/max, mean length, uniqueness)
+//     are folded forward from only the appended rows;
+//   - discovered keys are re-verified by probing the delta projections
+//     against the retained sets. Appending rows can only break uniqueness,
+//     never create it, so a delta with no collisions and no NULLs in key
+//     columns proves every candidate key still holds. Only when a key
+//     breaks (or a key column gains its first NULL) can new minimal keys
+//     surface, and only then does the level-wise search re-run.
+//
+// The produced Profile is equal to ProfileTable over the full table —
+// field for field, including float statistics, which are accumulated in
+// the same order a full scan would (the equivalence property test pins
+// this). An Incremental is not safe for concurrent use; callers serialize
+// Append (the serving layer holds its append lock across it).
+type Incremental struct {
+	prof    *Profile
+	colSeen []map[string]struct{} // per column: distinct non-null HashKeys
+	colLen  []int                 // per column: total formatted length of non-null cells
+	keyIdx  [][]int               // per candidate key: column indexes
+	keySeen []map[string]struct{} // per candidate key: projection keys seen
+}
+
+// NewIncremental profiles the table from scratch and retains the state
+// future appends fold into. It costs one extra pass over the rows compared
+// to ProfileTable — paid once at ingest, amortized by every append.
+func NewIncremental(t *relation.Table) (*Incremental, error) {
+	prof, err := ProfileTable(t)
+	if err != nil {
+		return nil, err
+	}
+	inc := &Incremental{prof: prof}
+	nc := t.NumCols()
+	inc.colSeen = make([]map[string]struct{}, nc)
+	inc.colLen = make([]int, nc)
+	for c := 0; c < nc; c++ {
+		inc.colSeen[c] = make(map[string]struct{}, t.NumRows())
+	}
+	for _, row := range t.Rows {
+		for c, v := range row {
+			if v.IsNull() {
+				continue
+			}
+			inc.colSeen[c][v.HashKey()] = struct{}{}
+			inc.colLen[c] += len(v.Format())
+		}
+	}
+	inc.rebuildKeySets(t, prof.CandidateKeys)
+	return inc, nil
+}
+
+// Profile returns the current profile. The returned value is immutable:
+// Append publishes a fresh Profile rather than mutating this one, so
+// readers holding it (a serving tenant mid-stream) are never raced.
+func (inc *Incremental) Profile() *Profile { return inc.prof }
+
+// Append folds the rows t.Rows[oldRows:] into the profile and returns the
+// updated Profile. t must be the profiled table extended in place or via
+// relation.Table.Extend; oldRows must equal the row count at the previous
+// Append (or construction).
+func (inc *Incremental) Append(t *relation.Table, oldRows int) (*Profile, error) {
+	if t == nil {
+		return nil, fmt.Errorf("profiling: incremental append: nil table")
+	}
+	if oldRows != inc.prof.Table.NumRows() {
+		return nil, fmt.Errorf("profiling: incremental append out of sync: oldRows %d != profiled rows %d",
+			oldRows, inc.prof.Table.NumRows())
+	}
+	if t.NumRows() < oldRows {
+		return nil, fmt.Errorf("profiling: incremental append: table shrank from %d to %d rows",
+			oldRows, t.NumRows())
+	}
+	if t.NumCols() != len(inc.colSeen) {
+		return nil, fmt.Errorf("profiling: incremental append: arity changed from %d to %d",
+			len(inc.colSeen), t.NumCols())
+	}
+	delta := t.Rows[oldRows:]
+	total := t.NumRows()
+
+	cols := make([]ColumnStats, len(inc.prof.Columns))
+	copy(cols, inc.prof.Columns)
+	for c := range cols {
+		inc.updateColumn(&cols[c], c, delta, total)
+	}
+
+	// Re-verify the candidate keys against the delta alone. A fresh table
+	// (oldRows == 0) has no verified keys to extend, so it always searches.
+	keysBroken := oldRows == 0
+	if !keysBroken {
+		var b strings.Builder
+	verify:
+		for ki, combo := range inc.keyIdx {
+			seen := inc.keySeen[ki]
+			for _, row := range delta {
+				k, ok := projectCombo(row, combo, &b)
+				if !ok {
+					keysBroken = true // key column gained a NULL
+					break verify
+				}
+				if _, dup := seen[k]; dup {
+					keysBroken = true
+					break verify
+				}
+				seen[k] = struct{}{}
+			}
+		}
+	}
+
+	np := &Profile{Table: t, Columns: cols}
+	if total > 0 {
+		if keysBroken {
+			np.CandidateKeys = discoverKeys(t, cols)
+			np.PrimaryKey = choosePrimaryKey(t, np.CandidateKeys)
+			inc.rebuildKeySets(t, np.CandidateKeys)
+		} else {
+			np.CandidateKeys = inc.prof.CandidateKeys
+			np.PrimaryKey = inc.prof.PrimaryKey
+		}
+	}
+	inc.prof = np
+	return np, nil
+}
+
+// updateColumn folds the delta rows into one column's statistics, in row
+// order, exactly as a full columnStats scan would continue.
+func (inc *Incremental) updateColumn(st *ColumnStats, c int, delta []relation.Row, total int) {
+	seen := inc.colSeen[c]
+	for _, row := range delta {
+		v := row[c]
+		if v.IsNull() {
+			st.Nulls++
+			continue
+		}
+		seen[v.HashKey()] = struct{}{}
+		inc.colLen[c] += len(v.Format())
+		if st.Min.IsNull() {
+			st.Min, st.Max = v, v
+			continue
+		}
+		if cmp, err := v.Compare(st.Min); err == nil && cmp < 0 {
+			st.Min = v
+		}
+		if cmp, err := v.Compare(st.Max); err == nil && cmp > 0 {
+			st.Max = v
+		}
+	}
+	st.Distinct = len(seen)
+	if n := total - st.Nulls; n > 0 {
+		st.MeanLen = float64(inc.colLen[c]) / float64(n)
+	}
+	st.Unique = st.Distinct == total && st.Nulls == 0 && total > 0
+}
+
+// rebuildKeySets (re)builds the per-key projection sets over all rows.
+func (inc *Incremental) rebuildKeySets(t *relation.Table, keys [][]string) {
+	inc.keyIdx = make([][]int, 0, len(keys))
+	inc.keySeen = make([]map[string]struct{}, 0, len(keys))
+	var b strings.Builder
+	for _, key := range keys {
+		combo := make([]int, len(key))
+		for i, name := range key {
+			combo[i] = t.Schema.Index(name)
+		}
+		seen := make(map[string]struct{}, t.NumRows())
+		for _, row := range t.Rows {
+			if k, ok := projectCombo(row, combo, &b); ok {
+				seen[k] = struct{}{}
+			}
+		}
+		inc.keyIdx = append(inc.keyIdx, combo)
+		inc.keySeen = append(inc.keySeen, seen)
+	}
+}
+
+// projectCombo renders the projection of a row onto the combo columns in
+// the same format comboUnique hashes, and reports ok=false when any
+// projected cell is NULL (a NULL disqualifies the column from keys).
+func projectCombo(row relation.Row, combo []int, b *strings.Builder) (string, bool) {
+	b.Reset()
+	for _, c := range combo {
+		if row[c].IsNull() {
+			return "", false
+		}
+		b.WriteString(row[c].HashKey())
+		b.WriteByte(0x1f)
+	}
+	return b.String(), true
+}
+
+// ValueOverlap computes the Jaccard similarity of two columns' distinct
+// value sets from the retained state — the same integers (and therefore
+// the same float) as profiling.ValueOverlap over the full table, without
+// re-hashing every row.
+func (inc *Incremental) ValueOverlap(attrA, attrB string) (float64, error) {
+	t := inc.prof.Table
+	ia := t.Schema.Index(attrA)
+	ib := t.Schema.Index(attrB)
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("profiling: overlap: unknown column (%q, %q)", attrA, attrB)
+	}
+	setA, setB := inc.colSeen[ia], inc.colSeen[ib]
+	if len(setA) == 0 && len(setB) == 0 {
+		return 0, nil
+	}
+	inter := 0
+	for v := range setA {
+		if _, ok := setB[v]; ok {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	return float64(inter) / float64(union), nil
+}

@@ -1,0 +1,159 @@
+package profiling
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/detrand"
+	"repro/internal/relation"
+)
+
+// randomTable builds a table with mixed kinds, nulls and duplicates drawn
+// from small domains, so appends routinely collide with existing values and
+// break (or preserve) candidate keys in interesting ways.
+func randomTable(rng *rand.Rand, rows int) *relation.Table {
+	t := relation.NewTable("Rand", relation.Schema{
+		{Name: "id", Kind: relation.KindInt},
+		{Name: "cat", Kind: relation.KindString},
+		{Name: "score", Kind: relation.KindFloat},
+		{Name: "flag", Kind: relation.KindBool},
+		{Name: "day", Kind: relation.KindDate},
+	})
+	for i := 0; i < rows; i++ {
+		t.MustAppend(randomRow(rng, i))
+	}
+	return t
+}
+
+func randomRow(rng *rand.Rand, i int) relation.Row {
+	maybeNull := func(v relation.Value) relation.Value {
+		if rng.Intn(10) == 0 {
+			return relation.Null
+		}
+		return v
+	}
+	// id is usually i (unique) but sometimes a duplicate of a small range,
+	// so single-column keys break on some appends and survive others.
+	id := relation.Int(int64(i))
+	if rng.Intn(8) == 0 {
+		id = relation.Int(int64(rng.Intn(5)))
+	}
+	return relation.Row{
+		maybeNull(id),
+		maybeNull(relation.String(fmt.Sprintf("c%d", rng.Intn(4)))),
+		maybeNull(relation.Float(float64(rng.Intn(7)) / 2)),
+		maybeNull(relation.Bool(rng.Intn(2) == 0)),
+		maybeNull(relation.Date(2020, time.Month(1+rng.Intn(12)), 1+rng.Intn(28))),
+	}
+}
+
+// TestIncrementalMatchesFullProfile is the equivalence property: for random
+// tables and random split points, folding the delta into an Incremental
+// must produce exactly the profile a full rescan of the whole table would —
+// every field, including float statistics and discovered keys.
+func TestIncrementalMatchesFullProfile(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := detrand.New(int64(100 + trial))
+		total := 5 + rng.Intn(60)
+		whole := randomTable(rng, total)
+		split := rng.Intn(total + 1)
+
+		base := relation.NewTable(whole.Name, whole.Schema)
+		for _, r := range whole.Rows[:split] {
+			base.MustAppend(r)
+		}
+		inc, err := NewIncremental(base)
+		if err != nil {
+			t.Fatalf("trial %d: NewIncremental: %v", trial, err)
+		}
+		ext, err := base.Extend(whole.Rows[split:])
+		if err != nil {
+			t.Fatalf("trial %d: Extend: %v", trial, err)
+		}
+		got, err := inc.Append(ext, split)
+		if err != nil {
+			t.Fatalf("trial %d: Append: %v", trial, err)
+		}
+		want, err := ProfileTable(ext)
+		if err != nil {
+			t.Fatalf("trial %d: ProfileTable: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (total=%d split=%d): incremental profile diverges from full rescan:\n got %+v\nwant %+v",
+				trial, total, split, got, want)
+		}
+		// The retained distinct sets must reproduce full-scan overlaps too.
+		gotOv, err := inc.ValueOverlap("id", "score")
+		if err != nil {
+			t.Fatalf("trial %d: incremental ValueOverlap: %v", trial, err)
+		}
+		wantOv, err := ValueOverlap(ext, "id", "score")
+		if err != nil {
+			t.Fatalf("trial %d: full ValueOverlap: %v", trial, err)
+		}
+		if gotOv != wantOv {
+			t.Fatalf("trial %d: ValueOverlap = %v, full scan gives %v", trial, gotOv, wantOv)
+		}
+	}
+}
+
+// TestIncrementalMultiSegment folds several consecutive deltas and checks
+// the final profile against a full rescan — the retained state must stay
+// consistent across appends, not just for one.
+func TestIncrementalMultiSegment(t *testing.T) {
+	rng := detrand.New(42)
+	whole := randomTable(rng, 50)
+	cuts := []int{0, 7, 7, 20, 31, 50} // includes an empty base and an empty delta
+
+	cur := relation.NewTable(whole.Name, whole.Schema)
+	inc, err := NewIncremental(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cuts); i++ {
+		ext, err := cur.Extend(whole.Rows[cuts[i-1]:cuts[i]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inc.Append(ext, cuts[i-1]); err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		cur = ext
+	}
+	want, err := ProfileTable(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inc.Profile(), want) {
+		t.Fatalf("multi-segment profile diverges from full rescan:\n got %+v\nwant %+v", inc.Profile(), want)
+	}
+}
+
+func TestIncrementalAppendErrors(t *testing.T) {
+	rng := detrand.New(7)
+	base := randomTable(rng, 10)
+	inc, err := NewIncremental(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := base.Extend([]relation.Row{randomRow(rng, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Append(ext, 5); err == nil {
+		t.Fatal("out-of-sync oldRows accepted, want error")
+	}
+	if _, err := inc.Append(nil, 10); err == nil {
+		t.Fatal("nil table accepted, want error")
+	}
+	shrunk := relation.NewTable(base.Name, base.Schema)
+	for _, r := range base.Rows[:3] {
+		shrunk.MustAppend(r)
+	}
+	if _, err := inc.Append(shrunk, 10); err == nil {
+		t.Fatal("shrunken table accepted, want error")
+	}
+}

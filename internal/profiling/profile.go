@@ -171,11 +171,15 @@ func discoverKeys(t *relation.Table, stats []ColumnStats) [][]string {
 		}
 	}
 
-	// Higher levels over non-unique, null-free columns.
+	// Higher levels over non-unique, null-free columns. One scratch seen-set
+	// is shared by every combo probe: the level-wise search tests dozens of
+	// combinations per table, and allocating a row-count-sized map per combo
+	// was the dominant allocation of profiling.
 	level := [][]int{}
 	for _, c := range nonUnique {
 		level = append(level, []int{c})
 	}
+	scratch := make(map[string]struct{}, t.NumRows())
 	for arity := 2; arity <= MaxKeyArity; arity++ {
 		var next [][]int
 		for i := 0; i < len(level); i++ {
@@ -188,7 +192,7 @@ func discoverKeys(t *relation.Table, stats []ColumnStats) [][]string {
 				if containsMinimal(combo, minimalIdx) {
 					continue
 				}
-				if comboUnique(t, combo) {
+				if comboUnique(t, combo, scratch) {
 					minimalIdx = append(minimalIdx, combo)
 				} else {
 					next = append(next, combo)
@@ -245,9 +249,11 @@ func subsetOf(a, b []int) bool {
 }
 
 // comboUnique reports whether the projection onto the given columns has no
-// duplicate rows.
-func comboUnique(t *relation.Table, combo []int) bool {
-	seen := make(map[string]struct{}, t.NumRows())
+// duplicate rows. seen is a caller-owned scratch map (pre-sized to the row
+// count and reused across combos); it is cleared on entry and holds the
+// projection keys of the last probed combo on return.
+func comboUnique(t *relation.Table, combo []int, seen map[string]struct{}) bool {
+	clear(seen)
 	var b strings.Builder
 	for _, row := range t.Rows {
 		b.Reset()

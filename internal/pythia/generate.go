@@ -138,6 +138,14 @@ func NewGeneratorWith(e *sqlengine.Engine, t *relation.Table, md *Metadata) *Gen
 	return &Generator{table: t, md: md, engine: e}
 }
 
+// NewGeneratorOver prepares a generator over a table the engine already
+// serves under t.Name — typically the extended table Engine.Append just
+// published. Unlike NewGeneratorWith it does not re-register, so the
+// engine keeps the caches Append chose not to invalidate.
+func NewGeneratorOver(e *sqlengine.Engine, t *relation.Table, md *Metadata) *Generator {
+	return &Generator{table: t, md: md, engine: e}
+}
+
 // shard is one worker's execution handle: the generator's shared engine
 // plus its own text generator. The engine is safe for concurrent queries
 // and caches prepared plans and join indexes internally, so all workers

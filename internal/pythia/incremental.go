@@ -1,0 +1,110 @@
+package pythia
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/profiling"
+	"repro/internal/relation"
+)
+
+// UpdateMetadata folds appended rows into discovered metadata without
+// re-predicting every attribute pair. inc must already have absorbed the
+// delta (its Profile covers all of t); oldRows is the row count before the
+// append.
+//
+// The incremental contract rests on two facts. First, every built-in
+// predictor's decision depends only on the header and a bounded row prefix
+// (serialize.Config.MaxRows caps the serialized sample, and the rule-based
+// baselines ignore rows entirely), so appending rows cannot change the
+// prediction for a pair whose type classes are unchanged — pairs are kept
+// or skipped without a forward pass. Second, relation.UnifyKind is a
+// semilattice join, so per-column kinds are updated from the delta alone;
+// only pairs whose class relation changed are re-predicted (newly
+// same-class) or dropped (no longer same-class). Correlation is recomputed
+// with the full-table two-pass formula (it is cheap and must match the
+// from-scratch float exactly) and value overlap comes from inc's retained
+// distinct sets — the same integers a full rescan would count.
+//
+// The result is byte-identical to Discover over the extended table for
+// any predictor honoring the bounded-prefix contract. Custom predictors
+// that read rows beyond the serialization cap must re-discover instead.
+func UpdateMetadata(old *Metadata, pred model.Predictor, t *relation.Table, inc *profiling.Incremental, oldRows int) (*Metadata, error) {
+	prof := inc.Profile()
+	if prof.Table != t {
+		return nil, fmt.Errorf("pythia: update metadata %s: incremental profile covers a different table", t.Name)
+	}
+	if old == nil || old.Kinds == nil || len(old.Kinds) != t.NumCols() {
+		// No kind state to fold forward (WithPairs metadata): fall back to a
+		// full prediction pass over the already-updated profile.
+		return DiscoverWithProfile(t, prof, pred)
+	}
+
+	header := t.Schema.Names()
+	deltaKinds := model.ColumnKinds(header, stringRowsFrom(t, oldRows))
+	kinds := make([]relation.Kind, len(old.Kinds))
+	for c := range kinds {
+		kinds[c] = relation.UnifyKind(old.Kinds[c], deltaKinds[c])
+	}
+
+	type pairKey struct{ a, b string }
+	oldPairs := make(map[pairKey]model.Pair, len(old.Pairs))
+	for _, p := range old.Pairs {
+		oldPairs[pairKey{p.AttrA, p.AttrB}] = p
+	}
+
+	// rows is only materialized when a newly same-class pair needs a real
+	// prediction; kept and dropped pairs never touch the cell strings.
+	var rows [][]string
+	var pairs []model.Pair
+	for i := 0; i < len(header); i++ {
+		for j := i + 1; j < len(header); j++ {
+			if !model.SameClass(kinds[i], kinds[j]) {
+				continue
+			}
+			if model.SameClass(old.Kinds[i], old.Kinds[j]) {
+				// Class relation unchanged: the prediction is provably the
+				// same as before the append — keep the pair iff it existed.
+				if p, ok := oldPairs[pairKey{header[i], header[j]}]; ok {
+					pairs = append(pairs, p)
+				}
+				continue
+			}
+			if rows == nil {
+				rows = stringRows(t)
+			}
+			if label, score, ok := pred.PredictPair(header, rows, header[i], header[j]); ok {
+				pairs = append(pairs, model.Pair{AttrA: header[i], AttrB: header[j], Label: label, Score: score})
+			}
+		}
+	}
+
+	// Refresh the value-level signals: they aggregate over all rows, so
+	// every surviving pair changes with the delta.
+	for i := range pairs {
+		if corr, err := profiling.Correlation(t, pairs[i].AttrA, pairs[i].AttrB); err == nil {
+			pairs[i].Correlation = corr
+		} else {
+			pairs[i].Correlation = 0
+		}
+		if ov, err := inc.ValueOverlap(pairs[i].AttrA, pairs[i].AttrB); err == nil {
+			pairs[i].ValueOverlap = ov
+		} else {
+			pairs[i].ValueOverlap = 0
+		}
+	}
+	return &Metadata{Profile: prof, Pairs: pairs, Kinds: kinds}, nil
+}
+
+// stringRowsFrom formats the cells of t.Rows[from:] for the predictors.
+func stringRowsFrom(t *relation.Table, from int) [][]string {
+	rows := make([][]string, 0, t.NumRows()-from)
+	for _, row := range t.Rows[from:] {
+		out := make([]string, len(row))
+		for c, v := range row {
+			out[c] = v.Format()
+		}
+		rows = append(rows, out)
+	}
+	return rows
+}

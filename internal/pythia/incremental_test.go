@@ -1,0 +1,177 @@
+package pythia
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/model"
+	"repro/internal/profiling"
+	"repro/internal/relation"
+)
+
+// updateAfterAppend drives the incremental path: profile base, discover,
+// extend with delta, fold, and return both the incremental result and the
+// from-scratch Discover over the extended table.
+func updateAfterAppend(t *testing.T, base *relation.Table, delta []relation.Row, pred model.Predictor) (got, want *Metadata) {
+	t.Helper()
+	inc, err := profiling.NewIncremental(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := DiscoverWithProfile(base, inc.Profile(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRows := base.NumRows()
+	ext, err := base.Extend(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Append(ext, oldRows); err != nil {
+		t.Fatal(err)
+	}
+	got, err = UpdateMetadata(old, pred, ext, inc, oldRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = Discover(ext, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, want
+}
+
+func assertMetadataEqual(t *testing.T, got, want *Metadata) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+		t.Fatalf("pairs diverge from full discover:\n got %+v\nwant %+v", got.Pairs, want.Pairs)
+	}
+	if !reflect.DeepEqual(got.Kinds, want.Kinds) {
+		t.Fatalf("kinds diverge from full discover: got %v want %v", got.Kinds, want.Kinds)
+	}
+	if !reflect.DeepEqual(got.Profile, want.Profile) {
+		t.Fatalf("profile diverges from full discover:\n got %+v\nwant %+v", got.Profile, want.Profile)
+	}
+}
+
+// TestUpdateMetadataKeepsUnchangedPairs covers the fast path: the appended
+// rows change no column's type class, so every pair is carried forward
+// without a prediction, yet the value-level signals (correlation, overlap)
+// must still match a from-scratch Discover exactly.
+func TestUpdateMetadataKeepsUnchangedPairs(t *testing.T) {
+	base := relation.MustReadCSVString("Covid", "country,day,total_cases,new_cases\nIT,1,100,10\nIT,2,120,20\nFR,1,80,8\nFR,2,90,10\n")
+	delta := []relation.Row{
+		{relation.String("DE"), relation.Int(1), relation.Int(50), relation.Int(5)},
+		{relation.String("DE"), relation.Int(2), relation.Int(64), relation.Int(14)},
+	}
+	got, want := updateAfterAppend(t, base, delta, model.NewULabel(kb.BuildDefault()))
+	if len(got.Pairs) == 0 {
+		t.Fatal("expected the ulabel predictor to keep at least one pair")
+	}
+	assertMetadataEqual(t, got, want)
+}
+
+// classTable builds a table of string-kind columns so ColumnKinds infers
+// the type class from the cell contents, not the schema.
+func classTable(cells [][2]string) *relation.Table {
+	tab := relation.NewTable("Class", relation.Schema{
+		{Name: "m1", Kind: relation.KindString},
+		{Name: "m2", Kind: relation.KindString},
+	})
+	for _, c := range cells {
+		tab.MustAppend(relation.Row{relation.String(c[0]), relation.String(c[1])})
+	}
+	return tab
+}
+
+// classStub pairs (m1, m2) whenever asked; PredictTableWithKinds only asks
+// for same-class pairs, so the pair's existence tracks the class relation.
+type classStub struct{}
+
+func (classStub) Name() string { return "classstub" }
+func (classStub) PredictPair(_ []string, _ [][]string, a, b string) (string, float64, bool) {
+	if (a == "m1" && b == "m2") || (a == "m2" && b == "m1") {
+		return "measure", 1, true
+	}
+	return "", 0, false
+}
+
+// TestUpdateMetadataRepredictsOnClassChange covers the slow path: the delta
+// flips a column's inferred class, so the newly same-class pair must be
+// predicted (it did not exist before the append).
+func TestUpdateMetadataRepredictsOnClassChange(t *testing.T) {
+	// Base: m1 numeric-looking (int class), m2 text (string class) — no pair.
+	base := classTable([][2]string{{"1", "alpha"}, {"2", "beta"}, {"3", "gamma"}})
+	delta := []relation.Row{{relation.String("oops"), relation.String("delta")}}
+	got, want := updateAfterAppend(t, base, delta, classStub{})
+	if len(got.Pairs) != 1 {
+		t.Fatalf("class flip should surface the (m1, m2) pair, got %+v", got.Pairs)
+	}
+	assertMetadataEqual(t, got, want)
+}
+
+// TestUpdateMetadataDropsOnClassDivergence covers the other class
+// transition: a pair that existed before the append whose columns no longer
+// share a class must be dropped without a prediction.
+func TestUpdateMetadataDropsOnClassDivergence(t *testing.T) {
+	// Base: both numeric-looking — the (m1, m2) pair exists.
+	base := classTable([][2]string{{"1", "10"}, {"2", "20"}, {"3", "30"}})
+	delta := []relation.Row{{relation.String("4"), relation.String("oops")}}
+	got, want := updateAfterAppend(t, base, delta, classStub{})
+	if len(got.Pairs) != 0 {
+		t.Fatalf("class divergence should drop the (m1, m2) pair, got %+v", got.Pairs)
+	}
+	assertMetadataEqual(t, got, want)
+}
+
+// TestUpdateMetadataFallsBackWithoutKinds covers WithPairs metadata: no
+// per-column kind state to fold forward, so the update runs a full
+// prediction pass over the already-updated profile.
+func TestUpdateMetadataFallsBackWithoutKinds(t *testing.T) {
+	base := paperTable(t)
+	inc, err := profiling.NewIncremental(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := WithPairs(base, []model.Pair{{AttrA: "FG%", AttrB: "3FG%", Label: "stale", Score: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Kinds != nil {
+		t.Fatal("WithPairs metadata unexpectedly carries kinds; the fallback case needs none")
+	}
+	oldRows := base.NumRows()
+	ext, err := base.Extend([]relation.Row{
+		{relation.String("Young"), relation.String("NY"), relation.Int(40), relation.Int(35), relation.Int(2), relation.Int(6)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Append(ext, oldRows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UpdateMetadata(old, stubPredictor{}, ext, inc, oldRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Discover(ext, stubPredictor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMetadataEqual(t, got, want)
+}
+
+// TestUpdateMetadataRejectsForeignProfile pins the guard: the incremental
+// profile must cover exactly the table being updated.
+func TestUpdateMetadataRejectsForeignProfile(t *testing.T) {
+	base := paperTable(t)
+	inc, err := profiling.NewIncremental(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := relation.MustReadCSVString("Other", "a,b\n1,2\n")
+	if _, err := UpdateMetadata(nil, stubPredictor{}, other, inc, base.NumRows()); err == nil {
+		t.Fatal("UpdateMetadata accepted a profile of a different table, want error")
+	}
+}

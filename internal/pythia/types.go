@@ -90,9 +90,14 @@ type Example struct {
 
 // Metadata is everything example generation needs about one table: the
 // profiling result (keys, types) plus the discovered ambiguity pairs.
+// Kinds holds the per-column kinds the predictor's type classes were
+// derived from; Discover fills it, and the incremental update path unifies
+// it with the appended rows instead of re-inferring over the whole table
+// (it may be nil for metadata built through WithPairs).
 type Metadata struct {
 	Profile *profiling.Profile
 	Pairs   []model.Pair
+	Kinds   []relation.Kind
 }
 
 // Discover profiles the table and predicts its ambiguity metadata. Every
@@ -104,8 +109,19 @@ func Discover(t *relation.Table, pred model.Predictor) (*Metadata, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pythia: profile %s: %w", t.Name, err)
 	}
+	return DiscoverWithProfile(t, prof, pred)
+}
+
+// DiscoverWithProfile is Discover over an externally computed profile, so
+// callers that already profiled the table (the serving layer's incremental
+// ingest keeps a profiling.Incremental) do not pay a second profiling pass.
+func DiscoverWithProfile(t *relation.Table, prof *profiling.Profile, pred model.Predictor) (*Metadata, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("pythia: discover %s: nil profile", t.Name)
+	}
 	rows := stringRows(t)
-	pairs := model.PredictTable(pred, t.Schema.Names(), rows)
+	kinds := model.ColumnKinds(t.Schema.Names(), rows)
+	pairs := model.PredictTableWithKinds(pred, t.Schema.Names(), rows, kinds)
 	for i := range pairs {
 		if corr, err := profiling.Correlation(t, pairs[i].AttrA, pairs[i].AttrB); err == nil {
 			pairs[i].Correlation = corr
@@ -114,7 +130,7 @@ func Discover(t *relation.Table, pred model.Predictor) (*Metadata, error) {
 			pairs[i].ValueOverlap = ov
 		}
 	}
-	return &Metadata{Profile: prof, Pairs: pairs}, nil
+	return &Metadata{Profile: prof, Pairs: pairs, Kinds: kinds}, nil
 }
 
 // WithPairs builds metadata from profiling plus externally supplied pairs

@@ -111,6 +111,23 @@ func (t *Table) Append(row Row) error {
 	return nil
 }
 
+// Extend returns a new table holding this table's rows plus the given
+// delta, validating and coercing the new rows exactly like Append. The
+// receiver is never mutated: the returned table's row slice is capped at
+// the shared prefix so the first appended row reallocates, which makes
+// Extend a copy-on-write append — readers holding the old *Table keep an
+// immutable view while the extended table is published elsewhere (the
+// engine's snapshot registry relies on this).
+func (t *Table) Extend(rows []Row) (*Table, error) {
+	out := &Table{Name: t.Name, Schema: t.Schema, Rows: t.Rows[:len(t.Rows):len(t.Rows)]}
+	for _, r := range rows {
+		if err := out.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // MustAppend is Append for statically-known rows; it panics on error. It is
 // intended for embedded datasets and tests.
 func (t *Table) MustAppend(row Row) {

@@ -10,6 +10,7 @@
 package serialize
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 	"strings"
@@ -368,4 +369,38 @@ func (t *Tokenizer) Decode(ids []int) []string {
 func (t *Tokenizer) ID(w string) (int, bool) {
 	id, ok := t.idx[w]
 	return id, ok
+}
+
+// Words returns the vocabulary in ID order (index == token ID). The slice
+// is a copy; it is the serializable form of the tokenizer for artifacts.
+func (t *Tokenizer) Words() []string {
+	out := make([]string, len(t.words))
+	copy(out, t.words)
+	return out
+}
+
+// TokenizerFromWords rebuilds a frozen tokenizer from a Words() snapshot.
+// The word list must be duplicate-free and start with the special tokens
+// in their canonical order (PAD at ID 0), which is what Words of any
+// tokenizer built through NewTokenizer yields.
+func TokenizerFromWords(words []string) (*Tokenizer, error) {
+	specials := SpecialTokens()
+	if len(words) < len(specials) {
+		return nil, fmt.Errorf("serialize: tokenizer snapshot has %d words, want at least the %d special tokens",
+			len(words), len(specials))
+	}
+	for i, s := range specials {
+		if words[i] != s {
+			return nil, fmt.Errorf("serialize: tokenizer snapshot word %d is %q, want special token %q", i, words[i], s)
+		}
+	}
+	t := &Tokenizer{idx: make(map[string]int, len(words))}
+	for _, w := range words {
+		if _, ok := t.idx[w]; ok {
+			return nil, fmt.Errorf("serialize: tokenizer snapshot has duplicate word %q", w)
+		}
+		t.add(w)
+	}
+	t.Freeze()
+	return t, nil
 }

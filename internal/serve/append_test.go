@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/model"
+	"repro/internal/pythia"
+	"repro/internal/relation"
+)
+
+const fixtureDelta = `Player,Team,FieldGoalPct,ThreePointPct,FreeThrowPct,Points,Fouls,Appearances
+Nowak,BER,44,38,71,12,2,9
+Okafor,LAG,51,29,80,18,4,11
+`
+
+func postCSV(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, b
+}
+
+// TestAppendRoundTrip drives the incremental ingest path end to end: a CSV
+// delta extends the uploaded fixture, the profile reflects the new rows,
+// and a generate stream over the appended tenant is byte-identical to
+// generating over a from-scratch table holding the same rows — the
+// incremental profile and metadata update must be invisible to clients.
+func TestAppendRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := postCSV(t, ts.URL+"/tables/Basket/append", fixtureDelta)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d: %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		Appended int `json:"appended"`
+		Rows     int `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Appended != 2 {
+		t.Fatalf("appended = %d, want 2", ack.Appended)
+	}
+
+	pr, err := http.Get(ts.URL + "/tables/Basket/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	var prof struct {
+		Rows int `json:"rows"`
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&prof); err != nil {
+		t.Fatal(err)
+	}
+	if prof.Rows != ack.Rows {
+		t.Fatalf("profile shows %d rows, append acked %d", prof.Rows, ack.Rows)
+	}
+
+	// Generate over the appended tenant vs a from-scratch single-tenant run
+	// over the same full table.
+	gresp, err := http.Post(ts.URL+"/tables/Basket/generate", "application/json",
+		strings.NewReader(`{"workers":2,"questions":true,"seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("generate after append: status %d", gresp.StatusCode)
+	}
+	got, err := io.ReadAll(gresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := string(FixtureCSV) + strings.SplitN(fixtureDelta, "\n", 2)[1]
+	tab, err := relation.ReadCSVString("Basket", full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != ack.Rows {
+		t.Fatalf("reference table has %d rows, want %d", tab.NumRows(), ack.Rows)
+	}
+	md, err := pythia.Discover(tab, model.NewULabel(kb.BuildDefault()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	err = pythia.NewGenerator(tab, md).GenerateStream(
+		pythia.Options{Mode: pythia.Templates, Questions: true, Seed: 7, Workers: 1},
+		pythia.SinkFunc(func(ex pythia.Example) error { return enc.Encode(ex) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("generate after append differs from from-scratch generation: %d vs %d bytes", len(got), want.Len())
+	}
+}
+
+// TestAppendValidation covers the append endpoint's client-error surface.
+func TestAppendValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	cases := []struct {
+		name, url, body string
+		status          int
+	}{
+		{"unknown table", ts.URL + "/tables/NoSuch/append", fixtureDelta, http.StatusNotFound},
+		{"wrong column name", ts.URL + "/tables/Basket/append",
+			"Player,Team,WrongCol,ThreePointPct,FreeThrowPct,Points,Fouls,Appearances\nA,B,1,2,3,4,5,6\n", http.StatusBadRequest},
+		{"wrong arity", ts.URL + "/tables/Basket/append", "Player,Team\nA,B\n", http.StatusBadRequest},
+		{"bad cell", ts.URL + "/tables/Basket/append",
+			"Player,Team,FieldGoalPct,ThreePointPct,FreeThrowPct,Points,Fouls,Appearances\nA,B,notanint,2,3,4,5,6\n", http.StatusBadRequest},
+		{"empty body", ts.URL + "/tables/Basket/append", "", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := postCSV(t, c.url, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.status, body)
+		}
+	}
+
+	// A header-only delta is a well-formed no-op.
+	resp, body := postCSV(t, ts.URL+"/tables/Basket/append",
+		"Player,Team,FieldGoalPct,ThreePointPct,FreeThrowPct,Points,Fouls,Appearances\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("header-only delta: status %d: %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		Appended int `json:"appended"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Appended != 0 {
+		t.Fatalf("header-only delta appended %d rows, want 0", ack.Appended)
+	}
+}
+
+// TestUploadUnchangedShortCircuit pins the re-upload fast path: a byte-
+// identical re-POST acknowledges without rebuilding the tenant, a changed
+// body replaces it, and an append clears the hash so the original body no
+// longer short-circuits against a diverged tenant.
+func TestUploadUnchangedShortCircuit(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	before, ok := s.lookup("Basket")
+	if !ok {
+		t.Fatal("fixture tenant missing")
+	}
+
+	resp, body := postCSV(t, ts.URL+"/tables?name=Basket", string(FixtureCSV))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("identical re-upload: status %d: %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		Unchanged bool `json:"unchanged"`
+		Rows      int  `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Unchanged {
+		t.Fatalf("identical re-upload = %s, want unchanged ack", body)
+	}
+	after, _ := s.lookup("Basket")
+	if after != before {
+		t.Fatal("identical re-upload rebuilt the tenant; the short-circuit must keep it")
+	}
+
+	// A changed body must NOT short-circuit.
+	resp, body = postCSV(t, ts.URL+"/tables?name=Basket", "A,B\n1,2\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("changed re-upload: status %d: %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Replaced  bool `json:"replaced"`
+		Unchanged bool `json:"unchanged"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unchanged || !rep.Replaced {
+		t.Fatalf("changed re-upload = %s, want a replacement", body)
+	}
+
+	// After an append the tenant's rows no longer match any upload body, so
+	// even the byte-identical body must rebuild.
+	uploadFixture(t, ts.URL, "Basket2")
+	resp, body = postCSV(t, ts.URL+"/tables/Basket2/append", fixtureDelta)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postCSV(t, ts.URL+"/tables?name=Basket2", string(FixtureCSV))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload after append: status %d: %s", resp.StatusCode, body)
+	}
+	var rep2 struct {
+		Replaced  bool `json:"replaced"`
+		Unchanged bool `json:"unchanged"`
+		Rows      int  `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Unchanged || !rep2.Replaced {
+		t.Fatalf("re-upload after append = %s, want a full replacement (hash must be cleared by append)", body)
+	}
+}

@@ -15,6 +15,10 @@
 package serve
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +42,8 @@ import (
 // -metrics snapshots next to the engine and pipeline counters.
 var met = struct {
 	uploads          *telemetry.Counter
+	uploadUnchanged  *telemetry.Counter
+	appends          *telemetry.Counter
 	generateRequests *telemetry.Counter
 	rejected         *telemetry.Counter
 	disconnects      *telemetry.Counter
@@ -47,6 +53,8 @@ var met = struct {
 	requestNS        *telemetry.Histogram
 }{
 	uploads:          telemetry.Default().Counter("serve.uploads"),
+	uploadUnchanged:  telemetry.Default().Counter("serve.upload_unchanged"),
+	appends:          telemetry.Default().Counter("serve.appends"),
 	generateRequests: telemetry.Default().Counter("serve.generate_requests"),
 	rejected:         telemetry.Default().Counter("serve.rejected_429"),
 	disconnects:      telemetry.Default().Counter("serve.client_disconnects"),
@@ -78,13 +86,18 @@ const (
 )
 
 // tenant is one uploaded table with its derived artifacts. Tenants are
-// immutable once built; re-uploading a name swaps the whole tenant.
+// immutable once built; re-uploading a name or appending rows swaps the
+// whole tenant. The incremental profiler is the one mutable exception:
+// it is only touched under Server.ingestMu (the append path), never by
+// readers.
 type tenant struct {
 	name    string // the registered (original-case) table name
 	table   *relation.Table
 	profile *profiling.Profile
 	md      *pythia.Metadata
 	gen     *pythia.Generator
+	hash    string // sha256 of the upload body; "" once appends diverge from it
+	inc     *profiling.Incremental
 }
 
 // Server is the multi-tenant serving state. Create with NewServer, mount
@@ -99,6 +112,11 @@ type Server struct {
 
 	mu      sync.RWMutex
 	tenants map[string]*tenant // keyed by lowercased name
+
+	// ingestMu serializes the mutating ingest paths (upload replace,
+	// append): each rebuilds a tenant from the previous one, so two
+	// interleaved mutations could lose rows. Read paths never take it.
+	ingestMu sync.Mutex
 
 	// testHold, when non-nil, makes a generate request carrying the
 	// x-test-hold=1 query parameter block after its headers are flushed
@@ -139,11 +157,13 @@ func (s *Server) Budget() *parallel.Budget { return s.budget }
 //	GET  /tables                       list tenants
 //	GET  /tables/{name}/profile        profiling result
 //	GET  /tables/{name}/metadata       discovered ambiguity metadata
+//	POST /tables/{name}/append         CSV delta -> incremental re-profile
 //	POST /tables/{name}/generate       stream examples as NDJSON
 //	GET  /healthz                      liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /tables", s.handleUpload)
+	mux.HandleFunc("POST /tables/{name}/append", s.handleAppend)
 	mux.HandleFunc("GET /tables", s.handleList)
 	mux.HandleFunc("GET /tables/{name}/profile", s.handleProfile)
 	mux.HandleFunc("GET /tables/{name}/metadata", s.handleMetadata)
@@ -194,6 +214,11 @@ func (s *Server) lookup(name string) (*tenant, bool) {
 // handleUpload ingests one CSV table: parse, profile, discover metadata,
 // register with the shared engine (safe during live queries — the snapshot
 // registry publishes the new table atomically) and install the tenant.
+//
+// Re-uploading a byte-identical body is a no-op short-circuit: the body's
+// content hash is compared against the installed tenant's before any
+// parsing or profiling, so clients that re-push their table on every
+// deploy don't pay (or cause) a full re-discovery.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	tm := met.requestNS.Time()
 	defer tm.Stop()
@@ -202,13 +227,34 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing or invalid ?name= (want 1-64 chars of [A-Za-z0-9_-])")
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	t, err := relation.ReadCSV(name, body)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	sum := sha256.Sum256(body)
+	hash := hex.EncodeToString(sum[:])
+	if prev, ok := s.lookup(name); ok && prev.hash != "" && prev.hash == hash {
+		met.uploadUnchanged.Inc()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"name":      prev.name,
+			"rows":      prev.table.NumRows(),
+			"columns":   prev.table.NumCols(),
+			"unchanged": true,
+		})
+		return
+	}
+	t, err := relation.ReadCSV(name, bytes.NewReader(body))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "parse csv: %v", err)
 		return
 	}
-	md, err := pythia.Discover(t, s.pred)
+	inc, err := profiling.NewIncremental(t)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "profile: %v", err)
+		return
+	}
+	md, err := pythia.DiscoverWithProfile(t, inc.Profile(), s.pred)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "discover metadata: %v", err)
 		return
@@ -219,11 +265,15 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		profile: md.Profile,
 		md:      md,
 		gen:     pythia.NewGeneratorWith(s.engine, t, md),
+		hash:    hash,
+		inc:     inc,
 	}
+	s.ingestMu.Lock()
 	s.mu.Lock()
 	replaced := s.tenants[strings.ToLower(name)] != nil
 	s.tenants[strings.ToLower(name)] = tn
 	s.mu.Unlock()
+	s.ingestMu.Unlock()
 	met.uploads.Inc()
 
 	status := http.StatusCreated
@@ -238,6 +288,123 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		"ambiguous_pairs": len(md.Pairs),
 		"replaced":        replaced,
 	})
+}
+
+// handleAppend ingests a CSV delta for an existing tenant: the rows extend
+// the registered table copy-on-write (live generate streams keep their
+// snapshot), the profile is updated from the delta alone, and only
+// attribute pairs whose type classes changed are re-predicted — the
+// incremental path of the profiling pipeline. The delta's header must
+// match the tenant's schema (same columns, same order, case-insensitive);
+// cells parse against the existing column kinds, so an append can never
+// silently re-type a column.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	tm := met.requestNS.Time()
+	defer tm.Stop()
+	tn, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown table %q", r.PathValue("name"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	rows, err := parseDelta(tn.table, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse csv delta: %v", err)
+		return
+	}
+	if len(rows) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"name": tn.name, "appended": 0, "rows": tn.table.NumRows(),
+		})
+		return
+	}
+
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	// Re-resolve under the ingest lock: a concurrent upload may have
+	// swapped the tenant while the delta was parsing.
+	tn, ok = s.lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown table %q", r.PathValue("name"))
+		return
+	}
+	oldRows := tn.table.NumRows()
+	ext, err := s.engine.Append(tn.name, rows)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "append: %v", err)
+		return
+	}
+	prof, err := tn.inc.Append(ext, oldRows)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "incremental profile: %v", err)
+		return
+	}
+	md, err := pythia.UpdateMetadata(tn.md, s.pred, ext, tn.inc, oldRows)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "update metadata: %v", err)
+		return
+	}
+	next := &tenant{
+		name:    tn.name,
+		table:   ext,
+		profile: prof,
+		md:      md,
+		gen:     pythia.NewGeneratorOver(s.engine, ext, md),
+		inc:     tn.inc,
+		// hash stays empty: the tenant no longer matches any upload body.
+	}
+	s.mu.Lock()
+	s.tenants[strings.ToLower(tn.name)] = next
+	s.mu.Unlock()
+	met.appends.Inc()
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":            next.name,
+		"appended":        len(rows),
+		"rows":            ext.NumRows(),
+		"primary_key":     prof.PrimaryKey,
+		"ambiguous_pairs": len(md.Pairs),
+	})
+}
+
+// parseDelta reads an appended CSV fragment against an existing schema:
+// the header must repeat the table's columns in order, and every cell is
+// parsed with the column's established kind (empty cells become NULL).
+func parseDelta(t *relation.Table, r io.Reader) ([]relation.Row, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("empty input (want a header row matching the table schema)")
+	}
+	header := records[0]
+	if len(header) != t.NumCols() {
+		return nil, fmt.Errorf("header arity %d != table arity %d", len(header), t.NumCols())
+	}
+	for c, h := range header {
+		if !strings.EqualFold(strings.TrimSpace(h), t.Schema[c].Name) {
+			return nil, fmt.Errorf("header column %d is %q, table has %q", c, strings.TrimSpace(h), t.Schema[c].Name)
+		}
+	}
+	rows := make([]relation.Row, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != t.NumCols() {
+			return nil, fmt.Errorf("row %d arity %d != table arity %d", i+1, len(rec), t.NumCols())
+		}
+		row := make(relation.Row, len(rec))
+		for c, cell := range rec {
+			v, err := relation.ParseValue(cell, t.Schema[c].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("row %d: %w", i+1, err)
+			}
+			row[c] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // handleList returns the tenant inventory, sorted by name.

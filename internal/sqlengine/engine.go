@@ -30,6 +30,7 @@ var met = struct {
 	batchScans         *telemetry.Counter
 	batchRows          *telemetry.Counter
 	vectorBuilds       *telemetry.Counter
+	tableAppends       *telemetry.Counter
 	parseNS            *telemetry.Histogram
 	execNS             *telemetry.Histogram
 	batchSelectivity   *telemetry.Histogram
@@ -49,6 +50,7 @@ var met = struct {
 	batchScans:         telemetry.Default().Counter("sqlengine.batch_scans"),
 	batchRows:          telemetry.Default().Counter("sqlengine.batch_rows"),
 	vectorBuilds:       telemetry.Default().Counter("sqlengine.vector_builds"),
+	tableAppends:       telemetry.Default().Counter("sqlengine.table_appends"),
 	parseNS:            telemetry.Default().LatencyHistogram("sqlengine.parse_ns"),
 	execNS:             telemetry.Default().LatencyHistogram("sqlengine.exec_ns"),
 	batchSelectivity:   telemetry.Default().Histogram("sqlengine.batch_selectivity", selectivityBuckets),
@@ -137,6 +139,40 @@ func (e *Engine) Register(t *relation.Table) {
 	e.plans.invalidate(name)
 	e.indexes.invalidate(name)
 	e.vectors.invalidate(name)
+}
+
+// Append extends the registered table with new rows and publishes the
+// extension as a fresh snapshot, returning the extended table. The
+// registered table itself is never mutated (relation.Table.Extend is
+// copy-on-write), so queries pinned to the previous snapshot keep reading
+// exactly the rows they started with. Only the touched table's plans,
+// indexes and column vectors are invalidated — every other registration
+// keeps its warm caches, which is what makes append ingest cheap next to
+// a full re-register-everything eviction.
+func (e *Engine) Append(name string, rows []relation.Row) (*relation.Table, error) {
+	key := strings.ToLower(name)
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	old := e.reg.Load()
+	t, ok := old.tables[key]
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: append to unregistered table %q", name)
+	}
+	ext, err := t.Extend(rows)
+	if err != nil {
+		return nil, err
+	}
+	next := make(map[string]*relation.Table, len(old.tables))
+	for k, v := range old.tables {
+		next[k] = v
+	}
+	next[key] = ext
+	e.reg.Store(&registry{tables: next})
+	e.plans.invalidate(key)
+	e.indexes.invalidate(key)
+	e.vectors.invalidate(key)
+	met.tableAppends.Inc()
+	return ext, nil
 }
 
 // Table returns a registered table by name, from the current snapshot.

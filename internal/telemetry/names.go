@@ -24,6 +24,9 @@ var KnownMetrics = []MetricName{
 	{Name: "annotate.label_ns", Kind: "histogram"},
 	{Name: "annotate.pairs_labelled", Kind: "counter"},
 	{Name: "annotate.tables_labelled", Kind: "counter"},
+	{Name: "artifact.load_rejects", Kind: "counter"},
+	{Name: "artifact.loads", Kind: "counter"},
+	{Name: "artifact.saves", Kind: "counter"},
 	{Name: "corpus.tables_generated", Kind: "counter"},
 	{Name: "corpus.tables_ns", Kind: "histogram"},
 	{Name: "experiments.*_ns", Kind: "histogram"},
@@ -44,12 +47,14 @@ var KnownMetrics = []MetricName{
 	{Name: "pythia.quota_drops", Kind: "counter"},
 	{Name: "pythia.units", Kind: "counter"},
 	{Name: "serve.active_streams", Kind: "gauge"},
+	{Name: "serve.appends", Kind: "counter"},
 	{Name: "serve.client_disconnects", Kind: "counter"},
 	{Name: "serve.examples_streamed", Kind: "counter"},
 	{Name: "serve.generate_requests", Kind: "counter"},
 	{Name: "serve.rejected_429", Kind: "counter"},
 	{Name: "serve.request_ns", Kind: "histogram"},
 	{Name: "serve.stream_errors", Kind: "counter"},
+	{Name: "serve.upload_unchanged", Kind: "counter"},
 	{Name: "serve.uploads", Kind: "counter"},
 	{Name: "sqlengine.batch_rows", Kind: "counter"},
 	{Name: "sqlengine.batch_scans", Kind: "counter"},
@@ -68,6 +73,7 @@ var KnownMetrics = []MetricName{
 	{Name: "sqlengine.range_joins", Kind: "counter"},
 	{Name: "sqlengine.rows_emitted", Kind: "counter"},
 	{Name: "sqlengine.rows_scanned", Kind: "counter"},
+	{Name: "sqlengine.table_appends", Kind: "counter"},
 	{Name: "sqlengine.vector_builds", Kind: "counter"},
 	{Name: "stream.checkpoints_written", Kind: "counter"},
 	{Name: "stream.examples_flushed", Kind: "counter"},

@@ -231,7 +231,9 @@ func TestServeCloseReleasesListener(t *testing.T) {
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
-		resp.Body.Close()
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("close %s body: %v", path, err)
+		}
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("GET %s: status %d", path, resp.StatusCode)
 		}
@@ -240,7 +242,9 @@ func TestServeCloseReleasesListener(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GET default-mux route: %v", err)
 	}
-	resp.Body.Close()
+	if err := resp.Body.Close(); err != nil {
+		t.Errorf("close default-mux response body: %v", err)
+	}
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("default-mux handler leaked onto the debug port: status %d", resp.StatusCode)
 	}
