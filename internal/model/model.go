@@ -61,6 +61,19 @@ type Predictor interface {
 	PredictPair(header []string, rows [][]string, attrA, attrB string) (label string, score float64, ok bool)
 }
 
+// RowSampler is an optional Predictor refinement declaring how much of the
+// table a prediction can depend on: PredictPair's result is a pure function
+// of the header, the attribute pair and at most the first SampleRows()
+// rows. Rule-based predictors that never read rows return 0; a negative
+// value declares an unbounded dependency (every row can matter). The
+// incremental discovery path (pythia.UpdateMetadata) only carries
+// predictions forward across an append when the declared prefix provably
+// did not change; predictors that do not implement RowSampler are treated
+// as unbounded and re-predicted in full.
+type RowSampler interface {
+	SampleRows() int
+}
+
 // PredictTable runs a predictor over every same-type-class attribute pair
 // of a table (Algorithm 1 only pairs numerical with numerical and
 // categorical with categorical).
@@ -147,6 +160,10 @@ func NewULabel(k *kb.KB) *ULabel {
 
 // Name implements Predictor.
 func (u *ULabel) Name() string { return "ULabel" }
+
+// SampleRows implements RowSampler: the baseline decides from the
+// attribute names alone and never reads rows.
+func (u *ULabel) SampleRows() int { return 0 }
 
 // aliasSet is the union of ConceptNet synonyms and Wikipedia titles.
 func (u *ULabel) aliasSet(attr string) map[string]bool {
@@ -361,6 +378,19 @@ type MetadataModel struct {
 
 // Name implements Predictor.
 func (m *MetadataModel) Name() string { return m.name }
+
+// SampleRows implements RowSampler: the schema prompt never reads rows,
+// the data prompts read at most the serialization row cap, and an uncapped
+// data prompt (MaxRows <= 0) serializes every row.
+func (m *MetadataModel) SampleRows() int {
+	if m.serial.Mode == serialize.SchemaOnly {
+		return 0
+	}
+	if m.serial.MaxRows <= 0 {
+		return -1
+	}
+	return m.serial.MaxRows
+}
 
 // Threshold returns the decision threshold (for calibration sweeps).
 func (m *MetadataModel) Threshold() float64 { return m.threshold }
@@ -691,6 +721,10 @@ func attrTokens(attr string) []string {
 
 // Name implements Predictor.
 func (s *SLabel) Name() string { return "SLabel" }
+
+// SampleRows implements RowSampler: label sets are predicted from the
+// attribute names alone.
+func (s *SLabel) SampleRows() int { return 0 }
 
 // labelSet predicts the top-K labels for one attribute. Attributes whose
 // tokens are all out of vocabulary (the paper's "A12") get an empty set:

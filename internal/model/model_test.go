@@ -153,6 +153,35 @@ func TestULabelBaseline(t *testing.T) {
 	}
 }
 
+// TestSampleRowsDeclarations pins the RowSampler bounds the incremental
+// discovery path trusts: the schema prompt and the rule-based baselines
+// never read rows, and the data prompt reads exactly its serialization cap.
+func TestSampleRowsDeclarations(t *testing.T) {
+	var (
+		_ RowSampler = (*ULabel)(nil)
+		_ RowSampler = (*SLabel)(nil)
+		_ RowSampler = (*MetadataModel)(nil)
+	)
+	if got := NewULabel(kb.BuildDefault()).SampleRows(); got != 0 {
+		t.Errorf("ULabel SampleRows = %d, want 0", got)
+	}
+	if got := trainSmall(t, serialize.SchemaOnly).SampleRows(); got != 0 {
+		t.Errorf("schema model SampleRows = %d, want 0", got)
+	}
+	data := trainSmall(t, serialize.DataRows)
+	if got, want := data.SampleRows(), smallTrainConfig(serialize.DataRows).Serialization.MaxRows; got != want {
+		t.Errorf("data model SampleRows = %d, want its serialization cap %d", got, want)
+	}
+	// A round trip through the snapshot must preserve the declaration.
+	restored, err := FromSnapshot(data.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.SampleRows() != data.SampleRows() {
+		t.Errorf("restored model SampleRows = %d, want %d", restored.SampleRows(), data.SampleRows())
+	}
+}
+
 func TestSLabelBaseline(t *testing.T) {
 	gen := corpus.NewDefaultGenerator()
 	cfg := DefaultSLabelConfig()

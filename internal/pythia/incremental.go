@@ -13,22 +13,25 @@ import (
 // delta (its Profile covers all of t); oldRows is the row count before the
 // append.
 //
-// The incremental contract rests on two facts. First, every built-in
-// predictor's decision depends only on the header and a bounded row prefix
-// (serialize.Config.MaxRows caps the serialized sample, and the rule-based
-// baselines ignore rows entirely), so appending rows cannot change the
-// prediction for a pair whose type classes are unchanged — pairs are kept
-// or skipped without a forward pass. Second, relation.UnifyKind is a
-// semilattice join, so per-column kinds are updated from the delta alone;
-// only pairs whose class relation changed are re-predicted (newly
-// same-class) or dropped (no longer same-class). Correlation is recomputed
-// with the full-table two-pass formula (it is cheap and must match the
-// from-scratch float exactly) and value overlap comes from inc's retained
-// distinct sets — the same integers a full rescan would count.
+// The incremental contract rests on two facts. First, a predictor that
+// declares a bounded row prefix via model.RowSampler decides from the
+// header and at most its first SampleRows() rows, so an append that only
+// adds rows past that prefix cannot change the prediction for a pair whose
+// type classes are unchanged — such pairs are kept or skipped without a
+// forward pass. When the append reaches into the declared prefix (the base
+// table was shorter than the bound), or the predictor declares no bound,
+// every prediction could change and the update re-predicts all pairs over
+// the already-updated profile. Second, relation.UnifyKind is a semilattice
+// join, so per-column kinds are updated from the delta alone; only pairs
+// whose class relation changed are re-predicted (newly same-class) or
+// dropped (no longer same-class). Correlation is recomputed with the
+// full-table two-pass formula (it is cheap and must match the from-scratch
+// float exactly) and value overlap comes from inc's retained distinct
+// sets — the same integers a full rescan would count.
 //
 // The result is byte-identical to Discover over the extended table for
-// any predictor honoring the bounded-prefix contract. Custom predictors
-// that read rows beyond the serialization cap must re-discover instead.
+// any predictor whose RowSampler declaration is honest; predictors without
+// one are always re-predicted in full, which is trivially identical.
 func UpdateMetadata(old *Metadata, pred model.Predictor, t *relation.Table, inc *profiling.Incremental, oldRows int) (*Metadata, error) {
 	prof := inc.Profile()
 	if prof.Table != t {
@@ -37,6 +40,14 @@ func UpdateMetadata(old *Metadata, pred model.Predictor, t *relation.Table, inc 
 	if old == nil || old.Kinds == nil || len(old.Kinds) != t.NumCols() {
 		// No kind state to fold forward (WithPairs metadata): fall back to a
 		// full prediction pass over the already-updated profile.
+		return DiscoverWithProfile(t, prof, pred)
+	}
+	// The kept-pair shortcut below is sound only when the append cannot
+	// change what the predictor reads. When the appended rows land inside
+	// the predictor's declared sample prefix (oldRows < SampleRows()) — or
+	// the predictor declares no bound at all — any prediction could change,
+	// so re-predict everything instead of carrying pairs forward.
+	if rs, ok := pred.(model.RowSampler); !ok || rs.SampleRows() < 0 || oldRows < rs.SampleRows() {
 		return DiscoverWithProfile(t, prof, pred)
 	}
 

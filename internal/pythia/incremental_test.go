@@ -87,9 +87,12 @@ func classTable(cells [][2]string) *relation.Table {
 
 // classStub pairs (m1, m2) whenever asked; PredictTableWithKinds only asks
 // for same-class pairs, so the pair's existence tracks the class relation.
+// It declares a zero row bound (it reads attribute names only), keeping the
+// class-transition tests on the incremental carry-forward path.
 type classStub struct{}
 
-func (classStub) Name() string { return "classstub" }
+func (classStub) Name() string    { return "classstub" }
+func (classStub) SampleRows() int { return 0 }
 func (classStub) PredictPair(_ []string, _ [][]string, a, b string) (string, float64, bool) {
 	if (a == "m1" && b == "m2") || (a == "m2" && b == "m1") {
 		return "measure", 1, true
@@ -122,6 +125,85 @@ func TestUpdateMetadataDropsOnClassDivergence(t *testing.T) {
 	if len(got.Pairs) != 0 {
 		t.Fatalf("class divergence should drop the (m1, m2) pair, got %+v", got.Pairs)
 	}
+	assertMetadataEqual(t, got, want)
+}
+
+// prefixStub predicts a label derived from the first `bound` rows — a
+// caricature of the data-task model, whose prompt serializes rows[:MaxRows]
+// — so any change to that prefix changes the prediction. A negative bound
+// reads every row (an unbounded declaration).
+type prefixStub struct{ bound int }
+
+func (p prefixStub) Name() string    { return "prefixstub" }
+func (p prefixStub) SampleRows() int { return p.bound }
+func (p prefixStub) PredictPair(_ []string, rows [][]string, a, b string) (string, float64, bool) {
+	n := len(rows)
+	if p.bound >= 0 && n > p.bound {
+		n = p.bound
+	}
+	label := "rows"
+	for _, row := range rows[:n] {
+		label += "|" + row[0]
+	}
+	return label, 1, true
+}
+
+// allRowsStub is prefixStub's shape without a RowSampler declaration: the
+// update path must treat it as unbounded and re-predict in full.
+type allRowsStub struct{}
+
+func (allRowsStub) Name() string { return "allrowsstub" }
+func (allRowsStub) PredictPair(_ []string, rows [][]string, a, b string) (string, float64, bool) {
+	label := "rows"
+	for _, row := range rows {
+		label += "|" + row[0]
+	}
+	return label, 1, true
+}
+
+// TestUpdateMetadataRepredictsWhenPrefixGrows pins the sample-bound guard:
+// the base table is shorter than the predictor's declared row bound, so the
+// append grows the prefix the prediction reads and the kept-pair shortcut
+// would carry a stale label. The update must re-predict and match Discover
+// over the extended table exactly.
+func TestUpdateMetadataRepredictsWhenPrefixGrows(t *testing.T) {
+	base := classTable([][2]string{{"1", "10"}, {"2", "20"}})
+	delta := []relation.Row{
+		{relation.String("3"), relation.String("30")},
+		{relation.String("4"), relation.String("40")},
+	}
+	got, want := updateAfterAppend(t, base, delta, prefixStub{bound: 4})
+	if len(got.Pairs) != 1 {
+		t.Fatalf("expected the (m1, m2) pair, got %+v", got.Pairs)
+	}
+	assertMetadataEqual(t, got, want)
+}
+
+// TestUpdateMetadataKeepsPairsPastPrefix covers the sound fast path: the
+// base table already covers the declared bound, so the appended rows land
+// past the prefix and carried-forward predictions are provably unchanged.
+func TestUpdateMetadataKeepsPairsPastPrefix(t *testing.T) {
+	base := classTable([][2]string{{"1", "10"}, {"2", "20"}, {"3", "30"}, {"4", "40"}})
+	delta := []relation.Row{{relation.String("5"), relation.String("50")}}
+	got, want := updateAfterAppend(t, base, delta, prefixStub{bound: 4})
+	if len(got.Pairs) != 1 {
+		t.Fatalf("expected the (m1, m2) pair, got %+v", got.Pairs)
+	}
+	assertMetadataEqual(t, got, want)
+}
+
+// TestUpdateMetadataUnboundedPredictorsRepredicted covers the conservative
+// defaults: a predictor declaring a negative bound, and one declaring no
+// bound at all, both read every row, so the update must re-predict rather
+// than carry pairs forward.
+func TestUpdateMetadataUnboundedPredictorsRepredicted(t *testing.T) {
+	base := classTable([][2]string{{"1", "10"}, {"2", "20"}, {"3", "30"}})
+	delta := []relation.Row{{relation.String("4"), relation.String("40")}}
+
+	got, want := updateAfterAppend(t, base, delta, prefixStub{bound: -1})
+	assertMetadataEqual(t, got, want)
+
+	got, want = updateAfterAppend(t, base, delta, allRowsStub{})
 	assertMetadataEqual(t, got, want)
 }
 

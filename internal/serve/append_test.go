@@ -3,9 +3,11 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/kb"
@@ -150,6 +152,81 @@ func TestAppendValidation(t *testing.T) {
 	}
 	if ack.Appended != 0 {
 		t.Fatalf("header-only delta appended %d rows, want 0", ack.Appended)
+	}
+}
+
+// TestIngestRaceKeepsEngineAndTenantInSync hammers one table name with
+// concurrent re-uploads and appends. Under -race it proves the two ingest
+// paths are data-race free against each other; on any build it asserts the
+// invariant ingestMu exists for: the engine's registered table and the
+// installed tenant's table are always the same object, so an append can
+// never extend a registration its tenant state does not describe.
+func TestIngestRaceKeepsEngineAndTenantInSync(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	altered := string(FixtureCSV) + "Zed,ALT,40,30,70,10,1,5\n"
+
+	post := func(url, body string) error {
+		resp, err := http.Post(url, "text/csv", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		//lint:ignore err-ignored draining the body only keeps the connection reusable
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+
+	const workers, perWorker = 3, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := string(FixtureCSV)
+				if (w+i)%2 == 1 {
+					body = altered
+				}
+				if err := post(ts.URL+"/tables?name=Basket", body); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := post(ts.URL+"/tables/Basket/append", fixtureDelta); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	tn, ok := s.lookup("Basket")
+	if !ok {
+		t.Fatal("tenant missing after the run")
+	}
+	cur, ok := s.engine.Table("Basket")
+	if !ok {
+		t.Fatal("engine registration missing after the run")
+	}
+	if cur != tn.table {
+		t.Fatalf("engine serves a different table than the tenant (%d vs %d rows)",
+			cur.NumRows(), tn.table.NumRows())
+	}
+	if tn.inc.Profile().Table != tn.table {
+		t.Fatal("incremental profile does not cover the installed tenant's table")
 	}
 }
 

@@ -88,8 +88,8 @@ const (
 // tenant is one uploaded table with its derived artifacts. Tenants are
 // immutable once built; re-uploading a name or appending rows swaps the
 // whole tenant. The incremental profiler is the one mutable exception:
-// it is only touched under Server.ingestMu (the append path), never by
-// readers.
+// it is only touched (folded forward, or replaced after a failed append)
+// under Server.ingestMu, never by readers.
 type tenant struct {
 	name    string // the registered (original-case) table name
 	table   *relation.Table
@@ -114,8 +114,13 @@ type Server struct {
 	tenants map[string]*tenant // keyed by lowercased name
 
 	// ingestMu serializes the mutating ingest paths (upload replace,
-	// append): each rebuilds a tenant from the previous one, so two
-	// interleaved mutations could lose rows. Read paths never take it.
+	// append) end to end — from the upload's unchanged-hash check and
+	// engine registration through the tenant-map install, and from the
+	// append's engine/tenant consistency check through its publish. Each
+	// path rebuilds a tenant from the previous one and must observe the
+	// engine and the tenant map describing the same table, so the whole
+	// read-derive-publish sequence is one critical section. Read paths
+	// never take it.
 	ingestMu sync.Mutex
 
 	// testHold, when non-nil, makes a generate request carrying the
@@ -219,6 +224,13 @@ func (s *Server) lookup(name string) (*tenant, bool) {
 // content hash is compared against the installed tenant's before any
 // parsing or profiling, so clients that re-push their table on every
 // deploy don't pay (or cause) a full re-discovery.
+//
+// Everything from the unchanged-hash check to the tenant install runs
+// under ingestMu: the hash comparison is ordered with appends (which clear
+// the hash when they install), and the engine registration inside
+// NewGeneratorWith lands in the same critical section as the tenant-map
+// install, so an append holding ingestMu always sees the engine and the
+// tenant map describing the same table.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	tm := met.requestNS.Time()
 	defer tm.Stop()
@@ -234,6 +246,8 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	sum := sha256.Sum256(body)
 	hash := hex.EncodeToString(sum[:])
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
 	if prev, ok := s.lookup(name); ok && prev.hash != "" && prev.hash == hash {
 		met.uploadUnchanged.Inc()
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -268,12 +282,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		hash:    hash,
 		inc:     inc,
 	}
-	s.ingestMu.Lock()
 	s.mu.Lock()
 	replaced := s.tenants[strings.ToLower(name)] != nil
 	s.tenants[strings.ToLower(name)] = tn
 	s.mu.Unlock()
-	s.ingestMu.Unlock()
 	met.uploads.Inc()
 
 	status := http.StatusCreated
@@ -328,20 +340,40 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown table %q", r.PathValue("name"))
 		return
 	}
+	// ingestMu makes the engine registration and the tenant map move
+	// together; verify the invariant before extending so a violation
+	// surfaces as an error instead of a corrupted incremental profile.
+	if cur, reg := s.engine.Table(tn.name); !reg || cur != tn.table {
+		writeError(w, http.StatusConflict, "table %q: engine registration does not match the installed tenant", tn.name)
+		return
+	}
+	// Compute-then-publish: extend the table and fold the profile and
+	// metadata off the engine first, so a failure in any derivation step
+	// leaves the engine serving exactly what the tenant describes.
 	oldRows := tn.table.NumRows()
-	ext, err := s.engine.Append(tn.name, rows)
+	ext, err := tn.table.Extend(rows)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "append: %v", err)
 		return
 	}
 	prof, err := tn.inc.Append(ext, oldRows)
 	if err != nil {
+		// Incremental.Append validates before it mutates, so tn.inc still
+		// covers tn.table and the tenant stays fully consistent.
 		writeError(w, http.StatusInternalServerError, "incremental profile: %v", err)
 		return
 	}
 	md, err := pythia.UpdateMetadata(tn.md, s.pred, ext, tn.inc, oldRows)
 	if err != nil {
+		// tn.inc absorbed the extension that is now being abandoned;
+		// rebuild it over the still-published table before reporting.
+		s.restoreIncremental(tn)
 		writeError(w, http.StatusInternalServerError, "update metadata: %v", err)
+		return
+	}
+	if err := s.engine.Swap(tn.table, ext); err != nil {
+		s.restoreIncremental(tn)
+		writeError(w, http.StatusInternalServerError, "publish append: %v", err)
 		return
 	}
 	next := &tenant{
@@ -365,6 +397,18 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		"primary_key":     prof.PrimaryKey,
 		"ambiguous_pairs": len(md.Pairs),
 	})
+}
+
+// restoreIncremental rebuilds a tenant's incremental profiler from its
+// still-published table after a failed append left the profiler covering
+// an extension that was never installed. Must be called with ingestMu
+// held. If even the rebuild fails (it profiled this exact table once
+// already, so it should not), the profiler stays out of sync and later
+// appends fail their row-count guard — degraded, never corrupt.
+func (s *Server) restoreIncremental(tn *tenant) {
+	if inc, err := profiling.NewIncremental(tn.table); err == nil {
+		tn.inc = inc
+	}
 }
 
 // parseDelta reads an appended CSV fragment against an existing schema:

@@ -68,6 +68,53 @@ func TestEngineAppend(t *testing.T) {
 	}
 }
 
+// TestEngineSwap covers the compute-then-publish half of an append: Swap
+// installs a pre-extended table only when the caller's view of the
+// registration is still current, and refuses stale or unregistered swaps
+// without touching engine state.
+func TestEngineSwap(t *testing.T) {
+	e := NewEngine()
+	base := seqTable(t, "S", 3)
+	e.Register(base)
+
+	ext, err := base.Extend(seqRows(3, 5))
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if err := e.Swap(base, ext); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	cur, ok := e.Table("S")
+	if !ok || cur != ext {
+		t.Fatal("Swap did not publish the extended table")
+	}
+	res, err := e.Query("SELECT seq FROM S")
+	if err != nil {
+		t.Fatalf("query after swap: %v", err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("query returned %d rows, want 5", len(res.Rows))
+	}
+
+	// A swap against a stale prev must fail and leave the registration as is.
+	ext2, err := base.Extend(seqRows(3, 6))
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if err := e.Swap(base, ext2); err == nil {
+		t.Fatal("Swap accepted a stale prev, want error")
+	}
+	if cur, _ := e.Table("S"); cur != ext {
+		t.Fatal("failed Swap changed the registration")
+	}
+
+	// Swapping a name that was never registered must fail.
+	other := seqTable(t, "nosuch", 1)
+	if err := e.Swap(other, other); err == nil {
+		t.Fatal("Swap of an unregistered table succeeded, want error")
+	}
+}
+
 // TestStalePlanNeverServesPreAppendRows pins cache invalidation on the
 // append path: a plan raced back into the cache after an Append must be
 // rebuilt against the extended snapshot, not serve the shorter table.

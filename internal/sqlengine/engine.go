@@ -31,6 +31,7 @@ var met = struct {
 	batchRows          *telemetry.Counter
 	vectorBuilds       *telemetry.Counter
 	tableAppends       *telemetry.Counter
+	tableSwaps         *telemetry.Counter
 	parseNS            *telemetry.Histogram
 	execNS             *telemetry.Histogram
 	batchSelectivity   *telemetry.Histogram
@@ -51,6 +52,7 @@ var met = struct {
 	batchRows:          telemetry.Default().Counter("sqlengine.batch_rows"),
 	vectorBuilds:       telemetry.Default().Counter("sqlengine.vector_builds"),
 	tableAppends:       telemetry.Default().Counter("sqlengine.table_appends"),
+	tableSwaps:         telemetry.Default().Counter("sqlengine.table_swaps"),
 	parseNS:            telemetry.Default().LatencyHistogram("sqlengine.parse_ns"),
 	execNS:             telemetry.Default().LatencyHistogram("sqlengine.exec_ns"),
 	batchSelectivity:   telemetry.Default().Histogram("sqlengine.batch_selectivity", selectivityBuckets),
@@ -129,16 +131,23 @@ func (e *Engine) Register(t *relation.Table) {
 	name := strings.ToLower(t.Name)
 	e.regMu.Lock()
 	defer e.regMu.Unlock()
+	e.publishLocked(name, t)
+}
+
+// publishLocked installs next under key as a fresh immutable registry
+// snapshot and drops the key's cached plans, indexes and vectors. regMu
+// must be held.
+func (e *Engine) publishLocked(key string, next *relation.Table) {
 	old := e.reg.Load()
-	next := make(map[string]*relation.Table, len(old.tables)+1)
+	m := make(map[string]*relation.Table, len(old.tables)+1)
 	for k, v := range old.tables {
-		next[k] = v
+		m[k] = v
 	}
-	next[name] = t
-	e.reg.Store(&registry{tables: next})
-	e.plans.invalidate(name)
-	e.indexes.invalidate(name)
-	e.vectors.invalidate(name)
+	m[key] = next
+	e.reg.Store(&registry{tables: m})
+	e.plans.invalidate(key)
+	e.indexes.invalidate(key)
+	e.vectors.invalidate(key)
 }
 
 // Append extends the registered table with new rows and publishes the
@@ -162,17 +171,34 @@ func (e *Engine) Append(name string, rows []relation.Row) (*relation.Table, erro
 	if err != nil {
 		return nil, err
 	}
-	next := make(map[string]*relation.Table, len(old.tables))
-	for k, v := range old.tables {
-		next[k] = v
-	}
-	next[key] = ext
-	e.reg.Store(&registry{tables: next})
-	e.plans.invalidate(key)
-	e.indexes.invalidate(key)
-	e.vectors.invalidate(key)
+	e.publishLocked(key, ext)
 	met.tableAppends.Inc()
 	return ext, nil
+}
+
+// Swap publishes next in place of prev, failing unless prev is exactly the
+// table currently registered under next's name. It is the publish half of a
+// compute-then-publish append: the caller extends the table and derives its
+// artifacts (profile, metadata) off the engine first, then swaps the
+// registration in atomically — a failure while deriving leaves the engine
+// untouched, so engine state and caller state never diverge. Like Append it
+// invalidates only the swapped table's plans, indexes and vectors, and the
+// snapshot semantics are those of Register: readers pinned to the previous
+// view keep it.
+func (e *Engine) Swap(prev, next *relation.Table) error {
+	key := strings.ToLower(next.Name)
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	cur, ok := e.reg.Load().tables[key]
+	if !ok {
+		return fmt.Errorf("sqlengine: swap of unregistered table %q", next.Name)
+	}
+	if cur != prev {
+		return fmt.Errorf("sqlengine: swap of table %q: the registration changed since the caller read it", next.Name)
+	}
+	e.publishLocked(key, next)
+	met.tableSwaps.Inc()
+	return nil
 }
 
 // Table returns a registered table by name, from the current snapshot.

@@ -74,6 +74,7 @@ var KnownMetrics = []MetricName{
 	{Name: "sqlengine.rows_emitted", Kind: "counter"},
 	{Name: "sqlengine.rows_scanned", Kind: "counter"},
 	{Name: "sqlengine.table_appends", Kind: "counter"},
+	{Name: "sqlengine.table_swaps", Kind: "counter"},
 	{Name: "sqlengine.vector_builds", Kind: "counter"},
 	{Name: "stream.checkpoints_written", Kind: "counter"},
 	{Name: "stream.examples_flushed", Kind: "counter"},
